@@ -1,0 +1,69 @@
+// Helper for the training-curve figures (Fig. 4 and Fig. 5): runs several
+// trainer variants on the same map and tabulates smoothed per-episode
+// metrics side by side.
+#ifndef CEWS_BENCH_BENCH_CURVES_H_
+#define CEWS_BENCH_BENCH_CURVES_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace cews::bench {
+
+/// One training variant and its per-episode history.
+struct CurveRun {
+  std::string name;
+  std::vector<agents::EpisodeRecord> history;
+};
+
+/// Trailing-window average of a metric at episode `e`.
+inline double Smoothed(const std::vector<agents::EpisodeRecord>& history,
+                       size_t e, int window,
+                       double (*pick)(const agents::EpisodeRecord&)) {
+  const size_t lo = e + 1 >= static_cast<size_t>(window)
+                        ? e + 1 - static_cast<size_t>(window)
+                        : 0;
+  double acc = 0.0;
+  for (size_t i = lo; i <= e; ++i) acc += pick(history[i]);
+  return acc / static_cast<double>(e - lo + 1);
+}
+
+/// Emits one table per metric: rows = checkpoint episodes, one column per
+/// variant, trailing-window smoothed.
+inline void EmitCurves(const std::string& bench_name,
+                       const std::vector<CurveRun>& runs, int checkpoints) {
+  struct Metric {
+    const char* name;
+    double (*pick)(const agents::EpisodeRecord&);
+  };
+  const Metric metrics[] = {
+      {"kappa", [](const agents::EpisodeRecord& r) { return r.kappa; }},
+      {"xi", [](const agents::EpisodeRecord& r) { return r.xi; }},
+      {"rho", [](const agents::EpisodeRecord& r) { return r.rho; }},
+  };
+  const size_t episodes = runs.front().history.size();
+  const int window = std::max<int>(1, static_cast<int>(episodes) / 8);
+  for (const Metric& metric : metrics) {
+    std::vector<std::string> headers = {std::string("episode")};
+    for (const CurveRun& run : runs) headers.push_back(run.name);
+    Table table(headers);
+    for (int c = 1; c <= checkpoints; ++c) {
+      const size_t frac =
+          episodes * static_cast<size_t>(c) / static_cast<size_t>(checkpoints);
+      const size_t e = frac > 0 ? frac - 1 : 0;  // clamp for tiny runs
+      std::vector<std::string> row = {std::to_string(e + 1)};
+      for (const CurveRun& run : runs) {
+        row.push_back(
+            Table::Fmt(Smoothed(run.history, e, window, metric.pick)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("-- %s --\n", metric.name);
+    Emit(table, bench_name + "_" + metric.name);
+  }
+}
+
+}  // namespace cews::bench
+
+#endif  // CEWS_BENCH_BENCH_CURVES_H_

@@ -1,0 +1,61 @@
+// Extension benchmark: value-based vs policy-gradient learning. Section IV
+// asserts policy-gradient methods converge better in this domain; this
+// harness trains a multi-agent DQN next to Edics (multi-agent PPO) and DPPO
+// on one scenario with equal episode budgets.
+#include "baselines/dqn.h"
+#include "baselines/edics.h"
+#include "bench/bench_util.h"
+#include "core/drl_cews.h"
+
+int main() {
+  using namespace cews;
+  bench::Banner("Extension: DQN vs policy-gradient baselines",
+                "Section IV claim");
+  const core::BenchmarkOptions options = bench::BenchOptions(/*seed=*/26);
+  const int pois = bench::Scaled(150, 300);
+  const env::Map map =
+      bench::MakeBenchMap(bench::BenchMapConfig(pois, 2, 4), 42);
+  const env::EnvConfig env_config = bench::BenchEnvConfig();
+
+  Table table({"algorithm", "kappa", "xi", "rho"});
+
+  {
+    baselines::DqnConfig config;
+    config.episodes = options.episodes;
+    config.updates_per_episode = bench::Scaled(10, 30);
+    config.env = env_config;
+    config.encoder.grid = options.grid;
+    config.trunk.grid = options.grid;
+    config.trunk.conv1_channels = options.net.conv1_channels;
+    config.trunk.conv2_channels = options.net.conv2_channels;
+    config.trunk.conv3_channels = options.net.conv3_channels;
+    config.trunk.feature_dim = options.net.feature_dim;
+    config.lr = options.lr;
+    config.gamma = options.gamma;
+    config.reward_scale = options.reward_scale;
+    config.epsilon_decay_episodes = options.episodes * 3 / 4;
+    config.seed = options.seed;
+    baselines::DqnTrainer trainer(config, map);
+    trainer.Train();
+    Rng rng(options.seed + 17);
+    const agents::EvalResult r = trainer.Evaluate(rng, /*epsilon=*/0.02f);
+    table.AddRow({"DQN (multi-agent)", Table::Fmt(r.kappa), Table::Fmt(r.xi),
+                  Table::Fmt(r.rho)});
+    std::printf("  DQN    kappa=%.3f rho=%.3f\n", r.kappa, r.rho);
+    std::fflush(stdout);
+  }
+
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kEdics, core::Algorithm::kDppo}) {
+    const agents::EvalResult r =
+        core::RunAlgorithm(algorithm, map, env_config, options);
+    table.AddRow({core::AlgorithmName(algorithm), Table::Fmt(r.kappa),
+                  Table::Fmt(r.xi), Table::Fmt(r.rho)});
+    std::printf("  %-6s kappa=%.3f rho=%.3f\n",
+                core::AlgorithmName(algorithm).c_str(), r.kappa, r.rho);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  bench::Emit(table, "ext_dqn");
+  return 0;
+}

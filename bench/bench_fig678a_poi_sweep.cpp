@@ -1,0 +1,21 @@
+// Reproduces Fig. 6(a)/7(a)/8(a): impact of the number of PoIs
+// (P = 100..500, W = 2) on kappa / xi / rho for all five algorithms.
+#include "bench/bench_sweep.h"
+
+int main() {
+  using namespace cews;
+  bench::Banner("Impact of number of PoIs", "Fig. 6(a), 7(a), 8(a)");
+  const core::BenchmarkOptions options = bench::BenchOptions(/*seed=*/11);
+  std::vector<bench::SweepPoint> points;
+  for (const int pois : {100, 200, 300, 400, 500}) {
+    bench::SweepPoint point;
+    point.x_label = std::to_string(pois);
+    // Same seed at every point: P varies "without changing the
+    // distribution of PoIs" (Section VII-F).
+    point.map = bench::MakeBenchMap(bench::BenchMapConfig(pois, 2, 4), 42);
+    point.env_config = bench::BenchEnvConfig();
+    points.push_back(std::move(point));
+  }
+  bench::RunSweep("fig678a_poi_sweep", "P", points, options);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Fig. 6(b)/7(b)/8(b): impact of the number of workers
+// (W = 1..25, P = 300) on kappa / xi / rho for all five algorithms.
+#include "bench/bench_sweep.h"
+
+int main() {
+  using namespace cews;
+  bench::Banner("Impact of number of workers", "Fig. 6(b), 7(b), 8(b)");
+  const core::BenchmarkOptions options = bench::BenchOptions(/*seed=*/12);
+  const int pois = bench::Scaled(150, 300);
+  std::vector<int> worker_counts = {1, 2, 5, 10, 25};
+  if (!bench::FullMode()) worker_counts = {1, 2, 5, 10};  // 25 in full mode
+  std::vector<bench::SweepPoint> points;
+  for (const int workers : worker_counts) {
+    bench::SweepPoint point;
+    point.x_label = std::to_string(workers);
+    point.map =
+        bench::MakeBenchMap(bench::BenchMapConfig(pois, workers, 4), 42);
+    point.env_config = bench::BenchEnvConfig();
+    points.push_back(std::move(point));
+  }
+  bench::RunSweep("fig678b_worker_sweep", "W", points, options);
+  return 0;
+}

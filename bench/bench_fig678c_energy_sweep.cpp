@@ -1,0 +1,24 @@
+// Reproduces Fig. 6(c)/7(c)/8(c): impact of the per-worker energy budget
+// (b0 = 10..50, W = 2, P = 300) on kappa / xi / rho.
+#include "bench/bench_sweep.h"
+
+int main() {
+  using namespace cews;
+  bench::Banner("Impact of energy budget", "Fig. 6(c), 7(c), 8(c)");
+  const core::BenchmarkOptions options = bench::BenchOptions(/*seed=*/13);
+  const int pois = bench::Scaled(150, 300);
+  const env::Map map =
+      bench::MakeBenchMap(bench::BenchMapConfig(pois, 2, 4), 42);
+  std::vector<bench::SweepPoint> points;
+  for (const int budget : {10, 20, 30, 40, 50}) {
+    bench::SweepPoint point;
+    point.x_label = std::to_string(budget);
+    point.map = map;
+    point.env_config = bench::BenchEnvConfig();
+    point.env_config.initial_energy = budget;
+    point.env_config.energy_capacity = std::max(40.0, double(budget));
+    points.push_back(std::move(point));
+  }
+  bench::RunSweep("fig678c_energy_sweep", "budget", points, options);
+  return 0;
+}

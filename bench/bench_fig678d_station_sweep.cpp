@@ -1,0 +1,22 @@
+// Reproduces Fig. 6(d)/7(d)/8(d): impact of the number of charging
+// stations (2..10, W = 2, P = 300) on kappa / xi / rho.
+#include "bench/bench_sweep.h"
+
+int main() {
+  using namespace cews;
+  bench::Banner("Impact of number of charging stations",
+                "Fig. 6(d), 7(d), 8(d)");
+  const core::BenchmarkOptions options = bench::BenchOptions(/*seed=*/14);
+  const int pois = bench::Scaled(150, 300);
+  std::vector<bench::SweepPoint> points;
+  for (const int stations : {2, 4, 6, 8, 10}) {
+    bench::SweepPoint point;
+    point.x_label = std::to_string(stations);
+    point.map = bench::MakeBenchMap(
+        bench::BenchMapConfig(pois, 2, stations), 42);
+    point.env_config = bench::BenchEnvConfig();
+    points.push_back(std::move(point));
+  }
+  bench::RunSweep("fig678d_station_sweep", "stations", points, options);
+  return 0;
+}

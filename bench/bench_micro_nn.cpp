@@ -1,0 +1,150 @@
+// Micro-benchmarks of the neural-network substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "agents/policy_net.h"
+#include "agents/ppo.h"
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/params.h"
+
+namespace {
+
+using namespace cews;
+
+void BM_MatMul(benchmark::State& state) {
+  const nn::Index n = state.range(0);
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Zeros({n, n});
+  nn::Tensor b = nn::Tensor::Zeros({n, n});
+  for (nn::Index i = 0; i < a.numel(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+    b.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const nn::Index g = state.range(0);
+  Rng rng(2);
+  nn::Conv2dLayer conv(3, 8, 3, 1, 1, rng);
+  nn::Tensor x = nn::Tensor::Zeros({1, 3, g, g});
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(12)->Arg(20)->Arg(32);
+
+void BM_Conv2dForwardBackward(benchmark::State& state) {
+  const nn::Index g = state.range(0);
+  Rng rng(3);
+  nn::Conv2dLayer conv(3, 8, 3, 1, 1, rng);
+  nn::Tensor x = nn::Tensor::Zeros({1, 3, g, g});
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    nn::Tensor loss = nn::Mean(nn::Square(conv.Forward(x)));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_Conv2dForwardBackward)->Arg(12)->Arg(20);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(4);
+  nn::Tensor x = nn::Tensor::Zeros({64, 17});
+  for (nn::Index i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Uniform(-2, 2));
+  }
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Softmax(x));
+  }
+}
+BENCHMARK(BM_SoftmaxLastDim);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(5);
+  nn::LayerNorm ln(512);
+  nn::Tensor x = nn::Tensor::Zeros({16, 512});
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ln.Forward(x));
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+agents::PolicyNetConfig BenchNet(int grid) {
+  agents::PolicyNetConfig config;
+  config.grid = grid;
+  config.num_workers = 2;
+  config.num_moves = 17;
+  config.conv1_channels = 6;
+  config.conv2_channels = 8;
+  config.conv3_channels = 8;
+  config.feature_dim = 128;
+  return config;
+}
+
+void BM_PolicyNetForward(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  Rng rng(6);
+  agents::PolicyNet net(BenchNet(grid), rng);
+  nn::Tensor x = nn::Tensor::Zeros({1, 3, grid, grid});
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(x));
+  }
+}
+BENCHMARK(BM_PolicyNetForward)->Arg(12)->Arg(20);
+
+void BM_PpoLossBackward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const agents::PolicyNetConfig net_config = BenchNet(12);
+  agents::PpoAgent agent(net_config, agents::PpoConfig{}, 7);
+  Rng rng(8);
+  agents::RolloutBuffer buffer;
+  const std::vector<float> zero_state(
+      static_cast<size_t>(3 * 12 * 12), 0.0f);
+  for (int t = 0; t < batch; ++t) {
+    const agents::ActResult act = agent.Act(zero_state, rng);
+    agents::Transition tr;
+    tr.state = zero_state;
+    tr.moves = act.moves;
+    tr.charges = act.charges;
+    tr.log_prob = act.log_prob;
+    tr.value = act.value;
+    tr.reward = 1.0f;
+    tr.done = t + 1 == batch;
+    buffer.Add(std::move(tr));
+  }
+  buffer.ComputeAdvantages(0.99f, 0.95f, 0.0f);
+  std::vector<size_t> idx;
+  for (int i = 0; i < batch; ++i) idx.push_back(static_cast<size_t>(i));
+  for (auto _ : state) {
+    nn::ZeroGradients(agent.Parameters());
+    nn::Tensor loss = agent.ComputeLoss(buffer, idx);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_PpoLossBackward)->Arg(16)->Arg(64);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(9);
+  nn::Mlp mlp({256, 256, 64}, nn::Activation::kRelu, rng);
+  nn::Adam adam(mlp.Parameters(), 1e-3f);
+  for (nn::Tensor p : mlp.Parameters()) p.ZeroGrad();
+  for (auto _ : state) {
+    adam.Step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared driver for the Fig. 6/7/8 sweeps: each sweep point runs all five
+// algorithms (Section VII-B) on the identical map instance and reports
+// kappa / xi / rho — one row per (x, algorithm).
+#ifndef CEWS_BENCH_BENCH_SWEEP_H_
+#define CEWS_BENCH_BENCH_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace cews::bench {
+
+/// One sweep point: the x label plus the scenario to evaluate.
+struct SweepPoint {
+  std::string x_label;
+  env::Map map;
+  env::EnvConfig env_config;
+};
+
+/// Runs all five algorithms over the sweep and emits the combined table.
+inline void RunSweep(const std::string& bench_name,
+                     const std::string& x_name,
+                     const std::vector<SweepPoint>& points,
+                     const core::BenchmarkOptions& options) {
+  Table table({x_name, "algorithm", "kappa", "xi", "rho"});
+  for (const SweepPoint& point : points) {
+    for (const core::Algorithm algorithm : core::AllAlgorithms()) {
+      const agents::EvalResult r = core::RunAlgorithm(
+          algorithm, point.map, point.env_config, options);
+      table.AddRow({point.x_label, core::AlgorithmName(algorithm),
+                    Table::Fmt(r.kappa), Table::Fmt(r.xi),
+                    Table::Fmt(r.rho)});
+      std::printf("  [%s=%s] %-8s kappa=%.3f xi=%.3f rho=%.3f\n",
+                  x_name.c_str(), point.x_label.c_str(),
+                  core::AlgorithmName(algorithm).c_str(), r.kappa, r.xi,
+                  r.rho);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  Emit(table, bench_name);
+}
+
+}  // namespace cews::bench
+
+#endif  // CEWS_BENCH_BENCH_SWEEP_H_

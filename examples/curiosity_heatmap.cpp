@@ -1,0 +1,70 @@
+// Curiosity introspection demo: trains a single drone and renders where the
+// spatial curiosity model paid out intrinsic reward over the course of
+// training (the Fig. 9 visualization, as a library API walkthrough).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/drl_cews.h"
+#include "env/map.h"
+
+int main() {
+  using namespace cews;
+
+  env::MapConfig map_config;
+  map_config.num_pois = 120;
+  map_config.num_workers = 1;
+  map_config.num_stations = 3;
+  Rng rng(9);
+  auto map_or = env::GenerateMap(map_config, rng);
+  if (!map_or.ok()) {
+    std::fprintf(stderr, "map generation failed\n");
+    return 1;
+  }
+  const env::Map map = std::move(map_or).value();
+
+  agents::TrainerConfig config = core::DrlCews::DefaultConfig();
+  config.episodes = 60;
+  config.num_employees = 2;
+  config.batch_size = 64;
+  config.update_epochs = 4;
+  config.env.horizon = 60;
+  config.encoder.grid = 12;
+  config.net.grid = 12;
+  config.net.conv1_channels = 4;
+  config.net.conv2_channels = 6;
+  config.net.conv3_channels = 6;
+  config.net.feature_dim = 64;
+  config.heatmap_snapshot_every = 20;  // three panels
+  config.seed = 8;
+
+  core::DrlCews system(config, map);
+  system.Train();
+
+  const int grid = config.encoder.grid;
+  double max_value = 0.0;
+  for (const agents::HeatmapSnapshot& snap : system.heatmap_snapshots()) {
+    for (double v : snap.cell_values) max_value = std::max(max_value, v);
+  }
+  for (const agents::HeatmapSnapshot& snap : system.heatmap_snapshots()) {
+    std::printf("curiosity after episode %d (brighter = more surprising):\n",
+                snap.episode);
+    for (int y = grid - 1; y >= 0; --y) {
+      std::printf("  ");
+      for (int x = 0; x < grid; ++x) {
+        const double v = snap.cell_values[static_cast<size_t>(y * grid + x)];
+        const char* glyphs = " .:-=+*#%@";
+        int level = 0;
+        if (max_value > 0.0 && v > 0.0) {
+          level = 1 + static_cast<int>(v / max_value * 8.999);
+        }
+        std::printf("%c", glyphs[level]);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Brightness fades as the forward model learns the visited area; "
+      "frontier cells stay bright, pulling the drone outward.\n");
+  return 0;
+}

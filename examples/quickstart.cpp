@@ -1,0 +1,67 @@
+// Quickstart: generate a crowdsensing scenario, run the Greedy baseline,
+// train a small DRL-CEWS model, and compare the three metrics.
+#include <cstdio>
+
+#include "baselines/greedy.h"
+#include "baselines/planner.h"
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/drl_cews.h"
+#include "env/env.h"
+#include "env/map.h"
+
+int main() {
+  using namespace cews;
+
+  // 1. A scenario: 16x16 space, 150 PoIs, 4 charging stations, 2 drones,
+  //    collapsed buildings and the hard-exploration corner room.
+  env::MapConfig map_config;
+  map_config.num_pois = 150;
+  map_config.num_workers = 2;
+  map_config.num_stations = 4;
+  Rng rng(42);
+  auto map_or = env::GenerateMap(map_config, rng);
+  if (!map_or.ok()) {
+    std::fprintf(stderr, "map generation failed: %s\n",
+                 map_or.status().ToString().c_str());
+    return 1;
+  }
+  env::Map map = std::move(map_or).value();
+  std::printf("scenario: %zu PoIs, %zu stations, %zu obstacles, %zu drones\n",
+              map.pois.size(), map.stations.size(), map.obstacles.size(),
+              map.worker_spawns.size());
+
+  // 2. Greedy baseline.
+  env::EnvConfig env_config;
+  env::Env env(env_config, map);
+  const agents::EvalResult greedy =
+      baselines::RunPlannerEpisode(baselines::GreedyPlanner(), env);
+  std::printf("greedy   : kappa=%.3f xi=%.3f rho=%.3f\n", greedy.kappa,
+              greedy.xi, greedy.rho);
+
+  // 3. DRL-CEWS, scaled down for a quick demo (the paper trains 2,500
+  //    episodes; raise `episodes` to approach its numbers). The quick-mode
+  //    learning constants come from core::BenchmarkOptions.
+  core::BenchmarkOptions options;
+  options.episodes = 150;
+  options.num_employees = 2;
+  options.batch_size = 64;
+  options.grid = 12;
+  options.net.conv1_channels = 4;
+  options.net.conv2_channels = 6;
+  options.net.conv3_channels = 6;
+  options.net.feature_dim = 64;
+  options.seed = 7;
+  env_config.horizon = 60;
+  agents::TrainerConfig config = core::MakeTrainerConfig(
+      core::Algorithm::kDrlCews, env_config, options);
+
+  core::DrlCews system(config, map);
+  const agents::TrainResult train = system.Train();
+  std::printf("trained %d episodes x %d employees in %.1fs\n",
+              config.episodes, config.num_employees, train.seconds);
+  const agents::EvalResult cews = system.Evaluate(/*episodes=*/3);
+  std::printf("drl-cews : kappa=%.3f xi=%.3f rho=%.3f\n", cews.kappa, cews.xi,
+              cews.rho);
+  return 0;
+}

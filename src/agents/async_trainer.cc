@@ -1,0 +1,216 @@
+#include "agents/async_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "agents/eval.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "nn/ops.h"
+#include "nn/params.h"
+
+namespace cews::agents {
+
+VtraceResult ComputeVtrace(const std::vector<float>& rewards,
+                           const std::vector<bool>& dones,
+                           const std::vector<float>& values,
+                           const std::vector<float>& ratios, float gamma,
+                           float rho_bar, float c_bar) {
+  const size_t t_max = rewards.size();
+  CEWS_CHECK_EQ(dones.size(), t_max);
+  CEWS_CHECK_EQ(ratios.size(), t_max);
+  CEWS_CHECK_EQ(values.size(), t_max + 1);
+  VtraceResult result;
+  result.vs.assign(t_max, 0.0f);
+  result.pg_advantages.assign(t_max, 0.0f);
+  // Backward recursion: vs_t = V_t + delta_t + gamma c_t (vs_{t+1} -
+  // V_{t+1}); a terminal step cuts the trace.
+  float vs_next = values[t_max];
+  float v_next = values[t_max];
+  for (size_t t = t_max; t-- > 0;) {
+    const float not_done = dones[t] ? 0.0f : 1.0f;
+    const float rho = std::min(rho_bar, ratios[t]);
+    const float c = std::min(c_bar, ratios[t]);
+    const float next_value = not_done * v_next;
+    const float next_vs = not_done * vs_next;
+    const float delta = rho * (rewards[t] + gamma * next_value - values[t]);
+    const float vs =
+        values[t] + delta + gamma * c * (next_vs - next_value);
+    result.vs[t] = vs;
+    result.pg_advantages[t] =
+        rho * (rewards[t] + gamma * next_vs - values[t]);
+    vs_next = vs;
+    v_next = values[t];
+  }
+  return result;
+}
+
+AsyncTrainer::AsyncTrainer(const AsyncTrainerConfig& config, env::Map map)
+    : config_(config), map_(std::move(map)), encoder_(config.encoder) {
+  CEWS_CHECK_GT(config_.num_employees, 0);
+  CEWS_CHECK_GT(config_.episodes, 0);
+  config_.net.num_workers = static_cast<int>(map_.worker_spawns.size());
+  config_.net.num_moves = config_.env.action_space.num_moves();
+  config_.net.grid = config_.encoder.grid;
+  Rng rng(config_.seed);
+  global_net_ = std::make_unique<PolicyNet>(config_.net, rng);
+  optimizer_ =
+      std::make_unique<nn::Adam>(global_net_->Parameters(), config_.lr);
+}
+
+AsyncTrainer::~AsyncTrainer() = default;
+
+void AsyncTrainer::EmployeeLoop(int employee_id) {
+  Rng init_rng(config_.seed + static_cast<uint64_t>(employee_id) + 5000);
+  PolicyNet local(config_.net, init_rng);
+  const std::vector<nn::Tensor> local_params = local.Parameters();
+  env::Env env(config_.env, map_);
+  Rng rng(config_.seed * 6131 + static_cast<uint64_t>(employee_id));
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    nn::CopyParameters(global_net_->Parameters(), local_params);
+  }
+  const int state_size = encoder_.StateSize();
+
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    // ---- Rollout with the (possibly stale) local policy ----
+    env.Reset();
+    std::vector<std::vector<float>> states;
+    std::vector<std::vector<int>> moves, charges;
+    std::vector<float> behavior_logp, rewards;
+    std::vector<bool> dones;
+    std::vector<float> state = encoder_.Encode(env);
+    while (!env.Done()) {
+      const ActResult act = SamplePolicy(local, state, rng, false);
+      const env::StepResult step = env.Step(act.actions);
+      const double r_ext = config_.reward_mode == RewardMode::kSparse
+                               ? step.sparse_reward
+                               : step.dense_reward;
+      states.push_back(std::move(state));
+      moves.push_back(act.moves);
+      charges.push_back(act.charges);
+      behavior_logp.push_back(act.log_prob);
+      rewards.push_back(config_.reward_scale * static_cast<float>(r_ext));
+      dones.push_back(step.done);
+      state = encoder_.Encode(env);
+    }
+    const size_t t_max = states.size();
+    CEWS_CHECK_GT(t_max, 0u);
+
+    // ---- Pull the newest global parameters: the learner is now *ahead* of
+    // the behavior policy that produced the rollout (other employees have
+    // advanced the global model meanwhile). This is the policy-lag of
+    // Section V-A; V-trace's importance ratios correct for it. ----
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      nn::CopyParameters(global_net_->Parameters(), local_params);
+    }
+
+    // ---- Learner pass ----
+    const PolicyNetConfig& cfg = config_.net;
+    std::vector<float> batch(t_max * static_cast<size_t>(state_size));
+    std::vector<nn::Index> move_idx(t_max *
+                                    static_cast<size_t>(cfg.num_workers));
+    std::vector<nn::Index> charge_idx(t_max *
+                                      static_cast<size_t>(cfg.num_workers));
+    for (size_t t = 0; t < t_max; ++t) {
+      std::copy(states[t].begin(), states[t].end(),
+                batch.begin() + static_cast<nn::Index>(t) * state_size);
+      for (int w = 0; w < cfg.num_workers; ++w) {
+        move_idx[t * static_cast<size_t>(cfg.num_workers) +
+                 static_cast<size_t>(w)] = moves[t][static_cast<size_t>(w)];
+        charge_idx[t * static_cast<size_t>(cfg.num_workers) +
+                   static_cast<size_t>(w)] =
+            charges[t][static_cast<size_t>(w)];
+      }
+    }
+    nn::ZeroGradients(local_params);
+    const nn::Tensor x = nn::Tensor::FromData(
+        {static_cast<nn::Index>(t_max), cfg.in_channels, cfg.grid, cfg.grid},
+        std::move(batch));
+    const PolicyOutput out = local.Forward(x);
+    nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);
+    nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);
+    nn::Tensor logp =
+        nn::Add(nn::SumLastDim(nn::GatherLastDim(move_logp, move_idx)),
+                nn::SumLastDim(nn::GatherLastDim(charge_logp, charge_idx)));
+
+    // Detached values and IS ratios feed the (constant) targets.
+    std::vector<float> values(t_max + 1, 0.0f);
+    std::vector<float> ratios(t_max, 1.0f);
+    for (size_t t = 0; t < t_max; ++t) {
+      values[t] = out.value.data()[t];
+      if (config_.use_vtrace) {
+        ratios[t] =
+            std::exp(logp.data()[t] - behavior_logp[t]);
+      }
+    }
+    const VtraceResult vtrace =
+        ComputeVtrace(rewards, dones, values, ratios, config_.gamma,
+                      config_.rho_bar, config_.c_bar);
+
+    const nn::Tensor advantages = nn::Tensor::FromData(
+        {static_cast<nn::Index>(t_max)}, vtrace.pg_advantages);
+    const nn::Tensor value_targets =
+        nn::Tensor::FromData({static_cast<nn::Index>(t_max)}, vtrace.vs);
+    nn::Tensor policy_loss = nn::Neg(nn::Mean(nn::Mul(logp, advantages)));
+    nn::Tensor value_loss =
+        nn::Mean(nn::Square(nn::Sub(out.value, value_targets)));
+    const float inv_t = 1.0f / static_cast<float>(t_max);
+    nn::Tensor entropy = nn::MulScalar(
+        nn::Add(nn::Sum(nn::Mul(nn::Softmax(out.move_logits), move_logp)),
+                nn::Sum(nn::Mul(nn::Softmax(out.charge_logits), charge_logp))),
+        -inv_t);
+    nn::Tensor total = nn::Add(
+        nn::Add(policy_loss, nn::MulScalar(value_loss, config_.value_coef)),
+        nn::MulScalar(entropy, -config_.entropy_coef));
+    total.Backward();
+    nn::ClipGradByGlobalNorm(local_params, config_.max_grad_norm);
+    const std::vector<float> grads = nn::FlattenGradients(local_params);
+
+    // ---- Push gradient / pull parameters, no barrier ----
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      const std::vector<nn::Tensor> global_params =
+          global_net_->Parameters();
+      nn::ZeroGradients(global_params);
+      nn::AccumulateFlatGradients(global_params, grads);
+      optimizer_->Step();
+      nn::CopyParameters(global_params, local_params);
+    }
+
+    // ---- Record stats ----
+    double reward_sum = 0.0;
+    for (float r : rewards) reward_sum += r;
+    EpisodeRecord rec;
+    rec.kappa = env.Kappa();
+    rec.xi = env.Xi();
+    rec.rho = env.Rho();
+    rec.extrinsic_reward =
+        reward_sum / (config_.reward_scale * config_.env.horizon);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      rec.episode = static_cast<int>(history_.size());
+      history_.push_back(rec);
+    }
+  }
+}
+
+TrainResult AsyncTrainer::Train() {
+  Stopwatch watch;
+  history_.clear();
+  history_.reserve(
+      static_cast<size_t>(config_.num_employees * config_.episodes));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < config_.num_employees; ++i) {
+    threads.emplace_back([this, i]() { EmployeeLoop(i); });
+  }
+  for (std::thread& t : threads) t.join();
+  TrainResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.history = history_;
+  return result;
+}
+
+}  // namespace cews::agents

@@ -1,0 +1,356 @@
+#include "agents/chief_employee.h"
+
+#include <thread>
+
+#include "agents/eval.h"
+#include "agents/reward_normalizer.h"
+#include "common/check.h"
+#include "common/log.h"
+#include "common/stopwatch.h"
+#include "nn/params.h"
+#include "nn/serialize.h"
+
+namespace cews::agents {
+
+namespace {
+
+/// Position observation in both curiosity representations.
+env::Position WorkerPos(const env::Env& e, int w) {
+  return e.workers()[static_cast<size_t>(w)].pos;
+}
+
+PositionObs MakeObs(const env::StateEncoder& encoder, const env::Map& map,
+                    const env::Position& p) {
+  PositionObs obs;
+  obs.cell = encoder.CellIndex(map, p);
+  obs.sx = static_cast<float>(p.x / map.config.size_x);
+  obs.sy = static_cast<float>(p.y / map.config.size_y);
+  return obs;
+}
+
+}  // namespace
+
+ChiefEmployeeTrainer::ChiefEmployeeTrainer(const TrainerConfig& config,
+                                           env::Map map)
+    : config_(config),
+      map_(std::move(map)),
+      encoder_(config.encoder),
+      barrier_(static_cast<size_t>(config.num_employees)) {
+  CEWS_CHECK_GT(config_.num_employees, 0);
+  CEWS_CHECK_GT(config_.episodes, 0);
+  CEWS_CHECK_GT(config_.batch_size, 0);
+  CEWS_CHECK_GT(config_.update_epochs, 0);
+
+  // Auto-fill dependent dimensions so callers cannot desynchronize them.
+  config_.net.num_workers = static_cast<int>(map_.worker_spawns.size());
+  config_.net.num_moves = config_.env.action_space.num_moves();
+  config_.net.grid = config_.encoder.grid;
+  config_.curiosity.num_cells = encoder_.NumCells();
+  config_.curiosity.num_moves = config_.net.num_moves;
+  config_.curiosity.num_workers = config_.net.num_workers;
+  config_.rnd.state_size = encoder_.StateSize();
+
+  curiosity_seed_ = config_.seed * 0x9E3779B9ULL + 17;
+  rnd_seed_ = config_.seed * 0x9E3779B9ULL + 29;
+
+  Rng rng(config_.seed);
+  global_net_ = std::make_unique<PolicyNet>(config_.net, rng);
+  ppo_optimizer_ =
+      std::make_unique<nn::Adam>(global_net_->Parameters(), config_.ppo.lr);
+  if (config_.intrinsic == IntrinsicMode::kSpatialCuriosity) {
+    global_curiosity_ =
+        std::make_unique<SpatialCuriosity>(config_.curiosity, curiosity_seed_);
+    intrinsic_optimizer_ = std::make_unique<nn::Adam>(
+        global_curiosity_->Parameters(), config_.curiosity.lr);
+  } else if (config_.intrinsic == IntrinsicMode::kRnd) {
+    global_rnd_ = std::make_unique<RndCuriosity>(config_.rnd, rnd_seed_);
+    intrinsic_optimizer_ = std::make_unique<nn::Adam>(
+        global_rnd_->Parameters(), config_.rnd.lr);
+  }
+
+  ppo_grad_buffer_.assign(
+      static_cast<size_t>(nn::FlatSize(global_net_->Parameters())), 0.0f);
+  if (global_curiosity_ != nullptr) {
+    intrinsic_grad_buffer_.assign(
+        static_cast<size_t>(nn::FlatSize(global_curiosity_->Parameters())),
+        0.0f);
+  } else if (global_rnd_ != nullptr) {
+    intrinsic_grad_buffer_.assign(
+        static_cast<size_t>(nn::FlatSize(global_rnd_->Parameters())), 0.0f);
+  }
+
+  episode_accum_.assign(static_cast<size_t>(config_.episodes),
+                        EpisodeAccumulator{});
+  heatmap_sum_.assign(static_cast<size_t>(encoder_.NumCells()), 0.0);
+  heatmap_count_.assign(static_cast<size_t>(encoder_.NumCells()), 0);
+}
+
+ChiefEmployeeTrainer::~ChiefEmployeeTrainer() = default;
+
+void ChiefEmployeeTrainer::ChiefApplyGradients() {
+  // Load the summed employee gradients into the global models and step.
+  // The buffers already hold the sums (Algorithm 2, lines 3-7).
+  {
+    const std::vector<nn::Tensor> params = global_net_->Parameters();
+    nn::ZeroGradients(params);
+    nn::AccumulateFlatGradients(params, ppo_grad_buffer_);
+    nn::ClipGradByGlobalNorm(
+        params, config_.ppo.max_grad_norm * config_.num_employees);
+    ppo_optimizer_->Step();
+    std::fill(ppo_grad_buffer_.begin(), ppo_grad_buffer_.end(), 0.0f);
+  }
+  if (intrinsic_optimizer_ != nullptr) {
+    const std::vector<nn::Tensor> params =
+        global_curiosity_ != nullptr ? global_curiosity_->Parameters()
+                                     : global_rnd_->Parameters();
+    nn::ZeroGradients(params);
+    nn::AccumulateFlatGradients(params, intrinsic_grad_buffer_);
+    intrinsic_optimizer_->Step();
+    std::fill(intrinsic_grad_buffer_.begin(), intrinsic_grad_buffer_.end(),
+              0.0f);
+  }
+}
+
+void ChiefEmployeeTrainer::MaybeSnapshotHeatmap(int episode) {
+  if (config_.heatmap_snapshot_every <= 0) return;
+  if ((episode + 1) % config_.heatmap_snapshot_every != 0) return;
+  HeatmapSnapshot snap;
+  snap.episode = episode + 1;
+  snap.cell_values.assign(heatmap_sum_.size(), 0.0);
+  for (size_t i = 0; i < heatmap_sum_.size(); ++i) {
+    if (heatmap_count_[i] > 0) {
+      snap.cell_values[i] =
+          heatmap_sum_[i] / static_cast<double>(heatmap_count_[i]);
+    }
+  }
+  heatmap_snapshots_.push_back(std::move(snap));
+  std::fill(heatmap_sum_.begin(), heatmap_sum_.end(), 0.0);
+  std::fill(heatmap_count_.begin(), heatmap_count_.end(), 0);
+}
+
+void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
+  // Local models: the PPO weights are overwritten by the first parameter
+  // copy; the curiosity model is seeded identically to the global one so
+  // the *frozen* embedding matches across threads.
+  PpoAgent agent(config_.net, config_.ppo,
+                 config_.seed + static_cast<uint64_t>(employee_id) + 1000);
+  std::unique_ptr<SpatialCuriosity> curiosity;
+  std::unique_ptr<RndCuriosity> rnd;
+  if (config_.intrinsic == IntrinsicMode::kSpatialCuriosity) {
+    curiosity =
+        std::make_unique<SpatialCuriosity>(config_.curiosity, curiosity_seed_);
+  } else if (config_.intrinsic == IntrinsicMode::kRnd) {
+    rnd = std::make_unique<RndCuriosity>(config_.rnd, rnd_seed_);
+  }
+  env::Env env(config_.env, map_);
+  Rng rng(config_.seed * 7919 + static_cast<uint64_t>(employee_id));
+  RolloutBuffer buffer;
+  RewardNormalizer normalizer(config_.ppo.gamma);
+
+  const int num_workers = env.num_workers();
+
+  auto copy_globals = [&]() {
+    nn::CopyParameters(global_net_->Parameters(), agent.Parameters());
+    if (curiosity != nullptr) {
+      nn::CopyParameters(global_curiosity_->Parameters(),
+                         curiosity->Parameters());
+    } else if (rnd != nullptr) {
+      nn::CopyParameters(global_rnd_->Parameters(), rnd->Parameters());
+    }
+  };
+  copy_globals();
+
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    // ---- Exploration (Algorithm 1, lines 4-15) ----
+    env.Reset();
+    buffer.Clear();
+    std::vector<CuriositySample> curiosity_samples;
+    std::vector<std::vector<float>> rnd_states;
+    double ext_sum = 0.0, int_sum = 0.0;
+
+    std::vector<float> state = encoder_.Encode(env);
+    while (!env.Done()) {
+      const ActResult act = agent.Act(state, rng);
+      std::vector<PositionObs> from(static_cast<size_t>(num_workers));
+      for (int w = 0; w < num_workers; ++w) {
+        from[static_cast<size_t>(w)] =
+            MakeObs(encoder_, map_, WorkerPos(env, w));
+      }
+      const env::StepResult step = env.Step(act.actions);
+      std::vector<float> next_state = encoder_.Encode(env);
+
+      const double r_ext = config_.reward_mode == RewardMode::kSparse
+                               ? step.sparse_reward
+                               : step.dense_reward;
+      double r_int = 0.0;
+      if (curiosity != nullptr) {
+        for (int w = 0; w < num_workers; ++w) {
+          const PositionObs to =
+              MakeObs(encoder_, map_, WorkerPos(env, w));
+          const double r = curiosity->IntrinsicReward(
+              w, from[static_cast<size_t>(w)],
+              act.moves[static_cast<size_t>(w)], to);
+          r_int += r;
+          curiosity_samples.push_back(
+              CuriositySample{w, from[static_cast<size_t>(w)],
+                              act.moves[static_cast<size_t>(w)], to});
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            heatmap_sum_[static_cast<size_t>(
+                from[static_cast<size_t>(w)].cell)] += r;
+            ++heatmap_count_[static_cast<size_t>(
+                from[static_cast<size_t>(w)].cell)];
+          }
+        }
+        r_int /= num_workers;
+      } else if (rnd != nullptr) {
+        r_int = rnd->IntrinsicReward(next_state);
+        rnd_states.push_back(next_state);
+      }
+
+      Transition t;
+      t.state = std::move(state);
+      t.moves = act.moves;
+      t.charges = act.charges;
+      t.log_prob = act.log_prob;
+      t.value = act.value;
+      const float raw_reward = static_cast<float>(
+          config_.add_intrinsic_to_reward ? r_ext + r_int : r_ext);
+      t.reward = config_.normalize_rewards
+                     ? normalizer.Normalize(raw_reward)
+                     : config_.reward_scale * raw_reward;
+      t.done = step.done;
+      buffer.Add(std::move(t));
+      state = std::move(next_state);
+      ext_sum += r_ext;
+      int_sum += r_int;
+    }
+    normalizer.EndEpisode();
+    buffer.ComputeAdvantages(config_.ppo.gamma, config_.ppo.gae_lambda,
+                             /*last_value=*/0.0f);
+
+    // Record this employee's episode diagnostics.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      EpisodeAccumulator& acc =
+          episode_accum_[static_cast<size_t>(episode)];
+      acc.kappa += env.Kappa();
+      acc.xi += env.Xi();
+      acc.rho += env.Rho();
+      acc.extrinsic += ext_sum / config_.env.horizon;
+      acc.intrinsic += int_sum / config_.env.horizon;
+    }
+
+    // ---- Exploitation (Algorithm 1, lines 16-23) ----
+    const std::vector<nn::Tensor> local_ppo_params = agent.Parameters();
+    for (int k = 0; k < config_.update_epochs; ++k) {
+      // PPO gradients on a minibatch.
+      const std::vector<size_t> idx = buffer.SampleIndices(
+          static_cast<size_t>(config_.batch_size), rng);
+      nn::ZeroGradients(local_ppo_params);
+      nn::Tensor loss = agent.ComputeLoss(buffer, idx);
+      loss.Backward();
+      nn::ClipGradByGlobalNorm(local_ppo_params, config_.ppo.max_grad_norm);
+      const std::vector<float> ppo_flat =
+          nn::FlattenGradients(local_ppo_params);
+
+      // Curiosity/RND gradients on a minibatch of their own samples.
+      std::vector<float> intrinsic_flat;
+      if (curiosity != nullptr && !curiosity_samples.empty()) {
+        const size_t n = curiosity_samples.size();
+        const size_t take =
+            std::min(n, static_cast<size_t>(config_.batch_size));
+        std::vector<CuriositySample> batch;
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          batch.push_back(
+              curiosity_samples[static_cast<size_t>(rng.UniformInt(n))]);
+        }
+        const std::vector<nn::Tensor> cparams = curiosity->Parameters();
+        nn::ZeroGradients(cparams);
+        nn::Tensor closs = curiosity->Loss(batch);
+        closs.Backward();
+        intrinsic_flat = nn::FlattenGradients(cparams);
+      } else if (rnd != nullptr && !rnd_states.empty()) {
+        const size_t n = rnd_states.size();
+        const size_t take =
+            std::min(n, static_cast<size_t>(config_.batch_size));
+        std::vector<const std::vector<float>*> batch;
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          batch.push_back(
+              &rnd_states[static_cast<size_t>(rng.UniformInt(n))]);
+        }
+        const std::vector<nn::Tensor> rparams = rnd->Parameters();
+        nn::ZeroGradients(rparams);
+        nn::Tensor rloss = rnd->Loss(batch);
+        rloss.Backward();
+        intrinsic_flat = nn::FlattenGradients(rparams);
+      }
+
+      // Send gradients to the global buffers (Algorithm 1, line 20).
+      {
+        std::lock_guard<std::mutex> lock(buffer_mu_);
+        for (size_t i = 0; i < ppo_flat.size(); ++i) {
+          ppo_grad_buffer_[i] += ppo_flat[i];
+        }
+        for (size_t i = 0; i < intrinsic_flat.size(); ++i) {
+          intrinsic_grad_buffer_[i] += intrinsic_flat[i];
+        }
+      }
+
+      // Wait for the chief to update the global models (lines 21-22), then
+      // copy the fresh parameters.
+      barrier_.ArriveAndWait([this]() { ChiefApplyGradients(); });
+      copy_globals();
+    }
+
+    // Heat-map snapshotting and checkpointing are serial chief work done
+    // once per episode.
+    barrier_.ArriveAndWait([this, episode]() {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        MaybeSnapshotHeatmap(episode);
+      }
+      if (config_.checkpoint_every > 0 &&
+          (episode + 1) % config_.checkpoint_every == 0) {
+        const std::string path = config_.checkpoint_prefix +
+                                 std::to_string(episode + 1) + ".bin";
+        const Status status =
+            nn::SaveParameters(path, global_net_->Parameters());
+        if (!status.ok()) {
+          CEWS_LOG(Warning) << "checkpoint failed: " << status.ToString();
+        }
+      }
+    });
+  }
+}
+
+TrainResult ChiefEmployeeTrainer::Train() {
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(config_.num_employees));
+  for (int i = 0; i < config_.num_employees; ++i) {
+    threads.emplace_back([this, i]() { EmployeeLoop(i); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  TrainResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.history.reserve(static_cast<size_t>(config_.episodes));
+  const double inv_e = 1.0 / config_.num_employees;
+  for (int e = 0; e < config_.episodes; ++e) {
+    const EpisodeAccumulator& acc = episode_accum_[static_cast<size_t>(e)];
+    EpisodeRecord rec;
+    rec.episode = e;
+    rec.kappa = acc.kappa * inv_e;
+    rec.xi = acc.xi * inv_e;
+    rec.rho = acc.rho * inv_e;
+    rec.extrinsic_reward = acc.extrinsic * inv_e;
+    rec.intrinsic_reward = acc.intrinsic * inv_e;
+    result.history.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace cews::agents

@@ -1,0 +1,173 @@
+// The chief-employee distributed computational architecture (Section V-A,
+// Algorithms 1-2): synchronous employee threads roll out local environments
+// with local model copies, compute gradients, and push them into two global
+// gradient buffers (PPO + curiosity); the chief sums the buffers, steps the
+// global Adam optimizers, and releases the employees to copy parameters back.
+#ifndef CEWS_AGENTS_CHIEF_EMPLOYEE_H_
+#define CEWS_AGENTS_CHIEF_EMPLOYEE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "agents/curiosity.h"
+#include "agents/policy_net.h"
+#include "agents/ppo.h"
+#include "agents/rnd.h"
+#include "common/barrier.h"
+#include "env/env.h"
+#include "env/state_encoder.h"
+#include "nn/optimizer.h"
+
+namespace cews::agents {
+
+/// Which extrinsic reward the agent trains on (Fig. 5 compares all four
+/// combinations of {dense, sparse} x {with, without curiosity}).
+enum class RewardMode { kSparse, kDense };
+
+/// Which intrinsic-reward module augments the extrinsic reward.
+enum class IntrinsicMode { kNone, kSpatialCuriosity, kRnd };
+
+/// Full training configuration.
+struct TrainerConfig {
+  /// Number of employee threads (Table II sweeps 1..16; paper picks 8).
+  int num_employees = 8;
+  /// Training episodes (each episode is synchronized across employees).
+  int episodes = 200;
+  /// Minibatch size per update round (Table II sweeps 50..500; paper: 250).
+  int batch_size = 250;
+  /// Update rounds K per episode (Algorithm 1, line 17).
+  int update_epochs = 4;
+
+  PolicyNetConfig net;
+  PpoConfig ppo;
+
+  IntrinsicMode intrinsic = IntrinsicMode::kSpatialCuriosity;
+  CuriosityConfig curiosity;  // num_cells/num_moves/num_workers auto-filled
+  RndConfig rnd;              // state_size auto-filled
+  /// When false the intrinsic module is still trained and its values are
+  /// recorded (heat maps), but the reward the agent optimizes excludes
+  /// r^int. Used to visualize curiosity under DPPO (Fig. 9, bottom row).
+  bool add_intrinsic_to_reward = true;
+
+  /// Multiplies the stored training reward (extrinsic + intrinsic). Keeps
+  /// discounted returns O(1) so the value head tracks them within a short
+  /// training budget; metrics and reported rewards are unscaled.
+  float reward_scale = 1.0f;
+
+  /// When true, replaces the fixed reward_scale with adaptive scaling by
+  /// the running std of the discounted return (reward_normalizer.h).
+  bool normalize_rewards = false;
+
+  RewardMode reward_mode = RewardMode::kSparse;
+  env::EnvConfig env;
+  env::StateEncoderConfig encoder;
+  uint64_t seed = 1;
+
+  /// Record a curiosity heat-map snapshot every this many episodes
+  /// (0 disables; used by the Fig. 9 bench).
+  int heatmap_snapshot_every = 0;
+
+  /// Periodically save the global policy parameters for offline testing
+  /// ("the parameters in DNNs are periodically saved", Section VI-D).
+  /// 0 disables. Files are "<checkpoint_prefix><episode>.bin".
+  int checkpoint_every = 0;
+  std::string checkpoint_prefix = "cews_ckpt_";
+};
+
+/// Per-episode training diagnostics, averaged over employees.
+struct EpisodeRecord {
+  int episode = 0;
+  double kappa = 0.0;
+  double xi = 1.0;
+  double rho = 0.0;
+  double extrinsic_reward = 0.0;  // mean per step
+  double intrinsic_reward = 0.0;  // mean per step
+};
+
+/// Mean intrinsic reward per visited cell over a training window (Fig. 9).
+struct HeatmapSnapshot {
+  int episode = 0;
+  std::vector<double> cell_values;  // grid*grid, 0 where unvisited
+};
+
+/// Everything Train() produces.
+struct TrainResult {
+  std::vector<EpisodeRecord> history;
+  double seconds = 0.0;  ///< Wall-clock training time (Fig. 3).
+};
+
+/// The synchronous distributed trainer. DRL-CEWS is this trainer with
+/// sparse reward + spatial curiosity; the DPPO baseline is the same trainer
+/// with dense reward and no intrinsic module.
+class ChiefEmployeeTrainer {
+ public:
+  /// The map is copied into every employee's local environment so all
+  /// employees train on the same scenario with independent stochasticity.
+  ChiefEmployeeTrainer(const TrainerConfig& config, env::Map map);
+  ~ChiefEmployeeTrainer();
+
+  ChiefEmployeeTrainer(const ChiefEmployeeTrainer&) = delete;
+  ChiefEmployeeTrainer& operator=(const ChiefEmployeeTrainer&) = delete;
+
+  /// Runs the full synchronous training. Blocking; spawns
+  /// config.num_employees threads.
+  TrainResult Train();
+
+  /// The global policy model (Section VI-D testing uses only this).
+  PolicyNet& global_net() { return *global_net_; }
+  const PolicyNet& global_net() const { return *global_net_; }
+
+  /// Heat-map snapshots collected when heatmap_snapshot_every > 0.
+  const std::vector<HeatmapSnapshot>& heatmap_snapshots() const {
+    return heatmap_snapshots_;
+  }
+
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  struct EpisodeAccumulator {
+    double kappa = 0.0, xi = 0.0, rho = 0.0;
+    double extrinsic = 0.0, intrinsic = 0.0;
+  };
+
+  void EmployeeLoop(int employee_id);
+  /// Runs on the last barrier arriver: applies both gradient buffers.
+  void ChiefApplyGradients();
+  void MaybeSnapshotHeatmap(int episode);
+
+  TrainerConfig config_;
+  env::Map map_;
+  env::StateEncoder encoder_;
+
+  std::unique_ptr<PolicyNet> global_net_;
+  std::unique_ptr<nn::Adam> ppo_optimizer_;
+  std::unique_ptr<SpatialCuriosity> global_curiosity_;
+  std::unique_ptr<RndCuriosity> global_rnd_;
+  std::unique_ptr<nn::Adam> intrinsic_optimizer_;
+
+  // Global gradient buffers (Fig. 1 center) and their lock.
+  std::mutex buffer_mu_;
+  std::vector<float> ppo_grad_buffer_;
+  std::vector<float> intrinsic_grad_buffer_;
+
+  Barrier barrier_;
+
+  // Shared training diagnostics.
+  std::mutex stats_mu_;
+  std::vector<EpisodeAccumulator> episode_accum_;
+
+  // Curiosity heat map (Fig. 9): per-cell sum and visit count in the
+  // current snapshot window.
+  std::vector<double> heatmap_sum_;
+  std::vector<int64_t> heatmap_count_;
+  std::vector<HeatmapSnapshot> heatmap_snapshots_;
+
+  uint64_t curiosity_seed_ = 0;
+  uint64_t rnd_seed_ = 0;
+};
+
+}  // namespace cews::agents
+
+#endif  // CEWS_AGENTS_CHIEF_EMPLOYEE_H_

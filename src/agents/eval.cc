@@ -1,0 +1,115 @@
+#include "agents/eval.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cews::agents {
+
+namespace {
+
+int SampleFromLogits(const float* logits, int n, Rng& rng,
+                     bool deterministic) {
+  int best = 0;
+  float mx = logits[0];
+  for (int i = 1; i < n; ++i) {
+    if (logits[i] > mx) {
+      mx = logits[i];
+      best = i;
+    }
+  }
+  if (deterministic) return best;
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] = std::exp(logits[i] - mx);
+  }
+  return static_cast<int>(rng.Categorical(weights));
+}
+
+float LogProbOf(const float* logits, int n, int k) {
+  float mx = logits[0];
+  for (int i = 1; i < n; ++i) mx = std::max(mx, logits[i]);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += std::exp(logits[i] - mx);
+  return logits[k] - mx - static_cast<float>(std::log(sum));
+}
+
+}  // namespace
+
+ActResult SamplePolicy(const PolicyNet& net, const std::vector<float>& state,
+                       Rng& rng, bool deterministic) {
+  nn::NoGradGuard no_grad;
+  const PolicyNetConfig& cfg = net.config();
+  CEWS_CHECK_EQ(static_cast<int>(state.size()),
+                cfg.in_channels * cfg.grid * cfg.grid);
+  const nn::Tensor x =
+      nn::Tensor::FromData({1, cfg.in_channels, cfg.grid, cfg.grid}, state);
+  const PolicyOutput out = net.Forward(x);
+
+  ActResult result;
+  result.value = out.value.item();
+  const float* move_logits = out.move_logits.data();
+  const float* charge_logits = out.charge_logits.data();
+  float log_prob = 0.0f;
+  for (int w = 0; w < cfg.num_workers; ++w) {
+    const float* ml = move_logits + w * cfg.num_moves;
+    const int move = SampleFromLogits(ml, cfg.num_moves, rng, deterministic);
+    log_prob += LogProbOf(ml, cfg.num_moves, move);
+    const float* cl = charge_logits + w * 2;
+    const int charge = SampleFromLogits(cl, 2, rng, deterministic);
+    log_prob += LogProbOf(cl, 2, charge);
+    result.moves.push_back(move);
+    result.charges.push_back(charge);
+    result.actions.push_back(env::WorkerAction{move, charge == 1});
+  }
+  result.log_prob = log_prob;
+  return result;
+}
+
+EvalResult EvaluatePolicy(const PolicyNet& net, env::Env& env,
+                          const env::StateEncoder& encoder, Rng& rng,
+                          bool deterministic) {
+  env.Reset();
+  EvalResult result;
+  int steps = 0;
+  while (!env.Done()) {
+    const std::vector<float> state = encoder.Encode(env);
+    const ActResult act = SamplePolicy(net, state, rng, deterministic);
+    const env::StepResult step = env.Step(act.actions);
+    result.mean_sparse_reward += step.sparse_reward;
+    result.mean_dense_reward += step.dense_reward;
+    ++steps;
+  }
+  if (steps > 0) {
+    result.mean_sparse_reward /= steps;
+    result.mean_dense_reward /= steps;
+  }
+  result.kappa = env.Kappa();
+  result.xi = env.Xi();
+  result.rho = env.Rho();
+  return result;
+}
+
+EvalResult EvaluatePolicyAveraged(const PolicyNet& net, env::Env& env,
+                                  const env::StateEncoder& encoder, Rng& rng,
+                                  int episodes, bool deterministic) {
+  CEWS_CHECK_GT(episodes, 0);
+  EvalResult total;
+  total.xi = 0.0;
+  for (int e = 0; e < episodes; ++e) {
+    const EvalResult r = EvaluatePolicy(net, env, encoder, rng, deterministic);
+    total.kappa += r.kappa;
+    total.xi += r.xi;
+    total.rho += r.rho;
+    total.mean_sparse_reward += r.mean_sparse_reward;
+    total.mean_dense_reward += r.mean_dense_reward;
+  }
+  total.kappa /= episodes;
+  total.xi /= episodes;
+  total.rho /= episodes;
+  total.mean_sparse_reward /= episodes;
+  total.mean_dense_reward /= episodes;
+  return total;
+}
+
+}  // namespace cews::agents

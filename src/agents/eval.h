@@ -1,0 +1,42 @@
+// Policy sampling and testing-process evaluation (Section VI-D): run the
+// trained policy network alone against an environment and report the three
+// metrics.
+#ifndef CEWS_AGENTS_EVAL_H_
+#define CEWS_AGENTS_EVAL_H_
+
+#include "agents/policy_net.h"
+#include "agents/ppo.h"
+#include "common/rng.h"
+#include "env/env.h"
+#include "env/state_encoder.h"
+
+namespace cews::agents {
+
+/// Samples per-worker actions from the policy network for one state.
+/// With `deterministic` the mode of each distribution is taken.
+ActResult SamplePolicy(const PolicyNet& net, const std::vector<float>& state,
+                       Rng& rng, bool deterministic);
+
+/// End-of-episode metrics of one evaluation run.
+struct EvalResult {
+  double kappa = 0.0;  ///< Average data collection ratio (Eqn 4).
+  double xi = 1.0;     ///< Average remaining data ratio (Eqn 5).
+  double rho = 0.0;    ///< Energy efficiency (Eqn 6).
+  double mean_sparse_reward = 0.0;
+  double mean_dense_reward = 0.0;
+};
+
+/// Resets `env` and runs one full episode with the policy (Section VI-D:
+/// only the policy network is used at test time).
+EvalResult EvaluatePolicy(const PolicyNet& net, env::Env& env,
+                          const env::StateEncoder& encoder, Rng& rng,
+                          bool deterministic = false);
+
+/// Averages EvaluatePolicy over `episodes` runs.
+EvalResult EvaluatePolicyAveraged(const PolicyNet& net, env::Env& env,
+                                  const env::StateEncoder& encoder, Rng& rng,
+                                  int episodes, bool deterministic = false);
+
+}  // namespace cews::agents
+
+#endif  // CEWS_AGENTS_EVAL_H_

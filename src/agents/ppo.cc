@@ -1,0 +1,153 @@
+#include "agents/ppo.h"
+
+#include <cmath>
+
+#include "agents/eval.h"
+#include "common/check.h"
+#include "common/math_util.h"
+#include "nn/ops.h"
+#include "nn/params.h"
+
+namespace cews::agents {
+
+PpoAgent::PpoAgent(const PolicyNetConfig& net_config,
+                   const PpoConfig& ppo_config, uint64_t seed)
+    : config_(ppo_config) {
+  Rng rng(seed);
+  net_ = std::make_unique<PolicyNet>(net_config, rng);
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), config_.lr);
+}
+
+ActResult PpoAgent::Act(const std::vector<float>& state, Rng& rng,
+                        bool deterministic) const {
+  return SamplePolicy(*net_, state, rng, deterministic);
+}
+
+float PpoAgent::Value(const std::vector<float>& state) const {
+  nn::NoGradGuard no_grad;
+  const PolicyNetConfig& cfg = net_->config();
+  nn::Tensor x = nn::Tensor::FromData(
+      {1, cfg.in_channels, cfg.grid, cfg.grid}, state);
+  return net_->Forward(x).value.item();
+}
+
+nn::Tensor PpoAgent::ComputeLoss(const RolloutBuffer& buffer,
+                                 const std::vector<size_t>& idx,
+                                 LossStats* stats) const {
+  CEWS_CHECK(!idx.empty());
+  CEWS_CHECK_EQ(buffer.advantages().size(), buffer.size());
+  const PolicyNetConfig& cfg = net_->config();
+  const nn::Index b = static_cast<nn::Index>(idx.size());
+  const int state_size = cfg.in_channels * cfg.grid * cfg.grid;
+
+  // Assemble the minibatch.
+  std::vector<float> states(static_cast<size_t>(b) * state_size);
+  std::vector<nn::Index> move_idx(static_cast<size_t>(b) * cfg.num_workers);
+  std::vector<nn::Index> charge_idx(static_cast<size_t>(b) * cfg.num_workers);
+  std::vector<float> old_logp(static_cast<size_t>(b));
+  std::vector<float> adv(static_cast<size_t>(b));
+  std::vector<float> ret(static_cast<size_t>(b));
+  for (nn::Index i = 0; i < b; ++i) {
+    const Transition& t = buffer[idx[static_cast<size_t>(i)]];
+    CEWS_CHECK_EQ(static_cast<int>(t.state.size()), state_size);
+    std::copy(t.state.begin(), t.state.end(),
+              states.begin() + i * state_size);
+    for (int w = 0; w < cfg.num_workers; ++w) {
+      move_idx[static_cast<size_t>(i * cfg.num_workers + w)] =
+          t.moves[static_cast<size_t>(w)];
+      charge_idx[static_cast<size_t>(i * cfg.num_workers + w)] =
+          t.charges[static_cast<size_t>(w)];
+    }
+    old_logp[static_cast<size_t>(i)] = t.log_prob;
+    adv[static_cast<size_t>(i)] =
+        buffer.advantages()[idx[static_cast<size_t>(i)]];
+    ret[static_cast<size_t>(i)] = buffer.returns()[idx[static_cast<size_t>(i)]];
+  }
+  // Per-batch advantage normalization (as DPPO; Section VII-B).
+  if (config_.normalize_advantages && b > 1) {
+    double mean = 0.0;
+    for (float a : adv) mean += a;
+    mean /= static_cast<double>(b);
+    double var = 0.0;
+    for (float a : adv) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(b);
+    const float inv_std = 1.0f / (std::sqrt(static_cast<float>(var)) + 1e-8f);
+    for (float& a : adv) {
+      a = (a - static_cast<float>(mean)) * inv_std;
+    }
+  }
+
+  nn::Tensor x = nn::Tensor::FromData(
+      {b, cfg.in_channels, cfg.grid, cfg.grid}, std::move(states));
+  const PolicyOutput out = net_->Forward(x);
+
+  // Joint new log-prob: sum over workers of move + charge log-probs.
+  nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);    // [B, W, M]
+  nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);  // [B, W, 2]
+  nn::Tensor logp_new =
+      nn::Add(nn::SumLastDim(nn::GatherLastDim(move_logp, move_idx)),
+              nn::SumLastDim(nn::GatherLastDim(charge_logp, charge_idx)));
+
+  nn::Tensor logp_old = nn::Tensor::FromData({b}, old_logp);
+  nn::Tensor advantage = nn::Tensor::FromData({b}, adv);
+  nn::Tensor returns = nn::Tensor::FromData({b}, ret);
+
+  // Clipped surrogate objective (Eqn 12); minimize its negation.
+  nn::Tensor ratio = nn::Exp(nn::Sub(logp_new, logp_old));
+  nn::Tensor surr1 = nn::Mul(ratio, advantage);
+  nn::Tensor surr2 = nn::Mul(
+      nn::Clip(ratio, 1.0f - config_.clip_eps, 1.0f + config_.clip_eps),
+      advantage);
+  nn::Tensor policy_loss = nn::Neg(nn::Mean(nn::Min(surr1, surr2)));
+
+  // Value loss (Eqn 11).
+  nn::Tensor value_loss = nn::Mean(nn::Square(nn::Sub(out.value, returns)));
+
+  // Entropy bonus over both heads, mean per sample.
+  const float inv_b = 1.0f / static_cast<float>(b);
+  nn::Tensor move_probs = nn::Softmax(out.move_logits);
+  nn::Tensor charge_probs = nn::Softmax(out.charge_logits);
+  nn::Tensor entropy = nn::MulScalar(
+      nn::Add(nn::Sum(nn::Mul(move_probs, move_logp)),
+              nn::Sum(nn::Mul(charge_probs, charge_logp))),
+      -inv_b);
+
+  nn::Tensor total = nn::Add(
+      nn::Add(policy_loss, nn::MulScalar(value_loss, config_.value_coef)),
+      nn::MulScalar(entropy, -config_.entropy_coef));
+
+  if (stats != nullptr) {
+    stats->policy_loss = policy_loss.item();
+    stats->value_loss = value_loss.item();
+    stats->entropy = entropy.item();
+    stats->total = total.item();
+    double kl = 0.0;
+    int clipped = 0;
+    for (nn::Index i = 0; i < b; ++i) {
+      kl += old_logp[static_cast<size_t>(i)] - logp_new.data()[i];
+      const float r = ratio.data()[i];
+      if (r < 1.0f - config_.clip_eps || r > 1.0f + config_.clip_eps) {
+        ++clipped;
+      }
+    }
+    stats->approx_kl = static_cast<float>(kl / b);
+    stats->clip_fraction =
+        static_cast<float>(clipped) / static_cast<float>(b);
+  }
+  return total;
+}
+
+void PpoAgent::UpdateStandalone(const RolloutBuffer& buffer, Rng& rng,
+                                int epochs, size_t minibatch) {
+  CEWS_CHECK_GT(epochs, 0);
+  for (int k = 0; k < epochs; ++k) {
+    const std::vector<size_t> idx = buffer.SampleIndices(minibatch, rng);
+    optimizer_->ZeroGrad();
+    nn::Tensor loss = ComputeLoss(buffer, idx);
+    loss.Backward();
+    nn::ClipGradByGlobalNorm(net_->Parameters(), config_.max_grad_norm);
+    optimizer_->Step();
+  }
+}
+
+}  // namespace cews::agents

@@ -1,0 +1,69 @@
+// Online reward normalization: scales rewards by the running standard
+// deviation of the discounted return estimate (the standard PPO trick),
+// an adaptive alternative to TrainerConfig::reward_scale.
+#ifndef CEWS_AGENTS_REWARD_NORMALIZER_H_
+#define CEWS_AGENTS_REWARD_NORMALIZER_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace cews::agents {
+
+/// Welford's online mean/variance accumulator.
+class RunningStat {
+ public:
+  /// Feeds one observation.
+  void Push(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Population variance; 0 with fewer than two observations.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Normalizes rewards by the running std of a discounted return proxy
+/// R_t = gamma R_{t-1} + r_t (Engstrom et al.'s "reward scaling").
+class RewardNormalizer {
+ public:
+  explicit RewardNormalizer(float gamma) : gamma_(gamma) {}
+
+  /// Feeds the raw reward, returns the normalized one. Until enough data
+  /// has accumulated (first few samples), returns the raw reward.
+  float Normalize(float reward) {
+    running_return_ = gamma_ * running_return_ + reward;
+    stat_.Push(running_return_);
+    const double std = stat_.stddev();
+    if (stat_.count() < 8 || std < 1e-6) return reward;
+    return static_cast<float>(reward / std);
+  }
+
+  /// Resets the per-episode discounted return (call at episode boundaries);
+  /// the variance statistics persist across episodes.
+  void EndEpisode() { running_return_ = 0.0; }
+
+  const RunningStat& stat() const { return stat_; }
+
+ private:
+  float gamma_;
+  double running_return_ = 0.0;
+  RunningStat stat_;
+};
+
+}  // namespace cews::agents
+
+#endif  // CEWS_AGENTS_REWARD_NORMALIZER_H_

@@ -1,0 +1,59 @@
+#include "agents/rollout.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cews::agents {
+
+void RolloutBuffer::Clear() {
+  transitions_.clear();
+  advantages_.clear();
+  returns_.clear();
+}
+
+void RolloutBuffer::ComputeAdvantages(float gamma, float gae_lambda,
+                                      float last_value) {
+  const size_t n = transitions_.size();
+  CEWS_CHECK_GT(n, 0u);
+  advantages_.assign(n, 0.0f);
+  returns_.assign(n, 0.0f);
+  float next_value = last_value;
+  float next_advantage = 0.0f;
+  for (size_t i = n; i-- > 0;) {
+    const Transition& t = transitions_[i];
+    const float not_done = t.done ? 0.0f : 1.0f;
+    const float delta =
+        t.reward + gamma * next_value * not_done - t.value;
+    next_advantage = delta + gamma * gae_lambda * not_done * next_advantage;
+    advantages_[i] = next_advantage;
+    returns_[i] = next_advantage + t.value;
+    next_value = t.value;
+  }
+}
+
+std::vector<size_t> RolloutBuffer::SampleIndices(size_t batch,
+                                                 Rng& rng) const {
+  CEWS_CHECK(!transitions_.empty());
+  const size_t n = transitions_.size();
+  std::vector<size_t> idx;
+  if (batch <= n) {
+    idx.resize(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    // Fisher-Yates prefix shuffle.
+    for (size_t i = 0; i < batch; ++i) {
+      const size_t j = i + static_cast<size_t>(rng.UniformInt(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(batch);
+  } else {
+    idx.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      idx.push_back(static_cast<size_t>(rng.UniformInt(n)));
+    }
+  }
+  return idx;
+}
+
+}  // namespace cews::agents

@@ -1,0 +1,56 @@
+// Replay buffer D of Algorithm 1 plus generalized advantage estimation.
+#ifndef CEWS_AGENTS_ROLLOUT_H_
+#define CEWS_AGENTS_ROLLOUT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cews::agents {
+
+/// One stored experience [s_t, u_t, v_t, r_t] (Algorithm 1, line 14) plus
+/// the behavior policy's log-prob and value estimate for PPO.
+struct Transition {
+  std::vector<float> state;  // encoded s_t
+  std::vector<int> moves;    // v_t^w per worker
+  std::vector<int> charges;  // u_t^w per worker (0/1)
+  float log_prob = 0.0f;     // log pi_old(a_t | s_t), joint over workers
+  float value = 0.0f;        // V(s_t) under the behavior policy
+  float reward = 0.0f;       // r_t = r^int + r^ext (Eqn 10)
+  bool done = false;
+};
+
+/// Episode replay buffer; cleared at the start of each episode
+/// (Algorithm 1, line 3).
+class RolloutBuffer {
+ public:
+  void Add(Transition t) { transitions_.push_back(std::move(t)); }
+  void Clear();
+  size_t size() const { return transitions_.size(); }
+  bool empty() const { return transitions_.empty(); }
+  const Transition& operator[](size_t i) const { return transitions_[i]; }
+
+  /// Computes GAE(gamma, lambda) advantages and discounted returns G_t
+  /// (Eqn 11). `last_value` bootstraps a truncated (non-done) final step.
+  void ComputeAdvantages(float gamma, float gae_lambda, float last_value);
+
+  /// Advantage estimates A_t; valid after ComputeAdvantages.
+  const std::vector<float>& advantages() const { return advantages_; }
+  /// Return targets G_t for the value loss; valid after ComputeAdvantages.
+  const std::vector<float>& returns() const { return returns_; }
+
+  /// Draws a minibatch of `batch` indices: a random permutation prefix when
+  /// batch <= size, otherwise sampling with replacement (the paper's batch
+  /// sizes can exceed one episode's T transitions, Table II).
+  std::vector<size_t> SampleIndices(size_t batch, Rng& rng) const;
+
+ private:
+  std::vector<Transition> transitions_;
+  std::vector<float> advantages_;
+  std::vector<float> returns_;
+};
+
+}  // namespace cews::agents
+
+#endif  // CEWS_AGENTS_ROLLOUT_H_

@@ -1,0 +1,99 @@
+#include "baselines/dnc.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cews::baselines {
+
+DncPlanner::DncPlanner(const DncConfig& config) : config_(config) {}
+
+namespace {
+
+/// Expected data collected sensing from `pos`, where PoIs sensed from
+/// `prev` (when prev != nullptr) have already been depleted by one
+/// collection round.
+double ExpectedCollection(const env::Env& env, const env::Position& pos,
+                          const env::Position* prev) {
+  const double g = env.config().sensing_range;
+  const double lambda = env.config().collection_rate;
+  double q = 0.0;
+  const auto& pois = env.map().pois;
+  const auto& values = env.poi_values();
+  for (size_t p = 0; p < pois.size(); ++p) {
+    if (env::Distance(pos, pois[p].pos) > g) continue;
+    double remaining = values[p];
+    if (prev != nullptr && env::Distance(*prev, pois[p].pos) <= g) {
+      remaining -= std::min(lambda * pois[p].initial_value, remaining);
+    }
+    q += std::min(lambda * pois[p].initial_value, remaining);
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<env::WorkerAction> DncPlanner::Plan(const env::Env& env) const {
+  const int num_moves = env.config().action_space.num_moves();
+  std::vector<env::WorkerAction> actions;
+  actions.reserve(static_cast<size_t>(env.num_workers()));
+  for (int w = 0; w < env.num_workers(); ++w) {
+    const env::WorkerState& ws = env.workers()[static_cast<size_t>(w)];
+    env::WorkerAction action;
+
+    const bool low_energy =
+        ws.energy < config_.charge_threshold * env.InitialEnergy(w);
+    if (low_energy) {
+      if (env.CanChargeAt(ws.pos) &&
+          ws.energy < env.config().energy_capacity) {
+        action.charge = true;
+        actions.push_back(action);
+        continue;
+      }
+      const int station = env.NearestStation(ws.pos);
+      if (station >= 0) {
+        const env::Position target =
+            env.map().stations[static_cast<size_t>(station)].pos;
+        double best_d = std::numeric_limits<double>::max();
+        int best_move = 0;
+        for (int m = 0; m < num_moves; ++m) {
+          if (!env.MoveValid(w, m)) continue;
+          const double d = env::Distance(env.MoveTarget(w, m), target);
+          if (d < best_d) {
+            best_d = d;
+            best_move = m;
+          }
+        }
+        action.move = best_move;
+        actions.push_back(action);
+        continue;
+      }
+    }
+
+    // Two-step lookahead: pick m1 maximizing q(t+1) + best q(t+2).
+    double best_total = -1.0;
+    int best_move = 0;
+    const env::ActionSpace& space = env.config().action_space;
+    for (int m1 = 0; m1 < num_moves; ++m1) {
+      if (!env.MoveValid(w, m1)) continue;
+      const env::Position pos1 = env.MoveTarget(w, m1);
+      const double q1 = ExpectedCollection(env, pos1, nullptr);
+      double best_q2 = 0.0;
+      for (int m2 = 0; m2 < num_moves; ++m2) {
+        const env::Position d = space.Delta(m2);
+        const env::Position pos2{pos1.x + d.x, pos1.y + d.y};
+        if (m2 != 0 && !env.map().SegmentFree(pos1, pos2)) continue;
+        best_q2 = std::max(best_q2, ExpectedCollection(env, pos2, &pos1));
+      }
+      const double total = q1 + best_q2;
+      if (total > best_total + 1e-12) {
+        best_total = total;
+        best_move = m1;
+      }
+    }
+    action.move = best_move;
+    actions.push_back(action);
+  }
+  return actions;
+}
+
+}  // namespace cews::baselines

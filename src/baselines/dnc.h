@@ -1,0 +1,33 @@
+// The D&C baseline (Lian et al., ICDE'17; Section VII-B): prediction-based
+// task assignment that folds the next-step condition into the current
+// decision — here, a two-step lookahead maximizing expected collected data
+// over slots t+1 and t+2 with depletion accounted for.
+#ifndef CEWS_BASELINES_DNC_H_
+#define CEWS_BASELINES_DNC_H_
+
+#include "baselines/planner.h"
+
+namespace cews::baselines {
+
+/// D&C tunables.
+struct DncConfig {
+  /// Charge/seek-station when energy falls below this fraction of b_0.
+  double charge_threshold = 0.3;
+};
+
+/// Two-step-lookahead planner ("derive all the possible positions for
+/// workers at time slot t+1 and t+2, and calculate the expected collected
+/// data; choose the actions that maximize it for time t").
+class DncPlanner : public Planner {
+ public:
+  explicit DncPlanner(const DncConfig& config = {});
+
+  std::vector<env::WorkerAction> Plan(const env::Env& env) const override;
+
+ private:
+  DncConfig config_;
+};
+
+}  // namespace cews::baselines
+
+#endif  // CEWS_BASELINES_DNC_H_

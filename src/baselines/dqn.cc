@@ -1,0 +1,242 @@
+#include "baselines/dqn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/ops.h"
+#include "nn/params.h"
+
+namespace cews::baselines {
+
+QNetwork::QNetwork(const agents::CnnTrunkConfig& trunk_config,
+                   int num_actions, cews::Rng& rng)
+    : num_actions_(num_actions) {
+  CEWS_CHECK_GT(num_actions, 1);
+  trunk_ = std::make_unique<agents::CnnTrunk>(trunk_config, rng);
+  head_ = std::make_unique<nn::Linear>(trunk_config.feature_dim, num_actions,
+                                       rng, /*gain=*/0.01f);
+}
+
+nn::Tensor QNetwork::Forward(const nn::Tensor& x) const {
+  return head_->Forward(trunk_->Forward(x));
+}
+
+std::vector<nn::Tensor> QNetwork::Parameters() const {
+  std::vector<nn::Tensor> params = trunk_->Parameters();
+  for (nn::Tensor t : head_->Parameters()) params.push_back(t);
+  return params;
+}
+
+DqnTrainer::DqnTrainer(const DqnConfig& config, env::Map map)
+    : config_(config), map_(std::move(map)), encoder_(config.encoder) {
+  CEWS_CHECK_GT(config_.episodes, 0);
+  CEWS_CHECK_GT(config_.replay_capacity, config_.batch_size);
+  config_.trunk.grid = config_.encoder.grid;
+  num_moves_ = config_.env.action_space.num_moves();
+  const int num_actions = num_moves_ * 2;
+  const int workers = static_cast<int>(map_.worker_spawns.size());
+  Rng rng(config_.seed * 52711 + 3);
+  for (int w = 0; w < workers; ++w) {
+    online_.push_back(
+        std::make_unique<QNetwork>(config_.trunk, num_actions, rng));
+    target_.push_back(
+        std::make_unique<QNetwork>(config_.trunk, num_actions, rng));
+    nn::CopyParameters(online_.back()->Parameters(),
+                       target_.back()->Parameters());
+    optimizers_.push_back(
+        std::make_unique<nn::Adam>(online_.back()->Parameters(), config_.lr));
+  }
+  replay_.resize(static_cast<size_t>(workers));
+  replay_next_.assign(static_cast<size_t>(workers), 0);
+}
+
+float DqnTrainer::EpsilonAt(int episode) const {
+  if (episode >= config_.epsilon_decay_episodes) return config_.epsilon_end;
+  const float t = static_cast<float>(episode) /
+                  static_cast<float>(config_.epsilon_decay_episodes);
+  return config_.epsilon_start +
+         t * (config_.epsilon_end - config_.epsilon_start);
+}
+
+int DqnTrainer::ActionIndex(int move, bool charge) const {
+  return move * 2 + (charge ? 1 : 0);
+}
+
+env::WorkerAction DqnTrainer::ActionOf(int index) const {
+  env::WorkerAction action;
+  action.move = index / 2;
+  action.charge = (index % 2) == 1;
+  return action;
+}
+
+int DqnTrainer::SelectAction(int worker, const std::vector<float>& state,
+                             float epsilon, Rng& rng) const {
+  const int num_actions = online_[static_cast<size_t>(worker)]->num_actions();
+  if (rng.Uniform() < epsilon) {
+    return static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_actions)));
+  }
+  nn::NoGradGuard no_grad;
+  const nn::Tensor x = nn::Tensor::FromData(
+      {1, config_.trunk.in_channels, config_.trunk.grid, config_.trunk.grid},
+      state);
+  const nn::Tensor q = online_[static_cast<size_t>(worker)]->Forward(x);
+  int best = 0;
+  for (int a = 1; a < num_actions; ++a) {
+    if (q.data()[a] > q.data()[best]) best = a;
+  }
+  return best;
+}
+
+void DqnTrainer::UpdateStep(int worker, Rng& rng) {
+  const auto& buffer = replay_[static_cast<size_t>(worker)];
+  if (static_cast<int>(buffer.size()) < config_.batch_size) return;
+  const int b = config_.batch_size;
+  const int state_size = encoder_.StateSize();
+  std::vector<float> states(static_cast<size_t>(b * state_size));
+  std::vector<float> next_states(static_cast<size_t>(b * state_size));
+  std::vector<nn::Index> actions(static_cast<size_t>(b));
+  std::vector<float> rewards(static_cast<size_t>(b));
+  std::vector<float> not_done(static_cast<size_t>(b));
+  for (int i = 0; i < b; ++i) {
+    const Replay& r = buffer[static_cast<size_t>(rng.UniformInt(buffer.size()))];
+    std::copy(r.state->begin(), r.state->end(),
+              states.begin() + i * state_size);
+    std::copy(r.next_state->begin(), r.next_state->end(),
+              next_states.begin() + i * state_size);
+    actions[static_cast<size_t>(i)] = r.action;
+    rewards[static_cast<size_t>(i)] = r.reward;
+    not_done[static_cast<size_t>(i)] = r.done ? 0.0f : 1.0f;
+  }
+  QNetwork& online = *online_[static_cast<size_t>(worker)];
+  QNetwork& target = *target_[static_cast<size_t>(worker)];
+  const nn::Shape batch_shape = {b, config_.trunk.in_channels,
+                                 config_.trunk.grid, config_.trunk.grid};
+  // TD targets from the frozen target network.
+  std::vector<float> td(static_cast<size_t>(b));
+  {
+    nn::NoGradGuard no_grad;
+    const nn::Tensor next_q = target.Forward(
+        nn::Tensor::FromData(batch_shape, std::move(next_states)));
+    const int num_actions = online.num_actions();
+    for (int i = 0; i < b; ++i) {
+      float best = next_q.data()[i * num_actions];
+      for (int a = 1; a < num_actions; ++a) {
+        best = std::max(best, next_q.data()[i * num_actions + a]);
+      }
+      td[static_cast<size_t>(i)] =
+          rewards[static_cast<size_t>(i)] +
+          config_.gamma * not_done[static_cast<size_t>(i)] * best;
+    }
+  }
+  const std::vector<nn::Tensor> params = online.Parameters();
+  nn::ZeroGradients(params);
+  const nn::Tensor q_all =
+      online.Forward(nn::Tensor::FromData(batch_shape, std::move(states)));
+  const nn::Tensor q_taken = nn::GatherLastDim(q_all, actions);
+  const nn::Tensor targets = nn::Tensor::FromData({b}, td);
+  nn::Tensor loss = nn::HuberLoss(q_taken, targets, config_.huber_delta);
+  loss.Backward();
+  nn::ClipGradByGlobalNorm(params, config_.max_grad_norm);
+  optimizers_[static_cast<size_t>(worker)]->Step();
+
+  ++gradient_steps_;
+  if (gradient_steps_ % config_.target_sync_every == 0) {
+    for (size_t w = 0; w < online_.size(); ++w) {
+      nn::CopyParameters(online_[w]->Parameters(), target_[w]->Parameters());
+    }
+  }
+}
+
+std::vector<agents::EpisodeRecord> DqnTrainer::Train() {
+  env::Env env(config_.env, map_);
+  Rng rng(config_.seed * 7907 + 11);
+  const int workers = num_agents();
+  std::vector<agents::EpisodeRecord> history;
+  history.reserve(static_cast<size_t>(config_.episodes));
+
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    env.Reset();
+    const float epsilon = EpsilonAt(episode);
+    double reward_sum = 0.0;
+    auto state = std::make_shared<std::vector<float>>(encoder_.Encode(env));
+    while (!env.Done()) {
+      std::vector<env::WorkerAction> joint;
+      std::vector<int> taken(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        taken[static_cast<size_t>(w)] = SelectAction(w, *state, epsilon, rng);
+        joint.push_back(ActionOf(taken[static_cast<size_t>(w)]));
+      }
+      const env::StepResult step = env.Step(joint);
+      auto next_state =
+          std::make_shared<std::vector<float>>(encoder_.Encode(env));
+      for (int w = 0; w < workers; ++w) {
+        const double q = step.collected[static_cast<size_t>(w)];
+        const double e = step.energy_used[static_cast<size_t>(w)];
+        const double data_term = e > 1e-9 ? q / e : 0.0;
+        const double charge_term =
+            step.charged[static_cast<size_t>(w)] / env.InitialEnergy(w);
+        const double tau = step.collided[static_cast<size_t>(w)]
+                               ? config_.env.obstacle_penalty
+                               : 0.0;
+        Replay r;
+        r.state = state;
+        r.next_state = next_state;
+        r.action = taken[static_cast<size_t>(w)];
+        r.reward = config_.reward_scale *
+                   static_cast<float>(data_term + charge_term - tau);
+        r.done = step.done;
+        auto& buffer = replay_[static_cast<size_t>(w)];
+        if (static_cast<int>(buffer.size()) < config_.replay_capacity) {
+          buffer.push_back(std::move(r));
+        } else {
+          buffer[replay_next_[static_cast<size_t>(w)]] = std::move(r);
+          replay_next_[static_cast<size_t>(w)] =
+              (replay_next_[static_cast<size_t>(w)] + 1) %
+              static_cast<size_t>(config_.replay_capacity);
+        }
+      }
+      reward_sum += step.dense_reward;
+      state = std::move(next_state);
+    }
+    for (int u = 0; u < config_.updates_per_episode; ++u) {
+      for (int w = 0; w < workers; ++w) UpdateStep(w, rng);
+    }
+    agents::EpisodeRecord rec;
+    rec.episode = episode;
+    rec.kappa = env.Kappa();
+    rec.xi = env.Xi();
+    rec.rho = env.Rho();
+    rec.extrinsic_reward = reward_sum / config_.env.horizon;
+    history.push_back(rec);
+  }
+  return history;
+}
+
+agents::EvalResult DqnTrainer::Evaluate(Rng& rng, float epsilon) {
+  env::Env env(config_.env, map_);
+  env.Reset();
+  agents::EvalResult result;
+  int steps = 0;
+  std::vector<float> state = encoder_.Encode(env);
+  while (!env.Done()) {
+    std::vector<env::WorkerAction> joint;
+    for (int w = 0; w < num_agents(); ++w) {
+      joint.push_back(ActionOf(SelectAction(w, state, epsilon, rng)));
+    }
+    const env::StepResult step = env.Step(joint);
+    result.mean_sparse_reward += step.sparse_reward;
+    result.mean_dense_reward += step.dense_reward;
+    ++steps;
+    state = encoder_.Encode(env);
+  }
+  if (steps > 0) {
+    result.mean_sparse_reward /= steps;
+    result.mean_dense_reward /= steps;
+  }
+  result.kappa = env.Kappa();
+  result.xi = env.Xi();
+  result.rho = env.Rho();
+  return result;
+}
+
+}  // namespace cews::baselines

@@ -1,0 +1,122 @@
+#include "baselines/edics.h"
+
+#include "common/check.h"
+
+namespace cews::baselines {
+
+EdicsTrainer::EdicsTrainer(const EdicsConfig& config, env::Map map)
+    : config_(config), map_(std::move(map)), encoder_(config.encoder) {
+  CEWS_CHECK_GT(config_.episodes, 0);
+  config_.net.num_workers = 1;
+  config_.net.grid = config_.encoder.grid;
+  config_.net.num_moves = config_.env.action_space.num_moves();
+  const int w_count = static_cast<int>(map_.worker_spawns.size());
+  for (int w = 0; w < w_count; ++w) {
+    agents_.push_back(std::make_unique<agents::PpoAgent>(
+        config_.net, config_.ppo,
+        config_.seed + static_cast<uint64_t>(w) * 131));
+  }
+}
+
+double EdicsTrainer::WorkerDenseReward(const env::Env& env,
+                                       const env::StepResult& step, int w) {
+  const double q = step.collected[static_cast<size_t>(w)];
+  const double e = step.energy_used[static_cast<size_t>(w)];
+  const double data_term = e > 1e-9 ? q / e : 0.0;
+  const double charge_term =
+      step.charged[static_cast<size_t>(w)] / env.InitialEnergy(w);
+  const double tau = step.collided[static_cast<size_t>(w)]
+                         ? env.config().obstacle_penalty
+                         : 0.0;
+  return data_term + charge_term - tau;
+}
+
+std::vector<agents::EpisodeRecord> EdicsTrainer::Train() {
+  env::Env env(config_.env, map_);
+  Rng rng(config_.seed * 104729 + 1);
+  const int w_count = env.num_workers();
+  std::vector<agents::RolloutBuffer> buffers(static_cast<size_t>(w_count));
+  std::vector<agents::EpisodeRecord> history;
+  history.reserve(static_cast<size_t>(config_.episodes));
+
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    env.Reset();
+    for (auto& b : buffers) b.Clear();
+    double reward_sum = 0.0;
+
+    std::vector<float> state = encoder_.Encode(env);
+    while (!env.Done()) {
+      std::vector<env::WorkerAction> joint;
+      std::vector<agents::ActResult> acts;
+      joint.reserve(static_cast<size_t>(w_count));
+      acts.reserve(static_cast<size_t>(w_count));
+      for (int w = 0; w < w_count; ++w) {
+        acts.push_back(agents_[static_cast<size_t>(w)]->Act(state, rng));
+        joint.push_back(acts.back().actions[0]);
+      }
+      const env::StepResult step = env.Step(joint);
+      for (int w = 0; w < w_count; ++w) {
+        agents::Transition t;
+        t.state = state;
+        t.moves = acts[static_cast<size_t>(w)].moves;
+        t.charges = acts[static_cast<size_t>(w)].charges;
+        t.log_prob = acts[static_cast<size_t>(w)].log_prob;
+        t.value = acts[static_cast<size_t>(w)].value;
+        t.reward = config_.reward_scale *
+                   static_cast<float>(WorkerDenseReward(env, step, w));
+        t.done = step.done;
+        buffers[static_cast<size_t>(w)].Add(std::move(t));
+      }
+      reward_sum += step.dense_reward;
+      state = encoder_.Encode(env);
+    }
+
+    for (int w = 0; w < w_count; ++w) {
+      buffers[static_cast<size_t>(w)].ComputeAdvantages(
+          config_.ppo.gamma, config_.ppo.gae_lambda, 0.0f);
+      agents_[static_cast<size_t>(w)]->UpdateStandalone(
+          buffers[static_cast<size_t>(w)], rng, config_.update_epochs,
+          config_.minibatch);
+    }
+
+    agents::EpisodeRecord rec;
+    rec.episode = episode;
+    rec.kappa = env.Kappa();
+    rec.xi = env.Xi();
+    rec.rho = env.Rho();
+    rec.extrinsic_reward = reward_sum / config_.env.horizon;
+    history.push_back(rec);
+  }
+  return history;
+}
+
+agents::EvalResult EdicsTrainer::Evaluate(Rng& rng, bool deterministic) {
+  env::Env env(config_.env, map_);
+  env.Reset();
+  agents::EvalResult result;
+  int steps = 0;
+  std::vector<float> state = encoder_.Encode(env);
+  while (!env.Done()) {
+    std::vector<env::WorkerAction> joint;
+    for (int w = 0; w < num_agents(); ++w) {
+      joint.push_back(
+          agents_[static_cast<size_t>(w)]->Act(state, rng, deterministic)
+              .actions[0]);
+    }
+    const env::StepResult step = env.Step(joint);
+    result.mean_sparse_reward += step.sparse_reward;
+    result.mean_dense_reward += step.dense_reward;
+    ++steps;
+    state = encoder_.Encode(env);
+  }
+  if (steps > 0) {
+    result.mean_sparse_reward /= steps;
+    result.mean_dense_reward /= steps;
+  }
+  result.kappa = env.Kappa();
+  result.xi = env.Xi();
+  result.rho = env.Rho();
+  return result;
+}
+
+}  // namespace cews::baselines

@@ -1,0 +1,68 @@
+#include "baselines/greedy.h"
+
+#include <limits>
+
+namespace cews::baselines {
+
+GreedyPlanner::GreedyPlanner(const GreedyConfig& config) : config_(config) {}
+
+std::vector<env::WorkerAction> GreedyPlanner::Plan(
+    const env::Env& env) const {
+  const int num_moves = env.config().action_space.num_moves();
+  std::vector<env::WorkerAction> actions;
+  actions.reserve(static_cast<size_t>(env.num_workers()));
+  for (int w = 0; w < env.num_workers(); ++w) {
+    const env::WorkerState& ws = env.workers()[static_cast<size_t>(w)];
+    env::WorkerAction action;
+
+    const bool low_energy =
+        ws.energy < config_.charge_threshold * env.InitialEnergy(w);
+    if (low_energy) {
+      if (env.CanChargeAt(ws.pos) &&
+          ws.energy < env.config().energy_capacity) {
+        action.charge = true;
+        actions.push_back(action);
+        continue;
+      }
+      // Head toward the nearest station, ignoring obstacles beyond the
+      // immediate validity check.
+      const int station = env.NearestStation(ws.pos);
+      if (station >= 0) {
+        const env::Position target =
+            env.map().stations[static_cast<size_t>(station)].pos;
+        double best_d = std::numeric_limits<double>::max();
+        int best_move = 0;
+        for (int m = 0; m < num_moves; ++m) {
+          if (!env.MoveValid(w, m)) continue;
+          const double d = env::Distance(env.MoveTarget(w, m), target);
+          if (d < best_d) {
+            best_d = d;
+            best_move = m;
+          }
+        }
+        action.move = best_move;
+        actions.push_back(action);
+        continue;
+      }
+    }
+
+    // Maximize immediate collection (ties keep the smallest move: staying
+    // costs no travel energy).
+    double best_q = -1.0;
+    int best_move = 0;
+    for (int m = 0; m < num_moves; ++m) {
+      if (!env.MoveValid(w, m)) continue;
+      const double q =
+          env.PotentialCollection(env.MoveTarget(w, m), env.SensingRange(w));
+      if (q > best_q + 1e-12) {
+        best_q = q;
+        best_move = m;
+      }
+    }
+    action.move = best_move;
+    actions.push_back(action);
+  }
+  return actions;
+}
+
+}  // namespace cews::baselines

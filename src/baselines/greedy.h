@@ -1,0 +1,32 @@
+// The Greedy baseline (Section VII-B): each slot, each worker moves to the
+// reachable position maximizing the data it would collect immediately,
+// charging only when its battery runs low and a station is at hand.
+#ifndef CEWS_BASELINES_GREEDY_H_
+#define CEWS_BASELINES_GREEDY_H_
+
+#include "baselines/planner.h"
+
+namespace cews::baselines {
+
+/// Greedy tunables.
+struct GreedyConfig {
+  /// Charge/seek-station when energy falls below this fraction of b_0.
+  double charge_threshold = 0.3;
+};
+
+/// One-step-lookahead greedy planner. When low on energy it heads straight
+/// for the nearest station (no obstacle-aware pathfinding — exactly the
+/// myopia the paper observes getting it "trapped in a small region").
+class GreedyPlanner : public Planner {
+ public:
+  explicit GreedyPlanner(const GreedyConfig& config = {});
+
+  std::vector<env::WorkerAction> Plan(const env::Env& env) const override;
+
+ private:
+  GreedyConfig config_;
+};
+
+}  // namespace cews::baselines
+
+#endif  // CEWS_BASELINES_GREEDY_H_

@@ -1,0 +1,97 @@
+#include "baselines/nav_greedy.h"
+
+#include <limits>
+
+namespace cews::baselines {
+
+NavGreedyPlanner::NavGreedyPlanner(const env::Map& map,
+                                   const GreedyConfig& config)
+    : config_(config), path_planner_(map) {}
+
+int NavGreedyPlanner::MoveToward(const env::Env& env, int worker,
+                                 const env::Position& target) const {
+  const env::Position from =
+      env.workers()[static_cast<size_t>(worker)].pos;
+  const env::Position waypoint = path_planner_.NextWaypoint(from, target);
+  const int num_moves = env.config().action_space.num_moves();
+  double best_d = std::numeric_limits<double>::max();
+  int best_move = 0;
+  for (int m = 0; m < num_moves; ++m) {
+    if (!env.MoveValid(worker, m)) continue;
+    const double d = env::Distance(env.MoveTarget(worker, m), waypoint);
+    if (d < best_d) {
+      best_d = d;
+      best_move = m;
+    }
+  }
+  return best_move;
+}
+
+std::vector<env::WorkerAction> NavGreedyPlanner::Plan(
+    const env::Env& env) const {
+  const int num_moves = env.config().action_space.num_moves();
+  std::vector<env::WorkerAction> actions;
+  actions.reserve(static_cast<size_t>(env.num_workers()));
+  for (int w = 0; w < env.num_workers(); ++w) {
+    const env::WorkerState& ws = env.workers()[static_cast<size_t>(w)];
+    env::WorkerAction action;
+
+    const bool low_energy =
+        ws.energy < config_.charge_threshold * env.InitialEnergy(w);
+    if (low_energy) {
+      if (env.CanChargeAt(ws.pos) &&
+          ws.energy < env.config().energy_capacity) {
+        action.charge = true;
+        actions.push_back(action);
+        continue;
+      }
+      const int station = env.NearestStation(ws.pos);
+      if (station >= 0) {
+        action.move = MoveToward(
+            env, w, env.map().stations[static_cast<size_t>(station)].pos);
+        actions.push_back(action);
+        continue;
+      }
+    }
+
+    // Immediate collection if anything is in reach.
+    double best_q = 0.0;
+    int best_move = -1;
+    for (int m = 0; m < num_moves; ++m) {
+      if (!env.MoveValid(w, m)) continue;
+      const double q =
+          env.PotentialCollection(env.MoveTarget(w, m), env.SensingRange(w));
+      if (q > best_q + 1e-12) {
+        best_q = q;
+        best_move = m;
+      }
+    }
+    if (best_move >= 0) {
+      action.move = best_move;
+      actions.push_back(action);
+      continue;
+    }
+
+    // Nothing in reach: navigate toward the nearest PoI with remaining
+    // data (this is what plain Greedy cannot do around obstacles).
+    double best_d = std::numeric_limits<double>::max();
+    int best_poi = -1;
+    for (int p = 0; p < env.num_pois(); ++p) {
+      if (env.poi_values()[static_cast<size_t>(p)] <= 1e-9) continue;
+      const double d = env::Distance(
+          ws.pos, env.map().pois[static_cast<size_t>(p)].pos);
+      if (d < best_d) {
+        best_d = d;
+        best_poi = p;
+      }
+    }
+    if (best_poi >= 0) {
+      action.move = MoveToward(
+          env, w, env.map().pois[static_cast<size_t>(best_poi)].pos);
+    }
+    actions.push_back(action);
+  }
+  return actions;
+}
+
+}  // namespace cews::baselines

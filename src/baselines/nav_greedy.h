@@ -1,0 +1,35 @@
+// Navigation-aware Greedy: the Greedy baseline upgraded with obstacle-aware
+// A* routing to charging stations (and to the nearest remaining data when
+// nothing is in immediate reach). An extension beyond the paper that
+// quantifies how much of Greedy's failure (Section VII-I: "workers are
+// easily trapped in a small region") is pure navigation myopia.
+#ifndef CEWS_BASELINES_NAV_GREEDY_H_
+#define CEWS_BASELINES_NAV_GREEDY_H_
+
+#include "baselines/greedy.h"
+#include "env/pathfinding.h"
+
+namespace cews::baselines {
+
+/// Greedy planner with A*-guided station seeking and data seeking.
+class NavGreedyPlanner : public Planner {
+ public:
+  /// Builds the path planner for `map` once up front; the planner must only
+  /// be used with environments running on the same map.
+  explicit NavGreedyPlanner(const env::Map& map,
+                            const GreedyConfig& config = {});
+
+  std::vector<env::WorkerAction> Plan(const env::Env& env) const override;
+
+ private:
+  /// Best valid move bringing the worker toward `target` along the A* path.
+  int MoveToward(const env::Env& env, int worker,
+                 const env::Position& target) const;
+
+  GreedyConfig config_;
+  env::PathPlanner path_planner_;
+};
+
+}  // namespace cews::baselines
+
+#endif  // CEWS_BASELINES_NAV_GREEDY_H_

@@ -1,0 +1,25 @@
+#include "baselines/planner.h"
+
+namespace cews::baselines {
+
+agents::EvalResult RunPlannerEpisode(const Planner& planner, env::Env& env) {
+  env.Reset();
+  agents::EvalResult result;
+  int steps = 0;
+  while (!env.Done()) {
+    const env::StepResult step = env.Step(planner.Plan(env));
+    result.mean_sparse_reward += step.sparse_reward;
+    result.mean_dense_reward += step.dense_reward;
+    ++steps;
+  }
+  if (steps > 0) {
+    result.mean_sparse_reward /= steps;
+    result.mean_dense_reward /= steps;
+  }
+  result.kappa = env.Kappa();
+  result.xi = env.Xi();
+  result.rho = env.Rho();
+  return result;
+}
+
+}  // namespace cews::baselines

@@ -1,0 +1,28 @@
+// Interface for non-learning (planning) baselines and a shared episode
+// runner.
+#ifndef CEWS_BASELINES_PLANNER_H_
+#define CEWS_BASELINES_PLANNER_H_
+
+#include <vector>
+
+#include "agents/eval.h"
+#include "env/env.h"
+
+namespace cews::baselines {
+
+/// A stateless per-slot planner: observes the environment and emits one
+/// action per worker.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// Decides actions for the current slot.
+  virtual std::vector<env::WorkerAction> Plan(const env::Env& env) const = 0;
+};
+
+/// Resets env and runs one full episode under the planner.
+agents::EvalResult RunPlannerEpisode(const Planner& planner, env::Env& env);
+
+}  // namespace cews::baselines
+
+#endif  // CEWS_BASELINES_PLANNER_H_

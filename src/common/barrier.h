@@ -1,0 +1,61 @@
+// Reusable thread barrier for the synchronous chief-employee architecture.
+#ifndef CEWS_COMMON_BARRIER_H_
+#define CEWS_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace cews {
+
+/// Cyclic barrier: blocks until `parties` threads have arrived, then releases
+/// all of them and resets for the next cycle.
+///
+/// std::barrier exists in C++20 but is not uniformly available/efficient in
+/// all offline toolchains, and this version lets the last arriver run a
+/// completion function while the others are still parked.
+class Barrier {
+ public:
+  /// Creates a barrier for `parties` participating threads.
+  explicit Barrier(size_t parties) : parties_(parties) {
+    CEWS_CHECK_GT(parties, 0u);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties arrive. Returns true on exactly one thread per
+  /// cycle (the last arriver), which callers can use to run serial work.
+  bool ArriveAndWait() { return ArriveAndWait(nullptr); }
+
+  /// Same, but the last arriver runs `on_complete` BEFORE any other thread
+  /// is released — this is how the chief applies the summed gradients while
+  /// every employee is still parked (Algorithm 2).
+  bool ArriveAndWait(const std::function<void()>& on_complete) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t my_cycle = cycle_;
+    if (++arrived_ == parties_) {
+      if (on_complete) on_complete();
+      arrived_ = 0;
+      ++cycle_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return cycle_ != my_cycle; });
+    return false;
+  }
+
+ private:
+  const size_t parties_;
+  size_t arrived_ = 0;
+  uint64_t cycle_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace cews
+
+#endif  // CEWS_COMMON_BARRIER_H_

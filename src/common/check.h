@@ -1,0 +1,66 @@
+// CEWS_CHECK: fatal invariant checks for programming errors.
+//
+// Unlike Status (recoverable, caller-facing), a failed check means the
+// program itself is wrong; it logs the expression plus an optional streamed
+// message and aborts. CEWS_DCHECK compiles out in NDEBUG builds.
+//
+// Usage:
+//   CEWS_CHECK(ptr != nullptr);
+//   CEWS_CHECK(rows > 0) << "got " << rows;
+//   CEWS_CHECK_EQ(a.size(), b.size());
+#ifndef CEWS_COMMON_CHECK_H_
+#define CEWS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cews {
+namespace internal {
+
+/// Accumulates a failure message and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+  ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cews
+
+// The for-loop runs the body (constructing the fail stream, which aborts in
+// its destructor at end of statement) only when the condition is false, and
+// supports `CEWS_CHECK(c) << extra;` without dangling-else hazards.
+#define CEWS_CHECK(cond)                                      \
+  for (bool _cews_chk = static_cast<bool>(cond); !_cews_chk;  \
+       _cews_chk = true)                                      \
+  ::cews::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define CEWS_CHECK_EQ(a, b) CEWS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CEWS_CHECK_NE(a, b) CEWS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CEWS_CHECK_LT(a, b) CEWS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CEWS_CHECK_LE(a, b) CEWS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CEWS_CHECK_GT(a, b) CEWS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CEWS_CHECK_GE(a, b) CEWS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define CEWS_DCHECK(cond) \
+  for (bool _cews_chk = true; !_cews_chk; _cews_chk = true) std::cerr
+#else
+#define CEWS_DCHECK(cond) CEWS_CHECK(cond)
+#endif
+
+#endif  // CEWS_COMMON_CHECK_H_

@@ -1,0 +1,29 @@
+// Environment-variable flags used by benches (quick vs. paper-scale runs).
+#ifndef CEWS_COMMON_ENV_FLAGS_H_
+#define CEWS_COMMON_ENV_FLAGS_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace cews {
+
+/// Reads an integer env var; returns `fallback` when unset or unparseable.
+inline long GetEnvInt(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+/// Reads a boolean env var: unset/"0"/"" are false, anything else true.
+inline bool GetEnvBool(const char* name, bool fallback = false) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return std::string(v) != "0" && std::string(v) != "";
+}
+
+}  // namespace cews
+
+#endif  // CEWS_COMMON_ENV_FLAGS_H_

@@ -1,0 +1,98 @@
+#include "common/kv_config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cews {
+
+namespace {
+std::string Trim(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+Result<KvConfig> KvConfig::Parse(const std::string& text) {
+  KvConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": missing '=' in \"" + trimmed + "\"");
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    if (key.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": empty key");
+    }
+    config.values_[key] = Trim(trimmed.substr(eq + 1));
+  }
+  return config;
+}
+
+Result<KvConfig> KvConfig::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+bool KvConfig::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string KvConfig::GetString(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double KvConfig::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *Trim(end ? end : "").c_str() != '\0') {
+    return fallback;
+  }
+  return value;
+}
+
+long KvConfig::GetInt(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *Trim(end ? end : "").c_str() != '\0') {
+    return fallback;
+  }
+  return value;
+}
+
+bool KvConfig::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = Lower(it->second);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return fallback;
+}
+
+}  // namespace cews

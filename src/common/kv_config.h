@@ -1,0 +1,47 @@
+// Minimal key = value configuration documents, so examples and experiment
+// harnesses can parameterize scenarios from files instead of recompiling.
+#ifndef CEWS_COMMON_KV_CONFIG_H_
+#define CEWS_COMMON_KV_CONFIG_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace cews {
+
+/// Parsed `key = value` document. Lines starting with '#' (after optional
+/// whitespace) and blank lines are ignored; keys and values are trimmed.
+class KvConfig {
+ public:
+  /// Parses a document; duplicate keys keep the last value. Fails on lines
+  /// without '=' or with an empty key.
+  static Result<KvConfig> Parse(const std::string& text);
+
+  /// Reads and parses a file.
+  static Result<KvConfig> Load(const std::string& path);
+
+  /// True when the key is present.
+  bool Has(const std::string& key) const;
+
+  /// Raw string value or fallback.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Numeric getters; return the fallback when missing or unparseable.
+  double GetDouble(const std::string& key, double fallback) const;
+  long GetInt(const std::string& key, long fallback) const;
+
+  /// Boolean getter: true/yes/on/1 -> true, false/no/off/0 -> false,
+  /// anything else -> fallback.
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cews
+
+#endif  // CEWS_COMMON_KV_CONFIG_H_

@@ -1,0 +1,54 @@
+#include "common/log.h"
+
+namespace cews {
+namespace internal {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GlobalLogLevel()) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << "\n";
+  }
+}
+
+}  // namespace internal
+
+void SetLogLevel(LogLevel level) { internal::GlobalLogLevel() = level; }
+
+}  // namespace cews

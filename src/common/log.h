@@ -1,0 +1,49 @@
+// Minimal leveled logging. Verbosity is process-global; benches default to
+// warnings-only so their stdout stays parseable as results.
+#ifndef CEWS_COMMON_LOG_H_
+#define CEWS_COMMON_LOG_H_
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace cews {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+
+/// Process-global minimum level that will be emitted.
+LogLevel& GlobalLogLevel();
+
+/// Serializes concurrent writers (employee threads log during training).
+std::mutex& LogMutex();
+
+/// One log statement: buffers, then flushes a single line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the process-global log verbosity.
+void SetLogLevel(LogLevel level);
+
+}  // namespace cews
+
+#define CEWS_LOG(level)                                              \
+  ::cews::internal::LogMessage(::cews::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#endif  // CEWS_COMMON_LOG_H_

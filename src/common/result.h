@@ -1,0 +1,74 @@
+// Result<T>: Status or a value, for fallible functions that produce output.
+#ifndef CEWS_COMMON_RESULT_H_
+#define CEWS_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace cews {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of a failed
+/// Result aborts (programming error), so callers must test ok() first or use
+/// CEWS_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Aborts if given an OK status, because an OK
+  /// Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CEWS_CHECK(!status_.ok()) << "Result constructed from OK Status";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    CEWS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CEWS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CEWS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace cews
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define CEWS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  CEWS_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CEWS_RESULT_CONCAT_(_cews_result_, __LINE__), lhs, rexpr)
+
+#define CEWS_RESULT_CONCAT_INNER_(a, b) a##b
+#define CEWS_RESULT_CONCAT_(a, b) CEWS_RESULT_CONCAT_INNER_(a, b)
+#define CEWS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // CEWS_COMMON_RESULT_H_

@@ -1,0 +1,146 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components (map generation, network init, action sampling)
+// take an explicit Rng so experiments are reproducible from a single seed.
+#ifndef CEWS_COMMON_RNG_H_
+#define CEWS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cews {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** PRNG with convenience distributions.
+///
+/// Not a std:: engine on purpose: the stream is stable across platforms and
+/// standard-library versions, which std::mt19937 + std::*_distribution is
+/// not. Cheap to copy; each employee thread owns an independently-seeded Rng.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  explicit Rng(uint64_t seed = 0x5EED5EED5EEDULL) { Seed(seed); }
+
+  /// Re-seeds in place.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+    gauss_cached_ = false;
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    CEWS_CHECK(n > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (~n + 1) % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    CEWS_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double Gaussian() {
+    if (gauss_cached_) {
+      gauss_cached_ = false;
+      return gauss_cache_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_cache_ = v * f;
+    gauss_cached_ = true;
+    return u * f;
+  }
+
+  /// Normal with mean/stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      CEWS_CHECK_GE(w, 0.0);
+      total += w;
+    }
+    CEWS_CHECK(total > 0.0) << "Categorical: all weights zero";
+    double r = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives a new independently-seeded Rng (for spawning worker threads).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4] = {};
+  bool gauss_cached_ = false;
+  double gauss_cache_ = 0.0;
+};
+
+}  // namespace cews
+
+#endif  // CEWS_COMMON_RNG_H_

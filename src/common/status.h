@@ -1,0 +1,104 @@
+// Status: lightweight error propagation for fallible public APIs.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing. Hot internal paths use
+// the CEWS_CHECK family (check.h) instead.
+#ifndef CEWS_COMMON_STATUS_H_
+#define CEWS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cews {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kIOError = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// message. Status is cheap to copy for the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty when ok()).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace cews
+
+/// Propagates a non-OK Status to the caller.
+#define CEWS_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::cews::Status _cews_status = (expr);          \
+    if (!_cews_status.ok()) return _cews_status;   \
+  } while (false)
+
+#endif  // CEWS_COMMON_STATUS_H_

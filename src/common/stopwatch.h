@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the training-time experiments (Fig. 3).
+#ifndef CEWS_COMMON_STOPWATCH_H_
+#define CEWS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cews {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cews
+
+#endif  // CEWS_COMMON_STOPWATCH_H_

@@ -1,0 +1,46 @@
+// Plain-text table and CSV emitters used by the benchmark harnesses to print
+// the paper's tables/figure series.
+#ifndef CEWS_COMMON_TABLE_H_
+#define CEWS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cews {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table or
+/// CSV. Intended for small result tables, not bulk data.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string Fmt(double v, int precision = 3);
+
+  /// Renders as an aligned, pipe-separated ASCII table.
+  std::string ToString() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted; embedded quotes doubled).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cews
+
+#endif  // CEWS_COMMON_TABLE_H_

@@ -1,0 +1,116 @@
+#include "core/algorithms.h"
+
+#include "baselines/dnc.h"
+#include "baselines/dppo.h"
+#include "baselines/edics.h"
+#include "baselines/greedy.h"
+#include "baselines/planner.h"
+#include "common/check.h"
+#include "core/drl_cews.h"
+
+namespace cews::core {
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kDrlCews:
+      return "DRL-CEWS";
+    case Algorithm::kDppo:
+      return "DPPO";
+    case Algorithm::kEdics:
+      return "Edics";
+    case Algorithm::kDnc:
+      return "D&C";
+    case Algorithm::kGreedy:
+      return "Greedy";
+  }
+  return "?";
+}
+
+std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kDrlCews, Algorithm::kDppo, Algorithm::kEdics,
+          Algorithm::kDnc, Algorithm::kGreedy};
+}
+
+agents::TrainerConfig MakeTrainerConfig(Algorithm algorithm,
+                                        const env::EnvConfig& env_config,
+                                        const BenchmarkOptions& options) {
+  CEWS_CHECK(algorithm == Algorithm::kDrlCews ||
+             algorithm == Algorithm::kDppo);
+  agents::TrainerConfig config = DrlCews::DefaultConfig();
+  if (algorithm == Algorithm::kDppo) {
+    config = baselines::MakeDppoConfig(config);
+  }
+  config.env = env_config;
+  config.env.epsilon1 = options.epsilon1;
+  config.encoder.grid = options.grid;
+  config.net = options.net;
+  config.net.grid = options.grid;
+  config.episodes = options.episodes;
+  config.num_employees = options.num_employees;
+  config.batch_size = options.batch_size;
+  config.update_epochs = options.update_epochs;
+  config.ppo.lr = options.lr;
+  config.ppo.gamma = options.gamma;
+  config.reward_scale = options.reward_scale;
+  config.curiosity.lr = options.curiosity_lr;
+  config.curiosity.eta = options.curiosity_eta;
+  config.seed = options.seed;
+  return config;
+}
+
+agents::EvalResult RunAlgorithm(Algorithm algorithm, const env::Map& map,
+                                const env::EnvConfig& env_config,
+                                const BenchmarkOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kGreedy: {
+      env::Env env(env_config, map);
+      return baselines::RunPlannerEpisode(baselines::GreedyPlanner(), env);
+    }
+    case Algorithm::kDnc: {
+      env::Env env(env_config, map);
+      return baselines::RunPlannerEpisode(baselines::DncPlanner(), env);
+    }
+    case Algorithm::kEdics: {
+      baselines::EdicsConfig config;
+      config.env = env_config;
+      config.encoder.grid = options.grid;
+      config.net = options.net;
+      config.episodes = options.episodes;
+      config.update_epochs = options.update_epochs;
+      config.ppo.lr = options.lr;
+      config.ppo.gamma = options.gamma;
+      config.reward_scale = options.reward_scale;
+      config.seed = options.seed;
+      baselines::EdicsTrainer trainer(config, map);
+      trainer.Train();
+      Rng rng(options.seed * 0xE7A1ULL + 3);
+      agents::EvalResult total;
+      total.xi = 0.0;
+      for (int e = 0; e < options.eval_episodes; ++e) {
+        const agents::EvalResult r = trainer.Evaluate(rng);
+        total.kappa += r.kappa;
+        total.xi += r.xi;
+        total.rho += r.rho;
+        total.mean_sparse_reward += r.mean_sparse_reward;
+        total.mean_dense_reward += r.mean_dense_reward;
+      }
+      total.kappa /= options.eval_episodes;
+      total.xi /= options.eval_episodes;
+      total.rho /= options.eval_episodes;
+      total.mean_sparse_reward /= options.eval_episodes;
+      total.mean_dense_reward /= options.eval_episodes;
+      return total;
+    }
+    case Algorithm::kDrlCews:
+    case Algorithm::kDppo: {
+      DrlCews system(MakeTrainerConfig(algorithm, env_config, options),
+                     map);
+      system.Train();
+      return system.Evaluate(options.eval_episodes);
+    }
+  }
+  CEWS_CHECK(false) << "unknown algorithm";
+  return {};
+}
+
+}  // namespace cews::core

@@ -1,0 +1,97 @@
+#include "core/drl_cews.h"
+
+#include <fstream>
+
+#include "nn/serialize.h"
+
+namespace cews::core {
+
+agents::TrainerConfig DrlCews::DefaultConfig() {
+  agents::TrainerConfig config;
+  config.num_employees = 8;
+  config.batch_size = 250;
+  config.update_epochs = 4;
+  config.reward_mode = agents::RewardMode::kSparse;
+  config.intrinsic = agents::IntrinsicMode::kSpatialCuriosity;
+  config.curiosity.feature = agents::CuriosityFeature::kEmbedding;
+  config.curiosity.structure = agents::CuriosityStructure::kShared;
+  config.curiosity.eta = 0.3f;
+  // env/encoder defaults already carry the Section VII-A constants
+  // (b0 = 40, g = 0.8, lambda = 0.2, alpha = 1, beta = 0.1, eps1 = 5%,
+  //  eps2 = 40%, charge range 0.8).
+  return config;
+}
+
+DrlCews::DrlCews(const agents::TrainerConfig& config, env::Map map)
+    : map_(std::move(map)),
+      encoder_(config.encoder),
+      trainer_(std::make_unique<agents::ChiefEmployeeTrainer>(config, map_)),
+      eval_rng_(config.seed * 0xC0FFEEULL + 1) {}
+
+DrlCews::~DrlCews() = default;
+
+agents::TrainResult DrlCews::Train() { return trainer_->Train(); }
+
+agents::EvalResult DrlCews::Evaluate(int episodes, bool deterministic) {
+  env::Env env(trainer_->config().env, map_);
+  return agents::EvaluatePolicyAveraged(trainer_->global_net(), env,
+                                        encoder_, eval_rng_, episodes,
+                                        deterministic);
+}
+
+Status DrlCews::SaveCheckpoint(const std::string& path) const {
+  return nn::SaveParameters(path, trainer_->global_net().Parameters());
+}
+
+Status DrlCews::LoadCheckpoint(const std::string& path) {
+  return nn::LoadParameters(path, trainer_->global_net().Parameters());
+}
+
+const std::vector<agents::HeatmapSnapshot>& DrlCews::heatmap_snapshots()
+    const {
+  return trainer_->heatmap_snapshots();
+}
+
+Status DrlCews::ExportHeatmapCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "episode,cell_y,cell_x,curiosity\n";
+  const int g = encoder_.grid();
+  for (const agents::HeatmapSnapshot& snap : heatmap_snapshots()) {
+    for (int y = 0; y < g; ++y) {
+      for (int x = 0; x < g; ++x) {
+        const double v = snap.cell_values[static_cast<size_t>(y * g + x)];
+        if (v != 0.0) {
+          out << snap.episode << "," << y << "," << x << "," << v << "\n";
+        }
+      }
+    }
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status DrlCews::ExportTrajectoryCsv(const std::string& path) {
+  env::Env env(trainer_->config().env, map_);
+  agents::EvaluatePolicy(trainer_->global_net(), env, encoder_, eval_rng_);
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "worker,t,x,y\n";
+  const auto& trajectories = env.trajectories();
+  for (size_t w = 0; w < trajectories.size(); ++w) {
+    for (size_t t = 0; t < trajectories[w].size(); ++t) {
+      out << w << "," << t << "," << trajectories[w][t].x << ","
+          << trajectories[w][t].y << "\n";
+    }
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+agents::PolicyNet& DrlCews::net() { return trainer_->global_net(); }
+
+const agents::TrainerConfig& DrlCews::config() const {
+  return trainer_->config();
+}
+
+}  // namespace cews::core

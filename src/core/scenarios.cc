@@ -1,0 +1,72 @@
+#include "core/scenarios.h"
+
+namespace cews::core {
+
+std::vector<Scenario> AllScenarios() {
+  return {Scenario::kOpenField, Scenario::kEarthquakeSite,
+          Scenario::kDenseRubble, Scenario::kSkewedClusters};
+}
+
+std::string ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kOpenField:
+      return "open-field";
+    case Scenario::kEarthquakeSite:
+      return "earthquake-site";
+    case Scenario::kDenseRubble:
+      return "dense-rubble";
+    case Scenario::kSkewedClusters:
+      return "skewed-clusters";
+  }
+  return "?";
+}
+
+Result<Scenario> ScenarioFromName(const std::string& name) {
+  for (const Scenario scenario : AllScenarios()) {
+    if (ScenarioName(scenario) == name) return scenario;
+  }
+  return Status::NotFound("unknown scenario '" + name +
+                          "' (try open-field, earthquake-site, "
+                          "dense-rubble, skewed-clusters)");
+}
+
+env::MapConfig ScenarioConfig(Scenario scenario, int pois, int workers,
+                              int stations) {
+  env::MapConfig config;
+  config.num_pois = pois;
+  config.num_workers = workers;
+  config.num_stations = stations;
+  switch (scenario) {
+    case Scenario::kOpenField:
+      config.num_obstacles = 0;
+      config.hard_corner = false;
+      config.uniform_fraction = 0.4;
+      config.corner_fraction = 0.0;
+      config.cluster_sigma = 2.0;
+      break;
+    case Scenario::kEarthquakeSite:
+      // The paper's defaults.
+      break;
+    case Scenario::kDenseRubble:
+      config.num_obstacles = 12;
+      config.obstacle_min_size = 0.6;
+      config.obstacle_max_size = 2.0;
+      break;
+    case Scenario::kSkewedClusters:
+      config.num_clusters = 3;
+      config.cluster_sigma = 0.7;
+      config.uniform_fraction = 0.05;
+      config.corner_fraction = 0.25;
+      break;
+  }
+  return config;
+}
+
+Result<env::Map> MakeScenario(Scenario scenario, int pois, int workers,
+                              int stations, uint64_t seed) {
+  Rng rng(seed);
+  return env::GenerateMap(ScenarioConfig(scenario, pois, workers, stations),
+                          rng);
+}
+
+}  // namespace cews::core

@@ -1,0 +1,47 @@
+#include "core/training_log.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cews::core {
+
+std::string HistoryToCsv(const std::vector<agents::EpisodeRecord>& history) {
+  std::ostringstream os;
+  os << "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward\n";
+  for (const agents::EpisodeRecord& rec : history) {
+    os << rec.episode << "," << rec.kappa << "," << rec.xi << "," << rec.rho
+       << "," << rec.extrinsic_reward << "," << rec.intrinsic_reward << "\n";
+  }
+  return os.str();
+}
+
+Status WriteHistoryCsv(const std::vector<agents::EpisodeRecord>& history,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << HistoryToCsv(history);
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+std::vector<double> MovingAverage(
+    const std::vector<agents::EpisodeRecord>& history, int window,
+    double (*pick)(const agents::EpisodeRecord&)) {
+  CEWS_CHECK_GE(window, 1);
+  std::vector<double> out;
+  out.reserve(history.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < history.size(); ++i) {
+    acc += pick(history[i]);
+    if (i >= static_cast<size_t>(window)) {
+      acc -= pick(history[i - static_cast<size_t>(window)]);
+    }
+    const size_t n = std::min(i + 1, static_cast<size_t>(window));
+    out.push_back(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace cews::core

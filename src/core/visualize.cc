@@ -1,0 +1,172 @@
+#include "core/visualize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace cews::core {
+
+namespace {
+
+constexpr double kScale = 40.0;  // SVG pixels per space unit
+
+const char* kWorkerColors[] = {"#d62728", "#1f77b4", "#2ca02c", "#9467bd",
+                               "#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f"};
+
+/// The space's y axis points up; SVG's points down.
+double FlipY(const env::Map& map, double y) {
+  return (map.config.size_y - y) * kScale;
+}
+
+void OpenSvg(std::ostringstream& os, const env::Map& map) {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << map.config.size_x * kScale << "\" height=\""
+     << map.config.size_y * kScale << "\" viewBox=\"0 0 "
+     << map.config.size_x * kScale << " " << map.config.size_y * kScale
+     << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n";
+}
+
+void DrawObstacles(std::ostringstream& os, const env::Map& map) {
+  for (const env::Rect& r : map.obstacles) {
+    os << "<rect x=\"" << r.x0 * kScale << "\" y=\"" << FlipY(map, r.y1)
+       << "\" width=\"" << r.width() * kScale << "\" height=\""
+       << r.height() * kScale << "\" fill=\"#9e9e9e\"/>\n";
+  }
+}
+
+void DrawEntities(std::ostringstream& os, const env::Map& map) {
+  for (const env::Poi& p : map.pois) {
+    os << "<circle cx=\"" << p.pos.x * kScale << "\" cy=\""
+       << FlipY(map, p.pos.y) << "\" r=\"" << 1.5 + 2.5 * p.initial_value
+       << "\" fill=\"#f0b429\" fill-opacity=\"0.8\"/>\n";
+  }
+  for (const env::ChargingStation& s : map.stations) {
+    const double half = 0.25 * kScale;
+    os << "<rect x=\"" << s.pos.x * kScale - half << "\" y=\""
+       << FlipY(map, s.pos.y) - half << "\" width=\"" << 2 * half
+       << "\" height=\"" << 2 * half
+       << "\" fill=\"#2e7d32\" stroke=\"#1b5e20\"/>\n";
+  }
+}
+
+}  // namespace
+
+std::string TrajectorySvg(
+    const env::Map& map,
+    const std::vector<std::vector<env::Position>>& trajectories) {
+  std::ostringstream os;
+  OpenSvg(os, map);
+  DrawObstacles(os, map);
+  DrawEntities(os, map);
+  const size_t palette =
+      sizeof(kWorkerColors) / sizeof(kWorkerColors[0]);
+  for (size_t w = 0; w < trajectories.size(); ++w) {
+    if (trajectories[w].empty()) continue;
+    os << "<polyline fill=\"none\" stroke=\"" << kWorkerColors[w % palette]
+       << "\" stroke-width=\"2.5\" stroke-opacity=\"0.85\" points=\"";
+    for (const env::Position& p : trajectories[w]) {
+      os << p.x * kScale << "," << FlipY(map, p.y) << " ";
+    }
+    os << "\"/>\n";
+    // Start marker.
+    const env::Position& start = trajectories[w].front();
+    os << "<circle cx=\"" << start.x * kScale << "\" cy=\""
+       << FlipY(map, start.y) << "\" r=\"6\" fill=\""
+       << kWorkerColors[w % palette] << "\"/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string HeatmapSvg(const env::Map& map,
+                       const agents::HeatmapSnapshot& snapshot, int grid) {
+  std::ostringstream os;
+  OpenSvg(os, map);
+  double max_value = 0.0;
+  for (double v : snapshot.cell_values) max_value = std::max(max_value, v);
+  const double cell_w = map.config.size_x / grid * kScale;
+  const double cell_h = map.config.size_y / grid * kScale;
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"#101020\"/>\n";
+  for (int y = 0; y < grid; ++y) {
+    for (int x = 0; x < grid; ++x) {
+      const double v = snapshot.cell_values[static_cast<size_t>(y * grid + x)];
+      if (v <= 0.0 || max_value <= 0.0) continue;
+      const double heat = v / max_value;
+      const int red = static_cast<int>(255 * std::sqrt(heat));
+      const int green = static_cast<int>(180 * heat);
+      os << "<rect x=\"" << x * cell_w << "\" y=\""
+         << (grid - 1 - y) * cell_h << "\" width=\"" << cell_w
+         << "\" height=\"" << cell_h << "\" fill=\"rgb(" << red << ","
+         << green << ",40)\"/>\n";
+    }
+  }
+  DrawObstacles(os, map);
+  os << "<text x=\"8\" y=\"20\" fill=\"#ffffff\" font-size=\"16\">episode "
+     << snapshot.episode << "</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+namespace {
+Status WriteFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << content;
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+}  // namespace
+
+Status WriteTrajectorySvg(
+    const env::Map& map,
+    const std::vector<std::vector<env::Position>>& trajectories,
+    const std::string& path) {
+  return WriteFile(TrajectorySvg(map, trajectories), path);
+}
+
+Status WriteHeatmapSvg(const env::Map& map,
+                       const agents::HeatmapSnapshot& snapshot, int grid,
+                       const std::string& path) {
+  return WriteFile(HeatmapSvg(map, snapshot, grid), path);
+}
+
+std::string AsciiMap(const env::Map& map, int columns) {
+  if (columns < 4) columns = 4;
+  const int rows = std::max(
+      2, static_cast<int>(columns * map.config.size_y / map.config.size_x /
+                          2.0));  // terminal glyphs are ~2x taller than wide
+  std::vector<std::string> canvas(static_cast<size_t>(rows),
+                                  std::string(static_cast<size_t>(columns),
+                                              '.'));
+  const double cw = map.config.size_x / columns;
+  const double ch = map.config.size_y / rows;
+  auto put = [&](const env::Position& p, char glyph) {
+    int x = static_cast<int>(p.x / cw);
+    int y = static_cast<int>(p.y / ch);
+    x = std::max(0, std::min(columns - 1, x));
+    y = std::max(0, std::min(rows - 1, y));
+    canvas[static_cast<size_t>(rows - 1 - y)][static_cast<size_t>(x)] = glyph;
+  };
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < columns; ++x) {
+      const env::Position center{(x + 0.5) * cw, (y + 0.5) * ch};
+      if (map.InObstacle(center)) {
+        canvas[static_cast<size_t>(rows - 1 - y)][static_cast<size_t>(x)] =
+            '#';
+      }
+    }
+  }
+  for (const env::Poi& p : map.pois) put(p.pos, '*');
+  for (const env::ChargingStation& s : map.stations) put(s.pos, 'C');
+  for (const env::Position& p : map.worker_spawns) put(p, 'W');
+  std::string out;
+  for (const std::string& row : canvas) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cews::core

@@ -1,0 +1,46 @@
+#include "env/action_space.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cews::env {
+
+namespace {
+// Unit headings: E, NE, N, NW, W, SW, S, SE.
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+constexpr double kHeadings[8][2] = {
+    {1.0, 0.0},        {kInvSqrt2, kInvSqrt2},   {0.0, 1.0},
+    {-kInvSqrt2, kInvSqrt2}, {-1.0, 0.0},        {-kInvSqrt2, -kInvSqrt2},
+    {0.0, -1.0},       {kInvSqrt2, -kInvSqrt2},
+};
+}  // namespace
+
+ActionSpace::ActionSpace(std::vector<double> step_lengths)
+    : step_lengths_(std::move(step_lengths)) {
+  CEWS_CHECK(!step_lengths_.empty());
+  double prev = 0.0;
+  for (double s : step_lengths_) {
+    CEWS_CHECK_GT(s, prev) << "step lengths must be positive ascending";
+    prev = s;
+  }
+}
+
+Position ActionSpace::Delta(int move_index) const {
+  CEWS_CHECK_GE(move_index, 0);
+  CEWS_CHECK_LT(move_index, num_moves());
+  if (move_index == 0) return {0.0, 0.0};
+  const int i = move_index - 1;
+  const int heading = i % 8;
+  const double len = step_lengths_[static_cast<size_t>(i / 8)];
+  return {kHeadings[heading][0] * len, kHeadings[heading][1] * len};
+}
+
+double ActionSpace::StepLength(int move_index) const {
+  CEWS_CHECK_GE(move_index, 0);
+  CEWS_CHECK_LT(move_index, num_moves());
+  if (move_index == 0) return 0.0;
+  return step_lengths_[static_cast<size_t>((move_index - 1) / 8)];
+}
+
+}  // namespace cews::env

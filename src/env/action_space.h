@@ -1,0 +1,51 @@
+// Discrete factored action space: per-worker route planning v and energy
+// charging u (Section V, "Action").
+#ifndef CEWS_ENV_ACTION_SPACE_H_
+#define CEWS_ENV_ACTION_SPACE_H_
+
+#include <vector>
+
+#include "env/geometry.h"
+
+namespace cews::env {
+
+/// Route-planning action set: 8 headings x `num_step_lengths` plus "stay".
+/// The maximum step length is the worker's fixed per-slot travel bound
+/// ("a worker's traveling distance has a fixed maximum given a discretized
+/// time slot", Definition 1).
+class ActionSpace {
+ public:
+  /// `step_lengths` must be non-empty, positive, ascending.
+  explicit ActionSpace(std::vector<double> step_lengths = {0.5, 1.0});
+
+  /// Number of discrete route-planning options (stay is index 0).
+  int num_moves() const {
+    return 1 + 8 * static_cast<int>(step_lengths_.size());
+  }
+
+  /// Displacement (dx, dy) of move index i; index 0 is (0, 0).
+  Position Delta(int move_index) const;
+
+  /// Length of the step taken by move index i.
+  double StepLength(int move_index) const;
+
+  /// Largest per-slot travel distance.
+  double max_step() const { return step_lengths_.back(); }
+
+  const std::vector<double>& step_lengths() const { return step_lengths_; }
+
+ private:
+  std::vector<double> step_lengths_;
+};
+
+/// One worker's joint action a_t^w = [u_t^w, v_t^w] (Eqn 9).
+struct WorkerAction {
+  /// Route-planning decision v: index into ActionSpace moves.
+  int move = 0;
+  /// Energy-charging decision u: request charging this slot.
+  bool charge = false;
+};
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_ACTION_SPACE_H_

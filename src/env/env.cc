@@ -1,0 +1,329 @@
+#include "env/env.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace cews::env {
+
+Env::Env(EnvConfig config, Map map)
+    : config_(std::move(config)), map_(std::move(map)) {
+  CEWS_CHECK_GT(config_.horizon, 0);
+  CEWS_CHECK(config_.sensing_range > 0.0);
+  CEWS_CHECK(config_.collection_rate > 0.0 && config_.collection_rate <= 1.0);
+  CEWS_CHECK(config_.initial_energy > 0.0);
+  CEWS_CHECK(config_.energy_capacity >= config_.initial_energy);
+  CEWS_CHECK(!map_.pois.empty()) << "map has no PoIs";
+  CEWS_CHECK(!map_.worker_spawns.empty()) << "map has no worker spawns";
+  total_initial_data_ = map_.TotalInitialData();
+  CEWS_CHECK(total_initial_data_ > 0.0);
+  // Resolve per-worker capabilities (Definition 2's g^w and b_0^w).
+  const size_t w_count = map_.worker_spawns.size();
+  if (config_.per_worker_sensing_range.empty()) {
+    sensing_range_.assign(w_count, config_.sensing_range);
+  } else {
+    CEWS_CHECK_EQ(config_.per_worker_sensing_range.size(), w_count);
+    sensing_range_ = config_.per_worker_sensing_range;
+    for (double g : sensing_range_) CEWS_CHECK(g > 0.0);
+  }
+  if (config_.per_worker_initial_energy.empty()) {
+    initial_energy_.assign(w_count, config_.initial_energy);
+  } else {
+    CEWS_CHECK_EQ(config_.per_worker_initial_energy.size(), w_count);
+    initial_energy_ = config_.per_worker_initial_energy;
+    for (double b : initial_energy_) {
+      CEWS_CHECK(b > 0.0);
+      CEWS_CHECK(b <= config_.energy_capacity);
+    }
+  }
+  Reset();
+}
+
+void Env::Reset() {
+  t_ = 0;
+  const size_t w = map_.worker_spawns.size();
+  workers_.assign(w, WorkerState{});
+  trajectories_.assign(w, {});
+  for (size_t i = 0; i < w; ++i) {
+    workers_[i].pos = map_.worker_spawns[i];
+    workers_[i].energy = initial_energy_[i];
+    workers_[i].next_collect_milestone = config_.epsilon1;
+    trajectories_[i].push_back(workers_[i].pos);
+  }
+  poi_values_.resize(map_.pois.size());
+  for (size_t p = 0; p < map_.pois.size(); ++p) {
+    poi_values_[p] = map_.pois[p].initial_value;
+  }
+  poi_access_.assign(map_.pois.size(), 0);
+}
+
+Env::Snapshot Env::Save() const {
+  Snapshot snapshot;
+  snapshot.workers = workers_;
+  snapshot.poi_values = poi_values_;
+  snapshot.poi_access = poi_access_;
+  snapshot.t = t_;
+  return snapshot;
+}
+
+void Env::Restore(const Snapshot& snapshot) {
+  CEWS_CHECK_EQ(snapshot.workers.size(), workers_.size());
+  CEWS_CHECK_EQ(snapshot.poi_values.size(), poi_values_.size());
+  workers_ = snapshot.workers;
+  poi_values_ = snapshot.poi_values;
+  poi_access_ = snapshot.poi_access;
+  t_ = snapshot.t;
+  // Trajectories are visualization-only; truncate to the restored time so
+  // subsequent steps stay consistent in length.
+  for (auto& trajectory : trajectories_) {
+    if (trajectory.size() > static_cast<size_t>(t_ + 1)) {
+      trajectory.resize(static_cast<size_t>(t_ + 1));
+    }
+  }
+}
+
+Position Env::MoveTarget(int w, int move) const {
+  CEWS_CHECK_GE(w, 0);
+  CEWS_CHECK_LT(w, num_workers());
+  const Position d = config_.action_space.Delta(move);
+  return {workers_[static_cast<size_t>(w)].pos.x + d.x,
+          workers_[static_cast<size_t>(w)].pos.y + d.y};
+}
+
+bool Env::MoveValid(int w, int move) const {
+  const WorkerState& ws = workers_[static_cast<size_t>(w)];
+  if (ws.energy <= 0.0) return move == 0;
+  if (move == 0) return true;
+  return map_.SegmentFree(ws.pos, MoveTarget(w, move));
+}
+
+double Env::PotentialCollection(const Position& p) const {
+  return PotentialCollection(p, config_.sensing_range);
+}
+
+double Env::PotentialCollection(const Position& p,
+                                double sensing_range) const {
+  double q = 0.0;
+  for (size_t i = 0; i < map_.pois.size(); ++i) {
+    if (Distance(p, map_.pois[i].pos) <= sensing_range) {
+      q += std::min(config_.collection_rate * map_.pois[i].initial_value,
+                    poi_values_[i]);
+    }
+  }
+  return q;
+}
+
+double Env::SensingRange(int w) const {
+  CEWS_CHECK_GE(w, 0);
+  CEWS_CHECK_LT(w, num_workers());
+  return sensing_range_[static_cast<size_t>(w)];
+}
+
+double Env::InitialEnergy(int w) const {
+  CEWS_CHECK_GE(w, 0);
+  CEWS_CHECK_LT(w, num_workers());
+  return initial_energy_[static_cast<size_t>(w)];
+}
+
+bool Env::CanChargeAt(const Position& p) const {
+  for (const ChargingStation& s : map_.stations) {
+    if (Distance(p, s.pos) <= config_.charge_range) return true;
+  }
+  return false;
+}
+
+int Env::NearestStation(const Position& p) const {
+  int best = -1;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < map_.stations.size(); ++i) {
+    const double d = Distance(p, map_.stations[i].pos);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+StepResult Env::Step(const std::vector<WorkerAction>& actions) {
+  CEWS_CHECK_EQ(static_cast<int>(actions.size()), num_workers());
+  CEWS_CHECK(!Done()) << "Step() after episode end";
+  const int w_count = num_workers();
+  StepResult result;
+  result.collected.assign(w_count, 0.0);
+  result.energy_used.assign(w_count, 0.0);
+  result.charged.assign(w_count, 0.0);
+  result.per_worker_sparse.assign(w_count, 0.0);
+  result.collided.assign(w_count, false);
+  result.charging.assign(w_count, false);
+
+  // One worker per station per slot: stations are scarce, so workers compete
+  // (Section III-A, difficulty #3). Lower worker index wins ties.
+  std::vector<bool> station_busy(map_.stations.size(), false);
+
+  for (int w = 0; w < w_count; ++w) {
+    WorkerState& ws = workers_[static_cast<size_t>(w)];
+    const WorkerAction& action = actions[static_cast<size_t>(w)];
+    double q = 0.0, e = 0.0, sigma = 0.0;
+    bool collided = false;
+    bool charging = false;
+
+    if (ws.energy <= 0.0) {
+      // Battery exhausted: the worker stops movement (Definition 2). It can
+      // still charge if it happens to be parked in range of a free station.
+      if (action.charge) {
+        const int station = NearestStation(ws.pos);
+        if (station >= 0 && !station_busy[static_cast<size_t>(station)] &&
+            Distance(ws.pos, map_.stations[static_cast<size_t>(station)].pos) <=
+                config_.charge_range) {
+          station_busy[static_cast<size_t>(station)] = true;
+          sigma = std::min(config_.charge_rate,
+                           config_.energy_capacity - ws.energy);
+          charging = true;
+        }
+      }
+    } else if (action.charge) {
+      // Charging is valid when within range of a station (Section V,
+      // "Action") and the station pump is free. While charging the worker
+      // neither moves nor collects ("it takes time that workers cannot
+      // collect data", Section III-A).
+      const int station = NearestStation(ws.pos);
+      const bool in_range =
+          station >= 0 &&
+          Distance(ws.pos, map_.stations[static_cast<size_t>(station)].pos) <=
+              config_.charge_range;
+      if (in_range && !station_busy[static_cast<size_t>(station)] &&
+          ws.energy < config_.energy_capacity) {
+        station_busy[static_cast<size_t>(station)] = true;
+        sigma = std::min(config_.charge_rate,
+                         config_.energy_capacity - ws.energy);
+        charging = true;
+      }
+      // An invalid charge request degrades to staying put (no penalty).
+    } else {
+      // Route planning.
+      const Position target = MoveTarget(w, action.move);
+      double dist = 0.0;
+      if (action.move != 0) {
+        if (map_.SegmentFree(ws.pos, target)) {
+          dist = Distance(ws.pos, target);
+          ws.pos = target;
+        } else {
+          collided = true;  // bumps and stays; tau penalty below
+          ++ws.collisions;
+        }
+      }
+      if (!collided) {
+        // Collect from PoIs within g^w of the (new) position, Eqn (1).
+        const double g = sensing_range_[static_cast<size_t>(w)];
+        for (size_t p = 0; p < map_.pois.size(); ++p) {
+          if (poi_values_[p] <= 0.0) continue;
+          if (Distance(ws.pos, map_.pois[p].pos) > g) {
+            continue;
+          }
+          const double take =
+              std::min(config_.collection_rate * map_.pois[p].initial_value,
+                       poi_values_[p]);
+          if (take <= 0.0) continue;
+          poi_values_[p] -= take;
+          ++poi_access_[p];
+          q += take;
+        }
+      }
+      // Energy consumption, Eqn (3).
+      e = config_.beta * dist + config_.alpha * q;
+    }
+
+    ws.energy = Clamp(ws.energy - e + sigma, 0.0, config_.energy_capacity);
+    ws.collected_total += q;
+    ws.energy_used_total += e;
+    ws.charged_total += sigma;
+    ws.charge_accum += sigma;
+
+    result.collected[static_cast<size_t>(w)] = q;
+    result.energy_used[static_cast<size_t>(w)] = e;
+    result.charged[static_cast<size_t>(w)] = sigma;
+    result.collided[static_cast<size_t>(w)] = collided;
+    result.charging[static_cast<size_t>(w)] = charging;
+
+    // Sparse extrinsic reward r_t^{w,ext} (Eqn 18).
+    double upsilon1 = 0.0, upsilon2 = 0.0;
+    const double ratio = ws.collected_total / total_initial_data_;
+    if (ratio >= ws.next_collect_milestone) {
+      upsilon1 = 1.0;
+      while (ws.next_collect_milestone <= ratio) {
+        ws.next_collect_milestone += config_.epsilon1;
+      }
+    }
+    const double b0 = initial_energy_[static_cast<size_t>(w)];
+    if (ws.charge_accum / b0 >= config_.epsilon2) {
+      upsilon2 = 1.0;
+      ws.charge_accum -= config_.epsilon2 * b0;
+    }
+    const double tau = collided ? config_.obstacle_penalty : 0.0;
+    result.per_worker_sparse[static_cast<size_t>(w)] =
+        upsilon1 + upsilon2 - tau;
+
+    trajectories_[static_cast<size_t>(w)].push_back(ws.pos);
+  }
+
+  // Eqn (19): mean sparse reward.
+  double sparse = 0.0;
+  for (double r : result.per_worker_sparse) sparse += r;
+  result.sparse_reward = sparse / static_cast<double>(w_count);
+
+  // Eqn (20): dense reward for Edics / DPPO.
+  double dense = 0.0;
+  for (int w = 0; w < w_count; ++w) {
+    const double qw = result.collected[static_cast<size_t>(w)];
+    const double ew = result.energy_used[static_cast<size_t>(w)];
+    const double data_term = ew > 1e-9 ? qw / ew : 0.0;
+    const double charge_term = result.charged[static_cast<size_t>(w)] /
+                               initial_energy_[static_cast<size_t>(w)];
+    const double tau = result.collided[static_cast<size_t>(w)]
+                           ? config_.obstacle_penalty
+                           : 0.0;
+    dense += data_term + charge_term - tau;
+  }
+  result.dense_reward = dense / static_cast<double>(w_count);
+
+  ++t_;
+  result.done = Done();
+  return result;
+}
+
+double Env::Kappa() const {
+  double collected = 0.0;
+  for (const WorkerState& w : workers_) collected += w.collected_total;
+  return collected / total_initial_data_;
+}
+
+double Env::Xi() const {
+  double acc = 0.0;
+  for (size_t p = 0; p < map_.pois.size(); ++p) {
+    acc += poi_values_[p] / map_.pois[p].initial_value;
+  }
+  return acc / static_cast<double>(map_.pois.size());
+}
+
+double Env::Rho() const {
+  // Jain fairness over per-PoI normalized collected fractions (Eqn 6).
+  std::vector<double> covered(map_.pois.size());
+  for (size_t p = 0; p < map_.pois.size(); ++p) {
+    covered[p] = (map_.pois[p].initial_value - poi_values_[p]) /
+                 (config_.collection_rate * map_.pois[p].initial_value);
+  }
+  const double fairness = JainFairness(covered);
+  double efficiency = 0.0;
+  for (const WorkerState& w : workers_) {
+    if (w.energy_used_total > 1e-9) {
+      efficiency += w.collected_total / w.energy_used_total;
+    }
+  }
+  efficiency /= static_cast<double>(workers_.size());
+  return fairness * efficiency;
+}
+
+}  // namespace cews::env

@@ -1,0 +1,173 @@
+// The vehicular-crowdsensing environment: worker kinematics, the energy
+// model (Eqns 1-3), both reward mechanisms (Eqns 18-20) and the three
+// evaluation metrics kappa/xi/rho (Eqns 4-6).
+#ifndef CEWS_ENV_ENV_H_
+#define CEWS_ENV_ENV_H_
+
+#include <vector>
+
+#include "env/action_space.h"
+#include "env/map.h"
+
+namespace cews::env {
+
+/// Tunables of the OLDC task, defaults from Section VII-A.
+struct EnvConfig {
+  /// Task duration T (time slots per episode).
+  int horizon = 100;
+  /// Sensing range g^w (Definition 2).
+  double sensing_range = 0.8;
+  /// Data collection rate lambda (Eqn 1).
+  double collection_rate = 0.2;
+  /// Energy per unit of collected data, alpha (Eqn 3).
+  double alpha = 1.0;
+  /// Energy per unit of travel distance, beta (Eqn 3).
+  double beta = 0.1;
+  /// Initial energy budget b_0^w.
+  double initial_energy = 40.0;
+  /// Battery capacity (charging saturates here).
+  double energy_capacity = 40.0;
+  /// Effective charging range ("pump pipe length").
+  double charge_range = 0.8;
+  /// Energy gained per slot spent charging (sigma_t^w).
+  double charge_rate = 10.0;
+  /// Obstacle/boundary collision penalty tau (Eqn 18).
+  double obstacle_penalty = 0.2;
+  /// Sparse-reward data milestone epsilon_1 (5%).
+  double epsilon1 = 0.05;
+  /// Sparse-reward charge milestone epsilon_2 (40%).
+  double epsilon2 = 0.40;
+  /// Discrete route-planning options.
+  ActionSpace action_space{};
+
+  /// Optional per-worker overrides for heterogeneous fleets (Definition 2
+  /// gives every worker its own g^w and b^w). When non-empty, each must
+  /// have exactly one entry per worker; empty means "uniform", using the
+  /// scalar fields above.
+  std::vector<double> per_worker_sensing_range;
+  std::vector<double> per_worker_initial_energy;
+};
+
+/// Mutable per-worker state (Definition 2 plus bookkeeping).
+struct WorkerState {
+  Position pos;
+  double energy = 0.0;            // b_t^w
+  double collected_total = 0.0;   // Q_t^w
+  double energy_used_total = 0.0; // E_t^w
+  double charged_total = 0.0;     // cumulative sigma
+  int collisions = 0;
+
+  // Sparse-reward trackers (Eqn 18).
+  double next_collect_milestone = 0.0;
+  double charge_accum = 0.0;
+};
+
+/// Everything observable about one environment transition.
+struct StepResult {
+  /// Mean sparse extrinsic reward r_t^ext (Eqn 19).
+  double sparse_reward = 0.0;
+  /// Dense reward (Eqn 20) used by the Edics/DPPO baselines.
+  double dense_reward = 0.0;
+  /// Per-worker components.
+  std::vector<double> collected;    // q_t^w
+  std::vector<double> energy_used;  // e_t^w
+  std::vector<double> charged;      // sigma_t^w
+  std::vector<double> per_worker_sparse;
+  std::vector<bool> collided;
+  std::vector<bool> charging;
+  /// Episode finished (t == T).
+  bool done = false;
+};
+
+/// The OLDC environment. Deterministic given a Map: Reset() restores the
+/// exact initial scenario, so competing algorithms are compared on identical
+/// instances.
+class Env {
+ public:
+  Env(EnvConfig config, Map map);
+
+  /// Restores initial PoI data, access times, worker positions/energy and
+  /// clears trajectories.
+  void Reset();
+
+  /// An opaque copy of the mutable environment state; Restore() rolls back
+  /// to it exactly. Lets model-based planners simulate candidate action
+  /// sequences on the real dynamics without a full Env copy.
+  struct Snapshot {
+    std::vector<WorkerState> workers;
+    std::vector<double> poi_values;
+    std::vector<int> poi_access;
+    int t = 0;
+  };
+
+  /// Captures the current mutable state (trajectories are not included).
+  Snapshot Save() const;
+
+  /// Rolls the environment back to a snapshot taken from this Env.
+  void Restore(const Snapshot& snapshot);
+
+  /// Advances one time slot. `actions` must have one entry per worker.
+  StepResult Step(const std::vector<WorkerAction>& actions);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_pois() const { return static_cast<int>(map_.pois.size()); }
+  int num_stations() const { return static_cast<int>(map_.stations.size()); }
+  int t() const { return t_; }
+  bool Done() const { return t_ >= config_.horizon; }
+
+  /// Average data collection ratio kappa (Eqn 4; see DESIGN.md on the 1/W
+  /// typo): fraction of all initial data collected so far.
+  double Kappa() const;
+  /// Average remaining data ratio xi (Eqn 5): mean of delta_t / delta_0.
+  double Xi() const;
+  /// Energy efficiency rho (Eqn 6): Jain-fairness-weighted mean of Q/E.
+  double Rho() const;
+
+  const EnvConfig& config() const { return config_; }
+  const Map& map() const { return map_; }
+  const std::vector<WorkerState>& workers() const { return workers_; }
+  /// Remaining data values delta_t^p.
+  const std::vector<double>& poi_values() const { return poi_values_; }
+  /// Access times h_t(p) (state channel 3, Section V).
+  const std::vector<int>& poi_access() const { return poi_access_; }
+  /// Per-worker visited positions, one entry per slot, for Fig. 2(c)/Fig. 9.
+  const std::vector<std::vector<Position>>& trajectories() const {
+    return trajectories_;
+  }
+
+  /// Sensing range g^w of worker w (Definition 2).
+  double SensingRange(int w) const;
+  /// Initial energy budget b_0^w of worker w.
+  double InitialEnergy(int w) const;
+
+  /// Resulting position of `move` for worker w (ignores validity).
+  Position MoveTarget(int w, int move) const;
+  /// Valid route-planning action per Section V: in bounds, no obstacle
+  /// crossing, energy not exhausted.
+  bool MoveValid(int w, int move) const;
+  /// Data a worker would collect this slot sensing from position p (Eqn 1,
+  /// against current delta_t). Used by the Greedy and D&C planners; the
+  /// one-argument form uses the uniform sensing range.
+  double PotentialCollection(const Position& p) const;
+  double PotentialCollection(const Position& p, double sensing_range) const;
+  /// True when p is within charging range of any station.
+  bool CanChargeAt(const Position& p) const;
+  /// Index of the nearest charging station to p.
+  int NearestStation(const Position& p) const;
+
+ private:
+  EnvConfig config_;
+  Map map_;
+  std::vector<WorkerState> workers_;
+  std::vector<double> poi_values_;
+  std::vector<int> poi_access_;
+  std::vector<std::vector<Position>> trajectories_;
+  std::vector<double> sensing_range_;   // resolved per worker
+  std::vector<double> initial_energy_;  // resolved per worker
+  int t_ = 0;
+  double total_initial_data_ = 0.0;
+};
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_ENV_H_

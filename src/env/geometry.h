@@ -1,0 +1,67 @@
+// 2-D geometry primitives for the crowdsensing space (Definition 1).
+#ifndef CEWS_ENV_GEOMETRY_H_
+#define CEWS_ENV_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace cews::env {
+
+/// A point in the crowdsensing space L = {(x, y) | 0 < x < Lx, 0 < y < Ly}.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Position& o) const { return x == o.x && y == o.y; }
+};
+
+/// Euclidean distance d(i, j) between two positions (Definition 1).
+inline double Distance(const Position& a, const Position& b) {
+  return cews::Distance(a.x, a.y, b.x, b.y);
+}
+
+/// Axis-aligned rectangle; models obstacles ("regions which workers cannot
+/// enter or go through", Section III-A).
+struct Rect {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;  // x0<=x1, y0<=y1
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+
+  /// True when p lies inside (boundary inclusive).
+  bool Contains(const Position& p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  /// True when the segment a->b passes through this rectangle
+  /// (Liang-Barsky clipping).
+  bool IntersectsSegment(const Position& a, const Position& b) const {
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    double t_min = 0.0, t_max = 1.0;
+    auto clip = [&](double p, double q) {
+      // Moving along p; boundary at q. p==0: parallel, inside iff q>=0.
+      if (p == 0.0) return q >= 0.0;
+      const double r = q / p;
+      if (p < 0.0) {
+        if (r > t_max) return false;
+        if (r > t_min) t_min = r;
+      } else {
+        if (r < t_min) return false;
+        if (r < t_max) t_max = r;
+      }
+      return true;
+    };
+    if (!clip(-dx, a.x - x0)) return false;
+    if (!clip(dx, x1 - a.x)) return false;
+    if (!clip(-dy, a.y - y0)) return false;
+    if (!clip(dy, y1 - a.y)) return false;
+    return t_min <= t_max;
+  }
+};
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_GEOMETRY_H_

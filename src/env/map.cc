@@ -1,0 +1,242 @@
+#include "env/map.h"
+
+#include <algorithm>
+#include <string>
+
+namespace cews::env {
+
+bool Map::InObstacle(const Position& p) const {
+  for (const Rect& r : obstacles) {
+    if (r.Contains(p)) return true;
+  }
+  return false;
+}
+
+bool Map::InBounds(const Position& p) const {
+  return p.x > 0.0 && p.x < config.size_x && p.y > 0.0 && p.y < config.size_y;
+}
+
+bool Map::SegmentFree(const Position& a, const Position& b) const {
+  if (!InBounds(b)) return false;
+  for (const Rect& r : obstacles) {
+    if (r.IntersectsSegment(a, b)) return false;
+  }
+  return true;
+}
+
+double Map::TotalInitialData() const {
+  double total = 0.0;
+  for (const Poi& p : pois) total += p.initial_value;
+  return total;
+}
+
+namespace {
+
+Status ValidateConfig(const MapConfig& c) {
+  if (c.size_x <= 0.0 || c.size_y <= 0.0) {
+    return Status::InvalidArgument("map size must be positive");
+  }
+  if (c.num_pois <= 0) return Status::InvalidArgument("num_pois must be > 0");
+  if (c.num_stations < 0 || c.num_workers <= 0 || c.num_obstacles < 0 ||
+      c.num_clusters <= 0) {
+    return Status::InvalidArgument("entity counts out of range");
+  }
+  if (c.uniform_fraction < 0.0 || c.uniform_fraction > 1.0 ||
+      c.corner_fraction < 0.0 || c.corner_fraction > 1.0 ||
+      c.uniform_fraction + c.corner_fraction > 1.0) {
+    return Status::InvalidArgument("PoI fractions must partition [0, 1]");
+  }
+  if (c.hard_corner &&
+      (c.corner_size + 2.0 > std::min(c.size_x, c.size_y) ||
+       c.corner_gap + 2.0 * c.corner_wall >= c.corner_size)) {
+    return Status::InvalidArgument("corner room does not fit the map");
+  }
+  return Status::OK();
+}
+
+/// Walls of the corner room at the bottom-right, with a gap in the top wall:
+///
+///    ___  <- gap in top wall (the narrow passageway)
+///   |...|
+///   |...|  room interior holds `corner_fraction` of the PoIs
+///   +---+  bottom/right closed by the space boundary
+void AddCornerRoom(const MapConfig& c, std::vector<Rect>* obstacles,
+                   Rect* interior) {
+  const double s = c.corner_size;
+  const double w = c.corner_wall;
+  const double x0 = c.size_x - s;
+  const double y1 = s;  // room spans y in (0, s]
+  // Left wall: full height.
+  obstacles->push_back(Rect{x0, 0.0, x0 + w, y1});
+  // Top wall in two pieces leaving a central gap.
+  const double inner_x0 = x0 + w;
+  const double span = c.size_x - inner_x0;
+  const double gap_lo = inner_x0 + (span - c.corner_gap) / 2.0;
+  const double gap_hi = gap_lo + c.corner_gap;
+  obstacles->push_back(Rect{inner_x0, y1 - w, gap_lo, y1});
+  obstacles->push_back(Rect{gap_hi, y1 - w, c.size_x, y1});
+  *interior = Rect{inner_x0 + 0.2, 0.2, c.size_x - 0.2, y1 - w - 0.2};
+}
+
+}  // namespace
+
+Result<Map> GenerateMap(const MapConfig& config, Rng& rng) {
+  CEWS_RETURN_IF_ERROR(ValidateConfig(config));
+  Map map;
+  map.config = config;
+
+  Rect corner_interior{};
+  if (config.hard_corner) {
+    AddCornerRoom(config, &map.obstacles, &corner_interior);
+  }
+
+  // Random rectangular obstacles (collapsed buildings), kept away from the
+  // corner room so the passage stays the only entrance.
+  const double margin = 1.0;
+  for (int i = 0; i < config.num_obstacles; ++i) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const double w =
+          rng.Uniform(config.obstacle_min_size, config.obstacle_max_size);
+      const double h =
+          rng.Uniform(config.obstacle_min_size, config.obstacle_max_size);
+      const double x0 = rng.Uniform(margin, config.size_x - margin - w);
+      const double y0 = rng.Uniform(margin, config.size_y - margin - h);
+      const Rect r{x0, y0, x0 + w, y0 + h};
+      bool clash = false;
+      if (config.hard_corner) {
+        // Keep clear of the room footprint plus a margin.
+        const Rect room{config.size_x - config.corner_size - margin, 0.0,
+                        config.size_x, config.corner_size + margin};
+        clash = !(r.x1 < room.x0 || r.x0 > room.x1 || r.y1 < room.y0 ||
+                  r.y0 > room.y1);
+      }
+      if (!clash) {
+        map.obstacles.push_back(r);
+        break;
+      }
+    }
+  }
+
+  auto sample_free = [&](int max_attempts, Position* out) {
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      Position p{rng.Uniform(0.2, config.size_x - 0.2),
+                 rng.Uniform(0.2, config.size_y - 0.2)};
+      if (!map.InObstacle(p)) {
+        *out = p;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Cluster centers for the Gaussian mixture, outside obstacles.
+  std::vector<Position> centers;
+  for (int i = 0; i < config.num_clusters; ++i) {
+    Position c;
+    if (!sample_free(200, &c)) {
+      return Status::Internal("could not place PoI cluster center");
+    }
+    centers.push_back(c);
+  }
+
+  const int corner_count =
+      config.hard_corner
+          ? static_cast<int>(config.corner_fraction * config.num_pois)
+          : 0;
+  const int uniform_count =
+      static_cast<int>(config.uniform_fraction * config.num_pois);
+
+  auto add_poi = [&](const Position& p) {
+    map.pois.push_back(Poi{p, rng.Uniform(0.05, 1.0)});
+  };
+
+  // Corner-room PoIs (the embraced sensors behind the passage).
+  for (int i = 0; i < corner_count; ++i) {
+    const Position p{rng.Uniform(corner_interior.x0, corner_interior.x1),
+                     rng.Uniform(corner_interior.y0, corner_interior.y1)};
+    add_poi(p);
+  }
+  // Uniform background PoIs.
+  for (int i = 0; i < uniform_count; ++i) {
+    Position p;
+    if (!sample_free(200, &p)) {
+      return Status::Internal("could not place uniform PoI");
+    }
+    add_poi(p);
+  }
+  // Clustered PoIs.
+  while (static_cast<int>(map.pois.size()) < config.num_pois) {
+    const Position& c = centers[rng.UniformInt(centers.size())];
+    bool placed = false;
+    for (int attempt = 0; attempt < 50 && !placed; ++attempt) {
+      Position p{c.x + rng.Gaussian(0.0, config.cluster_sigma),
+                 c.y + rng.Gaussian(0.0, config.cluster_sigma)};
+      if (map.InBounds(p) && !map.InObstacle(p)) {
+        add_poi(p);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      Position p;
+      if (!sample_free(200, &p)) {
+        return Status::Internal("could not place clustered PoI");
+      }
+      add_poi(p);
+    }
+  }
+
+  // Charging stations, mutually spaced ("multiple randomly distributed
+  // charging stations", Section I). Outside the corner room: charging inside
+  // the hard area would defeat its purpose.
+  const double min_station_gap = std::min(config.size_x, config.size_y) / 5.0;
+  for (int i = 0; i < config.num_stations; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 300 && !placed; ++attempt) {
+      Position p;
+      if (!sample_free(50, &p)) break;
+      if (config.hard_corner && p.x > config.size_x - config.corner_size &&
+          p.y < config.corner_size) {
+        continue;
+      }
+      bool far_enough = true;
+      for (const ChargingStation& s : map.stations) {
+        if (Distance(s.pos, p) < min_station_gap) {
+          far_enough = false;
+          break;
+        }
+      }
+      if (far_enough) {
+        map.stations.push_back(ChargingStation{p});
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Relax the spacing rather than fail on crowded maps.
+      Position p;
+      if (!sample_free(300, &p)) {
+        return Status::Internal("could not place charging station");
+      }
+      map.stations.push_back(ChargingStation{p});
+    }
+  }
+
+  // Worker spawn points.
+  for (int i = 0; i < config.num_workers; ++i) {
+    Position p;
+    if (!sample_free(300, &p)) {
+      return Status::Internal("could not place worker spawn");
+    }
+    if (config.hard_corner && p.x > config.size_x - config.corner_size &&
+        p.y < config.corner_size) {
+      // Never spawn inside the hard corner; retry once uniformly.
+      if (!sample_free(300, &p)) {
+        return Status::Internal("could not place worker spawn");
+      }
+    }
+    map.worker_spawns.push_back(p);
+  }
+
+  return map;
+}
+
+}  // namespace cews::env

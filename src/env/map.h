@@ -1,0 +1,102 @@
+// Crowdsensing-space instances: PoIs, obstacles, charging stations, worker
+// spawn points. Mirrors the paper's simulated post-earthquake scenario
+// (Fig. 2b): Gaussian-mixture PoI clusters plus a uniform background, random
+// rectangular collapsed buildings, and a hard-exploration corner room
+// reachable only through a narrow passageway.
+#ifndef CEWS_ENV_MAP_H_
+#define CEWS_ENV_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "env/geometry.h"
+
+namespace cews::env {
+
+/// A point of interest (Definition 3): location plus initial data value
+/// 0 < delta0 < 1.
+struct Poi {
+  Position pos;
+  double initial_value = 0.0;  // delta_0^p
+};
+
+/// A charging station; workers within `MapConfig::charge_range` may charge
+/// (one worker at a time per station — "number of charging stations in
+/// practice is not enough for all workers simultaneously", Section III-A).
+struct ChargingStation {
+  Position pos;
+};
+
+/// Parameters for procedural map generation.
+struct MapConfig {
+  /// Space extents L_x, L_y (Definition 1).
+  double size_x = 16.0;
+  double size_y = 16.0;
+
+  /// Number of PoIs P.
+  int num_pois = 200;
+  /// Number of charging stations.
+  int num_stations = 4;
+  /// Number of workers W (spawn points are part of the map so every
+  /// algorithm sees identical initial conditions).
+  int num_workers = 2;
+
+  /// Number of Gaussian PoI clusters ("mixture of Gaussian distributions
+  /// and a random distribution", Section VII-A).
+  int num_clusters = 4;
+  /// Std-dev of each cluster.
+  double cluster_sigma = 1.2;
+  /// Fraction of PoIs drawn uniformly instead of from clusters.
+  double uniform_fraction = 0.25;
+  /// Fraction of PoIs placed inside the hard-exploration corner room.
+  double corner_fraction = 0.15;
+
+  /// Number of random rectangular obstacles (besides the corner room walls).
+  int num_obstacles = 5;
+  double obstacle_min_size = 0.8;
+  double obstacle_max_size = 2.5;
+
+  /// Build the semi-destroyed corner subarea at the bottom-right, entered
+  /// through a narrow passageway (Section VII-A).
+  bool hard_corner = true;
+  /// Side length of the corner room.
+  double corner_size = 5.0;
+  /// Wall thickness of the corner room.
+  double corner_wall = 0.4;
+  /// Width of the passageway opening.
+  double corner_gap = 1.2;
+};
+
+/// A concrete map instance. Value type: copy it to replay the same scenario
+/// across algorithms and seeds.
+struct Map {
+  MapConfig config;
+  std::vector<Rect> obstacles;
+  std::vector<Poi> pois;
+  std::vector<ChargingStation> stations;
+  std::vector<Position> worker_spawns;
+
+  /// True when p is inside some obstacle.
+  bool InObstacle(const Position& p) const;
+
+  /// True when p lies inside the space bounds (exclusive, per Definition 1).
+  bool InBounds(const Position& p) const;
+
+  /// True when the straight segment a->b stays in bounds and crosses no
+  /// obstacle.
+  bool SegmentFree(const Position& a, const Position& b) const;
+
+  /// Sum of initial PoI values (denominator of kappa, Eqn 4).
+  double TotalInitialData() const;
+};
+
+/// Procedurally generates a map. Fails when the config is inconsistent
+/// (e.g. non-positive sizes or counts) or when free space is too scarce to
+/// place the requested entities.
+Result<Map> GenerateMap(const MapConfig& config, Rng& rng);
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_MAP_H_

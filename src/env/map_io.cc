@@ -1,0 +1,140 @@
+#include "env/map_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace cews::env {
+
+namespace {
+constexpr const char* kMagic = "cews-map";
+constexpr int kVersion = 1;
+}  // namespace
+
+std::string MapToString(const Map& map) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << " " << kVersion << "\n";
+  os << "size " << map.config.size_x << " " << map.config.size_y << "\n";
+  for (const Rect& r : map.obstacles) {
+    os << "obstacle " << r.x0 << " " << r.y0 << " " << r.x1 << " " << r.y1
+       << "\n";
+  }
+  for (const Poi& p : map.pois) {
+    os << "poi " << p.pos.x << " " << p.pos.y << " " << p.initial_value
+       << "\n";
+  }
+  for (const ChargingStation& s : map.stations) {
+    os << "station " << s.pos.x << " " << s.pos.y << "\n";
+  }
+  for (const Position& p : map.worker_spawns) {
+    os << "spawn " << p.x << " " << p.y << "\n";
+  }
+  return os.str();
+}
+
+Result<Map> MapFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not a cews-map document");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported cews-map version " +
+                                   std::to_string(version));
+  }
+  Map map;
+  bool have_size = false;
+  std::string directive;
+  int line_no = 1;
+  while (in >> directive) {
+    ++line_no;
+    const std::string where = " (entry " + std::to_string(line_no) + ")";
+    if (directive == "size") {
+      if (!(in >> map.config.size_x >> map.config.size_y)) {
+        return Status::InvalidArgument("bad size directive" + where);
+      }
+      if (map.config.size_x <= 0.0 || map.config.size_y <= 0.0) {
+        return Status::InvalidArgument("non-positive map size" + where);
+      }
+      have_size = true;
+    } else if (directive == "obstacle") {
+      Rect r;
+      if (!(in >> r.x0 >> r.y0 >> r.x1 >> r.y1)) {
+        return Status::InvalidArgument("bad obstacle directive" + where);
+      }
+      if (r.x1 < r.x0 || r.y1 < r.y0) {
+        return Status::InvalidArgument("inverted obstacle rectangle" + where);
+      }
+      map.obstacles.push_back(r);
+    } else if (directive == "poi") {
+      Poi p;
+      if (!(in >> p.pos.x >> p.pos.y >> p.initial_value)) {
+        return Status::InvalidArgument("bad poi directive" + where);
+      }
+      if (p.initial_value <= 0.0) {
+        return Status::InvalidArgument("poi value must be positive" + where);
+      }
+      map.pois.push_back(p);
+    } else if (directive == "station") {
+      ChargingStation s;
+      if (!(in >> s.pos.x >> s.pos.y)) {
+        return Status::InvalidArgument("bad station directive" + where);
+      }
+      map.stations.push_back(s);
+    } else if (directive == "spawn") {
+      Position p;
+      if (!(in >> p.x >> p.y)) {
+        return Status::InvalidArgument("bad spawn directive" + where);
+      }
+      map.worker_spawns.push_back(p);
+    } else {
+      return Status::InvalidArgument("unknown directive '" + directive + "'" +
+                                     where);
+    }
+  }
+  if (!have_size) return Status::InvalidArgument("missing size directive");
+  if (map.pois.empty()) return Status::InvalidArgument("map has no PoIs");
+  if (map.worker_spawns.empty()) {
+    return Status::InvalidArgument("map has no worker spawns");
+  }
+  // Cross-entity invariants (mirrors GenerateMap's guarantees).
+  for (const Poi& p : map.pois) {
+    if (!map.InBounds(p.pos)) {
+      return Status::InvalidArgument("poi out of bounds");
+    }
+    if (map.InObstacle(p.pos)) {
+      return Status::InvalidArgument("poi inside an obstacle");
+    }
+  }
+  for (const Position& p : map.worker_spawns) {
+    if (!map.InBounds(p) || map.InObstacle(p)) {
+      return Status::InvalidArgument("invalid worker spawn");
+    }
+  }
+  for (const ChargingStation& s : map.stations) {
+    if (!map.InBounds(s.pos) || map.InObstacle(s.pos)) {
+      return Status::InvalidArgument("invalid charging station");
+    }
+  }
+  return map;
+}
+
+Status SaveMap(const Map& map, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << MapToString(map);
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Map> LoadMap(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return MapFromString(buffer.str());
+}
+
+}  // namespace cews::env

@@ -1,0 +1,37 @@
+// Text (de)serialization of Map instances, so scenarios can be versioned,
+// shared and replayed exactly across machines and runs.
+#ifndef CEWS_ENV_MAP_IO_H_
+#define CEWS_ENV_MAP_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "env/map.h"
+
+namespace cews::env {
+
+/// Serializes a map as a line-oriented text document:
+///   cews-map 1
+///   size <Lx> <Ly>
+///   obstacle <x0> <y0> <x1> <y1>
+///   poi <x> <y> <delta0>
+///   station <x> <y>
+///   spawn <x> <y>
+/// Coordinates round-trip exactly (printed with max precision).
+std::string MapToString(const Map& map);
+
+/// Parses a document produced by MapToString. Fails with InvalidArgument on
+/// malformed input, unknown directives, or entities violating the map
+/// invariants (PoIs inside obstacles / out of bounds, non-positive values).
+Result<Map> MapFromString(const std::string& text);
+
+/// Writes MapToString(map) to `path`.
+Status SaveMap(const Map& map, const std::string& path);
+
+/// Reads and parses a map file.
+Result<Map> LoadMap(const std::string& path);
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_MAP_IO_H_

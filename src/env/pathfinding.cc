@@ -1,0 +1,198 @@
+#include "env/pathfinding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace cews::env {
+
+namespace {
+constexpr int kDx[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+constexpr int kDy[8] = {0, 1, 1, 1, 0, -1, -1, -1};
+constexpr double kSqrt2 = 1.41421356237309504880;
+
+double MoveCost(int dir) { return (dir % 2 == 0) ? 1.0 : kSqrt2; }
+}  // namespace
+
+PathPlanner::PathPlanner(const Map& map, int resolution)
+    : map_(&map), resolution_(resolution) {
+  CEWS_CHECK_GT(resolution, 1);
+  cell_w_ = map.config.size_x / resolution_;
+  cell_h_ = map.config.size_y / resolution_;
+  const int n = resolution_ * resolution_;
+  free_.assign(static_cast<size_t>(n), false);
+  for (int cell = 0; cell < n; ++cell) {
+    free_[static_cast<size_t>(cell)] = !map.InObstacle(CenterOf(cell));
+  }
+  neighbor_mask_.assign(static_cast<size_t>(n), 0);
+  for (int cell = 0; cell < n; ++cell) {
+    if (!free_[static_cast<size_t>(cell)]) continue;
+    const int x = cell % resolution_;
+    const int y = cell / resolution_;
+    uint8_t mask = 0;
+    for (int d = 0; d < 8; ++d) {
+      const int nx = x + kDx[d];
+      const int ny = y + kDy[d];
+      if (nx < 0 || nx >= resolution_ || ny < 0 || ny >= resolution_) {
+        continue;
+      }
+      const int neighbor = ny * resolution_ + nx;
+      if (!free_[static_cast<size_t>(neighbor)]) continue;
+      if (!map.SegmentFree(CenterOf(cell), CenterOf(neighbor))) continue;
+      mask |= static_cast<uint8_t>(1u << d);
+    }
+    neighbor_mask_[static_cast<size_t>(cell)] = mask;
+  }
+}
+
+int PathPlanner::CellOf(const Position& p) const {
+  const int x = static_cast<int>(Clamp(p.x / cell_w_, 0.0, resolution_ - 1.0));
+  const int y = static_cast<int>(Clamp(p.y / cell_h_, 0.0, resolution_ - 1.0));
+  return y * resolution_ + x;
+}
+
+Position PathPlanner::CenterOf(int cell) const {
+  const int x = cell % resolution_;
+  const int y = cell / resolution_;
+  return {(x + 0.5) * cell_w_, (y + 0.5) * cell_h_};
+}
+
+bool PathPlanner::CellFree(const Position& p) const {
+  return free_[static_cast<size_t>(CellOf(p))];
+}
+
+int PathPlanner::NearestFreeCell(const Position& p) const {
+  const int start = CellOf(p);
+  if (free_[static_cast<size_t>(start)]) return start;
+  // BFS ring search for the nearest free cell.
+  std::vector<bool> seen(free_.size(), false);
+  std::queue<int> frontier;
+  frontier.push(start);
+  seen[static_cast<size_t>(start)] = true;
+  while (!frontier.empty()) {
+    const int cell = frontier.front();
+    frontier.pop();
+    if (free_[static_cast<size_t>(cell)]) return cell;
+    const int x = cell % resolution_;
+    const int y = cell / resolution_;
+    for (int d = 0; d < 8; ++d) {
+      const int nx = x + kDx[d];
+      const int ny = y + kDy[d];
+      if (nx < 0 || nx >= resolution_ || ny < 0 || ny >= resolution_) {
+        continue;
+      }
+      const int neighbor = ny * resolution_ + nx;
+      if (!seen[static_cast<size_t>(neighbor)]) {
+        seen[static_cast<size_t>(neighbor)] = true;
+        frontier.push(neighbor);
+      }
+    }
+  }
+  return start;  // fully blocked map; degrade gracefully
+}
+
+std::optional<std::vector<Position>> PathPlanner::FindPath(
+    const Position& from, const Position& to) const {
+  const int start = NearestFreeCell(from);
+  const int goal = NearestFreeCell(to);
+  if (start == goal) {
+    return std::vector<Position>{to};
+  }
+  const int goal_x = goal % resolution_;
+  const int goal_y = goal / resolution_;
+  auto heuristic = [&](int cell) {
+    const int x = cell % resolution_;
+    const int y = cell / resolution_;
+    const int dx = std::abs(x - goal_x);
+    const int dy = std::abs(y - goal_y);
+    // Octile distance.
+    return (kSqrt2 - 1.0) * std::min(dx, dy) + std::max(dx, dy);
+  };
+
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(free_.size(), inf);
+  std::vector<int> parent(free_.size(), -1);
+  using Entry = std::pair<double, int>;  // (f, cell)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  g[static_cast<size_t>(start)] = 0.0;
+  open.emplace(heuristic(start), start);
+  while (!open.empty()) {
+    const auto [f, cell] = open.top();
+    open.pop();
+    if (cell == goal) break;
+    if (f > g[static_cast<size_t>(cell)] + heuristic(cell) + 1e-9) {
+      continue;  // stale entry
+    }
+    const uint8_t mask = neighbor_mask_[static_cast<size_t>(cell)];
+    const int x = cell % resolution_;
+    const int y = cell / resolution_;
+    for (int d = 0; d < 8; ++d) {
+      if ((mask & (1u << d)) == 0) continue;
+      const int neighbor = (y + kDy[d]) * resolution_ + (x + kDx[d]);
+      const double tentative = g[static_cast<size_t>(cell)] + MoveCost(d);
+      if (tentative < g[static_cast<size_t>(neighbor)]) {
+        g[static_cast<size_t>(neighbor)] = tentative;
+        parent[static_cast<size_t>(neighbor)] = cell;
+        open.emplace(tentative + heuristic(neighbor), neighbor);
+      }
+    }
+  }
+  if (g[static_cast<size_t>(goal)] == inf) return std::nullopt;
+
+  std::vector<Position> waypoints;
+  for (int cell = goal; cell != start; cell = parent[static_cast<size_t>(cell)]) {
+    waypoints.push_back(CenterOf(cell));
+  }
+  std::reverse(waypoints.begin(), waypoints.end());
+  if (waypoints.empty()) {
+    waypoints.push_back(to);
+  } else {
+    waypoints.back() = to;  // land exactly on the target
+  }
+  return waypoints;
+}
+
+double PathPlanner::PathLength(const Position& from,
+                               const Position& to) const {
+  const auto path = FindPath(from, to);
+  if (!path.has_value()) return std::numeric_limits<double>::infinity();
+  double length = 0.0;
+  Position prev = from;
+  for (const Position& p : *path) {
+    length += Distance(prev, p);
+    prev = p;
+  }
+  return length;
+}
+
+bool PathPlanner::Reachable(const Position& from, const Position& to) const {
+  return FindPath(from, to).has_value();
+}
+
+Position PathPlanner::NextWaypoint(const Position& from,
+                                   const Position& to) const {
+  const auto path = FindPath(from, to);
+  if (!path.has_value() || path->empty()) return to;
+  // Path smoothing: return the farthest waypoint still in line of sight, so
+  // callers with coarse step sizes get a target worth moving toward instead
+  // of the adjacent fine-grid cell.
+  Position best = path->front();
+  bool any = false;
+  for (const Position& p : *path) {
+    if (Distance(from, p) <= 1e-6) continue;
+    if (map_->SegmentFree(from, p)) {
+      best = p;
+      any = true;
+    } else if (any) {
+      break;  // visibility is (near-)monotone along the path
+    }
+  }
+  if (!any) return path->front();
+  return best;
+}
+
+}  // namespace cews::env

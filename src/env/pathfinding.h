@@ -1,0 +1,70 @@
+// Obstacle-aware shortest paths over the crowdsensing space.
+//
+// The paper's planners (Greedy, D&C) head straight for charging stations and
+// get trapped behind obstacles (Section VII-I). This A* grid planner is the
+// substrate for the navigation-aware planner variants and for reachability
+// analysis in tests (e.g. "the corner room is only reachable through the
+// gap").
+#ifndef CEWS_ENV_PATHFINDING_H_
+#define CEWS_ENV_PATHFINDING_H_
+
+#include <optional>
+#include <vector>
+
+#include "env/map.h"
+
+namespace cews::env {
+
+/// Grid A* planner over a rasterized occupancy map.
+///
+/// The map is sampled at `resolution` cells per axis once at construction;
+/// queries then run A* with octile distance over free cells. Cell centers
+/// adjacent to obstacles stay free only if the straight segment between
+/// neighboring cell centers is collision-free, so paths never cut corners
+/// through walls.
+class PathPlanner {
+ public:
+  /// Rasterizes the map. Higher resolutions resolve narrower passages;
+  /// the default resolves the standard corner-room gap.
+  explicit PathPlanner(const Map& map, int resolution = 48);
+
+  /// Shortest path from `from` to `to` as a series of waypoints (cell
+  /// centers, ending exactly at `to`). Returns std::nullopt when no path
+  /// exists. `from`/`to` are clamped to the nearest free cell.
+  std::optional<std::vector<Position>> FindPath(const Position& from,
+                                                const Position& to) const;
+
+  /// Length of the shortest path, or infinity when unreachable.
+  double PathLength(const Position& from, const Position& to) const;
+
+  /// True when `to` is reachable from `from`.
+  bool Reachable(const Position& from, const Position& to) const;
+
+  /// First step of the shortest path: the next waypoint to move toward.
+  /// Falls back to `to` itself when no path exists (caller degrades to the
+  /// straight-line behaviour).
+  Position NextWaypoint(const Position& from, const Position& to) const;
+
+  int resolution() const { return resolution_; }
+
+  /// True when the cell containing p is free (outside all obstacles).
+  bool CellFree(const Position& p) const;
+
+ private:
+  int CellOf(const Position& p) const;
+  Position CenterOf(int cell) const;
+  /// Nearest free cell to p (p's own cell when free).
+  int NearestFreeCell(const Position& p) const;
+
+  const Map* map_;
+  int resolution_;
+  double cell_w_, cell_h_;
+  std::vector<bool> free_;  // resolution^2 occupancy
+  // Precomputed neighbor validity: for each cell, which of the 8 moves keep
+  // the straight segment between cell centers collision-free.
+  std::vector<uint8_t> neighbor_mask_;
+};
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_PATHFINDING_H_

@@ -1,0 +1,61 @@
+#include "env/state_encoder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace cews::env {
+
+StateEncoder::StateEncoder(StateEncoderConfig config) : config_(config) {
+  CEWS_CHECK_GT(config_.grid, 1);
+}
+
+int StateEncoder::CellIndex(const Map& map, const Position& p) const {
+  const int g = config_.grid;
+  const int gx = static_cast<int>(
+      Clamp(p.x / map.config.size_x * g, 0.0, static_cast<double>(g - 1)));
+  const int gy = static_cast<int>(
+      Clamp(p.y / map.config.size_y * g, 0.0, static_cast<double>(g - 1)));
+  return gy * g + gx;
+}
+
+std::vector<float> StateEncoder::Encode(const Env& env) const {
+  const int g = config_.grid;
+  const int plane = g * g;
+  std::vector<float> state(static_cast<size_t>(kChannels * plane), 0.0f);
+  const Map& map = env.map();
+
+  // Channel 1 statics first: obstacles then stations (stations overwrite,
+  // so a station adjacent to rubble stays visible).
+  const double cell_w = map.config.size_x / g;
+  const double cell_h = map.config.size_y / g;
+  float* ch1 = state.data() + plane;
+  for (int gy = 0; gy < g; ++gy) {
+    for (int gx = 0; gx < g; ++gx) {
+      const Position center{(gx + 0.5) * cell_w, (gy + 0.5) * cell_h};
+      if (map.InObstacle(center)) ch1[gy * g + gx] = -1.0f;
+    }
+  }
+  for (const ChargingStation& s : map.stations) {
+    ch1[CellIndex(map, s.pos)] = 2.0f;
+  }
+  // Remaining PoI data (accumulated per cell) and access times.
+  float* ch2 = state.data() + 2 * plane;
+  const float inv_t = 1.0f / static_cast<float>(env.config().horizon);
+  for (int p = 0; p < env.num_pois(); ++p) {
+    const int cell = CellIndex(map, map.pois[static_cast<size_t>(p)].pos);
+    ch1[cell] += static_cast<float>(env.poi_values()[static_cast<size_t>(p)]);
+    ch2[cell] += static_cast<float>(env.poi_access()[static_cast<size_t>(p)]) *
+                 inv_t;
+  }
+  // Channel 0: worker energy at worker cells.
+  float* ch0 = state.data();
+  for (const WorkerState& w : env.workers()) {
+    ch0[CellIndex(map, w.pos)] +=
+        static_cast<float>(w.energy / env.config().energy_capacity);
+  }
+  return state;
+}
+
+}  // namespace cews::env

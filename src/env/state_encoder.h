@@ -1,0 +1,52 @@
+// Rasterizes the crowdsensing space into the 3-channel state matrix s_t
+// described in Section V ("State"), the input of the CNN feature extractor.
+#ifndef CEWS_ENV_STATE_ENCODER_H_
+#define CEWS_ENV_STATE_ENCODER_H_
+
+#include <vector>
+
+#include "env/env.h"
+
+namespace cews::env {
+
+/// Grid resolution of the state tensor.
+struct StateEncoderConfig {
+  int grid = 20;
+};
+
+/// Stateless encoder: Env -> float[3, grid, grid].
+///
+/// Channel 0: worker energy budgets b_t^w (normalized by capacity) at worker
+///            cells.
+/// Channel 1: environment geometry & data — obstacles (-1), charging
+///            stations (+2), remaining PoI values delta_t^p (accumulated).
+/// Channel 2: PoI access times h_t(p), normalized by the horizon T (included
+///            "to make sure the server is aware of the coverage fairness").
+class StateEncoder {
+ public:
+  explicit StateEncoder(StateEncoderConfig config);
+
+  /// Number of channels in the encoding (3).
+  static constexpr int kChannels = 3;
+
+  int grid() const { return config_.grid; }
+  /// Flat size of one encoded state: kChannels * grid * grid.
+  int StateSize() const { return kChannels * config_.grid * config_.grid; }
+  /// Number of distinct grid cells (vocabulary of the spatial curiosity
+  /// embedding).
+  int NumCells() const { return config_.grid * config_.grid; }
+
+  /// Maps a continuous position to a flat grid cell index in [0, NumCells).
+  int CellIndex(const Map& map, const Position& p) const;
+
+  /// Encodes the current environment state; output has StateSize() floats,
+  /// laid out [channel][gy][gx].
+  std::vector<float> Encode(const Env& env) const;
+
+ private:
+  StateEncoderConfig config_;
+};
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_STATE_ENCODER_H_

@@ -1,0 +1,38 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace cews::nn {
+
+void XavierUniform(Tensor& t, Index fan_in, Index fan_out, cews::Rng& rng) {
+  CEWS_CHECK_GT(fan_in + fan_out, 0);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  UniformInit(t, -limit, limit, rng);
+}
+
+void HeNormal(Tensor& t, Index fan_in, cews::Rng& rng) {
+  CEWS_CHECK_GT(fan_in, 0);
+  GaussianInit(t, std::sqrt(2.0f / static_cast<float>(fan_in)), rng);
+}
+
+void GaussianInit(Tensor& t, float stddev, cews::Rng& rng) {
+  float* p = t.data();
+  for (Index i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+}
+
+void UniformInit(Tensor& t, float lo, float hi, cews::Rng& rng) {
+  float* p = t.data();
+  for (Index i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+}
+
+void ConstantInit(Tensor& t, float value) {
+  float* p = t.data();
+  for (Index i = 0; i < t.numel(); ++i) p[i] = value;
+}
+
+}  // namespace cews::nn

@@ -1,0 +1,28 @@
+// Weight initialization schemes.
+#ifndef CEWS_NN_INIT_H_
+#define CEWS_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace cews::nn {
+
+/// Fills t with U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out))
+/// (Glorot/Xavier uniform).
+void XavierUniform(Tensor& t, Index fan_in, Index fan_out, cews::Rng& rng);
+
+/// Fills t with N(0, sqrt(2 / fan_in)) (He/Kaiming normal, for ReLU nets).
+void HeNormal(Tensor& t, Index fan_in, cews::Rng& rng);
+
+/// Fills t with N(0, stddev).
+void GaussianInit(Tensor& t, float stddev, cews::Rng& rng);
+
+/// Fills t with U(lo, hi).
+void UniformInit(Tensor& t, float lo, float hi, cews::Rng& rng);
+
+/// Fills t with a constant.
+void ConstantInit(Tensor& t, float value);
+
+}  // namespace cews::nn
+
+#endif  // CEWS_NN_INIT_H_

@@ -1,0 +1,800 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cews::nn {
+
+namespace {
+
+/// Builds the result node: adopts data, wires tape parents (only those that
+/// require grad — requires_grad never propagates through a non-tracking
+/// tensor, so others cannot reach a leaf), and marks requires_grad when grad
+/// mode is on. The caller installs backward_fn afterwards iff tracking.
+Tensor MakeResult(Shape shape, std::vector<float> data,
+                  std::initializer_list<Tensor> inputs) {
+  auto impl = std::make_shared<TensorImpl>();
+  CEWS_CHECK_EQ(static_cast<size_t>(NumElements(shape)), data.size());
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  bool track = false;
+  if (GradModeEnabled()) {
+    for (const Tensor& t : inputs) {
+      if (t.defined() && t.requires_grad()) track = true;
+    }
+  }
+  impl->requires_grad = track;
+  if (track) {
+    for (const Tensor& t : inputs) {
+      if (t.defined() && t.requires_grad()) impl->parents.push_back(t.impl());
+    }
+  }
+  return Tensor(std::move(impl));
+}
+
+/// True when the result should record a backward closure.
+bool Tracking(const Tensor& out) { return out.requires_grad(); }
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  CEWS_CHECK(a.shape() == b.shape())
+      << op << ": shape mismatch " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  std::vector<float> out(a.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] + pb[i];
+  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    auto ib = b.impl();
+    r.impl()->backward_fn = [o, ia, ib]() {
+      const size_t n = o->data.size();
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) ib->grad[i] += o->grad[i];
+      }
+    };
+  }
+  return r;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  std::vector<float> out(a.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] - pb[i];
+  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    auto ib = b.impl();
+    r.impl()->backward_fn = [o, ia, ib]() {
+      const size_t n = o->data.size();
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) ib->grad[i] -= o->grad[i];
+      }
+    };
+  }
+  return r;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  std::vector<float> out(a.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] * pb[i];
+  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    auto ib = b.impl();
+    r.impl()->backward_fn = [o, ia, ib]() {
+      const size_t n = o->data.size();
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i] * ib->data[i];
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) ib->grad[i] += o->grad[i] * ia->data[i];
+      }
+    };
+  }
+  return r;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.numel());
+  const float* pa = a.data();
+  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] + s;
+  Tensor r = MakeResult(a.shape(), std::move(out), {a});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    r.impl()->backward_fn = [o, ia]() {
+      ia->EnsureGrad();
+      for (size_t i = 0; i < o->data.size(); ++i) ia->grad[i] += o->grad[i];
+    };
+  }
+  return r;
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.numel());
+  const float* pa = a.data();
+  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] * s;
+  Tensor r = MakeResult(a.shape(), std::move(out), {a});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    r.impl()->backward_fn = [o, ia, s]() {
+      ia->EnsureGrad();
+      for (size_t i = 0; i < o->data.size(); ++i)
+        ia->grad[i] += o->grad[i] * s;
+    };
+  }
+  return r;
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor AddBias(const Tensor& x, const Tensor& b) {
+  CEWS_CHECK_EQ(x.ndim(), 2);
+  CEWS_CHECK_EQ(b.ndim(), 1);
+  const Index n = x.dim(0), d = x.dim(1);
+  CEWS_CHECK_EQ(b.dim(0), d);
+  std::vector<float> out(static_cast<size_t>(n * d));
+  const float* px = x.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < d; ++j) out[i * d + j] = px[i * d + j] + pb[j];
+  }
+  Tensor r = MakeResult(x.shape(), std::move(out), {x, b});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    auto ib = b.impl();
+    r.impl()->backward_fn = [o, ix, ib, n, d]() {
+      if (ix->requires_grad) {
+        ix->EnsureGrad();
+        for (size_t i = 0; i < o->data.size(); ++i)
+          ix->grad[i] += o->grad[i];
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (Index i = 0; i < n; ++i) {
+          for (Index j = 0; j < d; ++j) ib->grad[j] += o->grad[i * d + j];
+        }
+      }
+    };
+  }
+  return r;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CEWS_CHECK_EQ(a.ndim(), 2);
+  CEWS_CHECK_EQ(b.ndim(), 2);
+  const Index n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  CEWS_CHECK_EQ(b.dim(0), k);
+  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < n; ++i) {
+    for (Index l = 0; l < k; ++l) {
+      const float av = pa[i * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + l * m;
+      float* orow = out.data() + i * m;
+      for (Index j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  Tensor r = MakeResult({n, m}, std::move(out), {a, b});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    auto ib = b.impl();
+    r.impl()->backward_fn = [o, ia, ib, n, k, m]() {
+      // dA = dC * B^T ; dB = A^T * dC
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (Index i = 0; i < n; ++i) {
+          for (Index j = 0; j < m; ++j) {
+            const float g = o->grad[i * m + j];
+            if (g == 0.0f) continue;
+            const float* brow = ib->data.data() + 0;  // B[l*m + j]
+            for (Index l = 0; l < k; ++l) {
+              ia->grad[i * k + l] += g * brow[l * m + j];
+            }
+          }
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (Index i = 0; i < n; ++i) {
+          for (Index l = 0; l < k; ++l) {
+            const float av = ia->data[i * k + l];
+            if (av == 0.0f) continue;
+            for (Index j = 0; j < m; ++j) {
+              ib->grad[l * m + j] += av * o->grad[i * m + j];
+            }
+          }
+        }
+      }
+    };
+  }
+  return r;
+}
+
+namespace {
+
+/// Shared scaffolding for unary elementwise ops whose backward is
+/// dx = dy * dfn(x, y).
+template <typename FwdFn, typename BwdFn>
+Tensor UnaryElementwise(const Tensor& x, FwdFn fwd, BwdFn dfn) {
+  std::vector<float> out(x.numel());
+  const float* px = x.data();
+  for (Index i = 0; i < x.numel(); ++i) out[i] = fwd(px[i]);
+  Tensor r = MakeResult(x.shape(), std::move(out), {x});
+  if (r.requires_grad()) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    r.impl()->backward_fn = [o, ix, dfn]() {
+      ix->EnsureGrad();
+      for (size_t i = 0; i < o->data.size(); ++i) {
+        ix->grad[i] += o->grad[i] * dfn(ix->data[i], o->data[i]);
+      }
+    };
+  }
+  return r;
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& x) {
+  return UnaryElementwise(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryElementwise(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryElementwise(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& x) {
+  return UnaryElementwise(
+      x, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x) {
+  const float* px = x.data();
+  for (Index i = 0; i < x.numel(); ++i) {
+    CEWS_CHECK(px[i] > 0.0f) << "Log: non-positive input " << px[i];
+  }
+  return UnaryElementwise(
+      x, [](float v) { return std::log(v); },
+      [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Square(const Tensor& x) {
+  return UnaryElementwise(
+      x, [](float v) { return v * v; },
+      [](float v, float) { return 2.0f * v; });
+}
+
+Tensor Clip(const Tensor& x, float lo, float hi) {
+  CEWS_CHECK(lo <= hi);
+  return UnaryElementwise(
+      x,
+      [lo, hi](float v) { return v < lo ? lo : (v > hi ? hi : v); },
+      [lo, hi](float v, float) { return (v > lo && v < hi) ? 1.0f : 0.0f; });
+}
+
+namespace {
+
+/// Shared scaffolding for binary select ops (Min/Max): the gradient flows
+/// entirely to the selected input.
+template <typename PickA>
+Tensor BinarySelect(const Tensor& a, const Tensor& b, PickA pick_a,
+                    const char* name) {
+  CheckSameShape(a, b, name);
+  const Index n = a.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < n; ++i) {
+    out[i] = pick_a(pa[i], pb[i]) ? pa[i] : pb[i];
+  }
+  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  if (r.requires_grad()) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    auto ib = b.impl();
+    r.impl()->backward_fn = [o, ia, ib, pick_a]() {
+      if (ia->requires_grad) ia->EnsureGrad();
+      if (ib->requires_grad) ib->EnsureGrad();
+      for (size_t i = 0; i < o->data.size(); ++i) {
+        const bool to_a = pick_a(ia->data[i], ib->data[i]);
+        if (to_a && ia->requires_grad) ia->grad[i] += o->grad[i];
+        if (!to_a && ib->requires_grad) ib->grad[i] += o->grad[i];
+      }
+    };
+  }
+  return r;
+}
+
+}  // namespace
+
+Tensor Min(const Tensor& a, const Tensor& b) {
+  return BinarySelect(
+      a, b, [](float x, float y) { return x <= y; }, "Min");
+}
+
+Tensor Max(const Tensor& a, const Tensor& b) {
+  return BinarySelect(
+      a, b, [](float x, float y) { return x >= y; }, "Max");
+}
+
+Tensor Softmax(const Tensor& x) {
+  CEWS_CHECK_GE(x.ndim(), 1);
+  const Index d = x.dim(-1);
+  const Index rows = x.numel() / d;
+  std::vector<float> out(x.numel());
+  const float* px = x.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* row = px + r * d;
+    float mx = row[0];
+    for (Index j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (Index j = 0; j < d; ++j) {
+      const float e = std::exp(row[j] - mx);
+      out[r * d + j] = e;
+      sum += e;
+    }
+    for (Index j = 0; j < d; ++j) out[r * d + j] /= sum;
+  }
+  Tensor r = MakeResult(x.shape(), std::move(out), {x});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    r.impl()->backward_fn = [o, ix, rows, d]() {
+      // dx = p * (dy - sum(dy * p)) per row.
+      ix->EnsureGrad();
+      for (Index row = 0; row < rows; ++row) {
+        const float* p = o->data.data() + row * d;
+        const float* dy = o->grad.data() + row * d;
+        float dot = 0.0f;
+        for (Index j = 0; j < d; ++j) dot += dy[j] * p[j];
+        float* dx = ix->grad.data() + row * d;
+        for (Index j = 0; j < d; ++j) dx[j] += p[j] * (dy[j] - dot);
+      }
+    };
+  }
+  return r;
+}
+
+Tensor LogSoftmax(const Tensor& x) {
+  CEWS_CHECK_GE(x.ndim(), 1);
+  const Index d = x.dim(-1);
+  const Index rows = x.numel() / d;
+  std::vector<float> out(x.numel());
+  const float* px = x.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* row = px + r * d;
+    float mx = row[0];
+    for (Index j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (Index j = 0; j < d; ++j) sum += std::exp(row[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (Index j = 0; j < d; ++j) out[r * d + j] = row[j] - lse;
+  }
+  Tensor r = MakeResult(x.shape(), std::move(out), {x});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    r.impl()->backward_fn = [o, ix, rows, d]() {
+      // dx = dy - softmax(x) * sum(dy) per row.
+      ix->EnsureGrad();
+      for (Index row = 0; row < rows; ++row) {
+        const float* lp = o->data.data() + row * d;
+        const float* dy = o->grad.data() + row * d;
+        float sum_dy = 0.0f;
+        for (Index j = 0; j < d; ++j) sum_dy += dy[j];
+        float* dx = ix->grad.data() + row * d;
+        for (Index j = 0; j < d; ++j) {
+          dx[j] += dy[j] - std::exp(lp[j]) * sum_dy;
+        }
+      }
+    };
+  }
+  return r;
+}
+
+Tensor Sum(const Tensor& x) {
+  double acc = 0.0;
+  const float* px = x.data();
+  for (Index i = 0; i < x.numel(); ++i) acc += px[i];
+  Tensor r = MakeResult({}, {static_cast<float>(acc)}, {x});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    r.impl()->backward_fn = [o, ix]() {
+      ix->EnsureGrad();
+      const float g = o->grad[0];
+      for (size_t i = 0; i < ix->data.size(); ++i) ix->grad[i] += g;
+    };
+  }
+  return r;
+}
+
+Tensor Mean(const Tensor& x) {
+  CEWS_CHECK_GT(x.numel(), 0);
+  double acc = 0.0;
+  const float* px = x.data();
+  for (Index i = 0; i < x.numel(); ++i) acc += px[i];
+  const float inv_n = 1.0f / static_cast<float>(x.numel());
+  Tensor r = MakeResult({}, {static_cast<float>(acc) * inv_n}, {x});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    r.impl()->backward_fn = [o, ix, inv_n]() {
+      ix->EnsureGrad();
+      const float g = o->grad[0] * inv_n;
+      for (size_t i = 0; i < ix->data.size(); ++i) ix->grad[i] += g;
+    };
+  }
+  return r;
+}
+
+Tensor SumLastDim(const Tensor& x) {
+  CEWS_CHECK_GE(x.ndim(), 1);
+  const Index d = x.dim(-1);
+  const Index rows = x.numel() / d;
+  Shape out_shape(x.shape().begin(), x.shape().end() - 1);
+  std::vector<float> out(static_cast<size_t>(rows), 0.0f);
+  const float* px = x.data();
+  for (Index r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (Index j = 0; j < d; ++j) acc += px[r * d + j];
+    out[r] = static_cast<float>(acc);
+  }
+  Tensor r = MakeResult(std::move(out_shape), std::move(out), {x});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    r.impl()->backward_fn = [o, ix, rows, d]() {
+      ix->EnsureGrad();
+      for (Index row = 0; row < rows; ++row) {
+        const float g = o->grad[row];
+        for (Index j = 0; j < d; ++j) ix->grad[row * d + j] += g;
+      }
+    };
+  }
+  return r;
+}
+
+Tensor Reshape(const Tensor& x, const Shape& shape) {
+  CEWS_CHECK_EQ(NumElements(shape), x.numel());
+  Tensor r = MakeResult(shape, x.ToVector(), {x});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    r.impl()->backward_fn = [o, ix]() {
+      ix->EnsureGrad();
+      for (size_t i = 0; i < o->data.size(); ++i) ix->grad[i] += o->grad[i];
+    };
+  }
+  return r;
+}
+
+Tensor Concat(const Tensor& a, const Tensor& b) {
+  CEWS_CHECK_EQ(a.ndim(), b.ndim());
+  CEWS_CHECK_GE(a.ndim(), 1);
+  for (int i = 0; i + 1 < a.ndim(); ++i) CEWS_CHECK_EQ(a.dim(i), b.dim(i));
+  const Index da = a.dim(-1), db = b.dim(-1);
+  const Index rows = a.numel() / da;
+  Shape out_shape = a.shape();
+  out_shape.back() = da + db;
+  std::vector<float> out(static_cast<size_t>(rows * (da + db)));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index r = 0; r < rows; ++r) {
+    float* orow = out.data() + r * (da + db);
+    for (Index j = 0; j < da; ++j) orow[j] = pa[r * da + j];
+    for (Index j = 0; j < db; ++j) orow[da + j] = pb[r * db + j];
+  }
+  Tensor r = MakeResult(std::move(out_shape), std::move(out), {a, b});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ia = a.impl();
+    auto ib = b.impl();
+    r.impl()->backward_fn = [o, ia, ib, rows, da, db]() {
+      if (ia->requires_grad) ia->EnsureGrad();
+      if (ib->requires_grad) ib->EnsureGrad();
+      for (Index row = 0; row < rows; ++row) {
+        const float* g = o->grad.data() + row * (da + db);
+        if (ia->requires_grad) {
+          for (Index j = 0; j < da; ++j) ia->grad[row * da + j] += g[j];
+        }
+        if (ib->requires_grad) {
+          for (Index j = 0; j < db; ++j) ib->grad[row * db + j] += g[da + j];
+        }
+      }
+    };
+  }
+  return r;
+}
+
+Tensor GatherLastDim(const Tensor& x, const std::vector<Index>& idx) {
+  CEWS_CHECK_GE(x.ndim(), 1);
+  const Index d = x.dim(-1);
+  const Index rows = x.numel() / d;
+  CEWS_CHECK_EQ(static_cast<Index>(idx.size()), rows);
+  Shape out_shape(x.shape().begin(), x.shape().end() - 1);
+  std::vector<float> out(static_cast<size_t>(rows));
+  const float* px = x.data();
+  for (Index r = 0; r < rows; ++r) {
+    CEWS_CHECK_GE(idx[r], 0);
+    CEWS_CHECK_LT(idx[r], d);
+    out[r] = px[r * d + idx[r]];
+  }
+  Tensor r = MakeResult(std::move(out_shape), std::move(out), {x});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    auto indices = idx;  // copy for closure lifetime
+    r.impl()->backward_fn = [o, ix, indices, d]() {
+      ix->EnsureGrad();
+      for (size_t row = 0; row < indices.size(); ++row) {
+        ix->grad[static_cast<Index>(row) * d + indices[row]] += o->grad[row];
+      }
+    };
+  }
+  return r;
+}
+
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+              int stride, int padding) {
+  CEWS_CHECK_EQ(x.ndim(), 4);
+  CEWS_CHECK_EQ(w.ndim(), 4);
+  CEWS_CHECK_GE(stride, 1);
+  CEWS_CHECK_GE(padding, 0);
+  const Index n = x.dim(0), c = x.dim(1), h = x.dim(2), width = x.dim(3);
+  const Index oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  CEWS_CHECK_EQ(w.dim(1), c);
+  if (bias.defined()) {
+    CEWS_CHECK_EQ(bias.ndim(), 1);
+    CEWS_CHECK_EQ(bias.dim(0), oc);
+  }
+  const Index oh = (h + 2 * padding - kh) / stride + 1;
+  const Index ow = (width + 2 * padding - kw) / stride + 1;
+  CEWS_CHECK_GE(oh, 1);
+  CEWS_CHECK_GE(ow, 1);
+  std::vector<float> out(static_cast<size_t>(n * oc * oh * ow), 0.0f);
+  const float* px = x.data();
+  const float* pw = w.data();
+  for (Index in = 0; in < n; ++in) {
+    for (Index io = 0; io < oc; ++io) {
+      const float b0 = bias.defined() ? bias.data()[io] : 0.0f;
+      for (Index y = 0; y < oh; ++y) {
+        for (Index xx = 0; xx < ow; ++xx) {
+          float acc = b0;
+          for (Index ic = 0; ic < c; ++ic) {
+            for (Index ky = 0; ky < kh; ++ky) {
+              const Index iy = y * stride - padding + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (Index kx = 0; kx < kw; ++kx) {
+                const Index ix = xx * stride - padding + kx;
+                if (ix < 0 || ix >= width) continue;
+                acc += px[((in * c + ic) * h + iy) * width + ix] *
+                       pw[((io * c + ic) * kh + ky) * kw + kx];
+              }
+            }
+          }
+          out[((in * oc + io) * oh + y) * ow + xx] = acc;
+        }
+      }
+    }
+  }
+  Tensor r = MakeResult({n, oc, oh, ow}, std::move(out), {x, w, bias});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    auto iw = w.impl();
+    auto ib = bias.defined() ? bias.impl() : nullptr;
+    r.impl()->backward_fn = [o, ix, iw, ib, n, c, h, width, oc, kh, kw, oh,
+                             ow, stride, padding]() {
+      const bool dx = ix->requires_grad;
+      const bool dw = iw->requires_grad;
+      const bool db = ib != nullptr && ib->requires_grad;
+      if (dx) ix->EnsureGrad();
+      if (dw) iw->EnsureGrad();
+      if (db) ib->EnsureGrad();
+      for (Index in = 0; in < n; ++in) {
+        for (Index io = 0; io < oc; ++io) {
+          for (Index y = 0; y < oh; ++y) {
+            for (Index xx = 0; xx < ow; ++xx) {
+              const float g = o->grad[((in * oc + io) * oh + y) * ow + xx];
+              if (g == 0.0f) continue;
+              if (db) ib->grad[io] += g;
+              for (Index ic = 0; ic < c; ++ic) {
+                for (Index ky = 0; ky < kh; ++ky) {
+                  const Index iy = y * stride - padding + ky;
+                  if (iy < 0 || iy >= h) continue;
+                  for (Index kx = 0; kx < kw; ++kx) {
+                    const Index ixp = xx * stride - padding + kx;
+                    if (ixp < 0 || ixp >= width) continue;
+                    const Index xi = ((in * c + ic) * h + iy) * width + ixp;
+                    const Index wi = ((io * c + ic) * kh + ky) * kw + kx;
+                    if (dx) ix->grad[xi] += g * iw->data[wi];
+                    if (dw) iw->grad[wi] += g * ix->data[xi];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    };
+  }
+  return r;
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  CEWS_CHECK_GE(x.ndim(), 2);
+  const Index n = x.dim(0);
+  const Index f = x.numel() / n;
+  CEWS_CHECK_EQ(gamma.numel(), f);
+  CEWS_CHECK_EQ(beta.numel(), f);
+  std::vector<float> out(x.numel());
+  std::vector<float> xhat(x.numel());
+  std::vector<float> inv_sigma(static_cast<size_t>(n));
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  for (Index i = 0; i < n; ++i) {
+    const float* row = px + i * f;
+    double mu = 0.0;
+    for (Index j = 0; j < f; ++j) mu += row[j];
+    mu /= static_cast<double>(f);
+    double var = 0.0;
+    for (Index j = 0; j < f; ++j) {
+      const double d = row[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(f);
+    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    inv_sigma[i] = is;
+    for (Index j = 0; j < f; ++j) {
+      const float xh = (row[j] - static_cast<float>(mu)) * is;
+      xhat[i * f + j] = xh;
+      out[i * f + j] = xh * pg[j] + pb[j];
+    }
+  }
+  Tensor r = MakeResult(x.shape(), std::move(out), {x, gamma, beta});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto ix = x.impl();
+    auto ig = gamma.impl();
+    auto ibt = beta.impl();
+    auto xh = std::move(xhat);
+    auto is = std::move(inv_sigma);
+    r.impl()->backward_fn = [o, ix, ig, ibt, xh, is, n, f]() {
+      if (ix->requires_grad) ix->EnsureGrad();
+      if (ig->requires_grad) ig->EnsureGrad();
+      if (ibt->requires_grad) ibt->EnsureGrad();
+      for (Index i = 0; i < n; ++i) {
+        const float* dy = o->grad.data() + i * f;
+        const float* xr = xh.data() + i * f;
+        if (ig->requires_grad || ibt->requires_grad) {
+          for (Index j = 0; j < f; ++j) {
+            if (ig->requires_grad) ig->grad[j] += dy[j] * xr[j];
+            if (ibt->requires_grad) ibt->grad[j] += dy[j];
+          }
+        }
+        if (ix->requires_grad) {
+          // dx = (g - mean(g) - xhat * mean(g * xhat)) * inv_sigma,
+          // where g = dy * gamma.
+          double mean_g = 0.0, mean_gx = 0.0;
+          for (Index j = 0; j < f; ++j) {
+            const double gj = static_cast<double>(dy[j]) * ig->data[j];
+            mean_g += gj;
+            mean_gx += gj * xr[j];
+          }
+          mean_g /= static_cast<double>(f);
+          mean_gx /= static_cast<double>(f);
+          float* dx = ix->grad.data() + i * f;
+          for (Index j = 0; j < f; ++j) {
+            const double gj = static_cast<double>(dy[j]) * ig->data[j];
+            dx[j] += static_cast<float>((gj - mean_g - xr[j] * mean_gx) *
+                                        is[i]);
+          }
+        }
+      }
+    };
+  }
+  return r;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<Index>& ids) {
+  CEWS_CHECK_EQ(table.ndim(), 2);
+  const Index v = table.dim(0), d = table.dim(1);
+  const Index n = static_cast<Index>(ids.size());
+  std::vector<float> out(static_cast<size_t>(n * d));
+  const float* pt = table.data();
+  for (Index i = 0; i < n; ++i) {
+    CEWS_CHECK_GE(ids[i], 0);
+    CEWS_CHECK_LT(ids[i], v);
+    const float* row = pt + ids[i] * d;
+    for (Index j = 0; j < d; ++j) out[i * d + j] = row[j];
+  }
+  Tensor r = MakeResult({n, d}, std::move(out), {table});
+  if (Tracking(r)) {
+    auto o = r.impl().get();
+    auto it = table.impl();
+    auto indices = ids;
+    r.impl()->backward_fn = [o, it, indices, d]() {
+      it->EnsureGrad();
+      for (size_t i = 0; i < indices.size(); ++i) {
+        for (Index j = 0; j < d; ++j) {
+          it->grad[indices[i] * d + j] +=
+              o->grad[static_cast<Index>(i) * d + j];
+        }
+      }
+    };
+  }
+  return r;
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  return Mean(Square(Sub(pred, target)));
+}
+
+Tensor Huber(const Tensor& x, float delta) {
+  CEWS_CHECK(delta > 0.0f);
+  return UnaryElementwise(
+      x,
+      [delta](float v) {
+        const float a = std::abs(v);
+        return a <= delta ? 0.5f * v * v : delta * (a - 0.5f * delta);
+      },
+      [delta](float v, float) {
+        if (v > delta) return delta;
+        if (v < -delta) return -delta;
+        return v;
+      });
+}
+
+Tensor HuberLoss(const Tensor& pred, const Tensor& target, float delta) {
+  return Mean(Huber(Sub(pred, target), delta));
+}
+
+}  // namespace cews::nn

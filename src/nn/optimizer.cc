@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cews::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  CEWS_CHECK(!params_.empty());
+  for (const Tensor& t : params_) {
+    CEWS_CHECK(t.defined());
+    CEWS_CHECK(t.requires_grad()) << "optimizing a non-trainable tensor";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor t : params_) t.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Tensor& t : params_) {
+      velocity_.emplace_back(static_cast<size_t>(t.numel()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor t = params_[pi];
+    const float* g = t.grad();
+    if (g == nullptr) continue;
+    float* p = t.data();
+    if (momentum_ == 0.0f) {
+      for (Index i = 0; i < t.numel(); ++i) p[i] -= lr_ * g[i];
+    } else {
+      std::vector<float>& vel = velocity_[pi];
+      for (Index i = 0; i < t.numel(); ++i) {
+        vel[i] = momentum_ * vel[i] + g[i];
+        p[i] -= lr_ * vel[i];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& t : params_) {
+    m_.emplace_back(static_cast<size_t>(t.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(t.numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor t = params_[pi];
+    const float* g = t.grad();
+    if (g == nullptr) continue;
+    float* p = t.data();
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    for (Index i = 0; i < t.numel(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace cews::nn

@@ -1,0 +1,102 @@
+#include "nn/params.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace cews::nn {
+
+void CopyParameters(const std::vector<Tensor>& src,
+                    const std::vector<Tensor>& dst) {
+  CEWS_CHECK_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    CEWS_CHECK(src[i].shape() == dst[i].shape());
+    Tensor d = dst[i];
+    std::memcpy(d.data(), src[i].data(),
+                sizeof(float) * static_cast<size_t>(src[i].numel()));
+  }
+}
+
+Index FlatSize(const std::vector<Tensor>& params) {
+  Index n = 0;
+  for (const Tensor& t : params) n += t.numel();
+  return n;
+}
+
+std::vector<float> FlattenValues(const std::vector<Tensor>& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(FlatSize(params)));
+  for (const Tensor& t : params) {
+    flat.insert(flat.end(), t.data(), t.data() + t.numel());
+  }
+  return flat;
+}
+
+std::vector<float> FlattenGradients(const std::vector<Tensor>& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(FlatSize(params)));
+  for (const Tensor& t : params) {
+    const float* g = t.grad();
+    if (g == nullptr) {
+      flat.insert(flat.end(), static_cast<size_t>(t.numel()), 0.0f);
+    } else {
+      flat.insert(flat.end(), g, g + t.numel());
+    }
+  }
+  return flat;
+}
+
+void AccumulateFlatGradients(const std::vector<Tensor>& params,
+                             const std::vector<float>& flat) {
+  CEWS_CHECK_EQ(static_cast<Index>(flat.size()), FlatSize(params));
+  size_t offset = 0;
+  for (Tensor t : params) {
+    t.impl()->EnsureGrad();
+    float* g = t.grad();
+    for (Index i = 0; i < t.numel(); ++i) g[i] += flat[offset++];
+  }
+}
+
+void LoadFlatValues(const std::vector<Tensor>& params,
+                    const std::vector<float>& flat) {
+  CEWS_CHECK_EQ(static_cast<Index>(flat.size()), FlatSize(params));
+  size_t offset = 0;
+  for (Tensor t : params) {
+    float* p = t.data();
+    for (Index i = 0; i < t.numel(); ++i) p[i] = flat[offset++];
+  }
+}
+
+double GlobalGradNorm(const std::vector<Tensor>& params) {
+  double sq = 0.0;
+  for (const Tensor& t : params) {
+    const float* g = t.grad();
+    if (g == nullptr) continue;
+    for (Index i = 0; i < t.numel(); ++i) {
+      sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  return std::sqrt(sq);
+}
+
+double ClipGradByGlobalNorm(const std::vector<Tensor>& params,
+                            double max_norm) {
+  CEWS_CHECK(max_norm > 0.0);
+  const double norm = GlobalGradNorm(params);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (Tensor t : params) {
+      float* g = t.grad();
+      if (g == nullptr) continue;
+      for (Index i = 0; i < t.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+void ZeroGradients(const std::vector<Tensor>& params) {
+  for (Tensor t : params) t.ZeroGrad();
+}
+
+}  // namespace cews::nn

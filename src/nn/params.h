@@ -1,0 +1,51 @@
+// Parameter-set utilities: flat gradient exchange for the chief-employee
+// architecture, global-norm clipping, and parameter copying.
+#ifndef CEWS_NN_PARAMS_H_
+#define CEWS_NN_PARAMS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace cews::nn {
+
+/// Copies values (not grads) from src into dst, element for element. Shapes
+/// must match pairwise. This is the "employee copies parameters from the
+/// global model" step of Algorithm 1.
+void CopyParameters(const std::vector<Tensor>& src,
+                    const std::vector<Tensor>& dst);
+
+/// Total scalar count across a parameter list.
+Index FlatSize(const std::vector<Tensor>& params);
+
+/// Concatenates all parameter values into one flat vector.
+std::vector<float> FlattenValues(const std::vector<Tensor>& params);
+
+/// Concatenates all gradients into one flat vector (zeros where a parameter
+/// has no grad buffer yet). This is what an employee sends to the chief's
+/// gradient buffer.
+std::vector<float> FlattenGradients(const std::vector<Tensor>& params);
+
+/// Adds a flat gradient vector into the parameters' grad buffers. The chief
+/// uses this to apply the summed employee gradients to the global model.
+void AccumulateFlatGradients(const std::vector<Tensor>& params,
+                             const std::vector<float>& flat);
+
+/// Overwrites parameter values from a flat vector.
+void LoadFlatValues(const std::vector<Tensor>& params,
+                    const std::vector<float>& flat);
+
+/// L2 norm over every parameter's gradient.
+double GlobalGradNorm(const std::vector<Tensor>& params);
+
+/// Scales all gradients so the global norm is at most max_norm. Returns the
+/// pre-clip norm.
+double ClipGradByGlobalNorm(const std::vector<Tensor>& params,
+                            double max_norm);
+
+/// Zeroes every gradient buffer.
+void ZeroGradients(const std::vector<Tensor>& params);
+
+}  // namespace cews::nn
+
+#endif  // CEWS_NN_PARAMS_H_

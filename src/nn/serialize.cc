@@ -1,0 +1,74 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace cews::nn {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'E', 'W', 'S', 'P', 'A', 'R', '1'};
+}  // namespace
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Tensor>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& t : params) {
+    if (!t.defined()) return Status::InvalidArgument("undefined tensor");
+    const uint64_t ndim = t.shape().size();
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (Index d : t.shape()) {
+      const int64_t dim = d;
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Tensor>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a CEWS parameter file");
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    return Status::InvalidArgument(
+        path + ": checkpoint tensor count mismatch");
+  }
+  for (const Tensor& param : params) {
+    uint64_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in) return Status::IOError(path + ": truncated header");
+    Shape shape(ndim);
+    for (uint64_t i = 0; i < ndim; ++i) {
+      int64_t dim = 0;
+      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (!in || dim < 0) return Status::IOError(path + ": bad dimension");
+      shape[i] = dim;
+    }
+    if (shape != param.shape()) {
+      return Status::InvalidArgument(
+          path + ": shape mismatch, checkpoint " + ShapeToString(shape) +
+          " vs model " + ShapeToString(param.shape()));
+    }
+    Tensor t = param;
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float) * t.numel()));
+    if (!in) return Status::IOError(path + ": truncated data");
+  }
+  return Status::OK();
+}
+
+}  // namespace cews::nn

@@ -1,0 +1,27 @@
+// Binary (de)serialization of parameter lists — checkpoints for the
+// "parameters in DNNs are periodically saved for testing" step (Section VI-D).
+#ifndef CEWS_NN_SERIALIZE_H_
+#define CEWS_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace cews::nn {
+
+/// Writes every parameter (shape + float data) to `path`. Format:
+///   magic "CEWSPAR1" | u64 tensor-count | per tensor: u64 ndim, i64 dims...,
+///   f32 data...
+Status SaveParameters(const std::string& path,
+                      const std::vector<Tensor>& params);
+
+/// Loads a checkpoint written by SaveParameters into the given parameter
+/// list. Shapes must match exactly (same architecture).
+Status LoadParameters(const std::string& path,
+                      const std::vector<Tensor>& params);
+
+}  // namespace cews::nn
+
+#endif  // CEWS_NN_SERIALIZE_H_

@@ -1,0 +1,181 @@
+#include "nn/tensor.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace cews::nn {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+Index NumElements(const Shape& shape) {
+  Index n = 1;
+  for (Index d : shape) {
+    CEWS_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  Tensor t = Zeros(shape, requires_grad);
+  for (Index i = 0; i < t.numel(); ++i) t.data()[i] = value;
+  return t;
+}
+
+Tensor Tensor::FromData(const Shape& shape, std::vector<float> data,
+                        bool requires_grad) {
+  CEWS_CHECK_EQ(static_cast<size_t>(NumElements(shape)), data.size());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value) { return Full({}, value); }
+
+const Shape& Tensor::shape() const {
+  CEWS_CHECK(defined());
+  return impl_->shape;
+}
+
+int Tensor::ndim() const { return static_cast<int>(shape().size()); }
+
+Index Tensor::dim(int i) const {
+  const Shape& s = shape();
+  if (i < 0) i += static_cast<int>(s.size());
+  CEWS_CHECK_GE(i, 0);
+  CEWS_CHECK_LT(static_cast<size_t>(i), s.size());
+  return s[static_cast<size_t>(i)];
+}
+
+Index Tensor::numel() const {
+  CEWS_CHECK(defined());
+  return static_cast<Index>(impl_->data.size());
+}
+
+float* Tensor::data() {
+  CEWS_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  CEWS_CHECK(defined());
+  return impl_->data.data();
+}
+
+float* Tensor::grad() {
+  CEWS_CHECK(defined());
+  return impl_->grad.empty() ? nullptr : impl_->grad.data();
+}
+
+const float* Tensor::grad() const {
+  CEWS_CHECK(defined());
+  return impl_->grad.empty() ? nullptr : impl_->grad.data();
+}
+
+bool Tensor::requires_grad() const {
+  CEWS_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+float Tensor::item() const {
+  CEWS_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+float Tensor::at(std::initializer_list<Index> idx) const {
+  const Shape& s = shape();
+  CEWS_CHECK_EQ(idx.size(), s.size());
+  Index flat = 0;
+  size_t d = 0;
+  for (Index i : idx) {
+    CEWS_CHECK_GE(i, 0);
+    CEWS_CHECK_LT(i, s[d]);
+    flat = flat * s[d] + i;
+    ++d;
+  }
+  return impl_->data[static_cast<size_t>(flat)];
+}
+
+std::vector<float> Tensor::ToVector() const {
+  CEWS_CHECK(defined());
+  return impl_->data;
+}
+
+void Tensor::ZeroGrad() {
+  CEWS_CHECK(defined());
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  CEWS_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // value copy; detached view is fine at our scale
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+void Tensor::Backward() {
+  CEWS_CHECK(defined());
+  CEWS_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+  // Topological order over the tape (iterative post-order DFS).
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  // Seed d(loss)/d(loss) = 1 and propagate in reverse topological order.
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+}  // namespace cews::nn

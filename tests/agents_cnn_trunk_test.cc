@@ -1,0 +1,90 @@
+#include "agents/cnn_trunk.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/params.h"
+
+namespace cews::agents {
+namespace {
+
+CnnTrunkConfig Tiny(int grid = 12) {
+  CnnTrunkConfig config;
+  config.grid = grid;
+  config.conv1_channels = 4;
+  config.conv2_channels = 6;
+  config.conv3_channels = 6;
+  config.feature_dim = 32;
+  return config;
+}
+
+TEST(CnnTrunkTest, OutputShape) {
+  Rng rng(1);
+  CnnTrunk trunk(Tiny(), rng);
+  const nn::Tensor y = trunk.Forward(nn::Tensor::Zeros({3, 3, 12, 12}));
+  EXPECT_EQ(y.shape(), (nn::Shape{3, 32}));
+}
+
+TEST(CnnTrunkTest, HandlesVariousGridSizes) {
+  for (const int grid : {8, 12, 16, 20, 25}) {
+    Rng rng(2);
+    CnnTrunk trunk(Tiny(grid), rng);
+    const nn::Tensor y =
+        trunk.Forward(nn::Tensor::Zeros({1, 3, grid, grid}));
+    EXPECT_EQ(y.shape(), (nn::Shape{1, 32})) << "grid " << grid;
+  }
+}
+
+TEST(CnnTrunkTest, ReluOutputsNonNegative) {
+  Rng rng(3);
+  CnnTrunk trunk(Tiny(), rng);
+  nn::Tensor x = nn::Tensor::Zeros({1, 3, 12, 12});
+  Rng noise(4);
+  for (nn::Index i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(noise.Uniform(-1, 1));
+  }
+  const nn::Tensor y = trunk.Forward(x);
+  for (nn::Index i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.data()[i], 0.0f);
+  }
+}
+
+TEST(CnnTrunkTest, SeedDeterminesParameters) {
+  Rng a(7), b(7), c(8);
+  CnnTrunk ta(Tiny(), a), tb(Tiny(), b), tc(Tiny(), c);
+  EXPECT_EQ(nn::FlattenValues(ta.Parameters()),
+            nn::FlattenValues(tb.Parameters()));
+  EXPECT_NE(nn::FlattenValues(ta.Parameters()),
+            nn::FlattenValues(tc.Parameters()));
+}
+
+TEST(CnnTrunkTest, ParameterCount) {
+  Rng rng(9);
+  const CnnTrunkConfig config = Tiny();
+  CnnTrunk trunk(config, rng);
+  // conv1: 4*3*9+4; ln1: 2*4*12*12; conv2: 6*4*9+6; ln2: 2*6*6*6;
+  // conv3: 6*6*9+6; ln3: 2*6*3*3; fc: 54*32+32.
+  const nn::Index expected = (4 * 3 * 9 + 4) + 2 * 4 * 144 +
+                             (6 * 4 * 9 + 6) + 2 * 6 * 36 +
+                             (6 * 6 * 9 + 6) + 2 * 6 * 9 + (54 * 32 + 32);
+  EXPECT_EQ(trunk.NumParameters(), expected);
+}
+
+TEST(CnnTrunkTest, GradientsFlowToAllParameters) {
+  Rng rng(10);
+  CnnTrunk trunk(Tiny(), rng);
+  nn::Tensor x = nn::Tensor::Full({2, 3, 12, 12}, 0.5f);
+  nn::ZeroGradients(trunk.Parameters());
+  nn::Tensor loss = nn::Mean(nn::Square(trunk.Forward(x)));
+  loss.Backward();
+  // Every parameter tensor receives some gradient signal.
+  for (const nn::Tensor& p : trunk.Parameters()) {
+    double norm = 0.0;
+    for (nn::Index i = 0; i < p.numel(); ++i) {
+      norm += std::abs(p.grad()[i]);
+    }
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cews::agents

@@ -1,0 +1,204 @@
+#include "agents/curiosity.h"
+
+#include <gtest/gtest.h>
+
+#include "agents/rnd.h"
+#include "nn/optimizer.h"
+#include "nn/params.h"
+
+namespace cews::agents {
+namespace {
+
+CuriosityConfig SmallConfig() {
+  CuriosityConfig config;
+  config.num_cells = 64;
+  config.num_moves = 9;
+  config.num_workers = 2;
+  config.embed_dim = 8;
+  config.hidden = 32;
+  return config;
+}
+
+PositionObs Obs(int cell) {
+  PositionObs o;
+  o.cell = cell;
+  o.sx = static_cast<float>(cell % 8) / 8.0f;
+  o.sy = static_cast<float>(cell / 8) / 8.0f;
+  return o;
+}
+
+TEST(CuriosityTest, IntrinsicRewardNonNegativeAndScalesWithEta) {
+  CuriosityConfig config = SmallConfig();
+  SpatialCuriosity a(config, 1);
+  config.eta = 0.6f;
+  SpatialCuriosity b(config, 1);  // same seed: same nets
+  const double ra = a.IntrinsicReward(0, Obs(3), 2, Obs(4));
+  const double rb = b.IntrinsicReward(0, Obs(3), 2, Obs(4));
+  EXPECT_GE(ra, 0.0);
+  EXPECT_NEAR(rb, ra * 2.0, 1e-9);
+}
+
+TEST(CuriosityTest, SameSeedGivesIdenticalModel) {
+  const CuriosityConfig config = SmallConfig();
+  SpatialCuriosity a(config, 42), b(config, 42);
+  EXPECT_NEAR(a.IntrinsicReward(1, Obs(10), 5, Obs(11)),
+              b.IntrinsicReward(1, Obs(10), 5, Obs(11)), 1e-12);
+}
+
+TEST(CuriosityTest, TrainingReducesIntrinsicRewardOnSeenTransitions) {
+  const CuriosityConfig config = SmallConfig();
+  SpatialCuriosity curiosity(config, 7);
+  std::vector<CuriositySample> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(CuriositySample{0, Obs(i), i % 9, Obs(i + 1)});
+  }
+  const double before =
+      curiosity.IntrinsicReward(0, batch[0].from, batch[0].move, batch[0].to);
+  nn::Adam adam(curiosity.Parameters(), 0.01f);
+  for (int step = 0; step < 200; ++step) {
+    adam.ZeroGrad();
+    nn::Tensor loss = curiosity.Loss(batch);
+    loss.Backward();
+    adam.Step();
+  }
+  const double after =
+      curiosity.IntrinsicReward(0, batch[0].from, batch[0].move, batch[0].to);
+  EXPECT_LT(after, before * 0.2);
+}
+
+TEST(CuriosityTest, NovelTransitionStaysMoreSurprising) {
+  // Train on a small set of transitions; an unseen cell far away in the
+  // embedding should retain a larger prediction error on average.
+  const CuriosityConfig config = SmallConfig();
+  SpatialCuriosity curiosity(config, 9);
+  std::vector<CuriositySample> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(CuriositySample{0, Obs(i), 1, Obs(i + 1)});
+  }
+  nn::Adam adam(curiosity.Parameters(), 0.01f);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    nn::Tensor loss = curiosity.Loss(batch);
+    loss.Backward();
+    adam.Step();
+  }
+  double seen = 0.0, novel = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    seen += curiosity.IntrinsicReward(0, Obs(i), 1, Obs(i + 1));
+    novel += curiosity.IntrinsicReward(0, Obs(40 + i), 1, Obs(50 + i));
+  }
+  EXPECT_LT(seen, novel);
+}
+
+TEST(CuriosityTest, SharedStructureHasOneModel) {
+  CuriosityConfig config = SmallConfig();
+  config.structure = CuriosityStructure::kShared;
+  SpatialCuriosity shared(config, 3);
+  config.structure = CuriosityStructure::kIndependent;
+  SpatialCuriosity independent(config, 3);
+  // Independent has num_workers x the parameters ("the space complexity for
+  // independent structure will be multiplied", Section VII-D).
+  EXPECT_EQ(independent.Parameters().size(),
+            shared.Parameters().size() * 2);
+}
+
+TEST(CuriosityTest, IndependentModelsDivergePerWorker) {
+  CuriosityConfig config = SmallConfig();
+  config.structure = CuriosityStructure::kIndependent;
+  SpatialCuriosity curiosity(config, 5);
+  // Train only worker 0's model.
+  std::vector<CuriositySample> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(CuriositySample{0, Obs(i), 1, Obs(i + 1)});
+  }
+  nn::Adam adam(curiosity.Parameters(), 0.01f);
+  for (int step = 0; step < 200; ++step) {
+    adam.ZeroGrad();
+    nn::Tensor loss = curiosity.Loss(batch);
+    loss.Backward();
+    adam.Step();
+  }
+  const double r0 = curiosity.IntrinsicReward(0, Obs(0), 1, Obs(1));
+  const double r1 = curiosity.IntrinsicReward(1, Obs(0), 1, Obs(1));
+  EXPECT_LT(r0, r1);
+}
+
+TEST(CuriosityTest, DirectFeatureWorks) {
+  CuriosityConfig config = SmallConfig();
+  config.feature = CuriosityFeature::kDirect;
+  SpatialCuriosity curiosity(config, 6);
+  const double r = curiosity.IntrinsicReward(0, Obs(3), 2, Obs(4));
+  EXPECT_GE(r, 0.0);
+  std::vector<CuriositySample> batch = {
+      CuriositySample{0, Obs(3), 2, Obs(4)}};
+  nn::Tensor loss = curiosity.Loss(batch);
+  EXPECT_GE(loss.item(), 0.0f);
+}
+
+TEST(CuriosityTest, MeanIntrinsicRewardAveragesWorkers) {
+  const CuriosityConfig config = SmallConfig();
+  SpatialCuriosity curiosity(config, 8);
+  const std::vector<PositionObs> from = {Obs(1), Obs(2)};
+  const std::vector<int> moves = {3, 4};
+  const std::vector<PositionObs> to = {Obs(9), Obs(10)};
+  const double mean = curiosity.MeanIntrinsicReward(from, moves, to);
+  const double manual = (curiosity.IntrinsicReward(0, from[0], 3, to[0]) +
+                         curiosity.IntrinsicReward(1, from[1], 4, to[1])) /
+                        2.0;
+  EXPECT_NEAR(mean, manual, 1e-12);
+}
+
+TEST(CuriosityTest, EmbeddingIsFrozenDuringTraining) {
+  const CuriosityConfig config = SmallConfig();
+  SpatialCuriosity curiosity(config, 10);
+  // Parameters() exposes only forward-model weights: 2 layers x (W, b).
+  EXPECT_EQ(curiosity.Parameters().size(), 4u);
+}
+
+TEST(RndTest, IntrinsicRewardDropsWithPredictorTraining) {
+  RndConfig config;
+  config.state_size = 48;
+  config.hidden = 32;
+  config.out_dim = 8;
+  RndCuriosity rnd(config, 21);
+  std::vector<std::vector<float>> states;
+  Rng rng(22);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<float> s(48);
+    for (float& v : s) v = static_cast<float>(rng.Uniform(-1, 1));
+    states.push_back(std::move(s));
+  }
+  double before = 0.0;
+  for (const auto& s : states) before += rnd.IntrinsicReward(s);
+  std::vector<const std::vector<float>*> batch;
+  for (const auto& s : states) batch.push_back(&s);
+  nn::Adam adam(rnd.Parameters(), 0.005f);
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    nn::Tensor loss = rnd.Loss(batch);
+    loss.Backward();
+    adam.Step();
+  }
+  double after = 0.0;
+  for (const auto& s : states) after += rnd.IntrinsicReward(s);
+  EXPECT_LT(after, before * 0.3);
+}
+
+TEST(RndTest, SameSeedSameReward) {
+  RndConfig config;
+  config.state_size = 10;
+  RndCuriosity a(config, 5), b(config, 5);
+  const std::vector<float> s(10, 0.3f);
+  EXPECT_NEAR(a.IntrinsicReward(s), b.IntrinsicReward(s), 1e-12);
+}
+
+TEST(RndTest, OnlyPredictorIsTrainable) {
+  RndConfig config;
+  config.state_size = 10;
+  RndCuriosity rnd(config, 6);
+  // One MLP worth of parameters (2 layers x W, b), not two.
+  EXPECT_EQ(rnd.Parameters().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cews::agents

@@ -1,0 +1,133 @@
+#include "agents/rollout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace cews::agents {
+namespace {
+
+Transition MakeTransition(float reward, float value, bool done) {
+  Transition t;
+  t.state = {0.0f};
+  t.moves = {0};
+  t.charges = {0};
+  t.reward = reward;
+  t.value = value;
+  t.done = done;
+  return t;
+}
+
+TEST(RolloutBufferTest, AddClearSize) {
+  RolloutBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  buffer.Add(MakeTransition(1, 0, false));
+  buffer.Add(MakeTransition(2, 0, true));
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_FLOAT_EQ(buffer[1].reward, 2.0f);
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RolloutBufferTest, GaeMatchesHandComputation) {
+  // T = 3, gamma = 0.9, lambda = 0.8, terminal at the end.
+  // rewards = {1, 0, 2}; values = {0.5, 0.4, 0.3}.
+  RolloutBuffer buffer;
+  buffer.Add(MakeTransition(1.0f, 0.5f, false));
+  buffer.Add(MakeTransition(0.0f, 0.4f, false));
+  buffer.Add(MakeTransition(2.0f, 0.3f, true));
+  buffer.ComputeAdvantages(0.9f, 0.8f, /*last_value=*/0.0f);
+
+  // delta_2 = 2 + 0 - 0.3 = 1.7 ; A_2 = 1.7
+  // delta_1 = 0 + 0.9*0.3 - 0.4 = -0.13 ; A_1 = -0.13 + 0.72*1.7 = 1.094
+  // delta_0 = 1 + 0.9*0.4 - 0.5 = 0.86 ; A_0 = 0.86 + 0.72*1.094 = 1.64768
+  EXPECT_NEAR(buffer.advantages()[2], 1.7f, 1e-5);
+  EXPECT_NEAR(buffer.advantages()[1], 1.094f, 1e-5);
+  EXPECT_NEAR(buffer.advantages()[0], 1.64768f, 1e-5);
+  // returns = advantages + values.
+  EXPECT_NEAR(buffer.returns()[0], 1.64768f + 0.5f, 1e-5);
+  EXPECT_NEAR(buffer.returns()[2], 2.0f, 1e-5);
+}
+
+TEST(RolloutBufferTest, DoneBlocksBootstrapAcrossEpisodes) {
+  // An intermediate done must cut the credit flow.
+  RolloutBuffer buffer;
+  buffer.Add(MakeTransition(0.0f, 0.0f, true));   // episode boundary
+  buffer.Add(MakeTransition(10.0f, 0.0f, true));  // next episode
+  buffer.ComputeAdvantages(0.99f, 0.95f, 0.0f);
+  // First step sees none of the 10.
+  EXPECT_NEAR(buffer.advantages()[0], 0.0f, 1e-6);
+  EXPECT_NEAR(buffer.advantages()[1], 10.0f, 1e-6);
+}
+
+TEST(RolloutBufferTest, TruncationBootstrapsWithLastValue) {
+  RolloutBuffer buffer;
+  buffer.Add(MakeTransition(0.0f, 0.0f, /*done=*/false));
+  buffer.ComputeAdvantages(0.5f, 1.0f, /*last_value=*/4.0f);
+  // delta = 0 + 0.5*4 - 0 = 2.
+  EXPECT_NEAR(buffer.advantages()[0], 2.0f, 1e-6);
+}
+
+TEST(RolloutBufferTest, GammaZeroMakesAdvantageRewardMinusValue) {
+  RolloutBuffer buffer;
+  buffer.Add(MakeTransition(3.0f, 1.0f, false));
+  buffer.Add(MakeTransition(5.0f, 2.0f, true));
+  buffer.ComputeAdvantages(0.0f, 0.95f, 0.0f);
+  EXPECT_NEAR(buffer.advantages()[0], 2.0f, 1e-6);
+  EXPECT_NEAR(buffer.advantages()[1], 3.0f, 1e-6);
+}
+
+TEST(RolloutBufferTest, SampleWithoutReplacementIsUniquePrefix) {
+  RolloutBuffer buffer;
+  for (int i = 0; i < 20; ++i) buffer.Add(MakeTransition(0, 0, false));
+  Rng rng(1);
+  const std::vector<size_t> idx = buffer.SampleIndices(10, rng);
+  EXPECT_EQ(idx.size(), 10u);
+  std::set<size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t i : idx) EXPECT_LT(i, 20u);
+}
+
+TEST(RolloutBufferTest, OversizedBatchSamplesWithReplacement) {
+  RolloutBuffer buffer;
+  for (int i = 0; i < 5; ++i) buffer.Add(MakeTransition(0, 0, false));
+  Rng rng(2);
+  const std::vector<size_t> idx = buffer.SampleIndices(50, rng);
+  EXPECT_EQ(idx.size(), 50u);
+  for (size_t i : idx) EXPECT_LT(i, 5u);
+}
+
+TEST(RolloutBufferTest, SamplingIsSeedDeterministic) {
+  RolloutBuffer buffer;
+  for (int i = 0; i < 30; ++i) buffer.Add(MakeTransition(0, 0, false));
+  Rng a(7), b(7);
+  EXPECT_EQ(buffer.SampleIndices(10, a), buffer.SampleIndices(10, b));
+}
+
+class GaeSweep : public ::testing::TestWithParam<std::pair<float, float>> {};
+
+TEST_P(GaeSweep, ReturnsEqualAdvantagePlusValue) {
+  const auto [gamma, lambda] = GetParam();
+  RolloutBuffer buffer;
+  Rng rng(3);
+  for (int i = 0; i < 25; ++i) {
+    buffer.Add(MakeTransition(static_cast<float>(rng.Uniform(-1, 1)),
+                              static_cast<float>(rng.Uniform(-1, 1)),
+                              i == 24));
+  }
+  buffer.ComputeAdvantages(gamma, lambda, 0.0f);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_NEAR(buffer.returns()[i],
+                buffer.advantages()[i] + buffer[i].value, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaLambda, GaeSweep,
+    ::testing::Values(std::make_pair(0.0f, 0.0f), std::make_pair(0.9f, 0.0f),
+                      std::make_pair(0.99f, 0.95f),
+                      std::make_pair(1.0f, 1.0f)));
+
+}  // namespace
+}  // namespace cews::agents

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dnc.h"
+#include "baselines/edics.h"
+#include "baselines/greedy.h"
+#include "baselines/planner.h"
+
+namespace cews::baselines {
+namespace {
+
+using env::ChargingStation;
+using env::Map;
+using env::Poi;
+using env::Position;
+using env::Rect;
+
+Map HandMap() {
+  Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.config.hard_corner = false;
+  map.pois = {Poi{{5.0, 5.0}, 1.0}};
+  map.stations = {ChargingStation{{1.0, 1.0}}};
+  map.worker_spawns = {{5.0, 5.0}};
+  return map;
+}
+
+TEST(GreedyTest, CollectsNearbyData) {
+  env::Env env(env::EnvConfig{}, HandMap());
+  const agents::EvalResult result =
+      RunPlannerEpisode(GreedyPlanner(), env);
+  EXPECT_GT(result.kappa, 0.9);  // single PoI under the worker: all of it
+}
+
+TEST(GreedyTest, MovesTowardRicherPosition) {
+  Map map = HandMap();
+  map.pois = {Poi{{5.0, 5.8}, 1.0}};  // in range after moving north a bit
+  map.worker_spawns = {{5.0, 4.5}};   // PoI at distance 1.3, out of range
+  env::Env env(env::EnvConfig{}, map);
+  GreedyPlanner planner;
+  const auto actions = planner.Plan(env);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_NE(actions[0].move, 0);  // must move toward the PoI
+  env.Step(actions);
+  EXPECT_GT(env.PotentialCollection(env.workers()[0].pos), 0.0);
+}
+
+TEST(GreedyTest, ChargesWhenLowAndInRange) {
+  Map map = HandMap();
+  map.worker_spawns = {{1.0, 1.0}};  // on the station
+  map.pois = {Poi{{9.0, 9.0}, 1.0}};
+  env::EnvConfig config;
+  config.initial_energy = 5.0;  // below 30% of b0? threshold uses b0 = 5
+  config.energy_capacity = 40.0;
+  env::Env env(config, map);
+  // Drain below the 30% threshold (1.5): 40 moves of 0.1 each.
+  for (int i = 0; i < 40; ++i) {
+    env.Step({env::WorkerAction{i % 2 == 0 ? 9 : 13, false}});
+  }
+  ASSERT_LT(env.workers()[0].energy, 0.3 * config.initial_energy);
+  GreedyPlanner planner;
+  const auto actions = planner.Plan(env);
+  EXPECT_TRUE(actions[0].charge);
+}
+
+TEST(GreedyTest, SeeksStationWhenLowAndFar) {
+  Map map = HandMap();
+  map.worker_spawns = {{8.0, 8.0}};
+  map.pois = {Poi{{9.5, 9.5}, 1.0}};
+  env::EnvConfig config;
+  config.initial_energy = 5.0;
+  config.energy_capacity = 40.0;
+  config.horizon = 200;
+  env::Env env(config, map);
+  // Drain below the 30% threshold (1.5) by oscillating E/W.
+  for (int i = 0; i < 40; ++i) {
+    env.Step({env::WorkerAction{i % 2 == 0 ? 13 : 9, false}});
+  }
+  ASSERT_LT(env.workers()[0].energy, 0.3 * config.initial_energy);
+  GreedyPlanner planner;
+  const auto actions = planner.Plan(env);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_FALSE(actions[0].charge);
+  const Position from = env.workers()[0].pos;
+  const Position target = env.MoveTarget(0, actions[0].move);
+  // Moving toward station at (1, 1) means distance decreases.
+  EXPECT_LT(env::Distance(target, {1.0, 1.0}),
+            env::Distance(from, {1.0, 1.0}));
+}
+
+TEST(DncTest, LooksTwoStepsAhead) {
+  // PoI reachable only after two 1.0-steps: greedy stays (no immediate
+  // gain anywhere), D&C starts moving.
+  Map map = HandMap();
+  map.pois = {Poi{{5.0, 7.3}, 1.0}};  // 2.3 north of the worker
+  map.worker_spawns = {{5.0, 5.0}};
+  env::Env env(env::EnvConfig{}, map);
+  GreedyPlanner greedy;
+  DncPlanner dnc;
+  EXPECT_EQ(greedy.Plan(env)[0].move, 0);
+  const auto actions = dnc.Plan(env);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_NE(actions[0].move, 0);
+  const Position target = env.MoveTarget(0, actions[0].move);
+  EXPECT_GT(target.y, 5.4);  // heading north toward the PoI
+}
+
+TEST(DncTest, AccountsForDepletionBetweenSteps) {
+  // One PoI: after collecting this slot, next slot's expected collection
+  // shrinks. The two-step estimate must not double count beyond lambda*2.
+  Map map = HandMap();
+  env::Env env(env::EnvConfig{}, map);
+  DncPlanner dnc;
+  const auto actions = dnc.Plan(env);
+  // Best plan is to stay on the PoI (collect 0.2 + 0.2).
+  EXPECT_EQ(actions[0].move, 0);
+  EXPECT_FALSE(actions[0].charge);
+}
+
+TEST(DncTest, OutperformsGreedyOnSpreadData) {
+  // A small cluster plus a distant cluster: the lookahead finds more data.
+  Map map = HandMap();
+  map.pois.clear();
+  for (int i = 0; i < 5; ++i) {
+    map.pois.push_back(Poi{{2.0 + 0.3 * i, 8.0}, 0.8});
+    map.pois.push_back(Poi{{8.0, 2.0 + 0.3 * i}, 0.8});
+  }
+  map.worker_spawns = {{5.0, 5.0}};
+  env::EnvConfig config;
+  config.horizon = 40;
+  env::Env env_g(config, map);
+  env::Env env_d(config, map);
+  const double greedy_kappa =
+      RunPlannerEpisode(GreedyPlanner(), env_g).kappa;
+  const double dnc_kappa = RunPlannerEpisode(DncPlanner(), env_d).kappa;
+  EXPECT_GE(dnc_kappa, greedy_kappa - 1e-9);
+}
+
+TEST(PlannerTest, EpisodeRunnerReportsBoundedMetrics) {
+  env::Env env(env::EnvConfig{}, HandMap());
+  const agents::EvalResult r = RunPlannerEpisode(GreedyPlanner(), env);
+  EXPECT_GE(r.kappa, 0.0);
+  EXPECT_LE(r.kappa, 1.0 + 1e-9);
+  EXPECT_GE(r.xi, 0.0);
+  EXPECT_LE(r.xi, 1.0 + 1e-9);
+  EXPECT_GE(r.rho, 0.0);
+  EXPECT_TRUE(env.Done());
+}
+
+env::Map GeneratedMap() {
+  env::MapConfig config;
+  config.num_pois = 30;
+  config.num_workers = 2;
+  Rng rng(5);
+  auto result = env::GenerateMap(config, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(EdicsTest, TrainsAndEvaluates) {
+  EdicsConfig config;
+  config.episodes = 3;
+  config.update_epochs = 2;
+  config.minibatch = 16;
+  config.env.horizon = 20;
+  config.encoder.grid = 10;
+  config.net.grid = 10;
+  config.net.conv1_channels = 4;
+  config.net.conv2_channels = 4;
+  config.net.conv3_channels = 4;
+  config.net.feature_dim = 32;
+  EdicsTrainer trainer(config, GeneratedMap());
+  EXPECT_EQ(trainer.num_agents(), 2);
+  const auto history = trainer.Train();
+  ASSERT_EQ(history.size(), 3u);
+  for (const auto& rec : history) {
+    EXPECT_GE(rec.kappa, 0.0);
+    EXPECT_LE(rec.kappa, 1.0 + 1e-9);
+  }
+  Rng rng(9);
+  const agents::EvalResult result = trainer.Evaluate(rng);
+  EXPECT_GE(result.kappa, 0.0);
+  EXPECT_LE(result.xi, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace cews::baselines

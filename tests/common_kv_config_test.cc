@@ -1,0 +1,94 @@
+#include "common/kv_config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace cews {
+namespace {
+
+TEST(KvConfigTest, ParsesKeysValuesAndComments) {
+  auto config_or = KvConfig::Parse(
+      "# scenario\n"
+      "pois = 200\n"
+      "  workers=3\n"
+      "name = post earthquake rescue\n"
+      "\n"
+      "   # trailing comment\n"
+      "ratio = 0.25\n");
+  ASSERT_TRUE(config_or.ok()) << config_or.status().ToString();
+  const KvConfig& config = *config_or;
+  EXPECT_EQ(config.size(), 4u);
+  EXPECT_EQ(config.GetInt("pois", 0), 200);
+  EXPECT_EQ(config.GetInt("workers", 0), 3);
+  EXPECT_EQ(config.GetString("name"), "post earthquake rescue");
+  EXPECT_DOUBLE_EQ(config.GetDouble("ratio", 0.0), 0.25);
+}
+
+TEST(KvConfigTest, FallbacksWhenMissing) {
+  const KvConfig config = *KvConfig::Parse("a = 1\n");
+  EXPECT_FALSE(config.Has("b"));
+  EXPECT_EQ(config.GetInt("b", 7), 7);
+  EXPECT_DOUBLE_EQ(config.GetDouble("b", 2.5), 2.5);
+  EXPECT_EQ(config.GetString("b", "x"), "x");
+  EXPECT_TRUE(config.GetBool("b", true));
+}
+
+TEST(KvConfigTest, FallbackOnUnparseableNumbers) {
+  const KvConfig config = *KvConfig::Parse("a = not-a-number\nb = 3x\n");
+  EXPECT_EQ(config.GetInt("a", -1), -1);
+  EXPECT_EQ(config.GetInt("b", -1), -1);
+  EXPECT_DOUBLE_EQ(config.GetDouble("a", -2.0), -2.0);
+}
+
+TEST(KvConfigTest, BoolSpellings) {
+  const KvConfig config = *KvConfig::Parse(
+      "a = true\nb = YES\nc = on\nd = 1\ne = false\nf = No\ng = off\n"
+      "h = 0\ni = maybe\n");
+  EXPECT_TRUE(config.GetBool("a", false));
+  EXPECT_TRUE(config.GetBool("b", false));
+  EXPECT_TRUE(config.GetBool("c", false));
+  EXPECT_TRUE(config.GetBool("d", false));
+  EXPECT_FALSE(config.GetBool("e", true));
+  EXPECT_FALSE(config.GetBool("f", true));
+  EXPECT_FALSE(config.GetBool("g", true));
+  EXPECT_FALSE(config.GetBool("h", true));
+  EXPECT_TRUE(config.GetBool("i", true));  // fallback
+}
+
+TEST(KvConfigTest, DuplicateKeysKeepLast) {
+  const KvConfig config = *KvConfig::Parse("a = 1\na = 2\n");
+  EXPECT_EQ(config.GetInt("a", 0), 2);
+}
+
+TEST(KvConfigTest, ValueMayContainEquals) {
+  const KvConfig config = *KvConfig::Parse("expr = y = mx + b\n");
+  EXPECT_EQ(config.GetString("expr"), "y = mx + b");
+}
+
+TEST(KvConfigTest, RejectsLineWithoutEquals) {
+  const auto r = KvConfig::Parse("a = 1\njust words\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(KvConfigTest, RejectsEmptyKey) {
+  EXPECT_FALSE(KvConfig::Parse(" = 5\n").ok());
+}
+
+TEST(KvConfigTest, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/cews_kv_test.conf";
+  {
+    std::ofstream out(path);
+    out << "episodes = 42\n";
+  }
+  auto config_or = KvConfig::Load(path);
+  ASSERT_TRUE(config_or.ok());
+  EXPECT_EQ(config_or->GetInt("episodes", 0), 42);
+  std::remove(path.c_str());
+  EXPECT_FALSE(KvConfig::Load(path).ok());
+}
+
+}  // namespace
+}  // namespace cews

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "common/barrier.h"
+#include "common/env_flags.h"
+#include "common/math_util.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace cews {
+namespace {
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, MeanVarianceStdDev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_NEAR(StdDev(v), 1.1180339887, 1e-9);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({2.0}), 0.0);
+}
+
+TEST(MathUtilTest, JainFairnessEqualInputsIsOne) {
+  EXPECT_DOUBLE_EQ(JainFairness({3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(MathUtilTest, JainFairnessSingleWinner) {
+  // One of n gets everything: J = 1/n.
+  EXPECT_NEAR(JainFairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(MathUtilTest, JainFairnessScaleInvariant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x * 17.0);
+  EXPECT_NEAR(JainFairness(a), JainFairness(b), 1e-12);
+}
+
+TEST(MathUtilTest, JainFairnessDegenerate) {
+  EXPECT_EQ(JainFairness({}), 0.0);
+  EXPECT_EQ(JainFairness({0.0, 0.0}), 0.0);
+}
+
+TEST(MathUtilTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance(0, 0, 3, 4), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(1, 1, 2, 2), 2.0);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(w.ElapsedMillis(), 15.0);
+  w.Restart();
+  EXPECT_LT(w.ElapsedMillis(), 15.0);
+}
+
+TEST(BarrierTest, ReleasesAllThreadsEachCycle) {
+  constexpr int kThreads = 4;
+  constexpr int kCycles = 25;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&]() {
+      for (int c = 0; c < kCycles; ++c) {
+        counter.fetch_add(1);
+        barrier.ArriveAndWait();
+        // After the barrier every thread of this cycle has incremented.
+        if (counter.load() < (c + 1) * kThreads) violations.fetch_add(1);
+        barrier.ArriveAndWait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(counter.load(), kThreads * kCycles);
+}
+
+TEST(BarrierTest, CompletionRunsExactlyOncePerCycleBeforeRelease) {
+  constexpr int kThreads = 3;
+  constexpr int kCycles = 10;
+  Barrier barrier(kThreads);
+  std::atomic<int> completions{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&]() {
+      for (int c = 0; c < kCycles; ++c) {
+        barrier.ArriveAndWait([&]() { completions.fetch_add(1); });
+        // The completion of this cycle must be visible to every thread.
+        if (completions.load() < c + 1) violations.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completions.load(), kCycles);
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table t({"name", "value"});
+  t.AddRow({"kappa", "0.93"});
+  t.AddRow({"rho", "0.4"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| kappa | 0.93  |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"with\"quote", "x"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\",x"), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"x"});
+  t.AddRow({"1"});
+  const std::string path = ::testing::TempDir() + "/cews_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Table::Fmt(0.123456, 3), "0.123");
+  EXPECT_EQ(Table::Fmt(2.0, 1), "2.0");
+}
+
+TEST(EnvFlagsTest, IntFallbacks) {
+  unsetenv("CEWS_TEST_FLAG");
+  EXPECT_EQ(GetEnvInt("CEWS_TEST_FLAG", 5), 5);
+  setenv("CEWS_TEST_FLAG", "12", 1);
+  EXPECT_EQ(GetEnvInt("CEWS_TEST_FLAG", 5), 12);
+  setenv("CEWS_TEST_FLAG", "junk", 1);
+  EXPECT_EQ(GetEnvInt("CEWS_TEST_FLAG", 5), 5);
+  unsetenv("CEWS_TEST_FLAG");
+}
+
+TEST(EnvFlagsTest, BoolSemantics) {
+  unsetenv("CEWS_TEST_BOOL");
+  EXPECT_FALSE(GetEnvBool("CEWS_TEST_BOOL"));
+  EXPECT_TRUE(GetEnvBool("CEWS_TEST_BOOL", true));
+  setenv("CEWS_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(GetEnvBool("CEWS_TEST_BOOL", true));
+  setenv("CEWS_TEST_BOOL", "1", 1);
+  EXPECT_TRUE(GetEnvBool("CEWS_TEST_BOOL"));
+  unsetenv("CEWS_TEST_BOOL");
+}
+
+}  // namespace
+}  // namespace cews

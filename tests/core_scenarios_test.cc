@@ -1,0 +1,123 @@
+#include "core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "core/visualize.h"
+
+namespace cews::core {
+namespace {
+
+TEST(ScenariosTest, NamesRoundTrip) {
+  for (const Scenario scenario : AllScenarios()) {
+    const auto parsed = ScenarioFromName(ScenarioName(scenario));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, scenario);
+  }
+}
+
+TEST(ScenariosTest, UnknownNameIsNotFound) {
+  const auto r = ScenarioFromName("mars-colony");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScenariosTest, AllScenariosGenerate) {
+  for (const Scenario scenario : AllScenarios()) {
+    auto map_or = MakeScenario(scenario, 80, 2, 3, 42);
+    ASSERT_TRUE(map_or.ok()) << ScenarioName(scenario);
+    EXPECT_EQ(map_or->pois.size(), 80u);
+    EXPECT_EQ(map_or->worker_spawns.size(), 2u);
+  }
+}
+
+TEST(ScenariosTest, OpenFieldHasNoObstacles) {
+  const auto map = MakeScenario(Scenario::kOpenField, 50, 2, 3, 7);
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE(map->obstacles.empty());
+}
+
+TEST(ScenariosTest, DenseRubbleHasManyObstacles) {
+  const auto open = MakeScenario(Scenario::kEarthquakeSite, 50, 2, 3, 7);
+  const auto dense = MakeScenario(Scenario::kDenseRubble, 50, 2, 3, 7);
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(dense.ok());
+  EXPECT_GT(dense->obstacles.size(), open->obstacles.size());
+}
+
+TEST(ScenariosTest, SkewedClustersConcentratesData) {
+  // Measure spatial concentration: mean pairwise distance between PoIs
+  // should be smaller for the skewed scenario than the open field.
+  const auto skewed = MakeScenario(Scenario::kSkewedClusters, 100, 2, 3, 11);
+  const auto open = MakeScenario(Scenario::kOpenField, 100, 2, 3, 11);
+  ASSERT_TRUE(skewed.ok());
+  ASSERT_TRUE(open.ok());
+  // Concentration metric robust to multiple far-apart clusters: the mean
+  // nearest-neighbor distance is small when PoIs bunch together.
+  auto mean_nn = [](const env::Map& map) {
+    double total = 0.0;
+    for (size_t i = 0; i < map.pois.size(); ++i) {
+      double best = 1e9;
+      for (size_t j = 0; j < map.pois.size(); ++j) {
+        if (i == j) continue;
+        best = std::min(best,
+                        env::Distance(map.pois[i].pos, map.pois[j].pos));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(map.pois.size());
+  };
+  EXPECT_LT(mean_nn(*skewed), mean_nn(*open));
+}
+
+TEST(ScenariosTest, DeterministicBySeed) {
+  const auto a = MakeScenario(Scenario::kEarthquakeSite, 60, 2, 3, 99);
+  const auto b = MakeScenario(Scenario::kEarthquakeSite, 60, 2, 3, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->pois.size(); ++i) {
+    EXPECT_TRUE(a->pois[i].pos == b->pois[i].pos);
+  }
+}
+
+TEST(AsciiMapTest, RendersAllEntityGlyphs) {
+  env::Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.obstacles = {env::Rect{4, 4, 6, 6}};
+  map.pois = {env::Poi{{1, 1}, 0.5}};
+  map.stations = {env::ChargingStation{{9, 1}}};
+  map.worker_spawns = {{1, 9}};
+  const std::string art = AsciiMap(map, 20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('C'), std::string::npos);
+  EXPECT_NE(art.find('W'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  // Row count follows the aspect ratio (square map, glyphs 2:1): 10 rows.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 10);
+}
+
+TEST(AsciiMapTest, TopRowIsLargestY) {
+  env::Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.pois = {env::Poi{{5.0, 9.5}, 0.5}};  // near the top
+  map.worker_spawns = {{5.0, 0.5}};        // near the bottom
+  const std::string art = AsciiMap(map, 20);
+  const size_t star = art.find('*');
+  const size_t spawn = art.find('W');
+  EXPECT_LT(star, spawn);  // '*' appears on an earlier (higher) row
+}
+
+TEST(AsciiMapTest, TinyWidthClamped) {
+  env::Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.pois = {env::Poi{{5, 5}, 0.5}};
+  map.worker_spawns = {{1, 1}};
+  const std::string art = AsciiMap(map, 1);
+  EXPECT_FALSE(art.empty());
+}
+
+}  // namespace
+}  // namespace cews::core

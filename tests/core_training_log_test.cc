@@ -1,0 +1,78 @@
+#include "core/training_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace cews::core {
+namespace {
+
+std::vector<agents::EpisodeRecord> MakeHistory(int n) {
+  std::vector<agents::EpisodeRecord> history;
+  for (int i = 0; i < n; ++i) {
+    agents::EpisodeRecord rec;
+    rec.episode = i;
+    rec.kappa = 0.1 * i;
+    rec.xi = 1.0 - 0.1 * i;
+    rec.rho = 0.05 * i;
+    rec.extrinsic_reward = i;
+    rec.intrinsic_reward = 0.5 * i;
+    history.push_back(rec);
+  }
+  return history;
+}
+
+TEST(TrainingLogTest, CsvHeaderAndRows) {
+  const std::string csv = HistoryToCsv(MakeHistory(3));
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(csv.find("2,0.2,0.8,0.1,2,1"), std::string::npos);
+}
+
+TEST(TrainingLogTest, EmptyHistoryIsHeaderOnly) {
+  const std::string csv = HistoryToCsv({});
+  EXPECT_EQ(csv,
+            "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward\n");
+}
+
+TEST(TrainingLogTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/cews_history.csv";
+  ASSERT_TRUE(WriteHistoryCsv(MakeHistory(5), path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward");
+  std::remove(path.c_str());
+  EXPECT_EQ(WriteHistoryCsv({}, "/nonexistent/x.csv").code(),
+            StatusCode::kIOError);
+}
+
+TEST(TrainingLogTest, MovingAverageRampsAndSlides) {
+  const auto history = MakeHistory(6);  // kappa = 0, .1, .2, .3, .4, .5
+  const auto avg = MovingAverage(
+      history, 3, [](const agents::EpisodeRecord& r) { return r.kappa; });
+  ASSERT_EQ(avg.size(), 6u);
+  EXPECT_NEAR(avg[0], 0.0, 1e-12);
+  EXPECT_NEAR(avg[1], 0.05, 1e-12);        // (0 + .1) / 2
+  EXPECT_NEAR(avg[2], 0.1, 1e-12);         // (0 + .1 + .2) / 3
+  EXPECT_NEAR(avg[5], 0.4, 1e-12);         // (.3 + .4 + .5) / 3
+}
+
+TEST(TrainingLogTest, MovingAverageWindowOneIsIdentity) {
+  const auto history = MakeHistory(4);
+  const auto avg = MovingAverage(
+      history, 1, [](const agents::EpisodeRecord& r) { return r.rho; });
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_NEAR(avg[i], history[i].rho, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cews::core

@@ -1,0 +1,112 @@
+#include "core/visualize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace cews::core {
+namespace {
+
+env::Map SmallMap() {
+  env::Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.pois = {env::Poi{{2, 2}, 0.5}, env::Poi{{7, 7}, 0.9}};
+  map.stations = {env::ChargingStation{{5, 1}}};
+  map.obstacles = {env::Rect{4, 4, 6, 6}};
+  map.worker_spawns = {{1, 1}, {9, 9}};
+  return map;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(VisualizeTest, TrajectorySvgStructure) {
+  const env::Map map = SmallMap();
+  std::vector<std::vector<env::Position>> trajectories = {
+      {{1, 1}, {2, 2}, {3, 3}},
+      {{9, 9}, {8, 8}},
+  };
+  const std::string svg = TrajectorySvg(map, trajectories);
+  EXPECT_EQ(CountOccurrences(svg, "<svg"), 1u);
+  EXPECT_EQ(CountOccurrences(svg, "</svg>"), 1u);
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 2u);  // one per worker
+  // Two PoIs + two start markers = 4 circles.
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 4u);
+  // Obstacle + station + background rects present.
+  EXPECT_GE(CountOccurrences(svg, "<rect"), 3u);
+}
+
+TEST(VisualizeTest, EmptyTrajectorySkipped) {
+  const env::Map map = SmallMap();
+  const std::string svg = TrajectorySvg(map, {{}, {{1, 1}, {2, 2}}});
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 1u);
+}
+
+TEST(VisualizeTest, YAxisIsFlipped) {
+  // A point at the top of the space (y near size_y) lands near SVG y=0.
+  env::Map map = SmallMap();
+  map.pois = {env::Poi{{5.0, 9.5}, 1.0}};
+  map.obstacles.clear();
+  map.stations.clear();
+  const std::string svg = TrajectorySvg(map, {});
+  EXPECT_NE(svg.find("cy=\"20\""), std::string::npos);  // (10-9.5)*40
+}
+
+TEST(VisualizeTest, HeatmapSvgStructure) {
+  const env::Map map = SmallMap();
+  agents::HeatmapSnapshot snapshot;
+  snapshot.episode = 120;
+  snapshot.cell_values.assign(25, 0.0);
+  snapshot.cell_values[12] = 1.0;
+  snapshot.cell_values[13] = 0.5;
+  const std::string svg = HeatmapSvg(map, snapshot, 5);
+  EXPECT_EQ(CountOccurrences(svg, "<svg"), 1u);
+  // Two hot cells drawn.
+  EXPECT_EQ(CountOccurrences(svg, "fill=\"rgb("), 2u);
+  EXPECT_NE(svg.find("episode 120"), std::string::npos);
+}
+
+TEST(VisualizeTest, HeatmapAllZeroDrawsNoCells) {
+  const env::Map map = SmallMap();
+  agents::HeatmapSnapshot snapshot;
+  snapshot.cell_values.assign(25, 0.0);
+  const std::string svg = HeatmapSvg(map, snapshot, 5);
+  EXPECT_EQ(CountOccurrences(svg, "fill=\"rgb("), 0u);
+}
+
+TEST(VisualizeTest, WriteFilesToDisk) {
+  const env::Map map = SmallMap();
+  const std::string traj_path = ::testing::TempDir() + "/cews_traj.svg";
+  ASSERT_TRUE(
+      WriteTrajectorySvg(map, {{{1, 1}, {2, 2}}}, traj_path).ok());
+  std::ifstream in(traj_path);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(traj_path.c_str());
+
+  agents::HeatmapSnapshot snapshot;
+  snapshot.cell_values.assign(25, 0.1);
+  const std::string heat_path = ::testing::TempDir() + "/cews_heat.svg";
+  ASSERT_TRUE(WriteHeatmapSvg(map, snapshot, 5, heat_path).ok());
+  std::remove(heat_path.c_str());
+}
+
+TEST(VisualizeTest, WriteToBadPathFails) {
+  const env::Map map = SmallMap();
+  const Status status =
+      WriteTrajectorySvg(map, {}, "/nonexistent/dir/x.svg");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace cews::core

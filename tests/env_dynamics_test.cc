@@ -1,0 +1,350 @@
+// Environment transition semantics: Eqns (1)-(3), charging, collisions,
+// sparse reward milestones (Eqn 18) and bookkeeping invariants.
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+
+namespace cews::env {
+namespace {
+
+/// Hand-built 10x10 map: full control over geometry.
+Map HandMap() {
+  Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.config.hard_corner = false;
+  map.pois = {Poi{{5.0, 5.0}, 1.0}};
+  map.stations = {ChargingStation{{1.0, 1.0}}};
+  map.worker_spawns = {{5.0, 5.0}};
+  return map;
+}
+
+std::vector<WorkerAction> Stay(int workers) {
+  return std::vector<WorkerAction>(static_cast<size_t>(workers),
+                                   WorkerAction{0, false});
+}
+
+TEST(EnvDynamicsTest, CollectionFollowsEqn1) {
+  // Worker sits on a single PoI (delta0 = 1, lambda = 0.2): collects
+  // exactly 0.2 per slot for 5 slots, then nothing.
+  Env env(EnvConfig{}, HandMap());
+  for (int t = 0; t < 5; ++t) {
+    const StepResult r = env.Step(Stay(1));
+    EXPECT_NEAR(r.collected[0], 0.2, 1e-12) << "slot " << t;
+  }
+  const StepResult r = env.Step(Stay(1));
+  EXPECT_NEAR(r.collected[0], 0.0, 1e-12);
+  EXPECT_NEAR(env.poi_values()[0], 0.0, 1e-12);
+  EXPECT_NEAR(env.workers()[0].collected_total, 1.0, 1e-12);
+}
+
+TEST(EnvDynamicsTest, AccessTimeIncrementsOnCollection) {
+  Env env(EnvConfig{}, HandMap());
+  EXPECT_EQ(env.poi_access()[0], 0);
+  env.Step(Stay(1));
+  EXPECT_EQ(env.poi_access()[0], 1);
+  env.Step(Stay(1));
+  EXPECT_EQ(env.poi_access()[0], 2);
+  // Depleted PoI stops counting.
+  for (int t = 0; t < 5; ++t) env.Step(Stay(1));
+  const int h = env.poi_access()[0];
+  env.Step(Stay(1));
+  EXPECT_EQ(env.poi_access()[0], h);
+}
+
+TEST(EnvDynamicsTest, SensingRangeRespected) {
+  Map map = HandMap();
+  map.pois[0].pos = {5.0, 5.0 + 0.81};  // just outside g = 0.8
+  Env env(EnvConfig{}, map);
+  const StepResult r = env.Step(Stay(1));
+  EXPECT_EQ(r.collected[0], 0.0);
+}
+
+TEST(EnvDynamicsTest, EnergyFollowsEqn3) {
+  // Move east 1.0 with no PoI in range: e = beta * 1.0 = 0.1.
+  Map map = HandMap();
+  map.pois[0].pos = {9.0, 9.0};
+  Env env(EnvConfig{}, map);
+  // Move index 9 = heading E with step length 1.0 (second ring).
+  const StepResult r = env.Step({WorkerAction{9, false}});
+  EXPECT_NEAR(r.energy_used[0], 0.1, 1e-9);
+  EXPECT_NEAR(env.workers()[0].energy, 40.0 - 0.1, 1e-9);
+  EXPECT_NEAR(env.workers()[0].pos.x, 6.0, 1e-9);
+}
+
+TEST(EnvDynamicsTest, EnergyChargesForCollection) {
+  // Stay on the PoI: e = alpha * q = 1.0 * 0.2.
+  Env env(EnvConfig{}, HandMap());
+  const StepResult r = env.Step(Stay(1));
+  EXPECT_NEAR(r.energy_used[0], 0.2, 1e-9);
+}
+
+TEST(EnvDynamicsTest, EnergyConservationInvariant) {
+  // b_t == b_0 - E_t + charged_total at every step.
+  Map map = HandMap();
+  map.worker_spawns[0] = {1.0, 1.0};  // at the station
+  Env env(EnvConfig{}, map);
+  Rng rng(3);
+  while (!env.Done()) {
+    std::vector<WorkerAction> actions = {
+        WorkerAction{static_cast<int>(rng.UniformInt(17)),
+                     rng.Bernoulli(0.3)}};
+    env.Step(actions);
+    const WorkerState& w = env.workers()[0];
+    EXPECT_NEAR(w.energy,
+                env.config().initial_energy - w.energy_used_total +
+                    w.charged_total,
+                1e-6);
+  }
+}
+
+TEST(EnvDynamicsTest, ObstacleCollisionStaysAndPenalizes) {
+  Map map = HandMap();
+  map.obstacles = {Rect{5.5, 4.0, 6.5, 6.0}};  // wall east of the worker
+  map.pois[0].pos = {9.0, 9.0};
+  Env env(EnvConfig{}, map);
+  const Position before = env.workers()[0].pos;
+  const StepResult r = env.Step({WorkerAction{9, false}});  // move east 1.0
+  EXPECT_TRUE(r.collided[0]);
+  EXPECT_TRUE(env.workers()[0].pos == before);
+  EXPECT_EQ(env.workers()[0].collisions, 1);
+  EXPECT_NEAR(r.per_worker_sparse[0], -env.config().obstacle_penalty, 1e-9);
+  // A collided worker also collects nothing this slot.
+  EXPECT_EQ(r.collected[0], 0.0);
+}
+
+TEST(EnvDynamicsTest, BoundaryCollision) {
+  Map map = HandMap();
+  map.worker_spawns[0] = {0.3, 5.0};
+  map.pois[0].pos = {9.0, 9.0};
+  Env env(EnvConfig{}, map);
+  const StepResult r = env.Step({WorkerAction{13, false}});  // west 1.0
+  EXPECT_TRUE(r.collided[0]);
+  EXPECT_NEAR(env.workers()[0].pos.x, 0.3, 1e-12);
+}
+
+TEST(EnvDynamicsTest, ChargingInRange) {
+  Map map = HandMap();
+  map.worker_spawns[0] = {1.0, 1.5};  // within 0.8 of station at (1,1)
+  map.pois[0].pos = {9.0, 9.0};
+  EnvConfig config;
+  Env env(config, map);
+  // Drain some energy first so charging has headroom.
+  env.Step({WorkerAction{9, false}});
+  env.Step({WorkerAction{13, false}});
+  const double before = env.workers()[0].energy;
+  const StepResult r = env.Step({WorkerAction{0, true}});
+  EXPECT_TRUE(r.charging[0]);
+  EXPECT_GT(r.charged[0], 0.0);
+  EXPECT_NEAR(env.workers()[0].energy,
+              std::min(before + config.charge_rate, config.energy_capacity),
+              1e-9);
+}
+
+TEST(EnvDynamicsTest, ChargingSaturatesAtCapacity) {
+  Map map = HandMap();
+  map.worker_spawns[0] = {1.0, 1.0};
+  map.pois[0].pos = {9.0, 9.0};
+  Env env(EnvConfig{}, map);
+  // Full battery: charge request is refused outright.
+  const StepResult r = env.Step({WorkerAction{0, true}});
+  EXPECT_FALSE(r.charging[0]);
+  EXPECT_EQ(r.charged[0], 0.0);
+  EXPECT_NEAR(env.workers()[0].energy, 40.0, 1e-9);
+}
+
+TEST(EnvDynamicsTest, ChargingOutOfRangeDegradesToStay) {
+  Map map = HandMap();
+  map.worker_spawns[0] = {5.0, 5.0};  // far from station
+  map.pois[0].pos = {9.0, 9.0};
+  Env env(EnvConfig{}, map);
+  const StepResult r = env.Step({WorkerAction{0, true}});
+  EXPECT_FALSE(r.charging[0]);
+  EXPECT_EQ(r.charged[0], 0.0);
+  EXPECT_FALSE(r.collided[0]);  // no penalty for a refused charge
+}
+
+TEST(EnvDynamicsTest, StationCompetitionOnePumpPerSlot) {
+  Map map = HandMap();
+  map.worker_spawns = {{1.0, 1.4}, {1.0, 0.6}};  // both in range
+  map.pois[0].pos = {9.0, 9.0};
+  EnvConfig config;
+  Env env(config, map);
+  // Drain both a bit.
+  env.Step({WorkerAction{9, false}, WorkerAction{9, false}});
+  env.Step({WorkerAction{13, false}, WorkerAction{13, false}});
+  const StepResult r =
+      env.Step({WorkerAction{0, true}, WorkerAction{0, true}});
+  EXPECT_TRUE(r.charging[0]);   // lower index wins the pump
+  EXPECT_FALSE(r.charging[1]);  // competitor must wait
+}
+
+TEST(EnvDynamicsTest, ChargingExcludesCollection) {
+  Map map = HandMap();
+  map.worker_spawns[0] = {1.0, 1.0};
+  map.pois[0].pos = {1.0, 1.3};  // PoI in sensing range of the station spot
+  Env env(EnvConfig{}, map);
+  env.Step({WorkerAction{9, false}});   // drain
+  env.Step({WorkerAction{13, false}});  // come back
+  const StepResult r = env.Step({WorkerAction{0, true}});
+  EXPECT_TRUE(r.charging[0]);
+  EXPECT_EQ(r.collected[0], 0.0);  // charging slot collects nothing
+}
+
+TEST(EnvDynamicsTest, ExhaustedWorkerStopsMoving) {
+  Map map = HandMap();
+  map.pois[0].pos = {9.0, 9.0};
+  EnvConfig config;
+  config.initial_energy = 0.25;  // dies after two 1.0 moves
+  config.energy_capacity = 40.0;
+  config.horizon = 50;
+  Env env(config, map);
+  env.Step({WorkerAction{9, false}});
+  env.Step({WorkerAction{9, false}});
+  env.Step({WorkerAction{9, false}});
+  EXPECT_NEAR(env.workers()[0].energy, 0.0, 1e-9);
+  const Position stuck = env.workers()[0].pos;
+  const StepResult r = env.Step({WorkerAction{9, false}});
+  EXPECT_TRUE(env.workers()[0].pos == stuck);
+  EXPECT_EQ(r.energy_used[0], 0.0);
+}
+
+TEST(EnvDynamicsTest, SparseCollectionMilestoneEqn18) {
+  // Total initial data = 1.0, eps1 = 5%: the first 0.2-collection crosses
+  // the 5% milestone -> Upsilon1 = 1 on slot 1, then the next milestone is
+  // above 20%+5%... collecting 0.2 per slot keeps crossing. After
+  // depletion, no more milestone rewards.
+  Env env(EnvConfig{}, HandMap());
+  for (int t = 0; t < 5; ++t) {
+    const StepResult r = env.Step(Stay(1));
+    EXPECT_NEAR(r.per_worker_sparse[0], 1.0, 1e-9) << "slot " << t;
+  }
+  const StepResult r = env.Step(Stay(1));
+  EXPECT_NEAR(r.per_worker_sparse[0], 0.0, 1e-9);
+}
+
+TEST(EnvDynamicsTest, SparseChargeMilestoneEqn18) {
+  // eps2 = 40% of b0 = 16 energy. Charge rate 10/slot: milestone reached on
+  // the second charging slot.
+  Map map = HandMap();
+  map.worker_spawns[0] = {1.0, 1.0};
+  map.pois[0].pos = {9.0, 9.0};
+  EnvConfig config;
+  config.initial_energy = 10.0;  // room to charge 30 units
+  config.energy_capacity = 40.0;
+  Env env(config, map);
+  const StepResult r1 = env.Step({WorkerAction{0, true}});
+  EXPECT_TRUE(r1.charging[0]);
+  EXPECT_NEAR(r1.per_worker_sparse[0], 1.0, 1e-9);  // 10/10 >= 40%? b0=10!
+  // With b0 = 10 and rate 10, a single slot charges 100% >= 40%.
+}
+
+TEST(EnvDynamicsTest, DenseRewardEqn20) {
+  // Stay on PoI: q = 0.2, e = 0.2 -> q/e = 1.0; no charge, no collision.
+  Env env(EnvConfig{}, HandMap());
+  const StepResult r = env.Step(Stay(1));
+  EXPECT_NEAR(r.dense_reward, 1.0, 1e-9);
+}
+
+TEST(EnvDynamicsTest, EpisodeTerminatesAtHorizon) {
+  EnvConfig config;
+  config.horizon = 3;
+  Env env(config, HandMap());
+  EXPECT_FALSE(env.Done());
+  env.Step(Stay(1));
+  env.Step(Stay(1));
+  const StepResult r = env.Step(Stay(1));
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(env.Done());
+  EXPECT_EQ(env.t(), 3);
+}
+
+TEST(EnvDynamicsTest, ResetRestoresEverything) {
+  Env env(EnvConfig{}, HandMap());
+  env.Step(Stay(1));
+  env.Step({WorkerAction{9, false}});
+  env.Reset();
+  EXPECT_EQ(env.t(), 0);
+  EXPECT_NEAR(env.poi_values()[0], 1.0, 1e-12);
+  EXPECT_EQ(env.poi_access()[0], 0);
+  EXPECT_NEAR(env.workers()[0].energy, 40.0, 1e-12);
+  EXPECT_TRUE(env.workers()[0].pos == Position({5.0, 5.0}));
+  EXPECT_EQ(env.trajectories()[0].size(), 1u);
+}
+
+TEST(EnvDynamicsTest, TrajectoriesRecordEverySlot) {
+  Env env(EnvConfig{}, HandMap());
+  env.Step({WorkerAction{9, false}});
+  env.Step({WorkerAction{1, false}});
+  ASSERT_EQ(env.trajectories()[0].size(), 3u);  // spawn + 2 steps
+  EXPECT_NEAR(env.trajectories()[0][1].x, 6.0, 1e-9);
+}
+
+TEST(EnvDynamicsTest, HelperQueries) {
+  Map map = HandMap();
+  map.stations.push_back(ChargingStation{{9.0, 9.0}});
+  Env env(EnvConfig{}, map);
+  EXPECT_EQ(env.NearestStation({8.0, 8.0}), 1);
+  EXPECT_EQ(env.NearestStation({0.5, 0.5}), 0);
+  EXPECT_TRUE(env.CanChargeAt({1.2, 1.2}));
+  EXPECT_FALSE(env.CanChargeAt({5.0, 5.0}));
+  EXPECT_GT(env.PotentialCollection({5.0, 5.0}), 0.0);
+  EXPECT_EQ(env.PotentialCollection({2.0, 8.0}), 0.0);
+  EXPECT_TRUE(env.MoveValid(0, 0));
+  const Position t9 = env.MoveTarget(0, 9);
+  EXPECT_NEAR(t9.x, 6.0, 1e-9);
+  EXPECT_NEAR(t9.y, 5.0, 1e-9);
+}
+
+TEST(EnvDynamicsTest, SnapshotRestoreRoundTrip) {
+  Env env(EnvConfig{}, HandMap());
+  env.Step(Stay(1));
+  env.Step({WorkerAction{9, false}});
+  const Env::Snapshot snapshot = env.Save();
+  const double kappa = env.Kappa();
+  const Position pos = env.workers()[0].pos;
+  // Diverge, then roll back.
+  env.Step({WorkerAction{9, false}});
+  env.Step({WorkerAction{9, false}});
+  EXPECT_NE(env.workers()[0].pos.x, pos.x);
+  env.Restore(snapshot);
+  EXPECT_EQ(env.t(), 2);
+  EXPECT_DOUBLE_EQ(env.Kappa(), kappa);
+  EXPECT_TRUE(env.workers()[0].pos == pos);
+  // Stepping again from the restored state matches a fresh rollout.
+  const StepResult r = env.Step({WorkerAction{13, false}});
+  EXPECT_FALSE(r.collided[0]);
+  EXPECT_NEAR(env.workers()[0].pos.x, pos.x - 1.0, 1e-9);
+}
+
+TEST(EnvDynamicsTest, SnapshotSimulationDoesNotLeak) {
+  // Planner-style usage: branch N times from the same state.
+  Env env(EnvConfig{}, HandMap());
+  env.Step(Stay(1));
+  const Env::Snapshot snapshot = env.Save();
+  double q_east, q_stay;
+  {
+    env.Step({WorkerAction{9, false}});
+    q_east = env.workers()[0].collected_total;
+    env.Restore(snapshot);
+  }
+  {
+    env.Step(Stay(1));
+    q_stay = env.workers()[0].collected_total;
+    env.Restore(snapshot);
+  }
+  EXPECT_GT(q_stay, q_east);  // staying on the PoI collects more
+  EXPECT_EQ(env.t(), 1);
+  EXPECT_NEAR(env.workers()[0].collected_total, 0.2, 1e-12);
+}
+
+TEST(EnvDynamicsTest, StepCountMustMatchWorkers) {
+  Map map = HandMap();
+  map.worker_spawns.push_back({2.0, 2.0});
+  Env env(EnvConfig{}, map);
+  const StepResult r = env.Step(Stay(2));
+  EXPECT_EQ(r.collected.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cews::env

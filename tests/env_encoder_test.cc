@@ -1,0 +1,119 @@
+// The 3-channel state encoding of Section V.
+#include "env/state_encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace cews::env {
+namespace {
+
+Map SmallMap() {
+  Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.config.hard_corner = false;
+  map.pois = {Poi{{2.5, 2.5}, 0.9}};
+  map.stations = {ChargingStation{{7.5, 7.5}}};
+  map.obstacles = {Rect{4.0, 4.0, 6.0, 6.0}};
+  map.worker_spawns = {{1.5, 8.5}};
+  return map;
+}
+
+TEST(StateEncoderTest, SizesAndCells) {
+  StateEncoder encoder({10});
+  EXPECT_EQ(encoder.grid(), 10);
+  EXPECT_EQ(encoder.StateSize(), 3 * 100);
+  EXPECT_EQ(encoder.NumCells(), 100);
+}
+
+TEST(StateEncoderTest, CellIndexMapsCorners) {
+  StateEncoder encoder({10});
+  const Map map = SmallMap();
+  EXPECT_EQ(encoder.CellIndex(map, {0.01, 0.01}), 0);
+  EXPECT_EQ(encoder.CellIndex(map, {9.99, 0.01}), 9);
+  EXPECT_EQ(encoder.CellIndex(map, {0.01, 9.99}), 90);
+  EXPECT_EQ(encoder.CellIndex(map, {9.99, 9.99}), 99);
+  // Out-of-range positions clamp instead of overflowing.
+  EXPECT_EQ(encoder.CellIndex(map, {-5.0, -5.0}), 0);
+  EXPECT_EQ(encoder.CellIndex(map, {50.0, 50.0}), 99);
+}
+
+TEST(StateEncoderTest, WorkerEnergyInChannel0) {
+  StateEncoder encoder({10});
+  const Map map = SmallMap();
+  Env env(EnvConfig{}, map);
+  const std::vector<float> s = encoder.Encode(env);
+  const int cell = encoder.CellIndex(map, map.worker_spawns[0]);
+  EXPECT_NEAR(s[static_cast<size_t>(cell)], 1.0f, 1e-6);  // full battery
+  // Everything else in channel 0 is zero.
+  float total = 0.0f;
+  for (int i = 0; i < 100; ++i) total += s[static_cast<size_t>(i)];
+  EXPECT_NEAR(total, 1.0f, 1e-6);
+}
+
+TEST(StateEncoderTest, GeometryInChannel1) {
+  StateEncoder encoder({10});
+  const Map map = SmallMap();
+  Env env(EnvConfig{}, map);
+  const std::vector<float> s = encoder.Encode(env);
+  const float* ch1 = s.data() + 100;
+  const int station_cell = encoder.CellIndex(map, map.stations[0].pos);
+  EXPECT_FLOAT_EQ(ch1[station_cell], 2.0f);
+  const int obstacle_cell = encoder.CellIndex(map, {5.0, 5.0});
+  EXPECT_FLOAT_EQ(ch1[obstacle_cell], -1.0f);
+  const int poi_cell = encoder.CellIndex(map, map.pois[0].pos);
+  EXPECT_NEAR(ch1[poi_cell], 0.9f, 1e-6);
+}
+
+TEST(StateEncoderTest, PoiValueDecaysAfterCollection) {
+  StateEncoder encoder({10});
+  Map map = SmallMap();
+  map.worker_spawns[0] = map.pois[0].pos;  // sit on the PoI
+  Env env(EnvConfig{}, map);
+  env.Step({WorkerAction{0, false}});
+  const std::vector<float> s = encoder.Encode(env);
+  const int poi_cell = encoder.CellIndex(map, map.pois[0].pos);
+  EXPECT_NEAR(s[static_cast<size_t>(100 + poi_cell)], 0.9f - 0.18f, 1e-5);
+}
+
+TEST(StateEncoderTest, AccessTimeInChannel2) {
+  StateEncoder encoder({10});
+  Map map = SmallMap();
+  map.worker_spawns[0] = map.pois[0].pos;
+  EnvConfig config;
+  config.horizon = 100;
+  Env env(config, map);
+  const int poi_cell = encoder.CellIndex(map, map.pois[0].pos);
+  {
+    const std::vector<float> s = encoder.Encode(env);
+    EXPECT_FLOAT_EQ(s[static_cast<size_t>(200 + poi_cell)], 0.0f);
+  }
+  env.Step({WorkerAction{0, false}});
+  env.Step({WorkerAction{0, false}});
+  {
+    const std::vector<float> s = encoder.Encode(env);
+    EXPECT_NEAR(s[static_cast<size_t>(200 + poi_cell)], 2.0f / 100.0f, 1e-6);
+  }
+}
+
+TEST(StateEncoderTest, MultiplePoisAccumulatePerCell) {
+  StateEncoder encoder({10});
+  Map map = SmallMap();
+  map.pois.push_back(Poi{{2.6, 2.6}, 0.5});  // same cell as the first PoI
+  Env env(EnvConfig{}, map);
+  const std::vector<float> s = encoder.Encode(env);
+  const int poi_cell = encoder.CellIndex(map, map.pois[0].pos);
+  EXPECT_NEAR(s[static_cast<size_t>(100 + poi_cell)], 1.4f, 1e-5);
+}
+
+TEST(StateEncoderTest, MultipleWorkersAccumulate) {
+  StateEncoder encoder({10});
+  Map map = SmallMap();
+  map.worker_spawns = {{1.5, 8.5}, {1.6, 8.6}};  // same cell
+  Env env(EnvConfig{}, map);
+  const std::vector<float> s = encoder.Encode(env);
+  const int cell = encoder.CellIndex(map, map.worker_spawns[0]);
+  EXPECT_NEAR(s[static_cast<size_t>(cell)], 2.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace cews::env

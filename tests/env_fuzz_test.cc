@@ -1,0 +1,134 @@
+// Property-based fuzzing of the environment: random action sequences over
+// many seeds must never violate the physical invariants.
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+#include "env/state_encoder.h"
+
+namespace cews::env {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  int workers;
+  int pois;
+  double charge_prob;
+};
+
+class EnvFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(EnvFuzz, InvariantsHoldUnderRandomActions) {
+  const FuzzCase param = GetParam();
+  MapConfig map_config;
+  map_config.num_pois = param.pois;
+  map_config.num_workers = param.workers;
+  Rng map_rng(param.seed);
+  auto map_or = GenerateMap(map_config, map_rng);
+  ASSERT_TRUE(map_or.ok());
+  const Map map = std::move(map_or).value();
+
+  EnvConfig config;
+  config.horizon = 50;
+  Env env(config, map);
+  StateEncoder encoder({12});
+  Rng rng(param.seed * 31 + 7);
+  const int num_moves = config.action_space.num_moves();
+
+  double collected_prev = 0.0;
+  while (!env.Done()) {
+    std::vector<WorkerAction> actions(static_cast<size_t>(param.workers));
+    for (auto& a : actions) {
+      a.move = static_cast<int>(rng.UniformInt(num_moves));
+      a.charge = rng.Bernoulli(param.charge_prob);
+    }
+    const StepResult step = env.Step(actions);
+
+    // Per-step accounting.
+    double collected_now = 0.0;
+    for (int w = 0; w < param.workers; ++w) {
+      const WorkerState& ws = env.workers()[static_cast<size_t>(w)];
+      // Battery stays within physical bounds.
+      EXPECT_GE(ws.energy, 0.0);
+      EXPECT_LE(ws.energy, config.energy_capacity + 1e-9);
+      // Workers never end up inside obstacles or out of bounds.
+      EXPECT_TRUE(map.InBounds(ws.pos));
+      EXPECT_FALSE(map.InObstacle(ws.pos));
+      // Step outputs are non-negative.
+      EXPECT_GE(step.collected[static_cast<size_t>(w)], 0.0);
+      EXPECT_GE(step.energy_used[static_cast<size_t>(w)], 0.0);
+      EXPECT_GE(step.charged[static_cast<size_t>(w)], 0.0);
+      collected_now += ws.collected_total;
+    }
+    // Cumulative collection is monotone.
+    EXPECT_GE(collected_now, collected_prev - 1e-12);
+    collected_prev = collected_now;
+
+    // PoI data stays within [0, delta_0].
+    for (int p = 0; p < env.num_pois(); ++p) {
+      EXPECT_GE(env.poi_values()[static_cast<size_t>(p)], -1e-12);
+      EXPECT_LE(env.poi_values()[static_cast<size_t>(p)],
+                map.pois[static_cast<size_t>(p)].initial_value + 1e-12);
+    }
+
+    // Metrics stay within their ranges.
+    EXPECT_GE(env.Kappa(), 0.0);
+    EXPECT_LE(env.Kappa(), 1.0 + 1e-9);
+    EXPECT_GE(env.Xi(), 0.0);
+    EXPECT_LE(env.Xi(), 1.0 + 1e-9);
+    EXPECT_GE(env.Rho(), 0.0);
+
+    // Conservation: kappa * total == sum of worker collections.
+    double total_collected = 0.0;
+    for (const WorkerState& ws : env.workers()) {
+      total_collected += ws.collected_total;
+    }
+    double total_remaining = 0.0;
+    for (double v : env.poi_values()) total_remaining += v;
+    EXPECT_NEAR(total_collected + total_remaining, map.TotalInitialData(),
+                1e-6);
+  }
+
+  // Encoder never produces NaN/inf on any visited state.
+  const std::vector<float> state = encoder.Encode(env);
+  for (float v : state) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWalks, EnvFuzz,
+    ::testing::Values(FuzzCase{1, 1, 40, 0.1}, FuzzCase{2, 2, 80, 0.3},
+                      FuzzCase{3, 4, 120, 0.5}, FuzzCase{4, 8, 60, 0.05},
+                      FuzzCase{5, 2, 200, 0.9}, FuzzCase{6, 3, 30, 0.0},
+                      FuzzCase{7, 1, 100, 1.0}, FuzzCase{99, 5, 150, 0.2}));
+
+TEST(EnvFuzzDeterminism, SameSeedSameTrace) {
+  MapConfig map_config;
+  map_config.num_pois = 50;
+  map_config.num_workers = 2;
+  Rng map_rng(11);
+  const Map map = std::move(GenerateMap(map_config, map_rng)).value();
+  EnvConfig config;
+  config.horizon = 30;
+
+  auto run = [&](uint64_t seed) {
+    Env env(config, map);
+    Rng rng(seed);
+    std::vector<double> trace;
+    while (!env.Done()) {
+      std::vector<WorkerAction> actions(2);
+      for (auto& a : actions) {
+        a.move = static_cast<int>(rng.UniformInt(17));
+        a.charge = rng.Bernoulli(0.2);
+      }
+      env.Step(actions);
+      trace.push_back(env.Kappa());
+      trace.push_back(env.workers()[0].energy);
+      trace.push_back(env.workers()[1].pos.x);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace cews::env

@@ -1,0 +1,99 @@
+#include "env/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "env/action_space.h"
+
+namespace cews::env {
+namespace {
+
+TEST(GeometryTest, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(RectTest, ContainsInclusiveBoundary) {
+  const Rect r{1, 1, 3, 3};
+  EXPECT_TRUE(r.Contains({2, 2}));
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_TRUE(r.Contains({3, 3}));
+  EXPECT_FALSE(r.Contains({0.99, 2}));
+  EXPECT_FALSE(r.Contains({2, 3.01}));
+}
+
+TEST(RectTest, SegmentThroughCenterIntersects) {
+  const Rect r{1, 1, 3, 3};
+  EXPECT_TRUE(r.IntersectsSegment({0, 2}, {4, 2}));
+  EXPECT_TRUE(r.IntersectsSegment({2, 0}, {2, 4}));
+  EXPECT_TRUE(r.IntersectsSegment({0, 0}, {4, 4}));  // diagonal
+}
+
+TEST(RectTest, SegmentMissesIntersectsNothing) {
+  const Rect r{1, 1, 3, 3};
+  EXPECT_FALSE(r.IntersectsSegment({0, 0}, {0.5, 4}));
+  EXPECT_FALSE(r.IntersectsSegment({0, 4}, {4, 4.5}));
+  EXPECT_FALSE(r.IntersectsSegment({4, 0}, {5, 5}));
+}
+
+TEST(RectTest, SegmentEndingInsideIntersects) {
+  const Rect r{1, 1, 3, 3};
+  EXPECT_TRUE(r.IntersectsSegment({0, 0}, {2, 2}));
+  EXPECT_TRUE(r.IntersectsSegment({2, 2}, {4, 4}));  // starts inside
+}
+
+TEST(RectTest, SegmentFullyInsideIntersects) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.IntersectsSegment({2, 2}, {3, 3}));
+}
+
+TEST(RectTest, ThinWallNotTunnelledByLongStep) {
+  // A 0.4-thick wall must stop a 1.0-length step crossing it.
+  const Rect wall{5.0, 0.0, 5.4, 10.0};
+  EXPECT_TRUE(wall.IntersectsSegment({4.8, 5.0}, {5.8, 5.0}));
+  EXPECT_TRUE(wall.IntersectsSegment({4.9, 4.5}, {5.6, 5.2}));
+}
+
+TEST(RectTest, DegenerateZeroLengthSegment) {
+  const Rect r{1, 1, 3, 3};
+  EXPECT_TRUE(r.IntersectsSegment({2, 2}, {2, 2}));
+  EXPECT_FALSE(r.IntersectsSegment({0, 0}, {0, 0}));
+}
+
+TEST(ActionSpaceTest, MoveCountAndStay) {
+  ActionSpace space({0.5, 1.0});
+  EXPECT_EQ(space.num_moves(), 17);
+  const Position stay = space.Delta(0);
+  EXPECT_DOUBLE_EQ(stay.x, 0.0);
+  EXPECT_DOUBLE_EQ(stay.y, 0.0);
+  EXPECT_DOUBLE_EQ(space.StepLength(0), 0.0);
+  EXPECT_DOUBLE_EQ(space.max_step(), 1.0);
+}
+
+TEST(ActionSpaceTest, DeltasHaveRequestedLength) {
+  ActionSpace space({0.5, 1.0});
+  for (int m = 1; m < space.num_moves(); ++m) {
+    const Position d = space.Delta(m);
+    const double len = std::sqrt(d.x * d.x + d.y * d.y);
+    EXPECT_NEAR(len, space.StepLength(m), 1e-12) << "move " << m;
+  }
+}
+
+TEST(ActionSpaceTest, EightDistinctHeadingsPerRing) {
+  ActionSpace space({1.0});
+  EXPECT_EQ(space.num_moves(), 9);
+  for (int a = 1; a < 9; ++a) {
+    for (int b = a + 1; b < 9; ++b) {
+      const Position da = space.Delta(a), db = space.Delta(b);
+      EXPECT_GT(std::abs(da.x - db.x) + std::abs(da.y - db.y), 1e-9);
+    }
+  }
+}
+
+TEST(ActionSpaceTest, SingleStepLength) {
+  ActionSpace space({0.7});
+  EXPECT_EQ(space.num_moves(), 9);
+  EXPECT_DOUBLE_EQ(space.StepLength(3), 0.7);
+}
+
+}  // namespace
+}  // namespace cews::env

@@ -1,0 +1,93 @@
+// Heterogeneous fleets: per-worker sensing ranges g^w and energy budgets
+// b_0^w (Definition 2).
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+
+namespace cews::env {
+namespace {
+
+Map TwoWorkerMap() {
+  Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.config.hard_corner = false;
+  // One PoI 1.2 away from each worker's spawn.
+  map.pois = {Poi{{2.0, 3.2}, 1.0}, Poi{{8.0, 3.2}, 1.0}};
+  map.stations = {ChargingStation{{5.0, 9.0}}};
+  map.worker_spawns = {{2.0, 2.0}, {8.0, 2.0}};
+  return map;
+}
+
+TEST(HeteroEnvTest, UniformDefaultsMatchScalars) {
+  Env env(EnvConfig{}, TwoWorkerMap());
+  EXPECT_DOUBLE_EQ(env.SensingRange(0), 0.8);
+  EXPECT_DOUBLE_EQ(env.SensingRange(1), 0.8);
+  EXPECT_DOUBLE_EQ(env.InitialEnergy(0), 40.0);
+}
+
+TEST(HeteroEnvTest, PerWorkerSensingRangeGovernsCollection) {
+  EnvConfig config;
+  config.per_worker_sensing_range = {1.5, 0.8};  // only worker 0 reaches
+  Env env(config, TwoWorkerMap());
+  const StepResult r =
+      env.Step({WorkerAction{0, false}, WorkerAction{0, false}});
+  EXPECT_GT(r.collected[0], 0.0);   // PoI at distance 1.2 < 1.5
+  EXPECT_EQ(r.collected[1], 0.0);   // 1.2 > 0.8
+}
+
+TEST(HeteroEnvTest, PerWorkerEnergyBudget) {
+  EnvConfig config;
+  config.per_worker_initial_energy = {0.15, 40.0};
+  Env env(config, TwoWorkerMap());
+  EXPECT_DOUBLE_EQ(env.workers()[0].energy, 0.15);
+  EXPECT_DOUBLE_EQ(env.workers()[1].energy, 40.0);
+  // Worker 0 dies after one long move; worker 1 keeps going.
+  env.Step({WorkerAction{9, false}, WorkerAction{9, false}});
+  env.Step({WorkerAction{9, false}, WorkerAction{9, false}});
+  const Position stuck = env.workers()[0].pos;
+  env.Step({WorkerAction{9, false}, WorkerAction{9, false}});
+  EXPECT_TRUE(env.workers()[0].pos == stuck);
+  EXPECT_GT(env.workers()[1].energy, 39.0);
+}
+
+TEST(HeteroEnvTest, SparseChargeMilestoneUsesOwnBudget) {
+  // Worker 0 has a tiny budget: one charging slot exceeds 40% of b_0^0.
+  Map map = TwoWorkerMap();
+  map.worker_spawns = {{5.0, 9.0}, {8.0, 2.0}};  // worker 0 at the station
+  EnvConfig config;
+  config.per_worker_initial_energy = {5.0, 40.0};
+  Env env(config, map);
+  // Drain worker 0 slightly so there is charge headroom.
+  env.Step({WorkerAction{9, false}, WorkerAction{0, false}});
+  env.Step({WorkerAction{13, false}, WorkerAction{0, false}});
+  const StepResult r =
+      env.Step({WorkerAction{0, true}, WorkerAction{0, false}});
+  ASSERT_TRUE(r.charging[0]);
+  // sigma = min(10, cap - b) and b0 = 5 -> ratio >= 40% immediately.
+  EXPECT_NEAR(r.per_worker_sparse[0], 1.0, 1e-9);
+}
+
+TEST(HeteroEnvTest, PotentialCollectionRangeOverload) {
+  Env env(EnvConfig{}, TwoWorkerMap());
+  const Position p{2.0, 2.0};
+  EXPECT_EQ(env.PotentialCollection(p, 0.8), 0.0);
+  EXPECT_GT(env.PotentialCollection(p, 1.5), 0.0);
+  EXPECT_DOUBLE_EQ(env.PotentialCollection(p),
+                   env.PotentialCollection(p, 0.8));
+}
+
+TEST(HeteroEnvDeathTest, WrongVectorSizeRejected) {
+  EnvConfig config;
+  config.per_worker_sensing_range = {0.8};  // two workers on the map
+  EXPECT_DEATH({ Env env(config, TwoWorkerMap()); }, "CHECK failed");
+}
+
+TEST(HeteroEnvDeathTest, BudgetAboveCapacityRejected) {
+  EnvConfig config;
+  config.per_worker_initial_energy = {50.0, 40.0};  // capacity is 40
+  EXPECT_DEATH({ Env env(config, TwoWorkerMap()); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace cews::env

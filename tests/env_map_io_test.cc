@@ -1,0 +1,129 @@
+#include "env/map_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cews::env {
+namespace {
+
+Map GeneratedMap(uint64_t seed = 17) {
+  MapConfig config;
+  config.num_pois = 60;
+  config.num_workers = 3;
+  config.num_stations = 2;
+  Rng rng(seed);
+  auto result = GenerateMap(config, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(MapIoTest, RoundTripPreservesEverything) {
+  const Map original = GeneratedMap();
+  const std::string text = MapToString(original);
+  auto loaded_or = MapFromString(text);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const Map& loaded = *loaded_or;
+  EXPECT_EQ(loaded.config.size_x, original.config.size_x);
+  EXPECT_EQ(loaded.config.size_y, original.config.size_y);
+  ASSERT_EQ(loaded.obstacles.size(), original.obstacles.size());
+  ASSERT_EQ(loaded.pois.size(), original.pois.size());
+  for (size_t i = 0; i < original.pois.size(); ++i) {
+    EXPECT_EQ(loaded.pois[i].pos, original.pois[i].pos);
+    EXPECT_EQ(loaded.pois[i].initial_value, original.pois[i].initial_value);
+  }
+  ASSERT_EQ(loaded.stations.size(), original.stations.size());
+  ASSERT_EQ(loaded.worker_spawns.size(), original.worker_spawns.size());
+  EXPECT_DOUBLE_EQ(loaded.TotalInitialData(), original.TotalInitialData());
+}
+
+TEST(MapIoTest, FileRoundTrip) {
+  const Map original = GeneratedMap(23);
+  const std::string path = ::testing::TempDir() + "/cews_map_io_test.map";
+  ASSERT_TRUE(SaveMap(original, path).ok());
+  auto loaded_or = LoadMap(path);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ(loaded_or->pois.size(), original.pois.size());
+  std::remove(path.c_str());
+}
+
+TEST(MapIoTest, HandWrittenDocumentParses) {
+  const std::string text =
+      "cews-map 1\n"
+      "size 8 8\n"
+      "obstacle 3 3 4 4\n"
+      "poi 1 1 0.5\n"
+      "poi 6 6 0.9\n"
+      "station 2 6\n"
+      "spawn 1 7\n";
+  auto map_or = MapFromString(text);
+  ASSERT_TRUE(map_or.ok()) << map_or.status().ToString();
+  EXPECT_EQ(map_or->pois.size(), 2u);
+  EXPECT_EQ(map_or->obstacles.size(), 1u);
+  EXPECT_EQ(map_or->stations.size(), 1u);
+  EXPECT_DOUBLE_EQ(map_or->TotalInitialData(), 1.4);
+}
+
+TEST(MapIoTest, RejectsBadMagic) {
+  EXPECT_FALSE(MapFromString("other-format 1\nsize 8 8\n").ok());
+}
+
+TEST(MapIoTest, RejectsWrongVersion) {
+  EXPECT_FALSE(MapFromString("cews-map 9\nsize 8 8\npoi 1 1 1\n").ok());
+}
+
+TEST(MapIoTest, RejectsMissingSize) {
+  EXPECT_FALSE(
+      MapFromString("cews-map 1\npoi 1 1 0.5\nspawn 1 1\n").ok());
+}
+
+TEST(MapIoTest, RejectsUnknownDirective) {
+  const auto r = MapFromString(
+      "cews-map 1\nsize 8 8\nteleporter 1 1\npoi 1 1 1\nspawn 2 2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("teleporter"), std::string::npos);
+}
+
+TEST(MapIoTest, RejectsPoiInsideObstacle) {
+  EXPECT_FALSE(MapFromString("cews-map 1\n"
+                             "size 8 8\n"
+                             "obstacle 0.5 0.5 2 2\n"
+                             "poi 1 1 0.5\n"
+                             "spawn 5 5\n")
+                   .ok());
+}
+
+TEST(MapIoTest, RejectsOutOfBoundsEntities) {
+  EXPECT_FALSE(MapFromString("cews-map 1\nsize 8 8\npoi 9 1 0.5\nspawn 1 1\n")
+                   .ok());
+  EXPECT_FALSE(MapFromString("cews-map 1\nsize 8 8\npoi 1 1 0.5\nspawn -1 1\n")
+                   .ok());
+}
+
+TEST(MapIoTest, RejectsNonPositivePoiValue) {
+  EXPECT_FALSE(
+      MapFromString("cews-map 1\nsize 8 8\npoi 1 1 0\nspawn 1 1\n").ok());
+}
+
+TEST(MapIoTest, RejectsInvertedObstacle) {
+  EXPECT_FALSE(MapFromString("cews-map 1\n"
+                             "size 8 8\n"
+                             "obstacle 4 4 3 3\n"
+                             "poi 1 1 0.5\n"
+                             "spawn 5 5\n")
+                   .ok());
+}
+
+TEST(MapIoTest, RejectsEmptyMap) {
+  EXPECT_FALSE(MapFromString("cews-map 1\nsize 8 8\nspawn 1 1\n").ok());
+  EXPECT_FALSE(MapFromString("cews-map 1\nsize 8 8\npoi 1 1 1\n").ok());
+}
+
+TEST(MapIoTest, MissingFileIsIOError) {
+  const auto r = LoadMap("/nonexistent/cews.map");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace cews::env

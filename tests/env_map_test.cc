@@ -1,0 +1,190 @@
+#include "env/map.h"
+
+#include <gtest/gtest.h>
+
+namespace cews::env {
+namespace {
+
+Map MakeMap(uint64_t seed = 42, MapConfig config = {}) {
+  Rng rng(seed);
+  auto result = GenerateMap(config, rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(MapTest, GeneratesRequestedCounts) {
+  MapConfig config;
+  config.num_pois = 123;
+  config.num_stations = 5;
+  config.num_workers = 3;
+  const Map map = MakeMap(1, config);
+  EXPECT_EQ(map.pois.size(), 123u);
+  EXPECT_EQ(map.stations.size(), 5u);
+  EXPECT_EQ(map.worker_spawns.size(), 3u);
+}
+
+TEST(MapTest, PoisInBoundsAndOutsideObstaclesWithPositiveValue) {
+  const Map map = MakeMap(2);
+  for (const Poi& p : map.pois) {
+    EXPECT_TRUE(map.InBounds(p.pos));
+    EXPECT_FALSE(map.InObstacle(p.pos));
+    EXPECT_GT(p.initial_value, 0.0);
+    EXPECT_LT(p.initial_value, 1.0);
+  }
+}
+
+TEST(MapTest, StationsAndSpawnsAreFree) {
+  const Map map = MakeMap(3);
+  for (const ChargingStation& s : map.stations) {
+    EXPECT_TRUE(map.InBounds(s.pos));
+    EXPECT_FALSE(map.InObstacle(s.pos));
+  }
+  for (const Position& p : map.worker_spawns) {
+    EXPECT_TRUE(map.InBounds(p));
+    EXPECT_FALSE(map.InObstacle(p));
+  }
+}
+
+TEST(MapTest, DeterministicGivenSeed) {
+  const Map a = MakeMap(7);
+  const Map b = MakeMap(7);
+  ASSERT_EQ(a.pois.size(), b.pois.size());
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_TRUE(a.pois[i].pos == b.pois[i].pos);
+    EXPECT_EQ(a.pois[i].initial_value, b.pois[i].initial_value);
+  }
+  ASSERT_EQ(a.obstacles.size(), b.obstacles.size());
+}
+
+TEST(MapTest, DifferentSeedsDiffer) {
+  const Map a = MakeMap(7);
+  const Map b = MakeMap(8);
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.pois.size(), b.pois.size()); ++i) {
+    if (!(a.pois[i].pos == b.pois[i].pos)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MapTest, CornerRoomHoldsConfiguredFraction) {
+  MapConfig config;
+  config.num_pois = 200;
+  config.corner_fraction = 0.15;
+  const Map map = MakeMap(4, config);
+  int in_corner = 0;
+  for (const Poi& p : map.pois) {
+    if (p.pos.x > config.size_x - config.corner_size &&
+        p.pos.y < config.corner_size) {
+      ++in_corner;
+    }
+  }
+  EXPECT_GE(in_corner, 30);  // exactly floor(0.15 * 200) placed inside
+}
+
+TEST(MapTest, CornerRoomHasNarrowEntranceOnly) {
+  MapConfig config;
+  const Map map = MakeMap(5, config);
+  // A straight path into the room interior from far outside must cross a
+  // wall.
+  const Position inside{config.size_x - config.corner_size / 2.0,
+                        config.corner_size / 2.0};
+  const Position far_left{1.0, config.corner_size / 2.0};
+  EXPECT_FALSE(map.SegmentFree(far_left, inside));
+  // The gap is centered in the top wall: crossing vertically through the
+  // gap is free (other random obstacles are kept away from the room).
+  const double inner_x0 =
+      config.size_x - config.corner_size + config.corner_wall;
+  const double span = config.size_x - inner_x0;
+  const double gap_center_x = inner_x0 + span / 2.0;
+  const Position above_gap{gap_center_x, config.corner_size + 0.3};
+  const Position below_gap{gap_center_x, config.corner_size - 0.8};
+  EXPECT_TRUE(map.SegmentFree(above_gap, below_gap));
+}
+
+TEST(MapTest, SpawnsNeverInsideCornerRoom) {
+  MapConfig config;
+  config.num_workers = 20;
+  const Map map = MakeMap(6, config);
+  for (const Position& p : map.worker_spawns) {
+    const bool in_corner = p.x > config.size_x - config.corner_size &&
+                           p.y < config.corner_size;
+    EXPECT_FALSE(in_corner);
+  }
+}
+
+TEST(MapTest, StationsNeverInsideCornerRoom) {
+  MapConfig config;
+  config.num_stations = 10;
+  const Map map = MakeMap(9, config);
+  for (const ChargingStation& s : map.stations) {
+    const bool in_corner = s.pos.x > config.size_x - config.corner_size &&
+                           s.pos.y < config.corner_size;
+    EXPECT_FALSE(in_corner);
+  }
+}
+
+TEST(MapTest, NoHardCornerOption) {
+  MapConfig config;
+  config.hard_corner = false;
+  config.num_obstacles = 0;
+  const Map map = MakeMap(10, config);
+  EXPECT_TRUE(map.obstacles.empty());
+}
+
+TEST(MapTest, TotalInitialDataIsSumOfPoiValues) {
+  const Map map = MakeMap(11);
+  double sum = 0.0;
+  for (const Poi& p : map.pois) sum += p.initial_value;
+  EXPECT_DOUBLE_EQ(map.TotalInitialData(), sum);
+}
+
+TEST(MapTest, SegmentFreeRespectsBounds) {
+  const Map map = MakeMap(12);
+  EXPECT_FALSE(map.SegmentFree({1, 1}, {-1, 1}));
+  EXPECT_FALSE(map.SegmentFree({1, 1}, {1, 100}));
+}
+
+TEST(MapTest, InvalidConfigsRejected) {
+  Rng rng(1);
+  MapConfig bad_size;
+  bad_size.size_x = -1;
+  EXPECT_FALSE(GenerateMap(bad_size, rng).ok());
+
+  MapConfig no_pois;
+  no_pois.num_pois = 0;
+  EXPECT_FALSE(GenerateMap(no_pois, rng).ok());
+
+  MapConfig bad_fractions;
+  bad_fractions.uniform_fraction = 0.9;
+  bad_fractions.corner_fraction = 0.5;
+  EXPECT_FALSE(GenerateMap(bad_fractions, rng).ok());
+
+  MapConfig huge_corner;
+  huge_corner.corner_size = 20.0;
+  EXPECT_FALSE(GenerateMap(huge_corner, rng).ok());
+
+  MapConfig gap_wider_than_room;
+  gap_wider_than_room.corner_gap = 10.0;
+  EXPECT_FALSE(GenerateMap(gap_wider_than_room, rng).ok());
+}
+
+class MapSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MapSeedSweep, InvariantsHoldAcrossSeeds) {
+  MapConfig config;
+  config.num_pois = 80;
+  config.num_workers = 4;
+  const Map map = MakeMap(GetParam(), config);
+  EXPECT_EQ(map.pois.size(), 80u);
+  for (const Poi& p : map.pois) {
+    EXPECT_TRUE(map.InBounds(p.pos));
+    EXPECT_FALSE(map.InObstacle(p.pos));
+  }
+  EXPECT_GT(map.TotalInitialData(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapSeedSweep,
+                         ::testing::Values(1, 13, 99, 1234, 777777));
+
+}  // namespace
+}  // namespace cews::env

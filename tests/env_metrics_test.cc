@@ -1,0 +1,123 @@
+// The three evaluation metrics: kappa (Eqn 4), xi (Eqn 5), rho (Eqn 6).
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "env/env.h"
+
+namespace cews::env {
+namespace {
+
+Map TwoPoiMap() {
+  Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.config.hard_corner = false;
+  map.pois = {Poi{{2.0, 2.0}, 1.0}, Poi{{8.0, 8.0}, 1.0}};
+  map.stations = {ChargingStation{{5.0, 1.0}}};
+  map.worker_spawns = {{2.0, 2.0}};
+  return map;
+}
+
+std::vector<WorkerAction> Stay() { return {WorkerAction{0, false}}; }
+
+TEST(EnvMetricsTest, InitialMetrics) {
+  Env env(EnvConfig{}, TwoPoiMap());
+  EXPECT_DOUBLE_EQ(env.Kappa(), 0.0);
+  EXPECT_DOUBLE_EQ(env.Xi(), 1.0);
+  EXPECT_DOUBLE_EQ(env.Rho(), 0.0);
+}
+
+TEST(EnvMetricsTest, KappaIsCollectedFraction) {
+  Env env(EnvConfig{}, TwoPoiMap());
+  env.Step(Stay());  // collects 0.2 of 2.0 total
+  EXPECT_NEAR(env.Kappa(), 0.1, 1e-12);
+  env.Step(Stay());
+  EXPECT_NEAR(env.Kappa(), 0.2, 1e-12);
+}
+
+TEST(EnvMetricsTest, KappaNeverExceedsOne) {
+  Env env(EnvConfig{}, TwoPoiMap());
+  while (!env.Done()) env.Step(Stay());
+  EXPECT_LE(env.Kappa(), 1.0 + 1e-9);
+}
+
+TEST(EnvMetricsTest, XiIsMeanRemainingRatio) {
+  Env env(EnvConfig{}, TwoPoiMap());
+  env.Step(Stay());  // PoI 0: 0.8 remains; PoI 1 untouched
+  EXPECT_NEAR(env.Xi(), (0.8 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(EnvMetricsTest, XiMonotonicallyNonIncreasing) {
+  Env env(EnvConfig{}, TwoPoiMap());
+  double prev = env.Xi();
+  for (int t = 0; t < 10; ++t) {
+    env.Step(Stay());
+    EXPECT_LE(env.Xi(), prev + 1e-12);
+    prev = env.Xi();
+  }
+}
+
+TEST(EnvMetricsTest, RhoCombinesFairnessAndEfficiency) {
+  // Collect only PoI 0 fully: fairness over per-PoI coverage = Jain(x, 0)
+  // = 1/2; efficiency = Q/E with Q = 1.0, E = alpha * 1.0 = 1.0.
+  Env env(EnvConfig{}, TwoPoiMap());
+  for (int t = 0; t < 5; ++t) env.Step(Stay());
+  EXPECT_NEAR(env.Kappa(), 0.5, 1e-9);
+  EXPECT_NEAR(env.Rho(), 0.5 * 1.0, 1e-6);
+}
+
+TEST(EnvMetricsTest, RhoRewardsEvenCoverage) {
+  // A worker splitting collection across both PoIs beats one camping on a
+  // single PoI at equal total collection: fairness 1 vs 1/2.
+  Map map = TwoPoiMap();
+  map.pois[1].pos = {2.0, 3.0};  // both PoIs in range of (2, 2.5)
+  map.worker_spawns[0] = {2.0, 2.5};
+  Env even(EnvConfig{}, map);
+  for (int t = 0; t < 5; ++t) even.Step(Stay());  // collects both equally
+
+  Env skewed(EnvConfig{}, TwoPoiMap());
+  for (int t = 0; t < 10; ++t) skewed.Step(Stay());  // camps on PoI 0
+
+  // Even coverage: fairness 1 and efficiency 1 -> rho = 1; camping gets
+  // fairness 1/2 at the same efficiency -> rho = 1/2.
+  EXPECT_NEAR(even.Rho(), 1.0, 1e-6);
+  EXPECT_NEAR(skewed.Rho(), 0.5, 1e-6);
+  EXPECT_GT(even.Rho(), skewed.Rho());
+}
+
+TEST(EnvMetricsTest, RhoJainTermMatchesFormula) {
+  Env env(EnvConfig{}, TwoPoiMap());
+  for (int t = 0; t < 3; ++t) env.Step(Stay());
+  // Coverage x_p = (delta0 - delta_t) / (lambda * delta0).
+  const double x0 = (1.0 - env.poi_values()[0]) / 0.2;
+  const double x1 = (1.0 - env.poi_values()[1]) / 0.2;
+  const double fairness = JainFairness({x0, x1});
+  const WorkerState& w = env.workers()[0];
+  const double eff = w.collected_total / w.energy_used_total;
+  EXPECT_NEAR(env.Rho(), fairness * eff, 1e-9);
+}
+
+TEST(EnvMetricsTest, MultiWorkerEfficiencyAveraged) {
+  Map map = TwoPoiMap();
+  map.worker_spawns = {{2.0, 2.0}, {8.0, 8.0}};  // one on each PoI
+  Env env(EnvConfig{}, map);
+  env.Step({WorkerAction{0, false}, WorkerAction{0, false}});
+  // Both collect 0.2 at cost 0.2 -> Q/E = 1 each; fairness = 1.
+  EXPECT_NEAR(env.Rho(), 1.0, 1e-9);
+  EXPECT_NEAR(env.Kappa(), 0.2, 1e-12);
+}
+
+TEST(EnvMetricsTest, SparseRewardAveragedOverWorkersEqn19) {
+  Map map = TwoPoiMap();
+  map.worker_spawns = {{2.0, 2.0}, {5.0, 5.0}};  // second collects nothing
+  Env env(EnvConfig{}, map);
+  const StepResult r =
+      env.Step({WorkerAction{0, false}, WorkerAction{0, false}});
+  // Worker 0 crosses its 5% milestone (0.2/2.0 = 10%); worker 1 earns 0.
+  EXPECT_NEAR(r.per_worker_sparse[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.per_worker_sparse[1], 0.0, 1e-9);
+  EXPECT_NEAR(r.sparse_reward, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace cews::env

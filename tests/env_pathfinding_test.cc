@@ -1,0 +1,134 @@
+#include "env/pathfinding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cews::env {
+namespace {
+
+Map OpenMap() {
+  Map map;
+  map.config.size_x = 10.0;
+  map.config.size_y = 10.0;
+  map.config.hard_corner = false;
+  map.pois = {Poi{{5, 5}, 1.0}};
+  map.worker_spawns = {{1, 1}};
+  return map;
+}
+
+TEST(PathPlannerTest, StraightLineOnOpenMap) {
+  const Map map = OpenMap();
+  PathPlanner planner(map, 20);
+  const auto path = planner.FindPath({1, 1}, {8, 8});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_FALSE(path->empty());
+  // Path ends exactly at the target.
+  EXPECT_NEAR(path->back().x, 8.0, 1e-12);
+  EXPECT_NEAR(path->back().y, 8.0, 1e-12);
+  // Length close to the straight-line distance (within grid slack).
+  EXPECT_LT(planner.PathLength({1, 1}, {8, 8}), std::sqrt(98.0) * 1.2);
+}
+
+TEST(PathPlannerTest, RoutesAroundWall) {
+  Map map = OpenMap();
+  // Vertical wall with a gap at the bottom.
+  map.obstacles = {Rect{5.0, 2.0, 5.5, 10.0}};
+  PathPlanner planner(map, 40);
+  const Position a{2.0, 8.0}, b{8.0, 8.0};
+  ASSERT_TRUE(planner.Reachable(a, b));
+  const double detour = planner.PathLength(a, b);
+  // Must be much longer than the straight line (goes down around the wall).
+  EXPECT_GT(detour, Distance(a, b) + 5.0);
+  // And every leg of the path must be collision-free.
+  const auto path = planner.FindPath(a, b);
+  Position prev = a;
+  for (const Position& p : *path) {
+    EXPECT_TRUE(map.SegmentFree(prev, p))
+        << "leg (" << prev.x << "," << prev.y << ")->(" << p.x << "," << p.y
+        << ")";
+    prev = p;
+  }
+}
+
+TEST(PathPlannerTest, UnreachableWhenFullyWalledOff) {
+  Map map = OpenMap();
+  // Box completely enclosing the target.
+  map.obstacles = {Rect{6.0, 6.0, 9.0, 6.4}, Rect{6.0, 8.6, 9.0, 9.0},
+                   Rect{6.0, 6.0, 6.4, 9.0}, Rect{8.6, 6.0, 9.0, 9.0}};
+  PathPlanner planner(map, 50);
+  EXPECT_FALSE(planner.Reachable({1.0, 1.0}, {7.5, 7.5}));
+  EXPECT_TRUE(std::isinf(planner.PathLength({1.0, 1.0}, {7.5, 7.5})));
+}
+
+TEST(PathPlannerTest, FindsTheCornerRoomGap) {
+  MapConfig config;  // standard 16x16 with the hard corner room
+  config.num_pois = 20;
+  Rng rng(3);
+  auto map_or = GenerateMap(config, rng);
+  ASSERT_TRUE(map_or.ok());
+  const Map map = std::move(map_or).value();
+  PathPlanner planner(map, 64);
+  const Position outside{2.0, 10.0};
+  const Position inside{config.size_x - config.corner_size / 2.0,
+                        config.corner_size / 2.0};
+  ASSERT_TRUE(planner.Reachable(outside, inside));
+  // The route is forced through the gap: strictly longer than straight line.
+  EXPECT_GT(planner.PathLength(outside, inside), Distance(outside, inside));
+}
+
+TEST(PathPlannerTest, NextWaypointMovesCloserAroundObstacle) {
+  Map map = OpenMap();
+  map.obstacles = {Rect{4.0, 3.0, 6.0, 7.0}};
+  PathPlanner planner(map, 40);
+  const Position from{3.0, 5.0};  // obstacle directly east
+  const Position to{8.0, 5.0};
+  const Position wp = planner.NextWaypoint(from, to);
+  // The waypoint routes around, not through: it cannot be inside the rect.
+  EXPECT_FALSE(map.obstacles[0].Contains(wp));
+  EXPECT_TRUE(map.SegmentFree(from, wp));
+}
+
+TEST(PathPlannerTest, ClampsBlockedEndpointsToNearestFreeCell) {
+  Map map = OpenMap();
+  map.obstacles = {Rect{4.0, 4.0, 6.0, 6.0}};
+  PathPlanner planner(map, 40);
+  // Target inside the obstacle: planner still produces a path to the
+  // nearest free cell (ending at the requested point).
+  const auto path = planner.FindPath({1.0, 1.0}, {5.0, 5.0});
+  ASSERT_TRUE(path.has_value());
+}
+
+TEST(PathPlannerTest, CellFree) {
+  Map map = OpenMap();
+  map.obstacles = {Rect{4.0, 4.0, 6.0, 6.0}};
+  PathPlanner planner(map, 40);
+  EXPECT_TRUE(planner.CellFree({1.0, 1.0}));
+  EXPECT_FALSE(planner.CellFree({5.0, 5.0}));
+}
+
+TEST(PathPlannerTest, ZeroLengthQuery) {
+  const Map map = OpenMap();
+  PathPlanner planner(map, 20);
+  const auto path = planner.FindPath({3.0, 3.0}, {3.0, 3.0});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_LT(planner.PathLength({3.0, 3.0}, {3.0, 3.0}), 1e-9);
+}
+
+class PathResolutionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathResolutionSweep, WallDetourConsistentAcrossResolutions) {
+  Map map = OpenMap();
+  map.obstacles = {Rect{5.0, 0.5, 5.5, 9.0}};
+  PathPlanner planner(map, GetParam());
+  ASSERT_TRUE(planner.Reachable({2.0, 5.0}, {8.0, 5.0}));
+  const double length = planner.PathLength({2.0, 5.0}, {8.0, 5.0});
+  EXPECT_GT(length, 10.0);  // forced over the top of the wall
+  EXPECT_LT(length, 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, PathResolutionSweep,
+                         ::testing::Values(24, 40, 64, 96));
+
+}  // namespace
+}  // namespace cews::env

@@ -1,0 +1,113 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace cews::nn {
+namespace {
+
+/// Minimizes f(x) = sum((x - target)^2) and returns the final x.
+template <typename MakeOpt>
+std::vector<float> MinimizeQuadratic(MakeOpt make_opt, int steps) {
+  Tensor x = Tensor::FromData({3}, {5.0f, -4.0f, 2.0f}, true);
+  Tensor target = Tensor::FromData({3}, {1.0f, 2.0f, 3.0f});
+  auto opt = make_opt(std::vector<Tensor>{x});
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Tensor loss = Sum(Square(Sub(x, target)));
+    loss.Backward();
+    opt->Step();
+  }
+  return x.ToVector();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  const auto x = MinimizeQuadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1f);
+      },
+      200);
+  EXPECT_NEAR(x[0], 1.0f, 1e-3);
+  EXPECT_NEAR(x[1], 2.0f, 1e-3);
+  EXPECT_NEAR(x[2], 3.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  const auto x = MinimizeQuadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05f, 0.9f);
+      },
+      300);
+  EXPECT_NEAR(x[0], 1.0f, 1e-2);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  const auto x = MinimizeQuadratic(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Adam>(std::move(p), 0.1f);
+      },
+      500);
+  EXPECT_NEAR(x[0], 1.0f, 1e-2);
+  EXPECT_NEAR(x[1], 2.0f, 1e-2);
+  EXPECT_NEAR(x[2], 3.0f, 1e-2);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // With bias correction, Adam's first step magnitude is ~lr regardless of
+  // gradient scale.
+  Tensor x = Tensor::FromData({1}, {0.0f}, true);
+  Adam adam({x}, 0.01f);
+  adam.ZeroGrad();
+  Tensor loss = Sum(MulScalar(x, 1000.0f));
+  loss.Backward();
+  adam.Step();
+  EXPECT_NEAR(x.data()[0], -0.01f, 1e-4);
+}
+
+TEST(AdamTest, SkipsParamsWithNoGrad) {
+  Tensor x = Tensor::FromData({1}, {1.0f}, true);
+  Adam adam({x}, 0.1f);
+  adam.Step();  // no backward ran; x must be untouched
+  EXPECT_FLOAT_EQ(x.data()[0], 1.0f);
+}
+
+TEST(OptimizerTest, TrainsMlpOnXor) {
+  // The classic non-linear sanity check: 2-4-1 MLP learns XOR.
+  Rng rng(11);
+  Mlp mlp({2, 8, 1}, Activation::kTanh, rng);
+  Adam adam(mlp.Parameters(), 0.05f);
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const float targets[4] = {0, 1, 1, 0};
+  Tensor x = Tensor::FromData(
+      {4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y = Tensor::FromData({4, 1}, {0, 1, 1, 0});
+  float final_loss = 1.0f;
+  for (int step = 0; step < 800; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = MseLoss(mlp.Forward(x), y);
+    loss.Backward();
+    adam.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 0.03f);
+  for (int i = 0; i < 4; ++i) {
+    Tensor xi = Tensor::FromData({1, 2}, {inputs[i][0], inputs[i][1]});
+    EXPECT_NEAR(mlp.Forward(xi).item(), targets[i], 0.35f);
+  }
+}
+
+TEST(OptimizerTest, LearningRateAccessors) {
+  Tensor x = Tensor::Zeros({1}, true);
+  Adam adam({x}, 0.1f);
+  EXPECT_FLOAT_EQ(adam.lr(), 0.1f);
+  adam.set_lr(0.01f);
+  EXPECT_FLOAT_EQ(adam.lr(), 0.01f);
+  Sgd sgd({x}, 0.2f);
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.2f);
+}
+
+}  // namespace
+}  // namespace cews::nn

@@ -1,0 +1,148 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace cews::nn {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndData) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (Index i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+  EXPECT_FALSE(t.requires_grad());
+}
+
+TEST(TensorTest, NegativeDimIndexing) {
+  Tensor t = Tensor::Zeros({4, 5, 6});
+  EXPECT_EQ(t.dim(-1), 6);
+  EXPECT_EQ(t.dim(-3), 4);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  EXPECT_EQ(t.data()[2], 2.5f);
+  Tensor s = Tensor::Scalar(7.0f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.item(), 7.0f);
+}
+
+TEST(TensorTest, FromDataAndAt) {
+  Tensor t = Tensor::FromData({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ((t.at({0, 0})), 1.0f);
+  EXPECT_EQ((t.at({0, 1})), 2.0f);
+  EXPECT_EQ((t.at({1, 0})), 3.0f);
+  EXPECT_EQ((t.at({1, 1})), 4.0f);
+  EXPECT_EQ(t.ToVector().size(), 4u);
+}
+
+TEST(TensorTest, UndefinedHandle) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, GradLazilyAllocated) {
+  Tensor t = Tensor::Zeros({2}, /*requires_grad=*/true);
+  EXPECT_EQ(t.grad(), nullptr);
+  t.ZeroGrad();
+  ASSERT_NE(t.grad(), nullptr);
+  EXPECT_EQ(t.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, BackwardThroughSimpleChain) {
+  // y = sum(2 * x); dy/dx = 2 everywhere.
+  Tensor x = Tensor::FromData({3}, {1.0f, 2.0f, 3.0f}, true);
+  Tensor y = Sum(MulScalar(x, 2.0f));
+  EXPECT_FLOAT_EQ(y.item(), 12.0f);
+  y.Backward();
+  ASSERT_NE(x.grad(), nullptr);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 2.0f);
+}
+
+TEST(TensorTest, GradAccumulatesWhenTensorUsedTwice) {
+  // y = sum(x + x); dy/dx = 2.
+  Tensor x = Tensor::FromData({2}, {1.0f, 1.0f}, true);
+  Tensor y = Sum(Add(x, x));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 2.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesAcrossCalls) {
+  Tensor x = Tensor::FromData({1}, {3.0f}, true);
+  Tensor y1 = Sum(Square(x));
+  y1.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  Tensor y2 = Sum(Square(x));
+  y2.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);  // accumulated
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesTape) {
+  Tensor x = Tensor::FromData({2}, {1.0f, 2.0f}, true);
+  {
+    NoGradGuard guard;
+    Tensor y = MulScalar(x, 3.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor y = MulScalar(x, 3.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(TensorTest, NoGradGuardNests) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard a;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard b;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TensorTest, DetachBreaksTape) {
+  Tensor x = Tensor::FromData({2}, {1.0f, 2.0f}, true);
+  Tensor d = MulScalar(x, 2.0f).Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_FLOAT_EQ(d.data()[1], 4.0f);
+  // Ops on the detached tensor never reach x.
+  Tensor y = Sum(d);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(TensorTest, DiamondGraphGradient) {
+  // y = sum(a*x + x^2): dy/dx = a + 2x with a = x (shared node) gives
+  // z = x*x + x^2 -> dz/dx = 4x.
+  Tensor x = Tensor::FromData({1}, {3.0f}, true);
+  Tensor z = Sum(Add(Mul(x, x), Square(x)));
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+TEST(TensorTest, ShapeToStringFormat) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({2, 0, 4}), 0);
+}
+
+TEST(TensorTest, CloneIsDeepCopy) {
+  Tensor x = Tensor::FromData({2}, {1.0f, 2.0f});
+  Tensor c = x.Clone();
+  c.data()[0] = 9.0f;
+  EXPECT_FLOAT_EQ(x.data()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace cews::nn

@@ -1,0 +1,221 @@
+// cews — command-line front end for the library.
+//
+//   cews scenarios                                  list built-in scenarios
+//   cews map --scenario earthquake-site --pois 200 --seed 42
+//            [--out site.map] [--svg site.svg]      generate & render a map
+//   cews show --map site.map                        render a saved map
+//   cews train --scenario X | --map FILE
+//              [--algorithm drl-cews|dppo] [--episodes N] [--employees N]
+//              [--seed N] [--ckpt policy.bin] [--history history.csv]
+//              train a policy and export artifacts
+//   cews eval --map FILE --ckpt policy.bin
+//             [--episodes N] [--svg traj.svg]       evaluate a checkpoint
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agents/eval.h"
+#include "core/algorithms.h"
+#include "core/drl_cews.h"
+#include "core/scenarios.h"
+#include "core/training_log.h"
+#include "core/visualize.h"
+#include "env/map_io.h"
+#include "env/state_encoder.h"
+
+namespace {
+
+using namespace cews;
+
+/// Flat --flag value parser: everything after the subcommand must be
+/// "--key value" pairs.
+class Args {
+ public:
+  static Result<Args> Parse(int argc, char** argv, int start) {
+    Args args;
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--" + key + " is missing its value");
+      }
+      args.values_[key] = argv[++i];
+    }
+    return args;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(),
+                                                        nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<env::Map> ResolveMap(const Args& args) {
+  if (args.Has("map")) return env::LoadMap(args.Get("map", ""));
+  CEWS_ASSIGN_OR_RETURN(
+      const core::Scenario scenario,
+      core::ScenarioFromName(args.Get("scenario", "earthquake-site")));
+  return core::MakeScenario(
+      scenario, static_cast<int>(args.GetInt("pois", 150)),
+      static_cast<int>(args.GetInt("workers", 2)),
+      static_cast<int>(args.GetInt("stations", 4)),
+      static_cast<uint64_t>(args.GetInt("seed", 42)));
+}
+
+int CmdScenarios() {
+  for (const core::Scenario scenario : core::AllScenarios()) {
+    std::printf("%s\n", core::ScenarioName(scenario).c_str());
+  }
+  return 0;
+}
+
+int CmdMap(const Args& args) {
+  auto map_or = ResolveMap(args);
+  if (!map_or.ok()) return Fail(map_or.status());
+  const env::Map& map = *map_or;
+  std::printf("%s", core::AsciiMap(map, 64).c_str());
+  std::printf(
+      "(%zu PoIs '*', %zu stations 'C', %zu spawns 'W', %zu obstacles '#')\n",
+      map.pois.size(), map.stations.size(), map.worker_spawns.size(),
+      map.obstacles.size());
+  if (args.Has("out")) {
+    const Status status = env::SaveMap(map, args.Get("out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("saved -> %s\n", args.Get("out", "").c_str());
+  }
+  if (args.Has("svg")) {
+    const Status status =
+        core::WriteTrajectorySvg(map, {}, args.Get("svg", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("svg -> %s\n", args.Get("svg", "").c_str());
+  }
+  return 0;
+}
+
+core::BenchmarkOptions OptionsFrom(const Args& args) {
+  core::BenchmarkOptions options;
+  options.episodes = static_cast<int>(args.GetInt("episodes", 200));
+  options.num_employees = static_cast<int>(args.GetInt("employees", 2));
+  options.batch_size = static_cast<int>(args.GetInt("batch", 64));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.grid = 12;
+  options.net.conv1_channels = 4;
+  options.net.conv2_channels = 6;
+  options.net.conv3_channels = 6;
+  options.net.feature_dim = 64;
+  return options;
+}
+
+int CmdTrain(const Args& args) {
+  auto map_or = ResolveMap(args);
+  if (!map_or.ok()) return Fail(map_or.status());
+  const std::string algorithm = args.Get("algorithm", "drl-cews");
+  const core::Algorithm which = algorithm == "dppo" ? core::Algorithm::kDppo
+                                                    : core::Algorithm::kDrlCews;
+  if (algorithm != "dppo" && algorithm != "drl-cews") {
+    return Fail(Status::InvalidArgument(
+        "train supports drl-cews or dppo, got '" + algorithm + "'"));
+  }
+  env::EnvConfig env_config;
+  env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
+  const core::BenchmarkOptions options = OptionsFrom(args);
+  core::DrlCews system(core::MakeTrainerConfig(which, env_config, options),
+                       *map_or);
+  std::printf("training %s: %d episodes x %d employees...\n",
+              algorithm.c_str(), options.episodes, options.num_employees);
+  const agents::TrainResult result = system.Train();
+  std::printf("done in %.1fs\n", result.seconds);
+  const agents::EvalResult eval = system.Evaluate(3);
+  std::printf("eval: kappa=%.3f xi=%.3f rho=%.3f\n", eval.kappa, eval.xi,
+              eval.rho);
+  if (args.Has("ckpt")) {
+    const Status status = system.SaveCheckpoint(args.Get("ckpt", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("checkpoint -> %s\n", args.Get("ckpt", "").c_str());
+  }
+  if (args.Has("history")) {
+    const Status status =
+        core::WriteHistoryCsv(result.history, args.Get("history", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("history -> %s\n", args.Get("history", "").c_str());
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  if (!args.Has("ckpt")) {
+    return Fail(Status::InvalidArgument("eval requires --ckpt"));
+  }
+  auto map_or = ResolveMap(args);
+  if (!map_or.ok()) return Fail(map_or.status());
+  env::EnvConfig env_config;
+  env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
+  const core::BenchmarkOptions options = OptionsFrom(args);
+  core::DrlCews system(
+      core::MakeTrainerConfig(core::Algorithm::kDrlCews, env_config, options),
+      *map_or);
+  const Status load = system.LoadCheckpoint(args.Get("ckpt", ""));
+  if (!load.ok()) return Fail(load);
+  const agents::EvalResult eval =
+      system.Evaluate(static_cast<int>(args.GetInt("episodes", 3)));
+  std::printf("kappa=%.3f xi=%.3f rho=%.3f\n", eval.kappa, eval.xi,
+              eval.rho);
+  if (args.Has("svg")) {
+    env::Env env(env_config, *map_or);
+    env::StateEncoder encoder({options.grid});
+    Rng rng(options.seed + 3);
+    agents::EvaluatePolicy(system.net(), env, encoder, rng);
+    const Status status = core::WriteTrajectorySvg(
+        *map_or, env.trajectories(), args.Get("svg", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("svg -> %s\n", args.Get("svg", "").c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cews <scenarios|map|show|train|eval> [--flag value]\n"
+               "see the header of tools/cews_cli.cpp for details\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto args_or = Args::Parse(argc, argv, 2);
+  if (!args_or.ok()) return Fail(args_or.status());
+  const Args& args = *args_or;
+  if (command == "scenarios") return CmdScenarios();
+  if (command == "map") return CmdMap(args);
+  if (command == "show") {
+    if (!args.Has("map")) {
+      return Fail(Status::InvalidArgument("show requires --map"));
+    }
+    return CmdMap(args);
+  }
+  if (command == "train") return CmdTrain(args);
+  if (command == "eval") return CmdEval(args);
+  return Usage();
+}
