@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reward_scaling.dir/bench_ablation_reward_scaling.cpp.o"
+  "CMakeFiles/bench_ablation_reward_scaling.dir/bench_ablation_reward_scaling.cpp.o.d"
+  "bench_ablation_reward_scaling"
+  "bench_ablation_reward_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reward_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dqn.dir/bench_ext_dqn.cpp.o"
+  "CMakeFiles/bench_ext_dqn.dir/bench_ext_dqn.cpp.o.d"
+  "bench_ext_dqn"
+  "bench_ext_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_generalization.dir/bench_ext_generalization.cpp.o"
+  "CMakeFiles/bench_ext_generalization.dir/bench_ext_generalization.cpp.o.d"
+  "bench_ext_generalization"
+  "bench_ext_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_planners.dir/bench_ext_planners.cpp.o"
+  "CMakeFiles/bench_ext_planners.dir/bench_ext_planners.cpp.o.d"
+  "bench_ext_planners"
+  "bench_ext_planners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_planners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_trajectories.dir/bench_fig2c_trajectories.cpp.o"
+  "CMakeFiles/bench_fig2c_trajectories.dir/bench_fig2c_trajectories.cpp.o.d"
+  "bench_fig2c_trajectories"
+  "bench_fig2c_trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2c_trajectories.
+# This may be replaced when dependencies are built.

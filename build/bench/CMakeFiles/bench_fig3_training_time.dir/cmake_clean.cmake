@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_training_time.dir/bench_fig3_training_time.cpp.o"
+  "CMakeFiles/bench_fig3_training_time.dir/bench_fig3_training_time.cpp.o.d"
+  "bench_fig3_training_time"
+  "bench_fig3_training_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_feature_selection.dir/bench_fig4_feature_selection.cpp.o"
+  "CMakeFiles/bench_fig4_feature_selection.dir/bench_fig4_feature_selection.cpp.o.d"
+  "bench_fig4_feature_selection"
+  "bench_fig4_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

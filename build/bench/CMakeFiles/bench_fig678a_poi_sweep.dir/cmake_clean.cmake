@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig678a_poi_sweep.dir/bench_fig678a_poi_sweep.cpp.o"
+  "CMakeFiles/bench_fig678a_poi_sweep.dir/bench_fig678a_poi_sweep.cpp.o.d"
+  "bench_fig678a_poi_sweep"
+  "bench_fig678a_poi_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig678a_poi_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

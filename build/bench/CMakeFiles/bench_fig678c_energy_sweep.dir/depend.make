@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig678c_energy_sweep.
+# This may be replaced when dependencies are built.

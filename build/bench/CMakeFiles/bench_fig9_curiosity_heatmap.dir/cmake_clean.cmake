@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_curiosity_heatmap.dir/bench_fig9_curiosity_heatmap.cpp.o"
+  "CMakeFiles/bench_fig9_curiosity_heatmap.dir/bench_fig9_curiosity_heatmap.cpp.o.d"
+  "bench_fig9_curiosity_heatmap"
+  "bench_fig9_curiosity_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_curiosity_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_env.dir/bench_micro_env.cpp.o"
+  "CMakeFiles/bench_micro_env.dir/bench_micro_env.cpp.o.d"
+  "bench_micro_env"
+  "bench_micro_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

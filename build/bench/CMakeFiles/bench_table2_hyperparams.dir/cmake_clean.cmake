@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hyperparams.dir/bench_table2_hyperparams.cpp.o"
+  "CMakeFiles/bench_table2_hyperparams.dir/bench_table2_hyperparams.cpp.o.d"
+  "bench_table2_hyperparams"
+  "bench_table2_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curiosity_heatmap.dir/curiosity_heatmap.cpp.o"
+  "CMakeFiles/curiosity_heatmap.dir/curiosity_heatmap.cpp.o.d"
+  "curiosity_heatmap"
+  "curiosity_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curiosity_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

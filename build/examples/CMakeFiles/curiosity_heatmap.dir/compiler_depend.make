@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for curiosity_heatmap.
+# This may be replaced when dependencies are built.

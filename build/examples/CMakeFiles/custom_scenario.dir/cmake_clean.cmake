@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_scenario.dir/custom_scenario.cpp.o"
+  "CMakeFiles/custom_scenario.dir/custom_scenario.cpp.o.d"
+  "custom_scenario"
+  "custom_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

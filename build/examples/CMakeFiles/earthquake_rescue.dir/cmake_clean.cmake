@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_rescue.dir/earthquake_rescue.cpp.o"
+  "CMakeFiles/earthquake_rescue.dir/earthquake_rescue.cpp.o.d"
+  "earthquake_rescue"
+  "earthquake_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for earthquake_rescue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_charging.dir/fleet_charging.cpp.o"
+  "CMakeFiles/fleet_charging.dir/fleet_charging.cpp.o.d"
+  "fleet_charging"
+  "fleet_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/async_trainer.cc" "src/agents/CMakeFiles/cews_agents.dir/async_trainer.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/async_trainer.cc.o.d"
+  "/root/repo/src/agents/chief_employee.cc" "src/agents/CMakeFiles/cews_agents.dir/chief_employee.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/chief_employee.cc.o.d"
+  "/root/repo/src/agents/cnn_trunk.cc" "src/agents/CMakeFiles/cews_agents.dir/cnn_trunk.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/cnn_trunk.cc.o.d"
+  "/root/repo/src/agents/curiosity.cc" "src/agents/CMakeFiles/cews_agents.dir/curiosity.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/curiosity.cc.o.d"
+  "/root/repo/src/agents/eval.cc" "src/agents/CMakeFiles/cews_agents.dir/eval.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/eval.cc.o.d"
+  "/root/repo/src/agents/policy_net.cc" "src/agents/CMakeFiles/cews_agents.dir/policy_net.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/policy_net.cc.o.d"
+  "/root/repo/src/agents/ppo.cc" "src/agents/CMakeFiles/cews_agents.dir/ppo.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/ppo.cc.o.d"
+  "/root/repo/src/agents/rnd.cc" "src/agents/CMakeFiles/cews_agents.dir/rnd.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/rnd.cc.o.d"
+  "/root/repo/src/agents/rollout.cc" "src/agents/CMakeFiles/cews_agents.dir/rollout.cc.o" "gcc" "src/agents/CMakeFiles/cews_agents.dir/rollout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cews_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/cews_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cews_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

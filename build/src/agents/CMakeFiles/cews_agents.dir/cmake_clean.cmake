@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cews_agents.dir/async_trainer.cc.o"
+  "CMakeFiles/cews_agents.dir/async_trainer.cc.o.d"
+  "CMakeFiles/cews_agents.dir/chief_employee.cc.o"
+  "CMakeFiles/cews_agents.dir/chief_employee.cc.o.d"
+  "CMakeFiles/cews_agents.dir/cnn_trunk.cc.o"
+  "CMakeFiles/cews_agents.dir/cnn_trunk.cc.o.d"
+  "CMakeFiles/cews_agents.dir/curiosity.cc.o"
+  "CMakeFiles/cews_agents.dir/curiosity.cc.o.d"
+  "CMakeFiles/cews_agents.dir/eval.cc.o"
+  "CMakeFiles/cews_agents.dir/eval.cc.o.d"
+  "CMakeFiles/cews_agents.dir/policy_net.cc.o"
+  "CMakeFiles/cews_agents.dir/policy_net.cc.o.d"
+  "CMakeFiles/cews_agents.dir/ppo.cc.o"
+  "CMakeFiles/cews_agents.dir/ppo.cc.o.d"
+  "CMakeFiles/cews_agents.dir/rnd.cc.o"
+  "CMakeFiles/cews_agents.dir/rnd.cc.o.d"
+  "CMakeFiles/cews_agents.dir/rollout.cc.o"
+  "CMakeFiles/cews_agents.dir/rollout.cc.o.d"
+  "libcews_agents.a"
+  "libcews_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cews_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

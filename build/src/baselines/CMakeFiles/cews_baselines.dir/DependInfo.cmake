@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dnc.cc" "src/baselines/CMakeFiles/cews_baselines.dir/dnc.cc.o" "gcc" "src/baselines/CMakeFiles/cews_baselines.dir/dnc.cc.o.d"
+  "/root/repo/src/baselines/dqn.cc" "src/baselines/CMakeFiles/cews_baselines.dir/dqn.cc.o" "gcc" "src/baselines/CMakeFiles/cews_baselines.dir/dqn.cc.o.d"
+  "/root/repo/src/baselines/edics.cc" "src/baselines/CMakeFiles/cews_baselines.dir/edics.cc.o" "gcc" "src/baselines/CMakeFiles/cews_baselines.dir/edics.cc.o.d"
+  "/root/repo/src/baselines/greedy.cc" "src/baselines/CMakeFiles/cews_baselines.dir/greedy.cc.o" "gcc" "src/baselines/CMakeFiles/cews_baselines.dir/greedy.cc.o.d"
+  "/root/repo/src/baselines/nav_greedy.cc" "src/baselines/CMakeFiles/cews_baselines.dir/nav_greedy.cc.o" "gcc" "src/baselines/CMakeFiles/cews_baselines.dir/nav_greedy.cc.o.d"
+  "/root/repo/src/baselines/planner.cc" "src/baselines/CMakeFiles/cews_baselines.dir/planner.cc.o" "gcc" "src/baselines/CMakeFiles/cews_baselines.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agents/CMakeFiles/cews_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cews_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/cews_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cews_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cews_baselines.dir/dnc.cc.o"
+  "CMakeFiles/cews_baselines.dir/dnc.cc.o.d"
+  "CMakeFiles/cews_baselines.dir/dqn.cc.o"
+  "CMakeFiles/cews_baselines.dir/dqn.cc.o.d"
+  "CMakeFiles/cews_baselines.dir/edics.cc.o"
+  "CMakeFiles/cews_baselines.dir/edics.cc.o.d"
+  "CMakeFiles/cews_baselines.dir/greedy.cc.o"
+  "CMakeFiles/cews_baselines.dir/greedy.cc.o.d"
+  "CMakeFiles/cews_baselines.dir/nav_greedy.cc.o"
+  "CMakeFiles/cews_baselines.dir/nav_greedy.cc.o.d"
+  "CMakeFiles/cews_baselines.dir/planner.cc.o"
+  "CMakeFiles/cews_baselines.dir/planner.cc.o.d"
+  "libcews_baselines.a"
+  "libcews_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cews_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cews_common.dir/kv_config.cc.o"
+  "CMakeFiles/cews_common.dir/kv_config.cc.o.d"
+  "CMakeFiles/cews_common.dir/log.cc.o"
+  "CMakeFiles/cews_common.dir/log.cc.o.d"
+  "CMakeFiles/cews_common.dir/status.cc.o"
+  "CMakeFiles/cews_common.dir/status.cc.o.d"
+  "CMakeFiles/cews_common.dir/table.cc.o"
+  "CMakeFiles/cews_common.dir/table.cc.o.d"
+  "libcews_common.a"
+  "libcews_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cews_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cc" "src/core/CMakeFiles/cews_core.dir/algorithms.cc.o" "gcc" "src/core/CMakeFiles/cews_core.dir/algorithms.cc.o.d"
+  "/root/repo/src/core/drl_cews.cc" "src/core/CMakeFiles/cews_core.dir/drl_cews.cc.o" "gcc" "src/core/CMakeFiles/cews_core.dir/drl_cews.cc.o.d"
+  "/root/repo/src/core/scenarios.cc" "src/core/CMakeFiles/cews_core.dir/scenarios.cc.o" "gcc" "src/core/CMakeFiles/cews_core.dir/scenarios.cc.o.d"
+  "/root/repo/src/core/training_log.cc" "src/core/CMakeFiles/cews_core.dir/training_log.cc.o" "gcc" "src/core/CMakeFiles/cews_core.dir/training_log.cc.o.d"
+  "/root/repo/src/core/visualize.cc" "src/core/CMakeFiles/cews_core.dir/visualize.cc.o" "gcc" "src/core/CMakeFiles/cews_core.dir/visualize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agents/CMakeFiles/cews_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cews_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cews_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/cews_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cews_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cews_core.dir/algorithms.cc.o"
+  "CMakeFiles/cews_core.dir/algorithms.cc.o.d"
+  "CMakeFiles/cews_core.dir/drl_cews.cc.o"
+  "CMakeFiles/cews_core.dir/drl_cews.cc.o.d"
+  "CMakeFiles/cews_core.dir/scenarios.cc.o"
+  "CMakeFiles/cews_core.dir/scenarios.cc.o.d"
+  "CMakeFiles/cews_core.dir/training_log.cc.o"
+  "CMakeFiles/cews_core.dir/training_log.cc.o.d"
+  "CMakeFiles/cews_core.dir/visualize.cc.o"
+  "CMakeFiles/cews_core.dir/visualize.cc.o.d"
+  "libcews_core.a"
+  "libcews_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cews_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

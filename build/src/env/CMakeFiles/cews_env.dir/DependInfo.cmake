@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/action_space.cc" "src/env/CMakeFiles/cews_env.dir/action_space.cc.o" "gcc" "src/env/CMakeFiles/cews_env.dir/action_space.cc.o.d"
+  "/root/repo/src/env/env.cc" "src/env/CMakeFiles/cews_env.dir/env.cc.o" "gcc" "src/env/CMakeFiles/cews_env.dir/env.cc.o.d"
+  "/root/repo/src/env/map.cc" "src/env/CMakeFiles/cews_env.dir/map.cc.o" "gcc" "src/env/CMakeFiles/cews_env.dir/map.cc.o.d"
+  "/root/repo/src/env/map_io.cc" "src/env/CMakeFiles/cews_env.dir/map_io.cc.o" "gcc" "src/env/CMakeFiles/cews_env.dir/map_io.cc.o.d"
+  "/root/repo/src/env/pathfinding.cc" "src/env/CMakeFiles/cews_env.dir/pathfinding.cc.o" "gcc" "src/env/CMakeFiles/cews_env.dir/pathfinding.cc.o.d"
+  "/root/repo/src/env/state_encoder.cc" "src/env/CMakeFiles/cews_env.dir/state_encoder.cc.o" "gcc" "src/env/CMakeFiles/cews_env.dir/state_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cews_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

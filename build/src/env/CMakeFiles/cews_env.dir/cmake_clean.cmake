@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cews_env.dir/action_space.cc.o"
+  "CMakeFiles/cews_env.dir/action_space.cc.o.d"
+  "CMakeFiles/cews_env.dir/env.cc.o"
+  "CMakeFiles/cews_env.dir/env.cc.o.d"
+  "CMakeFiles/cews_env.dir/map.cc.o"
+  "CMakeFiles/cews_env.dir/map.cc.o.d"
+  "CMakeFiles/cews_env.dir/map_io.cc.o"
+  "CMakeFiles/cews_env.dir/map_io.cc.o.d"
+  "CMakeFiles/cews_env.dir/pathfinding.cc.o"
+  "CMakeFiles/cews_env.dir/pathfinding.cc.o.d"
+  "CMakeFiles/cews_env.dir/state_encoder.cc.o"
+  "CMakeFiles/cews_env.dir/state_encoder.cc.o.d"
+  "libcews_env.a"
+  "libcews_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cews_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

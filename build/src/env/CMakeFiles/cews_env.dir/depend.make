@@ -1,0 +1,2 @@
+# Empty dependencies file for cews_env.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/cews_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/cews_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/cews_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/cews_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/cews_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/cews_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/cews_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/cews_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/params.cc" "src/nn/CMakeFiles/cews_nn.dir/params.cc.o" "gcc" "src/nn/CMakeFiles/cews_nn.dir/params.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/cews_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/cews_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/cews_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/cews_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cews_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

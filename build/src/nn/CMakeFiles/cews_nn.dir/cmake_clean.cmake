@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cews_nn.dir/init.cc.o"
+  "CMakeFiles/cews_nn.dir/init.cc.o.d"
+  "CMakeFiles/cews_nn.dir/module.cc.o"
+  "CMakeFiles/cews_nn.dir/module.cc.o.d"
+  "CMakeFiles/cews_nn.dir/ops.cc.o"
+  "CMakeFiles/cews_nn.dir/ops.cc.o.d"
+  "CMakeFiles/cews_nn.dir/optimizer.cc.o"
+  "CMakeFiles/cews_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/cews_nn.dir/params.cc.o"
+  "CMakeFiles/cews_nn.dir/params.cc.o.d"
+  "CMakeFiles/cews_nn.dir/serialize.cc.o"
+  "CMakeFiles/cews_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/cews_nn.dir/tensor.cc.o"
+  "CMakeFiles/cews_nn.dir/tensor.cc.o.d"
+  "libcews_nn.a"
+  "libcews_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cews_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

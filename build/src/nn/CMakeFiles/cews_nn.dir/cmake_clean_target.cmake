@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcews_nn.a"
+)

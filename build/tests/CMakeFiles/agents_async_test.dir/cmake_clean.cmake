@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_async_test.dir/agents_async_test.cc.o"
+  "CMakeFiles/agents_async_test.dir/agents_async_test.cc.o.d"
+  "agents_async_test"
+  "agents_async_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_async_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

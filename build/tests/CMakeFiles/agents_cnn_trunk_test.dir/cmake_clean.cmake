@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_cnn_trunk_test.dir/agents_cnn_trunk_test.cc.o"
+  "CMakeFiles/agents_cnn_trunk_test.dir/agents_cnn_trunk_test.cc.o.d"
+  "agents_cnn_trunk_test"
+  "agents_cnn_trunk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_cnn_trunk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

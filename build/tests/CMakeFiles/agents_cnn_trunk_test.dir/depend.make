@@ -1,0 +1,2 @@
+# Empty dependencies file for agents_cnn_trunk_test.
+# This may be replaced when dependencies are built.

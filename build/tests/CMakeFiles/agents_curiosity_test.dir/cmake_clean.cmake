@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_curiosity_test.dir/agents_curiosity_test.cc.o"
+  "CMakeFiles/agents_curiosity_test.dir/agents_curiosity_test.cc.o.d"
+  "agents_curiosity_test"
+  "agents_curiosity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_curiosity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_policy_test.dir/agents_policy_test.cc.o"
+  "CMakeFiles/agents_policy_test.dir/agents_policy_test.cc.o.d"
+  "agents_policy_test"
+  "agents_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_rollout_test.dir/agents_rollout_test.cc.o"
+  "CMakeFiles/agents_rollout_test.dir/agents_rollout_test.cc.o.d"
+  "agents_rollout_test"
+  "agents_rollout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_rollout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_trainer_test.dir/agents_trainer_test.cc.o"
+  "CMakeFiles/agents_trainer_test.dir/agents_trainer_test.cc.o.d"
+  "agents_trainer_test"
+  "agents_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

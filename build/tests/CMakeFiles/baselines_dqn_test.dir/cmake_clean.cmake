@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_dqn_test.dir/baselines_dqn_test.cc.o"
+  "CMakeFiles/baselines_dqn_test.dir/baselines_dqn_test.cc.o.d"
+  "baselines_dqn_test"
+  "baselines_dqn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_dqn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

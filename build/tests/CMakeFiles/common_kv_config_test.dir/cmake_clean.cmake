@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_kv_config_test.dir/common_kv_config_test.cc.o"
+  "CMakeFiles/common_kv_config_test.dir/common_kv_config_test.cc.o.d"
+  "common_kv_config_test"
+  "common_kv_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_kv_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

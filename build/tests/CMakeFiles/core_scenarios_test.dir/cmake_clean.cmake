@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scenarios_test.dir/core_scenarios_test.cc.o"
+  "CMakeFiles/core_scenarios_test.dir/core_scenarios_test.cc.o.d"
+  "core_scenarios_test"
+  "core_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

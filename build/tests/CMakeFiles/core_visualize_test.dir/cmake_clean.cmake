@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_visualize_test.dir/core_visualize_test.cc.o"
+  "CMakeFiles/core_visualize_test.dir/core_visualize_test.cc.o.d"
+  "core_visualize_test"
+  "core_visualize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_visualize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_dynamics_test.dir/env_dynamics_test.cc.o"
+  "CMakeFiles/env_dynamics_test.dir/env_dynamics_test.cc.o.d"
+  "env_dynamics_test"
+  "env_dynamics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/env_encoder_test.cc" "tests/CMakeFiles/env_encoder_test.dir/env_encoder_test.cc.o" "gcc" "tests/CMakeFiles/env_encoder_test.dir/env_encoder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cews_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cews_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/cews_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cews_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/cews_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cews_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

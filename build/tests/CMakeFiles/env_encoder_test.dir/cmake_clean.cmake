@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_encoder_test.dir/env_encoder_test.cc.o"
+  "CMakeFiles/env_encoder_test.dir/env_encoder_test.cc.o.d"
+  "env_encoder_test"
+  "env_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_fuzz_test.dir/env_fuzz_test.cc.o"
+  "CMakeFiles/env_fuzz_test.dir/env_fuzz_test.cc.o.d"
+  "env_fuzz_test"
+  "env_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_geometry_test.dir/env_geometry_test.cc.o"
+  "CMakeFiles/env_geometry_test.dir/env_geometry_test.cc.o.d"
+  "env_geometry_test"
+  "env_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_hetero_test.dir/env_hetero_test.cc.o"
+  "CMakeFiles/env_hetero_test.dir/env_hetero_test.cc.o.d"
+  "env_hetero_test"
+  "env_hetero_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_hetero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_map_io_test.dir/env_map_io_test.cc.o"
+  "CMakeFiles/env_map_io_test.dir/env_map_io_test.cc.o.d"
+  "env_map_io_test"
+  "env_map_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_map_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

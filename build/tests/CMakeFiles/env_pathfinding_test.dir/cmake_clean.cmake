@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_pathfinding_test.dir/env_pathfinding_test.cc.o"
+  "CMakeFiles/env_pathfinding_test.dir/env_pathfinding_test.cc.o.d"
+  "env_pathfinding_test"
+  "env_pathfinding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_pathfinding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_grad_check_test.dir/nn_grad_check_test.cc.o"
+  "CMakeFiles/nn_grad_check_test.dir/nn_grad_check_test.cc.o.d"
+  "nn_grad_check_test"
+  "nn_grad_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_grad_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

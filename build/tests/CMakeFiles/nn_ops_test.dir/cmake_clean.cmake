@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_ops_test.dir/nn_ops_test.cc.o"
+  "CMakeFiles/nn_ops_test.dir/nn_ops_test.cc.o.d"
+  "nn_ops_test"
+  "nn_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cews.dir/cews_cli.cpp.o"
+  "CMakeFiles/cews.dir/cews_cli.cpp.o.d"
+  "cews"
+  "cews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
