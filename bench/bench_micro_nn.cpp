@@ -1,9 +1,16 @@
 // Micro-benchmarks of the neural-network substrate (google-benchmark).
+//
+// The matmul/conv benchmarks sweep the intra-op thread count (second arg)
+// so one run reports single- vs multi-thread kernel throughput; compare the
+// items_per_second column across `threads` values. Kernel results are
+// bitwise-identical at every thread count (see nn_parallel_determinism_test),
+// so the sweep measures scheduling only.
 #include <benchmark/benchmark.h>
 
 #include "agents/policy_net.h"
 #include "agents/ppo.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "nn/params.h"
@@ -12,8 +19,24 @@ namespace {
 
 using namespace cews;
 
+/// Sizes the global pool for one benchmark run and restores the serial
+/// default on destruction so unrelated benchmarks stay single-threaded.
+class PoolGuard {
+ public:
+  explicit PoolGuard(benchmark::State& state, int arg_index = 1)
+      : threads_(static_cast<int>(state.range(arg_index))) {
+    runtime::SetGlobalPoolThreads(threads_);
+  }
+  ~PoolGuard() { runtime::SetGlobalPoolThreads(1); }
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
 void BM_MatMul(benchmark::State& state) {
   const nn::Index n = state.range(0);
+  PoolGuard pool(state);
   Rng rng(1);
   nn::Tensor a = nn::Tensor::Zeros({n, n});
   nn::Tensor b = nn::Tensor::Zeros({n, n});
@@ -21,38 +44,74 @@ void BM_MatMul(benchmark::State& state) {
     a.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
     b.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
   }
+  nn::NoGradGuard no_grad;
   for (auto _ : state) {
     benchmark::DoNotOptimize(nn::MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{32, 128, 256}, {1, 2, 4}});
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const nn::Index n = state.range(0);
+  PoolGuard pool(state);
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Zeros({n, n}, /*requires_grad=*/true);
+  nn::Tensor b = nn::Tensor::Zeros({n, n}, /*requires_grad=*/true);
+  for (nn::Index i = 0; i < a.numel(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+    b.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    nn::Tensor loss = nn::Mean(nn::MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n * n * n);
+}
+BENCHMARK(BM_MatMulBackward)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{128, 256}, {1, 2, 4}});
 
 void BM_Conv2dForward(benchmark::State& state) {
   const nn::Index g = state.range(0);
+  PoolGuard pool(state);
   Rng rng(2);
   nn::Conv2dLayer conv(3, 8, 3, 1, 1, rng);
-  nn::Tensor x = nn::Tensor::Zeros({1, 3, g, g});
+  // A training-shaped batch: intra-op kernels partition over images and
+  // output channels, so a batch > 1 exposes the parallel axis.
+  nn::Tensor x = nn::Tensor::Zeros({8, 3, g, g});
   nn::NoGradGuard no_grad;
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(x));
   }
+  state.SetItemsProcessed(state.iterations() * 8 * g * g);
 }
-BENCHMARK(BM_Conv2dForward)->Arg(12)->Arg(20)->Arg(32);
+BENCHMARK(BM_Conv2dForward)
+    ->ArgNames({"g", "threads"})
+    ->ArgsProduct({{12, 20, 32}, {1, 2, 4}});
 
 void BM_Conv2dForwardBackward(benchmark::State& state) {
   const nn::Index g = state.range(0);
+  PoolGuard pool(state);
   Rng rng(3);
   nn::Conv2dLayer conv(3, 8, 3, 1, 1, rng);
-  nn::Tensor x = nn::Tensor::Zeros({1, 3, g, g});
+  nn::Tensor x = nn::Tensor::Zeros({8, 3, g, g});
   for (auto _ : state) {
     conv.ZeroGrad();
     nn::Tensor loss = nn::Mean(nn::Square(conv.Forward(x)));
     loss.Backward();
     benchmark::DoNotOptimize(loss.item());
   }
+  state.SetItemsProcessed(state.iterations() * 8 * g * g);
 }
-BENCHMARK(BM_Conv2dForwardBackward)->Arg(12)->Arg(20);
+BENCHMARK(BM_Conv2dForwardBackward)
+    ->ArgNames({"g", "threads"})
+    ->ArgsProduct({{12, 20}, {1, 2, 4}});
 
 void BM_SoftmaxLastDim(benchmark::State& state) {
   Rng rng(4);
@@ -104,6 +163,7 @@ BENCHMARK(BM_PolicyNetForward)->Arg(12)->Arg(20);
 
 void BM_PpoLossBackward(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
+  PoolGuard pool(state);
   const agents::PolicyNetConfig net_config = BenchNet(12);
   agents::PpoAgent agent(net_config, agents::PpoConfig{}, 7);
   Rng rng(8);
@@ -127,12 +187,16 @@ void BM_PpoLossBackward(benchmark::State& state) {
   for (int i = 0; i < batch; ++i) idx.push_back(static_cast<size_t>(i));
   for (auto _ : state) {
     nn::ZeroGradients(agent.Parameters());
-    nn::Tensor loss = agent.ComputeLoss(buffer, idx);
+    // Gather + packed loss, exactly the trainer's per-epoch hot path.
+    nn::Tensor loss = agent.ComputeLoss(buffer.GatherBatch(idx));
     loss.Backward();
     benchmark::DoNotOptimize(loss.item());
   }
+  state.SetItemsProcessed(state.iterations() * batch);
 }
-BENCHMARK(BM_PpoLossBackward)->Arg(16)->Arg(64);
+BENCHMARK(BM_PpoLossBackward)
+    ->ArgNames({"batch", "threads"})
+    ->ArgsProduct({{16, 64}, {1, 2, 4}});
 
 void BM_AdamStep(benchmark::State& state) {
   Rng rng(9);

@@ -37,7 +37,13 @@ int main() {
   config.heatmap_snapshot_every = 20;  // three panels
   config.seed = 8;
 
-  core::DrlCews system(config, map);
+  auto system_or = core::DrlCews::Create(config, map);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::DrlCews& system = **system_or;
   system.Train();
 
   const int grid = config.encoder.grid;

@@ -123,8 +123,14 @@ int main(int argc, char** argv) {
     if (which == core::Algorithm::kEdics) {
       result = core::RunAlgorithm(which, map, env_config, options);
     } else {
-      core::DrlCews system(
+      auto system_or = core::DrlCews::Create(
           core::MakeTrainerConfig(which, env_config, options), map);
+      if (!system_or.ok()) {
+        std::fprintf(stderr, "bad config: %s\n",
+                     system_or.status().ToString().c_str());
+        return 1;
+      }
+      core::DrlCews& system = **system_or;
       const agents::TrainResult train = system.Train();
       std::printf("trained %s for %d episodes (%.1fs)\n", algorithm.c_str(),
                   options.episodes, train.seconds);

@@ -78,7 +78,13 @@ int main() {
   config.net.conv3_channels = 6;
   config.net.feature_dim = 64;
   config.seed = 5;
-  core::DrlCews system(config, map);
+  auto system_or = core::DrlCews::Create(config, map);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::DrlCews& system = **system_or;
   const agents::TrainResult train = system.Train();
   std::printf("trained DRL-CEWS for %d episodes (%.1fs)\n\n",
               config.episodes, train.seconds);

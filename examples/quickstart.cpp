@@ -56,7 +56,13 @@ int main() {
   agents::TrainerConfig config = core::MakeTrainerConfig(
       core::Algorithm::kDrlCews, env_config, options);
 
-  core::DrlCews system(config, map);
+  auto system_or = core::DrlCews::Create(config, map);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::DrlCews& system = **system_or;
   const agents::TrainResult train = system.Train();
   std::printf("trained %d episodes x %d employees in %.1fs\n",
               config.episodes, config.num_employees, train.seconds);

@@ -5,8 +5,10 @@
 #include <thread>
 
 #include "agents/eval.h"
+#include "agents/rollout.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "nn/ops.h"
 #include "nn/params.h"
 
@@ -76,10 +78,7 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
   for (int episode = 0; episode < config_.episodes; ++episode) {
     // ---- Rollout with the (possibly stale) local policy ----
     env.Reset();
-    std::vector<std::vector<float>> states;
-    std::vector<std::vector<int>> moves, charges;
-    std::vector<float> behavior_logp, rewards;
-    std::vector<bool> dones;
+    RolloutBuffer buffer;
     std::vector<float> state = encoder_.Encode(env);
     while (!env.Done()) {
       const ActResult act = SamplePolicy(local, state, rng, false);
@@ -87,16 +86,20 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
       const double r_ext = config_.reward_mode == RewardMode::kSparse
                                ? step.sparse_reward
                                : step.dense_reward;
-      states.push_back(std::move(state));
-      moves.push_back(act.moves);
-      charges.push_back(act.charges);
-      behavior_logp.push_back(act.log_prob);
-      rewards.push_back(config_.reward_scale * static_cast<float>(r_ext));
-      dones.push_back(step.done);
+      Transition t;
+      t.state = std::move(state);
+      t.moves = act.moves;
+      t.charges = act.charges;
+      t.log_prob = act.log_prob;
+      t.value = act.value;
+      t.reward = config_.reward_scale * static_cast<float>(r_ext);
+      t.done = step.done;
+      buffer.Add(std::move(t));
       state = encoder_.Encode(env);
     }
-    const size_t t_max = states.size();
-    CEWS_CHECK_GT(t_max, 0u);
+    // One contiguous gather of the whole episode for the learner pass.
+    MiniBatch mb = buffer.PackAll();
+    const size_t t_max = static_cast<size_t>(mb.batch);
 
     // ---- Pull the newest global parameters: the learner is now *ahead* of
     // the behavior policy that produced the rollout (other employees have
@@ -107,47 +110,34 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
       nn::CopyParameters(global_net_->Parameters(), local_params);
     }
 
-    // ---- Learner pass ----
+    // ---- Learner pass: consumes the packed arrays directly ----
     const PolicyNetConfig& cfg = config_.net;
-    std::vector<float> batch(t_max * static_cast<size_t>(state_size));
-    std::vector<nn::Index> move_idx(t_max *
-                                    static_cast<size_t>(cfg.num_workers));
-    std::vector<nn::Index> charge_idx(t_max *
-                                      static_cast<size_t>(cfg.num_workers));
-    for (size_t t = 0; t < t_max; ++t) {
-      std::copy(states[t].begin(), states[t].end(),
-                batch.begin() + static_cast<nn::Index>(t) * state_size);
-      for (int w = 0; w < cfg.num_workers; ++w) {
-        move_idx[t * static_cast<size_t>(cfg.num_workers) +
-                 static_cast<size_t>(w)] = moves[t][static_cast<size_t>(w)];
-        charge_idx[t * static_cast<size_t>(cfg.num_workers) +
-                   static_cast<size_t>(w)] =
-            charges[t][static_cast<size_t>(w)];
-      }
-    }
+    CEWS_CHECK_EQ(mb.state_size, static_cast<int64_t>(state_size));
+    CEWS_CHECK_EQ(mb.num_workers, cfg.num_workers);
     nn::ZeroGradients(local_params);
     const nn::Tensor x = nn::Tensor::FromData(
         {static_cast<nn::Index>(t_max), cfg.in_channels, cfg.grid, cfg.grid},
-        std::move(batch));
+        std::move(mb.states));
     const PolicyOutput out = local.Forward(x);
     nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);
     nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);
-    nn::Tensor logp =
-        nn::Add(nn::SumLastDim(nn::GatherLastDim(move_logp, move_idx)),
-                nn::SumLastDim(nn::GatherLastDim(charge_logp, charge_idx)));
+    nn::Tensor logp = nn::Add(
+        nn::SumLastDim(nn::GatherLastDim(move_logp, mb.move_indices)),
+        nn::SumLastDim(nn::GatherLastDim(charge_logp, mb.charge_indices)));
 
     // Detached values and IS ratios feed the (constant) targets.
     std::vector<float> values(t_max + 1, 0.0f);
     std::vector<float> ratios(t_max, 1.0f);
+    std::vector<bool> dones(t_max);
     for (size_t t = 0; t < t_max; ++t) {
       values[t] = out.value.data()[t];
+      dones[t] = mb.dones[t] != 0;
       if (config_.use_vtrace) {
-        ratios[t] =
-            std::exp(logp.data()[t] - behavior_logp[t]);
+        ratios[t] = std::exp(logp.data()[t] - mb.log_probs[t]);
       }
     }
     const VtraceResult vtrace =
-        ComputeVtrace(rewards, dones, values, ratios, config_.gamma,
+        ComputeVtrace(mb.rewards, dones, values, ratios, config_.gamma,
                       config_.rho_bar, config_.c_bar);
 
     const nn::Tensor advantages = nn::Tensor::FromData(
@@ -182,7 +172,7 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
 
     // ---- Record stats ----
     double reward_sum = 0.0;
-    for (float r : rewards) reward_sum += r;
+    for (float r : mb.rewards) reward_sum += r;
     EpisodeRecord rec;
     rec.kappa = env.Kappa();
     rec.xi = env.Xi();
@@ -199,6 +189,8 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
 
 TrainResult AsyncTrainer::Train() {
   Stopwatch watch;
+  runtime::SetGlobalPoolThreads(
+      runtime::ResolveNumThreads(config_.runtime_threads));
   history_.clear();
   history_.reserve(
       static_cast<size_t>(config_.num_employees * config_.episodes));

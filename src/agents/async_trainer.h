@@ -49,6 +49,8 @@ struct AsyncTrainerConfig {
   int num_employees = 4;
   /// Episodes per employee.
   int episodes = 100;
+  /// Intra-op NN kernel threads; see TrainerConfig::runtime_threads.
+  int runtime_threads = 1;
   bool use_vtrace = true;
   float rho_bar = 1.0f;
   float c_bar = 1.0f;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "nn/params.h"
 #include "nn/serialize.h"
 
@@ -165,7 +166,6 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
     env.Reset();
     buffer.Clear();
     std::vector<CuriositySample> curiosity_samples;
-    std::vector<std::vector<float>> rnd_states;
     double ext_sum = 0.0, int_sum = 0.0;
 
     std::vector<float> state = encoder_.Encode(env);
@@ -205,7 +205,6 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
         r_int /= num_workers;
       } else if (rnd != nullptr) {
         r_int = rnd->IntrinsicReward(next_state);
-        rnd_states.push_back(next_state);
       }
 
       Transition t;
@@ -244,49 +243,38 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
     // ---- Exploitation (Algorithm 1, lines 16-23) ----
     const std::vector<nn::Tensor> local_ppo_params = agent.Parameters();
     for (int k = 0; k < config_.update_epochs; ++k) {
-      // PPO gradients on a minibatch.
-      const std::vector<size_t> idx = buffer.SampleIndices(
-          static_cast<size_t>(config_.batch_size), rng);
+      // Draw one packed minibatch; every model trains from its flat arrays
+      // (single gather per epoch instead of per-consumer index loops).
+      MiniBatch mb =
+          buffer.SampleBatch(static_cast<size_t>(config_.batch_size), rng);
+
+      // Curiosity/RND gradients. The RND predictor distills the minibatch
+      // states directly (formerly a separately accumulated next-state pool;
+      // s_{t+1} of step t is s_t of step t+1, so the training distribution
+      // is the same up to the episode's boundary states).
+      std::vector<float> intrinsic_flat;
+      if (curiosity != nullptr && !curiosity_samples.empty()) {
+        const std::vector<nn::Tensor> cparams = curiosity->Parameters();
+        nn::ZeroGradients(cparams);
+        nn::Tensor closs = curiosity->SampleLoss(
+            curiosity_samples, static_cast<size_t>(config_.batch_size), rng);
+        closs.Backward();
+        intrinsic_flat = nn::FlattenGradients(cparams);
+      } else if (rnd != nullptr) {
+        const std::vector<nn::Tensor> rparams = rnd->Parameters();
+        nn::ZeroGradients(rparams);
+        nn::Tensor rloss = rnd->Loss(mb);
+        rloss.Backward();
+        intrinsic_flat = nn::FlattenGradients(rparams);
+      }
+
+      // PPO gradients on the same packed minibatch (adopts its arrays).
       nn::ZeroGradients(local_ppo_params);
-      nn::Tensor loss = agent.ComputeLoss(buffer, idx);
+      nn::Tensor loss = agent.ComputeLoss(std::move(mb));
       loss.Backward();
       nn::ClipGradByGlobalNorm(local_ppo_params, config_.ppo.max_grad_norm);
       const std::vector<float> ppo_flat =
           nn::FlattenGradients(local_ppo_params);
-
-      // Curiosity/RND gradients on a minibatch of their own samples.
-      std::vector<float> intrinsic_flat;
-      if (curiosity != nullptr && !curiosity_samples.empty()) {
-        const size_t n = curiosity_samples.size();
-        const size_t take =
-            std::min(n, static_cast<size_t>(config_.batch_size));
-        std::vector<CuriositySample> batch;
-        batch.reserve(take);
-        for (size_t i = 0; i < take; ++i) {
-          batch.push_back(
-              curiosity_samples[static_cast<size_t>(rng.UniformInt(n))]);
-        }
-        const std::vector<nn::Tensor> cparams = curiosity->Parameters();
-        nn::ZeroGradients(cparams);
-        nn::Tensor closs = curiosity->Loss(batch);
-        closs.Backward();
-        intrinsic_flat = nn::FlattenGradients(cparams);
-      } else if (rnd != nullptr && !rnd_states.empty()) {
-        const size_t n = rnd_states.size();
-        const size_t take =
-            std::min(n, static_cast<size_t>(config_.batch_size));
-        std::vector<const std::vector<float>*> batch;
-        batch.reserve(take);
-        for (size_t i = 0; i < take; ++i) {
-          batch.push_back(
-              &rnd_states[static_cast<size_t>(rng.UniformInt(n))]);
-        }
-        const std::vector<nn::Tensor> rparams = rnd->Parameters();
-        nn::ZeroGradients(rparams);
-        nn::Tensor rloss = rnd->Loss(batch);
-        rloss.Backward();
-        intrinsic_flat = nn::FlattenGradients(rparams);
-      }
 
       // Send gradients to the global buffers (Algorithm 1, line 20).
       {
@@ -328,6 +316,9 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
 
 TrainResult ChiefEmployeeTrainer::Train() {
   Stopwatch watch;
+  // Size the shared intra-op kernel pool before any employee touches it.
+  runtime::SetGlobalPoolThreads(
+      runtime::ResolveNumThreads(config_.runtime_threads));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(config_.num_employees));
   for (int i = 0; i < config_.num_employees; ++i) {

@@ -40,6 +40,13 @@ struct TrainerConfig {
   /// Update rounds K per episode (Algorithm 1, line 17).
   int update_epochs = 4;
 
+  /// Intra-op worker threads for the NN kernel runtime
+  /// (common/thread_pool.h), shared process-wide by all employees. 1 keeps
+  /// kernels serial (default); 0 sizes the pool to the hardware cores. The
+  /// CEWS_NUM_THREADS environment variable overrides either. Kernel results
+  /// are bitwise-identical at any setting.
+  int runtime_threads = 1;
+
   PolicyNetConfig net;
   PpoConfig ppo;
 

@@ -1,5 +1,6 @@
 #include "agents/curiosity.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
@@ -151,6 +152,22 @@ nn::Tensor SpatialCuriosity::Loss(
   CEWS_CHECK_GT(covered, 0u);
   return nn::MulScalar(total,
                        1.0f / (static_cast<float>(covered) * f));
+}
+
+nn::Tensor SpatialCuriosity::SampleLoss(
+    const std::vector<CuriositySample>& samples, size_t batch,
+    Rng& rng) const {
+  CEWS_CHECK(!samples.empty())
+      << "SampleLoss with no curiosity samples: collect worker transitions "
+         "before updating";
+  const size_t n = samples.size();
+  const size_t take = std::min(n, batch);
+  std::vector<CuriositySample> minibatch;
+  minibatch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    minibatch.push_back(samples[static_cast<size_t>(rng.UniformInt(n))]);
+  }
+  return Loss(minibatch);
 }
 
 std::vector<nn::Tensor> SpatialCuriosity::Parameters() const {

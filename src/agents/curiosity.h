@@ -81,6 +81,12 @@ class SpatialCuriosity {
   /// the graph for backward.
   nn::Tensor Loss(const std::vector<CuriositySample>& batch) const;
 
+  /// Draws min(batch, samples.size()) samples with replacement from
+  /// `samples` and returns Loss over them — the trainer's per-epoch update
+  /// path. CHECK-fails on an empty sample pool.
+  nn::Tensor SampleLoss(const std::vector<CuriositySample>& samples,
+                        size_t batch, Rng& rng) const;
+
   /// Trainable parameters (forward models only; the embedding is frozen).
   std::vector<nn::Tensor> Parameters() const;
 

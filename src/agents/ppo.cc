@@ -31,66 +31,49 @@ float PpoAgent::Value(const std::vector<float>& state) const {
   return net_->Forward(x).value.item();
 }
 
-nn::Tensor PpoAgent::ComputeLoss(const RolloutBuffer& buffer,
-                                 const std::vector<size_t>& idx,
-                                 LossStats* stats) const {
-  CEWS_CHECK(!idx.empty());
-  CEWS_CHECK_EQ(buffer.advantages().size(), buffer.size());
+nn::Tensor PpoAgent::ComputeLoss(MiniBatch batch, LossStats* stats) const {
   const PolicyNetConfig& cfg = net_->config();
-  const nn::Index b = static_cast<nn::Index>(idx.size());
-  const int state_size = cfg.in_channels * cfg.grid * cfg.grid;
+  const nn::Index b = batch.batch;
+  CEWS_CHECK_GT(b, 0) << "ComputeLoss on an empty minibatch";
+  CEWS_CHECK_EQ(batch.state_size,
+                nn::Index{cfg.in_channels} * cfg.grid * cfg.grid);
+  CEWS_CHECK_EQ(batch.num_workers, cfg.num_workers);
+  CEWS_CHECK_EQ(static_cast<nn::Index>(batch.advantages.size()), b)
+      << "minibatch carries no advantages: run ComputeAdvantages on the "
+         "rollout buffer before sampling";
+  CEWS_CHECK_EQ(static_cast<nn::Index>(batch.returns.size()), b);
 
-  // Assemble the minibatch.
-  std::vector<float> states(static_cast<size_t>(b) * state_size);
-  std::vector<nn::Index> move_idx(static_cast<size_t>(b) * cfg.num_workers);
-  std::vector<nn::Index> charge_idx(static_cast<size_t>(b) * cfg.num_workers);
-  std::vector<float> old_logp(static_cast<size_t>(b));
-  std::vector<float> adv(static_cast<size_t>(b));
-  std::vector<float> ret(static_cast<size_t>(b));
-  for (nn::Index i = 0; i < b; ++i) {
-    const Transition& t = buffer[idx[static_cast<size_t>(i)]];
-    CEWS_CHECK_EQ(static_cast<int>(t.state.size()), state_size);
-    std::copy(t.state.begin(), t.state.end(),
-              states.begin() + i * state_size);
-    for (int w = 0; w < cfg.num_workers; ++w) {
-      move_idx[static_cast<size_t>(i * cfg.num_workers + w)] =
-          t.moves[static_cast<size_t>(w)];
-      charge_idx[static_cast<size_t>(i * cfg.num_workers + w)] =
-          t.charges[static_cast<size_t>(w)];
-    }
-    old_logp[static_cast<size_t>(i)] = t.log_prob;
-    adv[static_cast<size_t>(i)] =
-        buffer.advantages()[idx[static_cast<size_t>(i)]];
-    ret[static_cast<size_t>(i)] = buffer.returns()[idx[static_cast<size_t>(i)]];
-  }
   // Per-batch advantage normalization (as DPPO; Section VII-B).
   if (config_.normalize_advantages && b > 1) {
     double mean = 0.0;
-    for (float a : adv) mean += a;
+    for (float a : batch.advantages) mean += a;
     mean /= static_cast<double>(b);
     double var = 0.0;
-    for (float a : adv) var += (a - mean) * (a - mean);
+    for (float a : batch.advantages) var += (a - mean) * (a - mean);
     var /= static_cast<double>(b);
     const float inv_std = 1.0f / (std::sqrt(static_cast<float>(var)) + 1e-8f);
-    for (float& a : adv) {
+    for (float& a : batch.advantages) {
       a = (a - static_cast<float>(mean)) * inv_std;
     }
   }
 
+  // The packed arrays are adopted wholesale — no per-transition gather.
   nn::Tensor x = nn::Tensor::FromData(
-      {b, cfg.in_channels, cfg.grid, cfg.grid}, std::move(states));
+      {b, cfg.in_channels, cfg.grid, cfg.grid}, std::move(batch.states));
   const PolicyOutput out = net_->Forward(x);
 
   // Joint new log-prob: sum over workers of move + charge log-probs.
   nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);    // [B, W, M]
   nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);  // [B, W, 2]
-  nn::Tensor logp_new =
-      nn::Add(nn::SumLastDim(nn::GatherLastDim(move_logp, move_idx)),
-              nn::SumLastDim(nn::GatherLastDim(charge_logp, charge_idx)));
+  nn::Tensor logp_new = nn::Add(
+      nn::SumLastDim(nn::GatherLastDim(move_logp, batch.move_indices)),
+      nn::SumLastDim(nn::GatherLastDim(charge_logp, batch.charge_indices)));
 
+  const std::vector<float> old_logp = std::move(batch.log_probs);
   nn::Tensor logp_old = nn::Tensor::FromData({b}, old_logp);
-  nn::Tensor advantage = nn::Tensor::FromData({b}, adv);
-  nn::Tensor returns = nn::Tensor::FromData({b}, ret);
+  nn::Tensor advantage =
+      nn::Tensor::FromData({b}, std::move(batch.advantages));
+  nn::Tensor returns = nn::Tensor::FromData({b}, std::move(batch.returns));
 
   // Clipped surrogate objective (Eqn 12); minimize its negation.
   nn::Tensor ratio = nn::Exp(nn::Sub(logp_new, logp_old));
@@ -135,6 +118,14 @@ nn::Tensor PpoAgent::ComputeLoss(const RolloutBuffer& buffer,
         static_cast<float>(clipped) / static_cast<float>(b);
   }
   return total;
+}
+
+nn::Tensor PpoAgent::ComputeLoss(const RolloutBuffer& buffer,
+                                 const std::vector<size_t>& idx,
+                                 LossStats* stats) const {
+  CEWS_CHECK_EQ(buffer.advantages().size(), buffer.size())
+      << "ComputeLoss before ComputeAdvantages";
+  return ComputeLoss(buffer.GatherBatch(idx), stats);
 }
 
 void PpoAgent::UpdateStandalone(const RolloutBuffer& buffer, Rng& rng,

@@ -66,9 +66,16 @@ class PpoAgent {
   /// Value estimate for a state (no tape), used to bootstrap GAE.
   float Value(const std::vector<float>& state) const;
 
-  /// Builds the PPO loss graph over the minibatch `idx` of `buffer`:
-  /// J_clip (Eqn 12) + value_coef * Loss^v (Eqn 11) - entropy bonus.
-  /// Caller backpropagates; the buffer must have advantages computed.
+  /// Builds the PPO loss graph over a packed minibatch: J_clip (Eqn 12) +
+  /// value_coef * Loss^v (Eqn 11) - entropy bonus. Caller backpropagates.
+  /// The minibatch must carry advantages (source buffer had
+  /// ComputeAdvantages run). Takes the batch by value and adopts its
+  /// arrays, so pass a freshly sampled batch (e.g. buffer.SampleBatch)
+  /// without copying.
+  nn::Tensor ComputeLoss(MiniBatch batch, LossStats* stats = nullptr) const;
+
+  /// Convenience overload: gathers `idx` of `buffer` into a MiniBatch
+  /// first. The packed overload above is the hot path.
   nn::Tensor ComputeLoss(const RolloutBuffer& buffer,
                          const std::vector<size_t>& idx,
                          LossStats* stats = nullptr) const;

@@ -43,6 +43,20 @@ double RndCuriosity::IntrinsicReward(const std::vector<float>& state) const {
   return config_.eta * loss / config_.out_dim;
 }
 
+nn::Tensor RndCuriosity::Loss(const MiniBatch& batch) const {
+  CEWS_CHECK_GT(batch.batch, 0) << "RND Loss on an empty minibatch";
+  CEWS_CHECK_EQ(batch.state_size, config_.state_size);
+  const nn::Index b = batch.batch;
+  // The packed state block is already the [B, state_size] tensor layout.
+  const nn::Tensor x =
+      nn::Tensor::FromData({b, config_.state_size}, batch.states);
+  const nn::Tensor target = TargetEmbedding(x);
+  const nn::Tensor pred = predictor_->Forward(x);
+  return nn::MulScalar(
+      nn::Mean(nn::SumLastDim(nn::Square(nn::Sub(pred, target)))),
+      1.0f / static_cast<float>(config_.out_dim));
+}
+
 nn::Tensor RndCuriosity::Loss(
     const std::vector<const std::vector<float>*>& states) const {
   CEWS_CHECK(!states.empty());

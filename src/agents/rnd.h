@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "agents/rollout.h"
 #include "common/rng.h"
 #include "nn/module.h"
 
@@ -35,7 +36,12 @@ class RndCuriosity {
   /// Intrinsic reward for a (next) state: eta * ||pred - target||^2.
   double IntrinsicReward(const std::vector<float>& state) const;
 
-  /// Predictor training loss over a batch of states (row-major
+  /// Predictor training loss over a packed minibatch: consumes
+  /// `batch.states` ([B * state_size], row-major) directly — the trainer
+  /// hot path; no per-transition gather.
+  nn::Tensor Loss(const MiniBatch& batch) const;
+
+  /// Predictor training loss over a batch of state pointers (row-major
   /// [batch, state_size]); returns the graph for backward.
   nn::Tensor Loss(const std::vector<const std::vector<float>*>& states) const;
 

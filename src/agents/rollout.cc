@@ -16,7 +16,7 @@ void RolloutBuffer::Clear() {
 void RolloutBuffer::ComputeAdvantages(float gamma, float gae_lambda,
                                       float last_value) {
   const size_t n = transitions_.size();
-  CEWS_CHECK_GT(n, 0u);
+  CEWS_CHECK_GT(n, 0u) << "ComputeAdvantages on an empty RolloutBuffer";
   advantages_.assign(n, 0.0f);
   returns_.assign(n, 0.0f);
   float next_value = last_value;
@@ -35,7 +35,10 @@ void RolloutBuffer::ComputeAdvantages(float gamma, float gae_lambda,
 
 std::vector<size_t> RolloutBuffer::SampleIndices(size_t batch,
                                                  Rng& rng) const {
-  CEWS_CHECK(!transitions_.empty());
+  CEWS_CHECK(!transitions_.empty())
+      << "SampleIndices on an empty RolloutBuffer: roll out at least one "
+         "transition before updating";
+  CEWS_CHECK_GT(batch, 0u) << "SampleIndices with batch == 0";
   const size_t n = transitions_.size();
   std::vector<size_t> idx;
   if (batch <= n) {
@@ -54,6 +57,68 @@ std::vector<size_t> RolloutBuffer::SampleIndices(size_t batch,
     }
   }
   return idx;
+}
+
+MiniBatch RolloutBuffer::GatherBatch(const std::vector<size_t>& idx) const {
+  CEWS_CHECK(!transitions_.empty())
+      << "GatherBatch on an empty RolloutBuffer";
+  CEWS_CHECK(!idx.empty()) << "GatherBatch with an empty index list";
+  const bool has_advantages = advantages_.size() == transitions_.size();
+
+  MiniBatch mb;
+  mb.batch = static_cast<int64_t>(idx.size());
+  mb.state_size = static_cast<int64_t>(transitions_[0].state.size());
+  mb.num_workers = static_cast<int>(transitions_[0].moves.size());
+  const size_t b = idx.size();
+  const size_t w = static_cast<size_t>(mb.num_workers);
+  mb.states.resize(b * static_cast<size_t>(mb.state_size));
+  mb.move_indices.resize(b * w);
+  mb.charge_indices.resize(b * w);
+  mb.log_probs.resize(b);
+  mb.values.resize(b);
+  mb.rewards.resize(b);
+  mb.dones.resize(b);
+  if (has_advantages) {
+    mb.advantages.resize(b);
+    mb.returns.resize(b);
+  }
+  for (size_t i = 0; i < b; ++i) {
+    const size_t src = idx[i];
+    CEWS_CHECK_LT(src, transitions_.size());
+    const Transition& t = transitions_[src];
+    CEWS_CHECK_EQ(static_cast<int64_t>(t.state.size()), mb.state_size);
+    CEWS_CHECK_EQ(t.moves.size(), w);
+    CEWS_CHECK_EQ(t.charges.size(), w);
+    std::copy(t.state.begin(), t.state.end(),
+              mb.states.begin() + i * static_cast<size_t>(mb.state_size));
+    for (size_t j = 0; j < w; ++j) {
+      mb.move_indices[i * w + j] = t.moves[j];
+      mb.charge_indices[i * w + j] = t.charges[j];
+    }
+    mb.log_probs[i] = t.log_prob;
+    mb.values[i] = t.value;
+    mb.rewards[i] = t.reward;
+    mb.dones[i] = t.done ? 1 : 0;
+    if (has_advantages) {
+      mb.advantages[i] = advantages_[src];
+      mb.returns[i] = returns_[src];
+    }
+  }
+  return mb;
+}
+
+MiniBatch RolloutBuffer::SampleBatch(size_t batch, Rng& rng) const {
+  CEWS_CHECK(!transitions_.empty())
+      << "SampleBatch on an empty RolloutBuffer: roll out at least one "
+         "transition before updating";
+  return GatherBatch(SampleIndices(batch, rng));
+}
+
+MiniBatch RolloutBuffer::PackAll() const {
+  CEWS_CHECK(!transitions_.empty()) << "PackAll on an empty RolloutBuffer";
+  std::vector<size_t> idx(transitions_.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  return GatherBatch(idx);
 }
 
 }  // namespace cews::agents

@@ -3,6 +3,7 @@
 #define CEWS_AGENTS_ROLLOUT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -19,6 +20,29 @@ struct Transition {
   float value = 0.0f;        // V(s_t) under the behavior policy
   float reward = 0.0f;       // r_t = r^int + r^ext (Eqn 10)
   bool done = false;
+};
+
+/// A packed, contiguous minibatch: the training hot path consumes these
+/// flat arrays directly (PpoAgent::ComputeLoss, RndCuriosity::Loss) instead
+/// of gathering transition-by-transition. `states` stacks the encoded states
+/// row-major, ready to adopt as an [B, ...] tensor; the index arrays use
+/// int64_t so they feed nn::GatherLastDim without conversion.
+struct MiniBatch {
+  int64_t batch = 0;       ///< Number of transitions B.
+  int64_t state_size = 0;  ///< Flat size of one encoded state.
+  int num_workers = 0;     ///< Workers W per transition.
+
+  std::vector<float> states;           ///< [B * state_size]
+  std::vector<int64_t> move_indices;   ///< [B * W]
+  std::vector<int64_t> charge_indices; ///< [B * W]
+  std::vector<float> log_probs;        ///< [B] behavior log pi_old
+  std::vector<float> values;           ///< [B] behavior V(s_t)
+  std::vector<float> rewards;          ///< [B]
+  std::vector<uint8_t> dones;          ///< [B] 0/1
+
+  /// Filled only when the source buffer had advantages computed.
+  std::vector<float> advantages;  ///< [B]
+  std::vector<float> returns;     ///< [B]
 };
 
 /// Episode replay buffer; cleared at the start of each episode
@@ -43,7 +67,20 @@ class RolloutBuffer {
   /// Draws a minibatch of `batch` indices: a random permutation prefix when
   /// batch <= size, otherwise sampling with replacement (the paper's batch
   /// sizes can exceed one episode's T transitions, Table II).
+  /// CHECK-fails with a clear message on an empty buffer or batch == 0.
   std::vector<size_t> SampleIndices(size_t batch, Rng& rng) const;
+
+  /// Packs the transitions at `idx` into one contiguous MiniBatch.
+  /// CHECK-fails on an empty buffer or empty index list.
+  MiniBatch GatherBatch(const std::vector<size_t>& idx) const;
+
+  /// SampleIndices + GatherBatch: draws and packs a minibatch in one step —
+  /// the update hot path of the chief-employee trainer.
+  MiniBatch SampleBatch(size_t batch, Rng& rng) const;
+
+  /// Packs every transition, in order (the async trainer's full-episode
+  /// learner pass). CHECK-fails on an empty buffer.
+  MiniBatch PackAll() const;
 
  private:
   std::vector<Transition> transitions_;

@@ -1,0 +1,166 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/env_flags.h"
+
+namespace cews::runtime {
+
+namespace {
+
+/// True on threads owned by a pool; nested ParallelFor calls run inline on
+/// these so a worker never blocks waiting for peers it is starving.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    std::shared_ptr<Region> region = queue_.front();
+    if (region->next.load(std::memory_order_relaxed) >= region->end) {
+      // Fully claimed; the caller (or another worker) will finish it.
+      queue_.pop_front();
+      continue;
+    }
+    region->active.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    RunChunks(*region);
+    lock.lock();
+    if (region->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(Region& region) {
+  while (true) {
+    const int64_t start =
+        region.next.fetch_add(region.chunk, std::memory_order_relaxed);
+    if (start >= region.end) break;
+    const int64_t stop = std::min(region.end, start + region.chunk);
+    try {
+      region.body(start, stop);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!region.error) region.error = std::current_exception();
+      // Cancel the remaining chunks; already-running ones finish normally.
+      region.next.store(region.end, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, const Body& body) {
+  ParallelFor(begin, end, /*grain=*/1, body);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const Body& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  // Serial fast path: size-1 pool, a range that cannot be split, or a nested
+  // call from inside a pool worker. Results are identical either way because
+  // chunking never changes what a body invocation computes.
+  if (num_threads_ <= 1 || n <= grain || tls_in_pool_worker) {
+    body(begin, end);
+    return;
+  }
+  auto region = std::make_shared<Region>();
+  region->body = body;
+  region->end = end;
+  region->next.store(begin, std::memory_order_relaxed);
+  // ~4 chunks per lane keeps claiming overhead low while still balancing
+  // uneven chunk costs; scheduling only, never results.
+  region->chunk =
+      std::max(grain, (n + int64_t{num_threads_} * 4 - 1) /
+                          (int64_t{num_threads_} * 4));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(region);
+  }
+  work_cv_.notify_all();
+
+  // The caller is always a lane of its own region, so the region completes
+  // even if every worker is busy with other callers' regions.
+  region->active.fetch_add(1, std::memory_order_relaxed);
+  RunChunks(*region);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (region->active.fetch_sub(1, std::memory_order_acq_rel) > 1) {
+    done_cv_.wait(lock, [&] {
+      return region->active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Drop the region from the queue if no worker got around to it.
+  auto it = std::find(queue_.begin(), queue_.end(), region);
+  if (it != queue_.end()) queue_.erase(it);
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+int ResolveNumThreads(int configured) {
+  const long env = GetEnvInt("CEWS_NUM_THREADS", 0);
+  int n = env > 0 ? static_cast<int>(env) : configured;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::max(1, n);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool& LockedGlobalPool(int threads_if_absent) {
+  if (g_pool == nullptr) {
+    g_pool = std::make_unique<ThreadPool>(threads_if_absent);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return LockedGlobalPool(ResolveNumThreads(1));
+}
+
+void SetGlobalPoolThreads(int n) {
+  const int resolved = ResolveNumThreads(n);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool != nullptr && g_pool->num_threads() == resolved) return;
+  g_pool.reset();  // join the old workers before spawning the new pool
+  g_pool = std::make_unique<ThreadPool>(resolved);
+}
+
+int GlobalPoolThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return LockedGlobalPool(ResolveNumThreads(1)).num_threads();
+}
+
+}  // namespace cews::runtime

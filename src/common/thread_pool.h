@@ -1,0 +1,109 @@
+// cews::runtime — a fixed-size, work-stealing-free thread pool for intra-op
+// parallelism in the NN kernels (nn/ops.cc).
+//
+// Design constraints, in order:
+//  * Determinism: ParallelFor statically owns each index by exactly one
+//    invocation of the body, so kernels that give every accumulator a single
+//    owning index produce bitwise-identical results at any thread count
+//    (chunk boundaries never change what a body invocation computes, only
+//    which thread computes it).
+//  * Barrier-friendliness: the chief-employee trainer already runs one
+//    thread per employee; those threads must be able to call ParallelFor
+//    concurrently without deadlocking each other or the pool. The caller
+//    always participates in its own region, so every region completes even
+//    when all pool workers are busy elsewhere; a ParallelFor issued from
+//    inside a pool worker runs inline.
+//  * Exception safety: the first exception thrown by a body is captured,
+//    remaining chunks of that region are cancelled, and the exception is
+//    rethrown on the calling thread.
+#ifndef CEWS_COMMON_THREAD_POOL_H_
+#define CEWS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cews::runtime {
+
+/// Fixed-size thread pool executing half-open index ranges.
+class ThreadPool {
+ public:
+  /// Body of a parallel loop: processes the chunk [begin, end).
+  using Body = std::function<void(int64_t begin, int64_t end)>;
+
+  /// Creates a pool with `num_threads` total parallelism (clamped to >= 1).
+  /// Spawns num_threads - 1 workers; the calling thread is the Nth lane.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Must not run concurrently with ParallelFor calls.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + caller).
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `body` over [begin, end), split into contiguous chunks executed by
+  /// the pool workers and the calling thread. Blocks until the whole range
+  /// is done; rethrows the first body exception. Safe to call concurrently
+  /// from many threads; nested calls from inside a pool worker run inline.
+  void ParallelFor(int64_t begin, int64_t end, const Body& body);
+
+  /// Same, with an explicit minimum chunk size (grain). Chunking affects
+  /// scheduling only, never results.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const Body& body);
+
+ private:
+  /// One in-flight ParallelFor call.
+  struct Region {
+    Body body;
+    int64_t end = 0;
+    int64_t chunk = 1;
+    std::atomic<int64_t> next{0};  ///< First unclaimed index.
+    std::atomic<int> active{0};    ///< Threads currently running chunks.
+    std::exception_ptr error;      ///< First failure; guarded by pool mu_.
+  };
+
+  void WorkerLoop();
+  /// Claims and runs chunks of `region` until none remain.
+  void RunChunks(Region& region);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Workers: queue non-empty / shutdown.
+  std::condition_variable done_cv_;  ///< Callers: region fully drained.
+  std::deque<std::shared_ptr<Region>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves an effective runtime thread count: the CEWS_NUM_THREADS
+/// environment variable (when set to a positive integer) overrides
+/// `configured`; a non-positive result falls back to the hardware
+/// concurrency (at least 1).
+int ResolveNumThreads(int configured);
+
+/// The process-wide pool used by the NN kernels. Created on first use with
+/// ResolveNumThreads(1), i.e. serial unless CEWS_NUM_THREADS is set.
+ThreadPool& GlobalPool();
+
+/// Replaces the global pool with one of ResolveNumThreads(n) threads (no-op
+/// when the size already matches). Must not race with in-flight kernels:
+/// trainers call it before spawning employee threads.
+void SetGlobalPoolThreads(int n);
+
+/// Thread count of the global pool (creating it if needed).
+int GlobalPoolThreads();
+
+}  // namespace cews::runtime
+
+#endif  // CEWS_COMMON_THREAD_POOL_H_

@@ -48,6 +48,7 @@ agents::TrainerConfig MakeTrainerConfig(Algorithm algorithm,
   config.episodes = options.episodes;
   config.num_employees = options.num_employees;
   config.batch_size = options.batch_size;
+  config.runtime_threads = options.runtime_threads;
   config.update_epochs = options.update_epochs;
   config.ppo.lr = options.lr;
   config.ppo.gamma = options.gamma;
@@ -103,10 +104,11 @@ agents::EvalResult RunAlgorithm(Algorithm algorithm, const env::Map& map,
     }
     case Algorithm::kDrlCews:
     case Algorithm::kDppo: {
-      DrlCews system(MakeTrainerConfig(algorithm, env_config, options),
-                     map);
-      system.Train();
-      return system.Evaluate(options.eval_episodes);
+      auto system = DrlCews::Create(
+          MakeTrainerConfig(algorithm, env_config, options), map);
+      CEWS_CHECK(system.ok()) << system.status().ToString();
+      (*system)->Train();
+      return (*system)->Evaluate(options.eval_episodes);
     }
   }
   CEWS_CHECK(false) << "unknown algorithm";

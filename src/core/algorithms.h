@@ -32,6 +32,9 @@ struct BenchmarkOptions {
   int num_employees = 4;
   /// Update minibatch size.
   int batch_size = 125;
+  /// Intra-op NN kernel threads (TrainerConfig::runtime_threads); 1 keeps
+  /// kernels serial, 0 = hardware cores, CEWS_NUM_THREADS overrides.
+  int runtime_threads = 1;
   /// PPO epochs K per episode.
   int update_epochs = 6;
   /// Evaluation episodes averaged for the reported metrics.

@@ -1,10 +1,79 @@
 #include "core/drl_cews.h"
 
 #include <fstream>
+#include <string>
 
+#include "common/check.h"
 #include "nn/serialize.h"
 
 namespace cews::core {
+
+namespace {
+
+/// Shared validation behind Create() (Status) and the constructor (CHECK).
+Status ValidateTrainerConfig(const agents::TrainerConfig& config,
+                             const env::Map& map) {
+  if (config.num_employees <= 0) {
+    return Status::InvalidArgument(
+        "num_employees must be positive, got " +
+        std::to_string(config.num_employees));
+  }
+  if (config.episodes <= 0) {
+    return Status::InvalidArgument(
+        "episodes must be positive, got " +
+        std::to_string(config.episodes));
+  }
+  if (config.batch_size <= 0) {
+    return Status::InvalidArgument(
+        "batch_size must be positive, got " +
+        std::to_string(config.batch_size));
+  }
+  if (config.update_epochs <= 0) {
+    return Status::InvalidArgument(
+        "update_epochs must be positive, got " +
+        std::to_string(config.update_epochs));
+  }
+  if (config.runtime_threads < 0) {
+    return Status::InvalidArgument(
+        "runtime_threads must be non-negative (0 = hardware cores), got " +
+        std::to_string(config.runtime_threads));
+  }
+  if (config.encoder.grid <= 0) {
+    return Status::InvalidArgument(
+        "encoder.grid must be positive, got " +
+        std::to_string(config.encoder.grid));
+  }
+  // The trainer auto-fills net.grid from the encoder, so a conflicting
+  // explicit value is a config error rather than something to silently
+  // overwrite.
+  if (config.net.grid != config.encoder.grid) {
+    return Status::InvalidArgument(
+        "net.grid (" + std::to_string(config.net.grid) +
+        ") does not match encoder.grid (" +
+        std::to_string(config.encoder.grid) +
+        "); leave net.grid at the encoder's value");
+  }
+  if (map.worker_spawns.empty()) {
+    return Status::InvalidArgument("map has no worker spawns");
+  }
+  if (map.pois.empty()) {
+    return Status::InvalidArgument("map has no PoIs");
+  }
+  CEWS_RETURN_IF_ERROR(config.env.Validate(map.worker_spawns.size()));
+  return Status::OK();
+}
+
+/// Runs the Create()-style validation in the legacy constructor path,
+/// aborting with the same diagnostic on failure.
+env::Map ValidatedMapOrDie(const agents::TrainerConfig& config,
+                           env::Map map) {
+  const Status status = ValidateTrainerConfig(config, map);
+  CEWS_CHECK(status.ok()) << "invalid DrlCews configuration: "
+                          << status.ToString();
+  return map;
+}
+
+}  // namespace
 
 agents::TrainerConfig DrlCews::DefaultConfig() {
   agents::TrainerConfig config;
@@ -22,8 +91,15 @@ agents::TrainerConfig DrlCews::DefaultConfig() {
   return config;
 }
 
+Result<std::unique_ptr<DrlCews>> DrlCews::Create(
+    const agents::TrainerConfig& config, env::Map map) {
+  CEWS_RETURN_IF_ERROR(ValidateTrainerConfig(config, map));
+  // The constructor revalidates (cheap) and cannot fail past this point.
+  return std::unique_ptr<DrlCews>(new DrlCews(config, std::move(map)));
+}
+
 DrlCews::DrlCews(const agents::TrainerConfig& config, env::Map map)
-    : map_(std::move(map)),
+    : map_(ValidatedMapOrDie(config, std::move(map))),
       encoder_(config.encoder),
       trainer_(std::make_unique<agents::ChiefEmployeeTrainer>(config, map_)),
       eval_rng_(config.seed * 0xC0FFEEULL + 1) {}

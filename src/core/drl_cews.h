@@ -10,6 +10,7 @@
 
 #include "agents/chief_employee.h"
 #include "agents/eval.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "env/env.h"
 #include "env/map.h"
@@ -25,9 +26,19 @@ class DrlCews {
   /// environment constants.
   static agents::TrainerConfig DefaultConfig();
 
-  /// Builds the system for a given scenario. Any TrainerConfig is accepted
-  /// (ablations flip reward/intrinsic modes); DefaultConfig() is DRL-CEWS
-  /// proper.
+  /// Builds the system for a given scenario after validating the
+  /// configuration against the map: positive employee/episode/batch/epoch
+  /// counts, a consistent grid between encoder and policy network, and
+  /// per-worker EnvConfig overrides sized to the fleet. Returns
+  /// InvalidArgument describing the first problem instead of aborting —
+  /// the entry point for callers handling untrusted configs (CLI, tests).
+  /// Any valid TrainerConfig is accepted (ablations flip reward/intrinsic
+  /// modes); DefaultConfig() is DRL-CEWS proper.
+  static Result<std::unique_ptr<DrlCews>> Create(
+      const agents::TrainerConfig& config, env::Map map);
+
+  /// Constructs directly, CHECK-aborting on the same problems Create()
+  /// reports as a Status. Prefer Create() for new code.
   DrlCews(const agents::TrainerConfig& config, env::Map map);
   ~DrlCews();
 

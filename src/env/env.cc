@@ -2,19 +2,103 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 #include "common/math_util.h"
 
 namespace cews::env {
 
+namespace {
+
+std::string WithIndex(const char* what, size_t i) {
+  return std::string(what) + "[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+Status EnvConfig::Validate(size_t num_workers) const {
+  if (horizon <= 0) {
+    return Status::InvalidArgument(
+        "horizon must be positive, got " + std::to_string(horizon));
+  }
+  if (!(sensing_range > 0.0)) {
+    return Status::InvalidArgument(
+        "sensing_range must be positive, got " +
+        std::to_string(sensing_range));
+  }
+  if (!(collection_rate > 0.0 && collection_rate <= 1.0)) {
+    return Status::InvalidArgument(
+        "collection_rate must be in (0, 1], got " +
+        std::to_string(collection_rate));
+  }
+  if (alpha < 0.0 || beta < 0.0) {
+    return Status::InvalidArgument(
+        "energy-cost coefficients alpha/beta must be non-negative");
+  }
+  if (!(initial_energy > 0.0)) {
+    return Status::InvalidArgument(
+        "initial_energy must be positive, got " +
+        std::to_string(initial_energy));
+  }
+  if (energy_capacity < initial_energy) {
+    return Status::InvalidArgument(
+        "energy_capacity (" + std::to_string(energy_capacity) +
+        ") must be at least initial_energy (" +
+        std::to_string(initial_energy) + ")");
+  }
+  if (charge_range < 0.0 || charge_rate < 0.0) {
+    return Status::InvalidArgument(
+        "charge_range and charge_rate must be non-negative");
+  }
+  if (obstacle_penalty < 0.0) {
+    return Status::InvalidArgument(
+        "obstacle_penalty must be non-negative, got " +
+        std::to_string(obstacle_penalty));
+  }
+  if (!(epsilon1 > 0.0) || !(epsilon2 > 0.0)) {
+    return Status::InvalidArgument(
+        "sparse-reward milestones epsilon1/epsilon2 must be positive");
+  }
+  const struct {
+    const char* name;
+    const std::vector<double>& values;
+  } overrides[] = {
+      {"per_worker_sensing_range", per_worker_sensing_range},
+      {"per_worker_initial_energy", per_worker_initial_energy},
+  };
+  for (const auto& o : overrides) {
+    if (o.values.empty()) continue;
+    if (num_workers > 0 && o.values.size() != num_workers) {
+      return Status::InvalidArgument(
+          std::string(o.name) + " has " + std::to_string(o.values.size()) +
+          " entries but the map spawns " + std::to_string(num_workers) +
+          " workers; leave it empty for a uniform fleet");
+    }
+    for (size_t i = 0; i < o.values.size(); ++i) {
+      if (!(o.values[i] > 0.0)) {
+        return Status::InvalidArgument(
+            WithIndex(o.name, i) + " must be positive, got " +
+            std::to_string(o.values[i]));
+      }
+    }
+  }
+  for (size_t i = 0; i < per_worker_initial_energy.size(); ++i) {
+    if (per_worker_initial_energy[i] > energy_capacity) {
+      return Status::InvalidArgument(
+          WithIndex("per_worker_initial_energy", i) + " (" +
+          std::to_string(per_worker_initial_energy[i]) +
+          ") exceeds energy_capacity (" + std::to_string(energy_capacity) +
+          ")");
+    }
+  }
+  return Status::OK();
+}
+
 Env::Env(EnvConfig config, Map map)
     : config_(std::move(config)), map_(std::move(map)) {
-  CEWS_CHECK_GT(config_.horizon, 0);
-  CEWS_CHECK(config_.sensing_range > 0.0);
-  CEWS_CHECK(config_.collection_rate > 0.0 && config_.collection_rate <= 1.0);
-  CEWS_CHECK(config_.initial_energy > 0.0);
-  CEWS_CHECK(config_.energy_capacity >= config_.initial_energy);
+  const Status valid = config_.Validate(map_.worker_spawns.size());
+  CEWS_CHECK(valid.ok()) << "invalid EnvConfig: " << valid.ToString();
   CEWS_CHECK(!map_.pois.empty()) << "map has no PoIs";
   CEWS_CHECK(!map_.worker_spawns.empty()) << "map has no worker spawns";
   total_initial_data_ = map_.TotalInitialData();
@@ -24,19 +108,12 @@ Env::Env(EnvConfig config, Map map)
   if (config_.per_worker_sensing_range.empty()) {
     sensing_range_.assign(w_count, config_.sensing_range);
   } else {
-    CEWS_CHECK_EQ(config_.per_worker_sensing_range.size(), w_count);
     sensing_range_ = config_.per_worker_sensing_range;
-    for (double g : sensing_range_) CEWS_CHECK(g > 0.0);
   }
   if (config_.per_worker_initial_energy.empty()) {
     initial_energy_.assign(w_count, config_.initial_energy);
   } else {
-    CEWS_CHECK_EQ(config_.per_worker_initial_energy.size(), w_count);
     initial_energy_ = config_.per_worker_initial_energy;
-    for (double b : initial_energy_) {
-      CEWS_CHECK(b > 0.0);
-      CEWS_CHECK(b <= config_.energy_capacity);
-    }
   }
   Reset();
 }

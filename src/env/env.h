@@ -4,8 +4,10 @@
 #ifndef CEWS_ENV_ENV_H_
 #define CEWS_ENV_ENV_H_
 
+#include <cstddef>
 #include <vector>
 
+#include "common/status.h"
 #include "env/action_space.h"
 #include "env/map.h"
 
@@ -46,6 +48,13 @@ struct EnvConfig {
   /// scalar fields above.
   std::vector<double> per_worker_sensing_range;
   std::vector<double> per_worker_initial_energy;
+
+  /// Checks field ranges (positive horizon/ranges/rates, budgets within
+  /// capacity) and, when `num_workers` > 0, that the per-worker override
+  /// vectors are empty or exactly that long. Returns InvalidArgument
+  /// describing the first problem found. Env's constructor CHECKs this;
+  /// DrlCews::Create surfaces it as a Status.
+  Status Validate(size_t num_workers = 0) const;
 };
 
 /// Mutable per-worker state (Definition 2 plus bookkeeping).

@@ -1,12 +1,43 @@
 #include "nn/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace cews::nn {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Intra-op parallelism.
+//
+// The hot kernels (MatMul, Conv2d) run on the cews::runtime global pool.
+// Every kernel is written so that each parallel index owns its accumulators
+// outright (a row of the output, an image of the batch, an output channel of
+// the weight gradient) and accumulates them in a fixed serial order. Chunk
+// boundaries therefore never change any floating-point result: outputs are
+// bitwise-identical at any thread count.
+// ---------------------------------------------------------------------------
+
+/// Parallelizes [0, n) over the global pool when the total kernel cost
+/// (roughly `flops_per_index * n`) justifies the dispatch overhead;
+/// otherwise runs inline. The threshold only picks serial-vs-pool execution,
+/// which cannot change results (see above).
+template <typename Fn>
+void ParallelKernel(Index n, Index flops_per_index, Fn&& fn) {
+  constexpr Index kMinFlops = 16 * 1024;
+  runtime::ThreadPool& pool = runtime::GlobalPool();
+  if (n <= 1 || pool.num_threads() <= 1 ||
+      n * std::max<Index>(flops_per_index, 1) < kMinFlops) {
+    fn(Index{0}, n);
+    return;
+  }
+  pool.ParallelFor(0, n, [&fn](int64_t begin, int64_t end) {
+    fn(static_cast<Index>(begin), static_cast<Index>(end));
+  });
+}
 
 /// Builds the result node: adopts data, wires tape parents (only those that
 /// require grad — requires_grad never propagates through a non-tracking
@@ -190,6 +221,34 @@ Tensor AddBias(const Tensor& x, const Tensor& b) {
   return r;
 }
 
+namespace {
+
+/// Rows of B kept hot per tile while the forward kernel streams output rows.
+constexpr Index kMatMulLTile = 64;
+
+/// C[i0:i1, :] += A[i0:i1, :] * B for row-major operands. Blocked over the
+/// inner dimension so a kMatMulLTile x m slab of B stays cache-resident.
+/// Per output element the accumulation order is l ascending regardless of
+/// the row range, so any row partition yields identical results.
+void MatMulRowsKernel(const float* pa, const float* pb, float* out, Index i0,
+                      Index i1, Index k, Index m) {
+  for (Index l0 = 0; l0 < k; l0 += kMatMulLTile) {
+    const Index l1 = std::min(k, l0 + kMatMulLTile);
+    for (Index i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = out + i * m;
+      for (Index l = l0; l < l1; ++l) {
+        const float av = arow[l];
+        if (av == 0.0f) continue;
+        const float* brow = pb + l * m;
+        for (Index j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   CEWS_CHECK_EQ(a.ndim(), 2);
   CEWS_CHECK_EQ(b.ndim(), 2);
@@ -198,46 +257,51 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
   const float* pa = a.data();
   const float* pb = b.data();
-  for (Index i = 0; i < n; ++i) {
-    for (Index l = 0; l < k; ++l) {
-      const float av = pa[i * k + l];
-      if (av == 0.0f) continue;
-      const float* brow = pb + l * m;
-      float* orow = out.data() + i * m;
-      for (Index j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
-  }
+  float* po = out.data();
+  ParallelKernel(n, 2 * k * m, [&](Index i0, Index i1) {
+    MatMulRowsKernel(pa, pb, po, i0, i1, k, m);
+  });
   Tensor r = MakeResult({n, m}, std::move(out), {a, b});
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
     auto ib = b.impl();
     r.impl()->backward_fn = [o, ia, ib, n, k, m]() {
-      // dA = dC * B^T ; dB = A^T * dC
+      // dA = dC * B^T, partitioned over rows of dA (each row has one owner);
+      // dB = A^T * dC, partitioned over rows of dB.
       if (ia->requires_grad) {
         ia->EnsureGrad();
-        for (Index i = 0; i < n; ++i) {
-          for (Index j = 0; j < m; ++j) {
-            const float g = o->grad[i * m + j];
-            if (g == 0.0f) continue;
-            const float* brow = ib->data.data() + 0;  // B[l*m + j]
+        const float* og = o->grad.data();
+        const float* pb = ib->data.data();
+        float* ga = ia->grad.data();
+        ParallelKernel(n, 2 * k * m, [&](Index i0, Index i1) {
+          for (Index i = i0; i < i1; ++i) {
+            const float* grow = og + i * m;
             for (Index l = 0; l < k; ++l) {
-              ia->grad[i * k + l] += g * brow[l * m + j];
+              const float* brow = pb + l * m;
+              float dot = 0.0f;
+              for (Index j = 0; j < m; ++j) dot += grow[j] * brow[j];
+              ga[i * k + l] += dot;
             }
           }
-        }
+        });
       }
       if (ib->requires_grad) {
         ib->EnsureGrad();
-        for (Index i = 0; i < n; ++i) {
-          for (Index l = 0; l < k; ++l) {
-            const float av = ia->data[i * k + l];
-            if (av == 0.0f) continue;
-            for (Index j = 0; j < m; ++j) {
-              ib->grad[l * m + j] += av * o->grad[i * m + j];
+        const float* og = o->grad.data();
+        const float* pa = ia->data.data();
+        float* gb = ib->grad.data();
+        ParallelKernel(k, 2 * n * m, [&](Index l0, Index l1) {
+          for (Index l = l0; l < l1; ++l) {
+            float* gbrow = gb + l * m;
+            for (Index i = 0; i < n; ++i) {
+              const float av = pa[i * k + l];
+              if (av == 0.0f) continue;
+              const float* grow = og + i * m;
+              for (Index j = 0; j < m; ++j) gbrow[j] += av * grow[j];
             }
           }
-        }
+        });
       }
     };
   }
@@ -580,87 +644,205 @@ Tensor GatherLastDim(const Tensor& x, const std::vector<Index>& idx) {
   return r;
 }
 
+namespace {
+
+/// Static geometry of one Conv2d call (im2col formulation). The patch
+/// dimension p = (ic * kh + ky) * kw + kx indexes rows of the column matrix;
+/// the output-pixel dimension q = y * ow + x indexes its columns.
+struct ConvShape {
+  Index n, c, h, w;    // input  [N, C, H, W]
+  Index oc, kh, kw;    // weight [OC, C, KH, KW]
+  Index oh, ow;        // output spatial dims
+  int stride, padding;
+  Index ck2() const { return c * kh * kw; }
+  Index ohow() const { return oh * ow; }
+};
+
+/// Unfolds one image into its column matrix cols [ck2, ohow]; out-of-bounds
+/// (padding) taps become zeros.
+void Im2Col(const ConvShape& s, const float* img, float* cols) {
+  for (Index ic = 0; ic < s.c; ++ic) {
+    const float* plane = img + ic * s.h * s.w;
+    for (Index ky = 0; ky < s.kh; ++ky) {
+      for (Index kx = 0; kx < s.kw; ++kx) {
+        float* row =
+            cols + ((ic * s.kh + ky) * s.kw + kx) * s.ohow();
+        for (Index y = 0; y < s.oh; ++y) {
+          const Index iy = y * s.stride - s.padding + ky;
+          float* dst = row + y * s.ow;
+          if (iy < 0 || iy >= s.h) {
+            std::fill(dst, dst + s.ow, 0.0f);
+            continue;
+          }
+          const float* src = plane + iy * s.w;
+          for (Index x = 0; x < s.ow; ++x) {
+            const Index ixp = x * s.stride - s.padding + kx;
+            dst[x] = (ixp < 0 || ixp >= s.w) ? 0.0f : src[ixp];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Folds a column-matrix gradient back into one image gradient (the adjoint
+/// of Im2Col); accumulates with +=.
+void Col2ImAccum(const ConvShape& s, const float* cols, float* img) {
+  for (Index ic = 0; ic < s.c; ++ic) {
+    float* plane = img + ic * s.h * s.w;
+    for (Index ky = 0; ky < s.kh; ++ky) {
+      for (Index kx = 0; kx < s.kw; ++kx) {
+        const float* row =
+            cols + ((ic * s.kh + ky) * s.kw + kx) * s.ohow();
+        for (Index y = 0; y < s.oh; ++y) {
+          const Index iy = y * s.stride - s.padding + ky;
+          if (iy < 0 || iy >= s.h) continue;
+          const float* src = row + y * s.ow;
+          float* dst = plane + iy * s.w;
+          for (Index x = 0; x < s.ow; ++x) {
+            const Index ixp = x * s.stride - s.padding + kx;
+            if (ixp < 0 || ixp >= s.w) continue;
+            dst[ixp] += src[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Unfolds the whole batch, one image per parallel index.
+std::vector<float> BatchIm2Col(const ConvShape& s, const float* px) {
+  std::vector<float> cols(
+      static_cast<size_t>(s.n) * static_cast<size_t>(s.ck2() * s.ohow()));
+  float* pc = cols.data();
+  ParallelKernel(s.n, s.ck2() * s.ohow(), [&](Index n0, Index n1) {
+    for (Index in = n0; in < n1; ++in) {
+      Im2Col(s, px + in * s.c * s.h * s.w, pc + in * s.ck2() * s.ohow());
+    }
+  });
+  return cols;
+}
+
+}  // namespace
+
 Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int stride, int padding) {
   CEWS_CHECK_EQ(x.ndim(), 4);
   CEWS_CHECK_EQ(w.ndim(), 4);
   CEWS_CHECK_GE(stride, 1);
   CEWS_CHECK_GE(padding, 0);
-  const Index n = x.dim(0), c = x.dim(1), h = x.dim(2), width = x.dim(3);
-  const Index oc = w.dim(0), kh = w.dim(2), kw = w.dim(3);
-  CEWS_CHECK_EQ(w.dim(1), c);
+  ConvShape s;
+  s.n = x.dim(0), s.c = x.dim(1), s.h = x.dim(2), s.w = x.dim(3);
+  s.oc = w.dim(0), s.kh = w.dim(2), s.kw = w.dim(3);
+  s.stride = stride, s.padding = padding;
+  CEWS_CHECK_EQ(w.dim(1), s.c);
   if (bias.defined()) {
     CEWS_CHECK_EQ(bias.ndim(), 1);
-    CEWS_CHECK_EQ(bias.dim(0), oc);
+    CEWS_CHECK_EQ(bias.dim(0), s.oc);
   }
-  const Index oh = (h + 2 * padding - kh) / stride + 1;
-  const Index ow = (width + 2 * padding - kw) / stride + 1;
-  CEWS_CHECK_GE(oh, 1);
-  CEWS_CHECK_GE(ow, 1);
-  std::vector<float> out(static_cast<size_t>(n * oc * oh * ow), 0.0f);
-  const float* px = x.data();
-  const float* pw = w.data();
-  for (Index in = 0; in < n; ++in) {
-    for (Index io = 0; io < oc; ++io) {
-      const float b0 = bias.defined() ? bias.data()[io] : 0.0f;
-      for (Index y = 0; y < oh; ++y) {
-        for (Index xx = 0; xx < ow; ++xx) {
-          float acc = b0;
-          for (Index ic = 0; ic < c; ++ic) {
-            for (Index ky = 0; ky < kh; ++ky) {
-              const Index iy = y * stride - padding + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (Index kx = 0; kx < kw; ++kx) {
-                const Index ix = xx * stride - padding + kx;
-                if (ix < 0 || ix >= width) continue;
-                acc += px[((in * c + ic) * h + iy) * width + ix] *
-                       pw[((io * c + ic) * kh + ky) * kw + kx];
-              }
-            }
-          }
-          out[((in * oc + io) * oh + y) * ow + xx] = acc;
+  s.oh = (s.h + 2 * padding - s.kh) / stride + 1;
+  s.ow = (s.w + 2 * padding - s.kw) / stride + 1;
+  CEWS_CHECK_GE(s.oh, 1);
+  CEWS_CHECK_GE(s.ow, 1);
+  const Index ck2 = s.ck2(), ohow = s.ohow();
+
+  // Forward = one [oc, ck2] x [ck2, ohow] product per image, parallel over
+  // the flattened (image, output-channel) rows. Each output row is owned by
+  // exactly one index and accumulated p-ascending, so results do not depend
+  // on the partition.
+  const std::vector<float> cols = BatchIm2Col(s, x.data());
+  std::vector<float> out(static_cast<size_t>(s.n * s.oc * ohow));
+  {
+    const float* pw = w.data();
+    const float* pbias = bias.defined() ? bias.data() : nullptr;
+    const float* pc = cols.data();
+    float* po = out.data();
+    ParallelKernel(s.n * s.oc, 2 * ck2 * ohow, [&](Index r0, Index r1) {
+      for (Index row = r0; row < r1; ++row) {
+        const Index in = row / s.oc, io = row % s.oc;
+        const float* wrow = pw + io * ck2;
+        const float* icols = pc + in * ck2 * ohow;
+        float* orow = po + row * ohow;
+        std::fill(orow, orow + ohow,
+                  pbias != nullptr ? pbias[io] : 0.0f);
+        for (Index p = 0; p < ck2; ++p) {
+          const float wv = wrow[p];
+          if (wv == 0.0f) continue;
+          const float* crow = icols + p * ohow;
+          for (Index q = 0; q < ohow; ++q) orow[q] += wv * crow[q];
         }
       }
-    }
+    });
   }
-  Tensor r = MakeResult({n, oc, oh, ow}, std::move(out), {x, w, bias});
+
+  Tensor r = MakeResult({s.n, s.oc, s.oh, s.ow}, std::move(out),
+                        {x, w, bias});
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
     auto iw = w.impl();
     auto ib = bias.defined() ? bias.impl() : nullptr;
-    r.impl()->backward_fn = [o, ix, iw, ib, n, c, h, width, oc, kh, kw, oh,
-                             ow, stride, padding]() {
-      const bool dx = ix->requires_grad;
-      const bool dw = iw->requires_grad;
-      const bool db = ib != nullptr && ib->requires_grad;
-      if (dx) ix->EnsureGrad();
-      if (dw) iw->EnsureGrad();
-      if (db) ib->EnsureGrad();
-      for (Index in = 0; in < n; ++in) {
-        for (Index io = 0; io < oc; ++io) {
-          for (Index y = 0; y < oh; ++y) {
-            for (Index xx = 0; xx < ow; ++xx) {
-              const float g = o->grad[((in * oc + io) * oh + y) * ow + xx];
-              if (g == 0.0f) continue;
-              if (db) ib->grad[io] += g;
-              for (Index ic = 0; ic < c; ++ic) {
-                for (Index ky = 0; ky < kh; ++ky) {
-                  const Index iy = y * stride - padding + ky;
-                  if (iy < 0 || iy >= h) continue;
-                  for (Index kx = 0; kx < kw; ++kx) {
-                    const Index ixp = xx * stride - padding + kx;
-                    if (ixp < 0 || ixp >= width) continue;
-                    const Index xi = ((in * c + ic) * h + iy) * width + ixp;
-                    const Index wi = ((io * c + ic) * kh + ky) * kw + kx;
-                    if (dx) ix->grad[xi] += g * iw->data[wi];
-                    if (dw) iw->grad[wi] += g * ix->data[xi];
-                  }
-                }
+    r.impl()->backward_fn = [o, ix, iw, ib, s, ck2, ohow]() {
+      const bool need_dx = ix->requires_grad;
+      const bool need_dw = iw->requires_grad;
+      const bool need_db = ib != nullptr && ib->requires_grad;
+      if (need_dx) ix->EnsureGrad();
+      if (need_dw) iw->EnsureGrad();
+      if (need_db) ib->EnsureGrad();
+      const float* og = o->grad.data();
+
+      // dW = sum_n dY_n * cols_n^T and db = sum over pixels, both
+      // partitioned over output channels (each dW row / db entry has one
+      // owner, accumulated image-major).
+      if (need_dw || need_db) {
+        const std::vector<float> cols = BatchIm2Col(s, ix->data.data());
+        const float* pc = cols.data();
+        float* gw = need_dw ? iw->grad.data() : nullptr;
+        float* gb = need_db ? ib->grad.data() : nullptr;
+        ParallelKernel(s.oc, 2 * s.n * ck2 * ohow, [&](Index o0, Index o1) {
+          for (Index io = o0; io < o1; ++io) {
+            for (Index in = 0; in < s.n; ++in) {
+              const float* grow = og + (in * s.oc + io) * ohow;
+              if (need_db) {
+                float acc = 0.0f;
+                for (Index q = 0; q < ohow; ++q) acc += grow[q];
+                gb[io] += acc;
+              }
+              if (!need_dw) continue;
+              const float* icols = pc + in * ck2 * ohow;
+              float* gwrow = gw + io * ck2;
+              for (Index p = 0; p < ck2; ++p) {
+                const float* crow = icols + p * ohow;
+                float dot = 0.0f;
+                for (Index q = 0; q < ohow; ++q) dot += grow[q] * crow[q];
+                gwrow[p] += dot;
               }
             }
           }
-        }
+        });
+      }
+
+      // dX_n = col2im(W^T * dY_n), partitioned over images.
+      if (need_dx) {
+        const float* pw = iw->data.data();
+        float* gx = ix->grad.data();
+        ParallelKernel(s.n, 2 * s.oc * ck2 * ohow, [&](Index n0, Index n1) {
+          std::vector<float> dcols(static_cast<size_t>(ck2 * ohow));
+          for (Index in = n0; in < n1; ++in) {
+            std::fill(dcols.begin(), dcols.end(), 0.0f);
+            for (Index io = 0; io < s.oc; ++io) {
+              const float* grow = og + (in * s.oc + io) * ohow;
+              const float* wrow = pw + io * ck2;
+              for (Index p = 0; p < ck2; ++p) {
+                const float wv = wrow[p];
+                if (wv == 0.0f) continue;
+                float* drow = dcols.data() + p * ohow;
+                for (Index q = 0; q < ohow; ++q) drow[q] += wv * grow[q];
+              }
+            }
+            Col2ImAccum(s, dcols.data(), gx + in * s.c * s.h * s.w);
+          }
+        });
       }
     };
   }

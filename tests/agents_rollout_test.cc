@@ -105,6 +105,102 @@ TEST(RolloutBufferTest, SamplingIsSeedDeterministic) {
   EXPECT_EQ(buffer.SampleIndices(10, a), buffer.SampleIndices(10, b));
 }
 
+Transition MakeRichTransition(int tag) {
+  Transition t;
+  const float f = static_cast<float>(tag);
+  t.state = {f, f + 0.5f, f + 0.75f};
+  t.moves = {tag % 17, (tag + 3) % 17};
+  t.charges = {tag % 2, (tag + 1) % 2};
+  t.log_prob = -0.1f * f;
+  t.value = 0.2f * f;
+  t.reward = f;
+  t.done = tag % 4 == 3;
+  return t;
+}
+
+TEST(MiniBatchTest, GatherBatchPacksTransitionsContiguously) {
+  RolloutBuffer buffer;
+  for (int i = 0; i < 6; ++i) buffer.Add(MakeRichTransition(i));
+  buffer.ComputeAdvantages(0.9f, 0.95f, 0.0f);
+
+  const std::vector<size_t> idx = {4, 0, 2};
+  const MiniBatch mb = buffer.GatherBatch(idx);
+  EXPECT_EQ(mb.batch, 3);
+  EXPECT_EQ(mb.state_size, 3);
+  EXPECT_EQ(mb.num_workers, 2);
+  ASSERT_EQ(mb.states.size(), 9u);
+  ASSERT_EQ(mb.move_indices.size(), 6u);
+  ASSERT_EQ(mb.advantages.size(), 3u);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    const Transition& t = buffer[idx[i]];
+    for (size_t j = 0; j < t.state.size(); ++j) {
+      EXPECT_FLOAT_EQ(mb.states[i * 3 + j], t.state[j]);
+    }
+    for (size_t w = 0; w < 2; ++w) {
+      EXPECT_EQ(mb.move_indices[i * 2 + w], t.moves[w]);
+      EXPECT_EQ(mb.charge_indices[i * 2 + w], t.charges[w]);
+    }
+    EXPECT_FLOAT_EQ(mb.log_probs[i], t.log_prob);
+    EXPECT_FLOAT_EQ(mb.values[i], t.value);
+    EXPECT_FLOAT_EQ(mb.rewards[i], t.reward);
+    EXPECT_EQ(mb.dones[i] != 0, t.done);
+    EXPECT_FLOAT_EQ(mb.advantages[i], buffer.advantages()[idx[i]]);
+    EXPECT_FLOAT_EQ(mb.returns[i], buffer.returns()[idx[i]]);
+  }
+}
+
+TEST(MiniBatchTest, AdvantagesEmptyBeforeComputeAdvantages) {
+  RolloutBuffer buffer;
+  buffer.Add(MakeRichTransition(1));
+  const MiniBatch mb = buffer.GatherBatch({0});
+  EXPECT_TRUE(mb.advantages.empty());
+  EXPECT_TRUE(mb.returns.empty());
+}
+
+TEST(MiniBatchTest, SampleBatchMatchesSampleIndicesGather) {
+  RolloutBuffer buffer;
+  for (int i = 0; i < 12; ++i) buffer.Add(MakeRichTransition(i));
+  buffer.ComputeAdvantages(0.9f, 0.95f, 0.0f);
+  Rng a(9), b(9);
+  const MiniBatch sampled = buffer.SampleBatch(5, a);
+  const MiniBatch gathered = buffer.GatherBatch(buffer.SampleIndices(5, b));
+  EXPECT_EQ(sampled.states, gathered.states);
+  EXPECT_EQ(sampled.move_indices, gathered.move_indices);
+  EXPECT_EQ(sampled.charge_indices, gathered.charge_indices);
+  EXPECT_EQ(sampled.log_probs, gathered.log_probs);
+  EXPECT_EQ(sampled.advantages, gathered.advantages);
+}
+
+TEST(MiniBatchTest, PackAllPreservesOrder) {
+  RolloutBuffer buffer;
+  for (int i = 0; i < 4; ++i) buffer.Add(MakeRichTransition(i));
+  const MiniBatch mb = buffer.PackAll();
+  EXPECT_EQ(mb.batch, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(mb.rewards[static_cast<size_t>(i)],
+                    static_cast<float>(i));
+  }
+}
+
+TEST(RolloutBufferDeathTest, SampleIndicesOnEmptyBufferDies) {
+  RolloutBuffer buffer;
+  Rng rng(1);
+  EXPECT_DEATH(buffer.SampleIndices(4, rng), "empty RolloutBuffer");
+}
+
+TEST(RolloutBufferDeathTest, SampleBatchOnEmptyBufferDies) {
+  RolloutBuffer buffer;
+  Rng rng(1);
+  EXPECT_DEATH(buffer.SampleBatch(4, rng), "empty RolloutBuffer");
+}
+
+TEST(RolloutBufferDeathTest, ZeroBatchDies) {
+  RolloutBuffer buffer;
+  buffer.Add(MakeRichTransition(0));
+  Rng rng(1);
+  EXPECT_DEATH(buffer.SampleIndices(0, rng), "batch == 0");
+}
+
 class GaeSweep : public ::testing::TestWithParam<std::pair<float, float>> {};
 
 TEST_P(GaeSweep, ReturnsEqualAdvantagePlusValue) {

@@ -1,0 +1,186 @@
+// Tests of the cews::runtime intra-op thread pool: coverage (every index
+// exactly once), concurrent callers (the chief-employee pattern), nested
+// use from inside pool workers, exception propagation, and the
+// CEWS_NUM_THREADS / configured-thread resolution rules.
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cews::runtime {
+namespace {
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, 100, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(7, 8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 7);
+}
+
+TEST(ThreadPoolTest, RespectsGrain) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> min_chunk{1 << 30};
+  pool.ParallelFor(0, 1000, /*grain=*/128,
+                   [&](int64_t begin, int64_t end) {
+                     const int64_t len = end - begin;
+                     int64_t seen = min_chunk.load();
+                     while (len < seen &&
+                            !min_chunk.compare_exchange_weak(seen, len)) {
+                     }
+                   });
+  // Only the final chunk of the range may be shorter than the grain.
+  EXPECT_GE(min_chunk.load(), 1000 % 128);
+}
+
+TEST(ThreadPoolTest, StartupShutdownStress) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 1000, [&](int64_t begin, int64_t end) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [](int64_t begin, int64_t) {
+                         if (begin >= 0) {
+                           throw std::runtime_error("kernel failure");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must survive a failed region and run subsequent work.
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(0, 500, [&](int64_t begin, int64_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersFromEmployeeThreads) {
+  // The chief-employee trainer has E threads issuing ParallelFor at once;
+  // all regions must complete without deadlock and cover their ranges.
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr int64_t kN = 20000;
+  std::vector<int64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c]() {
+      for (int repeat = 0; repeat < 5; ++repeat) {
+        std::atomic<int64_t> sum{0};
+        pool.ParallelFor(0, kN, [&](int64_t begin, int64_t end) {
+          int64_t local = 0;
+          for (int64_t i = begin; i < end; ++i) local += i;
+          sum += local;
+        });
+        sums[static_cast<size_t>(c)] = sum.load();
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[static_cast<size_t>(c)], kN * (kN - 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> inner_total{0};
+  pool.ParallelFor(0, 8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      // A kernel invoked from inside a pool worker (e.g. a conv calling
+      // matmul) must not deadlock waiting for the busy pool.
+      pool.ParallelFor(0, 100, [&](int64_t b, int64_t e) {
+        inner_total += e - b;
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 100);
+}
+
+TEST(ResolveNumThreadsTest, EnvOverridesConfigured) {
+  ::setenv("CEWS_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ResolveNumThreads(8), 3);
+  EXPECT_EQ(ResolveNumThreads(0), 3);
+  ::unsetenv("CEWS_NUM_THREADS");
+}
+
+TEST(ResolveNumThreadsTest, ConfiguredWinsWithoutEnv) {
+  ::unsetenv("CEWS_NUM_THREADS");
+  EXPECT_EQ(ResolveNumThreads(5), 5);
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+}
+
+TEST(ResolveNumThreadsTest, AutoFallsBackToHardware) {
+  ::unsetenv("CEWS_NUM_THREADS");
+  const int resolved = ResolveNumThreads(0);
+  EXPECT_GE(resolved, 1);
+}
+
+TEST(ResolveNumThreadsTest, IgnoresNonPositiveEnv) {
+  ::setenv("CEWS_NUM_THREADS", "0", 1);
+  EXPECT_EQ(ResolveNumThreads(4), 4);
+  ::setenv("CEWS_NUM_THREADS", "garbage", 1);
+  EXPECT_EQ(ResolveNumThreads(4), 4);
+  ::unsetenv("CEWS_NUM_THREADS");
+}
+
+TEST(GlobalPoolTest, ResizeAndQuery) {
+  ::unsetenv("CEWS_NUM_THREADS");
+  SetGlobalPoolThreads(2);
+  EXPECT_EQ(GlobalPoolThreads(), 2);
+  std::atomic<int64_t> count{0};
+  GlobalPool().ParallelFor(0, 1000, [&](int64_t begin, int64_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count.load(), 1000);
+  SetGlobalPoolThreads(1);
+  EXPECT_EQ(GlobalPoolThreads(), 1);
+}
+
+}  // namespace
+}  // namespace cews::runtime

@@ -6,8 +6,11 @@
 //   cews show --map site.map                        render a saved map
 //   cews train --scenario X | --map FILE
 //              [--algorithm drl-cews|dppo] [--episodes N] [--employees N]
-//              [--seed N] [--ckpt policy.bin] [--history history.csv]
+//              [--threads N] [--seed N] [--ckpt policy.bin]
+//              [--history history.csv]
 //              train a policy and export artifacts
+//              (--threads sizes the intra-op NN kernel pool; 0 = all cores,
+//               the CEWS_NUM_THREADS env var overrides)
 //   cews eval --map FILE --ckpt policy.bin
 //             [--episodes N] [--svg traj.svg]       evaluate a checkpoint
 #include <cstdio>
@@ -116,6 +119,7 @@ core::BenchmarkOptions OptionsFrom(const Args& args) {
   options.episodes = static_cast<int>(args.GetInt("episodes", 200));
   options.num_employees = static_cast<int>(args.GetInt("employees", 2));
   options.batch_size = static_cast<int>(args.GetInt("batch", 64));
+  options.runtime_threads = static_cast<int>(args.GetInt("threads", 1));
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   options.grid = 12;
   options.net.conv1_channels = 4;
@@ -138,8 +142,10 @@ int CmdTrain(const Args& args) {
   env::EnvConfig env_config;
   env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
   const core::BenchmarkOptions options = OptionsFrom(args);
-  core::DrlCews system(core::MakeTrainerConfig(which, env_config, options),
-                       *map_or);
+  auto system_or = core::DrlCews::Create(
+      core::MakeTrainerConfig(which, env_config, options), *map_or);
+  if (!system_or.ok()) return Fail(system_or.status());
+  core::DrlCews& system = **system_or;
   std::printf("training %s: %d episodes x %d employees...\n",
               algorithm.c_str(), options.episodes, options.num_employees);
   const agents::TrainResult result = system.Train();
@@ -170,9 +176,11 @@ int CmdEval(const Args& args) {
   env::EnvConfig env_config;
   env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
   const core::BenchmarkOptions options = OptionsFrom(args);
-  core::DrlCews system(
+  auto system_or = core::DrlCews::Create(
       core::MakeTrainerConfig(core::Algorithm::kDrlCews, env_config, options),
       *map_or);
+  if (!system_or.ok()) return Fail(system_or.status());
+  core::DrlCews& system = **system_or;
   const Status load = system.LoadCheckpoint(args.Get("ckpt", ""));
   if (!load.ok()) return Fail(load);
   const agents::EvalResult eval =

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 build + tests, then a ThreadSanitizer build of
+# the concurrency-sensitive targets (thread pool, parallel kernels, both
+# trainers). Run from anywhere; builds land in build/ and build-tsan/.
+#
+# Usage: tools/check.sh [--skip-tsan]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+skip_tsan=0
+[[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
+
+echo "== tier-1: configure + build =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+
+echo "== tier-1: ctest =="
+(cd "$repo/build" && ctest --output-on-failure -j "$jobs")
+
+if [[ "$skip_tsan" == 1 ]]; then
+  echo "== skipping TSan pass (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== tsan: configure + build (tests only) =="
+cmake -B "$repo/build-tsan" -S "$repo" \
+  -DCEWS_SANITIZE=thread \
+  -DCEWS_BUILD_BENCHMARKS=OFF \
+  -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs" --target \
+  common_thread_pool_test nn_parallel_determinism_test \
+  agents_trainer_test agents_async_test
+
+echo "== tsan: concurrency tests =="
+(cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
+  "common_thread_pool_test|nn_parallel_determinism_test|agents_trainer_test|agents_async_test")
+
+echo "== all checks passed =="
