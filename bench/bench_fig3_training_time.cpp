@@ -48,5 +48,6 @@ int main() {
   }
   std::printf("\n");
   bench::Emit(table, "fig3_training_time");
+  bench::MaybeEmitProfile();
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "agents/policy_net.h"
 #include "agents/ppo.h"
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "nn/module.h"
@@ -211,4 +212,13 @@ BENCHMARK(BM_AdamStep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a trailing obs profile dump: set
+// CEWS_OBS_PROFILE=1 to print where the kernel time actually went.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  cews::bench::MaybeEmitProfile();
+  return 0;
+}

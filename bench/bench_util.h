@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "core/algorithms.h"
 #include "env/map.h"
+#include "obs/metrics.h"
 
 namespace cews::bench {
 
@@ -110,6 +111,14 @@ inline void Emit(const Table& table, const std::string& name) {
 inline void Banner(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n(reproduces %s; mode: %s)\n\n", title, paper_ref,
               FullMode() ? "FULL (paper scale)" : "quick");
+}
+
+/// When CEWS_OBS_PROFILE=1, prints the obs profile summary (every duration
+/// histogram sorted by total time) so a bench run doubles as a profile.
+inline void MaybeEmitProfile() {
+  if (!GetEnvBool("CEWS_OBS_PROFILE")) return;
+  std::printf("\n-- profile (CEWS_OBS_PROFILE) --\n%s\n",
+              obs::ProfileTable().ToString().c_str());
 }
 
 }  // namespace cews::bench

@@ -6,11 +6,13 @@
 
 #include "agents/eval.h"
 #include "agents/rollout.h"
+#include "agents/trainer_obs.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "nn/ops.h"
 #include "nn/params.h"
+#include "obs/trace.h"
 
 namespace cews::agents {
 
@@ -75,27 +77,35 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
   }
   const int state_size = encoder_.StateSize();
 
+  TrainerPhaseMetrics& phase_metrics = TrainerMetrics();
   for (int episode = 0; episode < config_.episodes; ++episode) {
     // ---- Rollout with the (possibly stale) local policy ----
+    Stopwatch episode_watch;
+    int64_t episode_steps = 0;
     env.Reset();
     RolloutBuffer buffer;
-    std::vector<float> state = encoder_.Encode(env);
-    while (!env.Done()) {
-      const ActResult act = SamplePolicy(local, state, rng, false);
-      const env::StepResult step = env.Step(act.actions);
-      const double r_ext = config_.reward_mode == RewardMode::kSparse
-                               ? step.sparse_reward
-                               : step.dense_reward;
-      Transition t;
-      t.state = std::move(state);
-      t.moves = act.moves;
-      t.charges = act.charges;
-      t.log_prob = act.log_prob;
-      t.value = act.value;
-      t.reward = config_.reward_scale * static_cast<float>(r_ext);
-      t.done = step.done;
-      buffer.Add(std::move(t));
-      state = encoder_.Encode(env);
+    {
+      CEWS_TRACE_SCOPE("trainer.rollout");
+      obs::ScopedTimerNs rollout_timer(phase_metrics.rollout_ns);
+      std::vector<float> state = encoder_.Encode(env);
+      while (!env.Done()) {
+        const ActResult act = SamplePolicy(local, state, rng, false);
+        const env::StepResult step = env.Step(act.actions);
+        ++episode_steps;
+        const double r_ext = config_.reward_mode == RewardMode::kSparse
+                                 ? step.sparse_reward
+                                 : step.dense_reward;
+        Transition t;
+        t.state = std::move(state);
+        t.moves = act.moves;
+        t.charges = act.charges;
+        t.log_prob = act.log_prob;
+        t.value = act.value;
+        t.reward = config_.reward_scale * static_cast<float>(r_ext);
+        t.done = step.done;
+        buffer.Add(std::move(t));
+        state = encoder_.Encode(env);
+      }
     }
     // One contiguous gather of the whole episode for the learner pass.
     MiniBatch mb = buffer.PackAll();
@@ -106,61 +116,75 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
     // advanced the global model meanwhile). This is the policy-lag of
     // Section V-A; V-trace's importance ratios correct for it. ----
     {
+      CEWS_TRACE_SCOPE("trainer.sync");
+      obs::ScopedTimerNs sync_timer(phase_metrics.sync_ns);
       std::lock_guard<std::mutex> lock(model_mu_);
       nn::CopyParameters(global_net_->Parameters(), local_params);
     }
 
     // ---- Learner pass: consumes the packed arrays directly ----
-    const PolicyNetConfig& cfg = config_.net;
-    CEWS_CHECK_EQ(mb.state_size, static_cast<int64_t>(state_size));
-    CEWS_CHECK_EQ(mb.num_workers, cfg.num_workers);
-    nn::ZeroGradients(local_params);
-    const nn::Tensor x = nn::Tensor::FromData(
-        {static_cast<nn::Index>(t_max), cfg.in_channels, cfg.grid, cfg.grid},
-        std::move(mb.states));
-    const PolicyOutput out = local.Forward(x);
-    nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);
-    nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);
-    nn::Tensor logp = nn::Add(
-        nn::SumLastDim(nn::GatherLastDim(move_logp, mb.move_indices)),
-        nn::SumLastDim(nn::GatherLastDim(charge_logp, mb.charge_indices)));
+    std::vector<float> grads;
+    {
+      CEWS_TRACE_SCOPE("trainer.learn");
+      obs::ScopedTimerNs learn_timer(phase_metrics.learn_ns);
+      const PolicyNetConfig& cfg = config_.net;
+      CEWS_CHECK_EQ(mb.state_size, static_cast<int64_t>(state_size));
+      CEWS_CHECK_EQ(mb.num_workers, cfg.num_workers);
+      nn::ZeroGradients(local_params);
+      const nn::Tensor x = nn::Tensor::FromData(
+          {static_cast<nn::Index>(t_max), cfg.in_channels, cfg.grid,
+           cfg.grid},
+          std::move(mb.states));
+      const PolicyOutput out = local.Forward(x);
+      nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);
+      nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);
+      nn::Tensor logp = nn::Add(
+          nn::SumLastDim(nn::GatherLastDim(move_logp, mb.move_indices)),
+          nn::SumLastDim(nn::GatherLastDim(charge_logp, mb.charge_indices)));
 
-    // Detached values and IS ratios feed the (constant) targets.
-    std::vector<float> values(t_max + 1, 0.0f);
-    std::vector<float> ratios(t_max, 1.0f);
-    std::vector<bool> dones(t_max);
-    for (size_t t = 0; t < t_max; ++t) {
-      values[t] = out.value.data()[t];
-      dones[t] = mb.dones[t] != 0;
-      if (config_.use_vtrace) {
-        ratios[t] = std::exp(logp.data()[t] - mb.log_probs[t]);
+      // Detached values and IS ratios feed the (constant) targets.
+      std::vector<float> values(t_max + 1, 0.0f);
+      std::vector<float> ratios(t_max, 1.0f);
+      std::vector<bool> dones(t_max);
+      for (size_t t = 0; t < t_max; ++t) {
+        values[t] = out.value.data()[t];
+        dones[t] = mb.dones[t] != 0;
+        if (config_.use_vtrace) {
+          ratios[t] = std::exp(logp.data()[t] - mb.log_probs[t]);
+        }
       }
-    }
-    const VtraceResult vtrace =
-        ComputeVtrace(mb.rewards, dones, values, ratios, config_.gamma,
-                      config_.rho_bar, config_.c_bar);
+      const VtraceResult vtrace =
+          ComputeVtrace(mb.rewards, dones, values, ratios, config_.gamma,
+                        config_.rho_bar, config_.c_bar);
 
-    const nn::Tensor advantages = nn::Tensor::FromData(
-        {static_cast<nn::Index>(t_max)}, vtrace.pg_advantages);
-    const nn::Tensor value_targets =
-        nn::Tensor::FromData({static_cast<nn::Index>(t_max)}, vtrace.vs);
-    nn::Tensor policy_loss = nn::Neg(nn::Mean(nn::Mul(logp, advantages)));
-    nn::Tensor value_loss =
-        nn::Mean(nn::Square(nn::Sub(out.value, value_targets)));
-    const float inv_t = 1.0f / static_cast<float>(t_max);
-    nn::Tensor entropy = nn::MulScalar(
-        nn::Add(nn::Sum(nn::Mul(nn::Softmax(out.move_logits), move_logp)),
-                nn::Sum(nn::Mul(nn::Softmax(out.charge_logits), charge_logp))),
-        -inv_t);
-    nn::Tensor total = nn::Add(
-        nn::Add(policy_loss, nn::MulScalar(value_loss, config_.value_coef)),
-        nn::MulScalar(entropy, -config_.entropy_coef));
-    total.Backward();
-    nn::ClipGradByGlobalNorm(local_params, config_.max_grad_norm);
-    const std::vector<float> grads = nn::FlattenGradients(local_params);
+      const nn::Tensor advantages = nn::Tensor::FromData(
+          {static_cast<nn::Index>(t_max)}, vtrace.pg_advantages);
+      const nn::Tensor value_targets =
+          nn::Tensor::FromData({static_cast<nn::Index>(t_max)}, vtrace.vs);
+      nn::Tensor policy_loss = nn::Neg(nn::Mean(nn::Mul(logp, advantages)));
+      nn::Tensor value_loss =
+          nn::Mean(nn::Square(nn::Sub(out.value, value_targets)));
+      const float inv_t = 1.0f / static_cast<float>(t_max);
+      nn::Tensor entropy = nn::MulScalar(
+          nn::Add(
+              nn::Sum(nn::Mul(nn::Softmax(out.move_logits), move_logp)),
+              nn::Sum(nn::Mul(nn::Softmax(out.charge_logits), charge_logp))),
+          -inv_t);
+      nn::Tensor total = nn::Add(
+          nn::Add(policy_loss, nn::MulScalar(value_loss, config_.value_coef)),
+          nn::MulScalar(entropy, -config_.entropy_coef));
+      total.Backward();
+      if (employee_id == 0) {
+        phase_metrics.loss->Set(total.item());
+      }
+      nn::ClipGradByGlobalNorm(local_params, config_.max_grad_norm);
+      grads = nn::FlattenGradients(local_params);
+    }
 
     // ---- Push gradient / pull parameters, no barrier ----
     {
+      CEWS_TRACE_SCOPE("trainer.sync");
+      obs::ScopedTimerNs sync_timer(phase_metrics.sync_ns);
       std::lock_guard<std::mutex> lock(model_mu_);
       const std::vector<nn::Tensor> global_params =
           global_net_->Parameters();
@@ -179,6 +203,15 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
     rec.rho = env.Rho();
     rec.extrinsic_reward =
         reward_sum / (config_.reward_scale * config_.env.horizon);
+    rec.wall_seconds = episode_watch.ElapsedSeconds();
+    if (rec.wall_seconds > 0.0) {
+      rec.steps_per_sec =
+          static_cast<double>(episode_steps) / rec.wall_seconds;
+    }
+    phase_metrics.episodes->Increment();
+    phase_metrics.kappa->Set(rec.kappa);
+    phase_metrics.xi->Set(rec.xi);
+    phase_metrics.rho->Set(rec.rho);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       rec.episode = static_cast<int>(history_.size());

@@ -4,12 +4,15 @@
 
 #include "agents/eval.h"
 #include "agents/reward_normalizer.h"
+#include "agents/trainer_obs.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "nn/params.h"
 #include "nn/serialize.h"
+#include "obs/stats_reporter.h"
+#include "obs/trace.h"
 
 namespace cews::agents {
 
@@ -161,72 +164,80 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
   };
   copy_globals();
 
+  TrainerPhaseMetrics& phase_metrics = TrainerMetrics();
   for (int episode = 0; episode < config_.episodes; ++episode) {
     // ---- Exploration (Algorithm 1, lines 4-15) ----
+    Stopwatch episode_watch;
+    int64_t episode_steps = 0;
     env.Reset();
     buffer.Clear();
     std::vector<CuriositySample> curiosity_samples;
     double ext_sum = 0.0, int_sum = 0.0;
 
-    std::vector<float> state = encoder_.Encode(env);
-    while (!env.Done()) {
-      const ActResult act = agent.Act(state, rng);
-      std::vector<PositionObs> from(static_cast<size_t>(num_workers));
-      for (int w = 0; w < num_workers; ++w) {
-        from[static_cast<size_t>(w)] =
-            MakeObs(encoder_, map_, WorkerPos(env, w));
-      }
-      const env::StepResult step = env.Step(act.actions);
-      std::vector<float> next_state = encoder_.Encode(env);
-
-      const double r_ext = config_.reward_mode == RewardMode::kSparse
-                               ? step.sparse_reward
-                               : step.dense_reward;
-      double r_int = 0.0;
-      if (curiosity != nullptr) {
+    {
+      CEWS_TRACE_SCOPE("trainer.rollout");
+      obs::ScopedTimerNs rollout_timer(phase_metrics.rollout_ns);
+      std::vector<float> state = encoder_.Encode(env);
+      while (!env.Done()) {
+        const ActResult act = agent.Act(state, rng);
+        std::vector<PositionObs> from(static_cast<size_t>(num_workers));
         for (int w = 0; w < num_workers; ++w) {
-          const PositionObs to =
+          from[static_cast<size_t>(w)] =
               MakeObs(encoder_, map_, WorkerPos(env, w));
-          const double r = curiosity->IntrinsicReward(
-              w, from[static_cast<size_t>(w)],
-              act.moves[static_cast<size_t>(w)], to);
-          r_int += r;
-          curiosity_samples.push_back(
-              CuriositySample{w, from[static_cast<size_t>(w)],
-                              act.moves[static_cast<size_t>(w)], to});
-          {
-            std::lock_guard<std::mutex> lock(stats_mu_);
-            heatmap_sum_[static_cast<size_t>(
-                from[static_cast<size_t>(w)].cell)] += r;
-            ++heatmap_count_[static_cast<size_t>(
-                from[static_cast<size_t>(w)].cell)];
-          }
         }
-        r_int /= num_workers;
-      } else if (rnd != nullptr) {
-        r_int = rnd->IntrinsicReward(next_state);
-      }
+        const env::StepResult step = env.Step(act.actions);
+        ++episode_steps;
+        std::vector<float> next_state = encoder_.Encode(env);
 
-      Transition t;
-      t.state = std::move(state);
-      t.moves = act.moves;
-      t.charges = act.charges;
-      t.log_prob = act.log_prob;
-      t.value = act.value;
-      const float raw_reward = static_cast<float>(
-          config_.add_intrinsic_to_reward ? r_ext + r_int : r_ext);
-      t.reward = config_.normalize_rewards
-                     ? normalizer.Normalize(raw_reward)
-                     : config_.reward_scale * raw_reward;
-      t.done = step.done;
-      buffer.Add(std::move(t));
-      state = std::move(next_state);
-      ext_sum += r_ext;
-      int_sum += r_int;
+        const double r_ext = config_.reward_mode == RewardMode::kSparse
+                                 ? step.sparse_reward
+                                 : step.dense_reward;
+        double r_int = 0.0;
+        if (curiosity != nullptr) {
+          for (int w = 0; w < num_workers; ++w) {
+            const PositionObs to =
+                MakeObs(encoder_, map_, WorkerPos(env, w));
+            const double r = curiosity->IntrinsicReward(
+                w, from[static_cast<size_t>(w)],
+                act.moves[static_cast<size_t>(w)], to);
+            r_int += r;
+            curiosity_samples.push_back(
+                CuriositySample{w, from[static_cast<size_t>(w)],
+                                act.moves[static_cast<size_t>(w)], to});
+            {
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              heatmap_sum_[static_cast<size_t>(
+                  from[static_cast<size_t>(w)].cell)] += r;
+              ++heatmap_count_[static_cast<size_t>(
+                  from[static_cast<size_t>(w)].cell)];
+            }
+          }
+          r_int /= num_workers;
+        } else if (rnd != nullptr) {
+          r_int = rnd->IntrinsicReward(next_state);
+        }
+
+        Transition t;
+        t.state = std::move(state);
+        t.moves = act.moves;
+        t.charges = act.charges;
+        t.log_prob = act.log_prob;
+        t.value = act.value;
+        const float raw_reward = static_cast<float>(
+            config_.add_intrinsic_to_reward ? r_ext + r_int : r_ext);
+        t.reward = config_.normalize_rewards
+                       ? normalizer.Normalize(raw_reward)
+                       : config_.reward_scale * raw_reward;
+        t.done = step.done;
+        buffer.Add(std::move(t));
+        state = std::move(next_state);
+        ext_sum += r_ext;
+        int_sum += r_int;
+      }
+      normalizer.EndEpisode();
+      buffer.ComputeAdvantages(config_.ppo.gamma, config_.ppo.gae_lambda,
+                               /*last_value=*/0.0f);
     }
-    normalizer.EndEpisode();
-    buffer.ComputeAdvantages(config_.ppo.gamma, config_.ppo.gae_lambda,
-                             /*last_value=*/0.0f);
 
     // Record this employee's episode diagnostics.
     {
@@ -243,74 +254,115 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
     // ---- Exploitation (Algorithm 1, lines 16-23) ----
     const std::vector<nn::Tensor> local_ppo_params = agent.Parameters();
     for (int k = 0; k < config_.update_epochs; ++k) {
-      // Draw one packed minibatch; every model trains from its flat arrays
-      // (single gather per epoch instead of per-consumer index loops).
-      MiniBatch mb =
-          buffer.SampleBatch(static_cast<size_t>(config_.batch_size), rng);
-
-      // Curiosity/RND gradients. The RND predictor distills the minibatch
-      // states directly (formerly a separately accumulated next-state pool;
-      // s_{t+1} of step t is s_t of step t+1, so the training distribution
-      // is the same up to the episode's boundary states).
-      std::vector<float> intrinsic_flat;
-      if (curiosity != nullptr && !curiosity_samples.empty()) {
-        const std::vector<nn::Tensor> cparams = curiosity->Parameters();
-        nn::ZeroGradients(cparams);
-        nn::Tensor closs = curiosity->SampleLoss(
-            curiosity_samples, static_cast<size_t>(config_.batch_size), rng);
-        closs.Backward();
-        intrinsic_flat = nn::FlattenGradients(cparams);
-      } else if (rnd != nullptr) {
-        const std::vector<nn::Tensor> rparams = rnd->Parameters();
-        nn::ZeroGradients(rparams);
-        nn::Tensor rloss = rnd->Loss(mb);
-        rloss.Backward();
-        intrinsic_flat = nn::FlattenGradients(rparams);
-      }
-
-      // PPO gradients on the same packed minibatch (adopts its arrays).
-      nn::ZeroGradients(local_ppo_params);
-      nn::Tensor loss = agent.ComputeLoss(std::move(mb));
-      loss.Backward();
-      nn::ClipGradByGlobalNorm(local_ppo_params, config_.ppo.max_grad_norm);
-      const std::vector<float> ppo_flat =
-          nn::FlattenGradients(local_ppo_params);
-
-      // Send gradients to the global buffers (Algorithm 1, line 20).
       {
-        std::lock_guard<std::mutex> lock(buffer_mu_);
-        for (size_t i = 0; i < ppo_flat.size(); ++i) {
-          ppo_grad_buffer_[i] += ppo_flat[i];
+        CEWS_TRACE_SCOPE("trainer.learn");
+        obs::ScopedTimerNs learn_timer(phase_metrics.learn_ns);
+        // Draw one packed minibatch; every model trains from its flat
+        // arrays (single gather per epoch instead of per-consumer index
+        // loops).
+        MiniBatch mb =
+            buffer.SampleBatch(static_cast<size_t>(config_.batch_size), rng);
+
+        // Curiosity/RND gradients. The RND predictor distills the minibatch
+        // states directly (formerly a separately accumulated next-state
+        // pool; s_{t+1} of step t is s_t of step t+1, so the training
+        // distribution is the same up to the episode's boundary states).
+        std::vector<float> intrinsic_flat;
+        if (curiosity != nullptr && !curiosity_samples.empty()) {
+          const std::vector<nn::Tensor> cparams = curiosity->Parameters();
+          nn::ZeroGradients(cparams);
+          nn::Tensor closs = curiosity->SampleLoss(
+              curiosity_samples, static_cast<size_t>(config_.batch_size),
+              rng);
+          closs.Backward();
+          intrinsic_flat = nn::FlattenGradients(cparams);
+        } else if (rnd != nullptr) {
+          const std::vector<nn::Tensor> rparams = rnd->Parameters();
+          nn::ZeroGradients(rparams);
+          nn::Tensor rloss = rnd->Loss(mb);
+          rloss.Backward();
+          intrinsic_flat = nn::FlattenGradients(rparams);
         }
-        for (size_t i = 0; i < intrinsic_flat.size(); ++i) {
-          intrinsic_grad_buffer_[i] += intrinsic_flat[i];
+
+        // PPO gradients on the same packed minibatch (adopts its arrays).
+        // Employee 0 reports the loss gauge: one writer, no averaging race.
+        LossStats loss_stats;
+        nn::ZeroGradients(local_ppo_params);
+        nn::Tensor loss = agent.ComputeLoss(
+            std::move(mb), employee_id == 0 ? &loss_stats : nullptr);
+        loss.Backward();
+        if (employee_id == 0) {
+          phase_metrics.loss->Set(loss_stats.total);
+        }
+        nn::ClipGradByGlobalNorm(local_ppo_params,
+                                 config_.ppo.max_grad_norm);
+        const std::vector<float> ppo_flat =
+            nn::FlattenGradients(local_ppo_params);
+
+        // Send gradients to the global buffers (Algorithm 1, line 20).
+        {
+          std::lock_guard<std::mutex> lock(buffer_mu_);
+          for (size_t i = 0; i < ppo_flat.size(); ++i) {
+            ppo_grad_buffer_[i] += ppo_flat[i];
+          }
+          for (size_t i = 0; i < intrinsic_flat.size(); ++i) {
+            intrinsic_grad_buffer_[i] += intrinsic_flat[i];
+          }
         }
       }
 
       // Wait for the chief to update the global models (lines 21-22), then
       // copy the fresh parameters.
-      barrier_.ArriveAndWait([this]() { ChiefApplyGradients(); });
-      copy_globals();
+      {
+        CEWS_TRACE_SCOPE("trainer.barrier");
+        obs::ScopedTimerNs barrier_timer(phase_metrics.barrier_ns);
+        barrier_.ArriveAndWait([this]() { ChiefApplyGradients(); });
+      }
+      {
+        CEWS_TRACE_SCOPE("trainer.sync");
+        obs::ScopedTimerNs sync_timer(phase_metrics.sync_ns);
+        copy_globals();
+      }
     }
 
-    // Heat-map snapshotting and checkpointing are serial chief work done
-    // once per episode.
-    barrier_.ArriveAndWait([this, episode]() {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        MaybeSnapshotHeatmap(episode);
-      }
-      if (config_.checkpoint_every > 0 &&
-          (episode + 1) % config_.checkpoint_every == 0) {
-        const std::string path = config_.checkpoint_prefix +
-                                 std::to_string(episode + 1) + ".bin";
-        const Status status =
-            nn::SaveParameters(path, global_net_->Parameters());
-        if (!status.ok()) {
-          CEWS_LOG(Warning) << "checkpoint failed: " << status.ToString();
+    // Heat-map snapshotting, checkpointing, and the episode-level metrics
+    // are serial chief work done once per episode.
+    {
+      CEWS_TRACE_SCOPE("trainer.barrier");
+      obs::ScopedTimerNs barrier_timer(phase_metrics.barrier_ns);
+      barrier_.ArriveAndWait([this, episode, &phase_metrics]() {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          MaybeSnapshotHeatmap(episode);
+          const EpisodeAccumulator& acc =
+              episode_accum_[static_cast<size_t>(episode)];
+          const double inv_e = 1.0 / config_.num_employees;
+          phase_metrics.episodes->Increment();
+          phase_metrics.kappa->Set(acc.kappa * inv_e);
+          phase_metrics.xi->Set(acc.xi * inv_e);
+          phase_metrics.rho->Set(acc.rho * inv_e);
         }
-      }
-    });
+        if (config_.checkpoint_every > 0 &&
+            (episode + 1) % config_.checkpoint_every == 0) {
+          const std::string path = config_.checkpoint_prefix +
+                                   std::to_string(episode + 1) + ".bin";
+          const Status status =
+              nn::SaveParameters(path, global_net_->Parameters());
+          if (!status.ok()) {
+            CEWS_LOG(Warning) << "checkpoint failed: " << status.ToString();
+          }
+        }
+      });
+    }
+
+    // Wall time covers the whole synchronized episode (rollout + updates +
+    // barriers), so steps/s reflects delivered end-to-end throughput.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      EpisodeAccumulator& acc = episode_accum_[static_cast<size_t>(episode)];
+      acc.wall += episode_watch.ElapsedSeconds();
+      acc.steps += episode_steps;
+    }
   }
 }
 
@@ -319,12 +371,17 @@ TrainResult ChiefEmployeeTrainer::Train() {
   // Size the shared intra-op kernel pool before any employee touches it.
   runtime::SetGlobalPoolThreads(
       runtime::ResolveNumThreads(config_.runtime_threads));
+  std::unique_ptr<obs::StatsReporter> reporter;
+  if (config_.heartbeat_seconds > 0.0) {
+    reporter = std::make_unique<obs::StatsReporter>(config_.heartbeat_seconds);
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(config_.num_employees));
   for (int i = 0; i < config_.num_employees; ++i) {
     threads.emplace_back([this, i]() { EmployeeLoop(i); });
   }
   for (std::thread& t : threads) t.join();
+  if (reporter != nullptr) reporter->Stop();
 
   TrainResult result;
   result.seconds = watch.ElapsedSeconds();
@@ -339,6 +396,10 @@ TrainResult ChiefEmployeeTrainer::Train() {
     rec.rho = acc.rho * inv_e;
     rec.extrinsic_reward = acc.extrinsic * inv_e;
     rec.intrinsic_reward = acc.intrinsic * inv_e;
+    rec.wall_seconds = acc.wall * inv_e;
+    if (rec.wall_seconds > 0.0) {
+      rec.steps_per_sec = static_cast<double>(acc.steps) / rec.wall_seconds;
+    }
     result.history.push_back(rec);
   }
   return result;

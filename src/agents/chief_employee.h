@@ -72,6 +72,11 @@ struct TrainerConfig {
   env::StateEncoderConfig encoder;
   uint64_t seed = 1;
 
+  /// Log a one-line training heartbeat (episodes/s, steps/s, loss, kappa,
+  /// xi, rho, pool utilization) every this many seconds while Train() runs
+  /// (obs/stats_reporter.h). <= 0 disables.
+  double heartbeat_seconds = 0.0;
+
   /// Record a curiosity heat-map snapshot every this many episodes
   /// (0 disables; used by the Fig. 9 bench).
   int heatmap_snapshot_every = 0;
@@ -91,6 +96,8 @@ struct EpisodeRecord {
   double rho = 0.0;
   double extrinsic_reward = 0.0;  // mean per step
   double intrinsic_reward = 0.0;  // mean per step
+  double wall_seconds = 0.0;      // mean employee wall time for the episode
+  double steps_per_sec = 0.0;     // total env steps (all employees) / wall
 };
 
 /// Mean intrinsic reward per visited cell over a training window (Fig. 9).
@@ -137,6 +144,8 @@ class ChiefEmployeeTrainer {
   struct EpisodeAccumulator {
     double kappa = 0.0, xi = 0.0, rho = 0.0;
     double extrinsic = 0.0, intrinsic = 0.0;
+    double wall = 0.0;   ///< Summed employee wall seconds for the episode.
+    int64_t steps = 0;   ///< Total env steps across employees.
   };
 
   void EmployeeLoop(int employee_id);

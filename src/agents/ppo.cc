@@ -5,8 +5,11 @@
 #include "agents/eval.h"
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/stopwatch.h"
 #include "nn/ops.h"
 #include "nn/params.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cews::agents {
 
@@ -32,6 +35,9 @@ float PpoAgent::Value(const std::vector<float>& state) const {
 }
 
 nn::Tensor PpoAgent::ComputeLoss(MiniBatch batch, LossStats* stats) const {
+  CEWS_TRACE_SCOPE("agents.PpoLoss");
+  static obs::Histogram* const loss_ns = obs::GetHistogram("ppo.loss_ns");
+  obs::ScopedTimerNs loss_timer(loss_ns);
   const PolicyNetConfig& cfg = net_->config();
   const nn::Index b = batch.batch;
   CEWS_CHECK_GT(b, 0) << "ComputeLoss on an empty minibatch";

@@ -4,6 +4,9 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cews::agents {
 
@@ -63,6 +66,15 @@ MiniBatch RolloutBuffer::GatherBatch(const std::vector<size_t>& idx) const {
   CEWS_CHECK(!transitions_.empty())
       << "GatherBatch on an empty RolloutBuffer";
   CEWS_CHECK(!idx.empty()) << "GatherBatch with an empty index list";
+  CEWS_TRACE_SCOPE("agents.PackBatch");
+  static obs::Counter* const pack_calls =
+      obs::GetCounter("rollout.pack.calls");
+  static obs::Counter* const pack_transitions =
+      obs::GetCounter("rollout.pack.transitions");
+  static obs::Histogram* const pack_ns = obs::GetHistogram("rollout.pack_ns");
+  const uint64_t t0 = Stopwatch::NowNs();
+  pack_calls->Increment();
+  pack_transitions->Add(idx.size());
   const bool has_advantages = advantages_.size() == transitions_.size();
 
   MiniBatch mb;
@@ -104,6 +116,7 @@ MiniBatch RolloutBuffer::GatherBatch(const std::vector<size_t>& idx) const {
       mb.returns[i] = returns_[src];
     }
   }
+  pack_ns->Record(Stopwatch::NowNs() - t0);
   return mb;
 }
 

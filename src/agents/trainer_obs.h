@@ -1,0 +1,34 @@
+// Phase telemetry shared by both trainers (chief-employee and async), so
+// the synchronous and asynchronous architectures report metric-for-metric
+// comparable numbers: the same four phase histograms (rollout / learn /
+// sync / barrier), the same episode counter, and the same headline gauges
+// the heartbeat reporter (obs/stats_reporter.h) reads.
+#ifndef CEWS_AGENTS_TRAINER_OBS_H_
+#define CEWS_AGENTS_TRAINER_OBS_H_
+
+#include "obs/metrics.h"
+
+namespace cews::agents {
+
+struct TrainerPhaseMetrics {
+  obs::Histogram* const rollout_ns = obs::GetHistogram("trainer.rollout_ns");
+  obs::Histogram* const learn_ns = obs::GetHistogram("trainer.learn_ns");
+  obs::Histogram* const sync_ns = obs::GetHistogram("trainer.sync_ns");
+  obs::Histogram* const barrier_ns = obs::GetHistogram("trainer.barrier_ns");
+  obs::Counter* const episodes = obs::GetCounter("train.episodes");
+  obs::Gauge* const loss = obs::GetGauge("train.loss");
+  obs::Gauge* const kappa = obs::GetGauge("train.kappa");
+  obs::Gauge* const xi = obs::GetGauge("train.xi");
+  obs::Gauge* const rho = obs::GetGauge("train.rho");
+};
+
+/// Leaked singleton: metric handles stay valid on employee threads that
+/// outlive main()'s static teardown order.
+inline TrainerPhaseMetrics& TrainerMetrics() {
+  static TrainerPhaseMetrics* const m = new TrainerPhaseMetrics;
+  return *m;
+}
+
+}  // namespace cews::agents
+
+#endif  // CEWS_AGENTS_TRAINER_OBS_H_

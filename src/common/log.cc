@@ -1,19 +1,39 @@
 #include "common/log.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stopwatch.h"
+
 namespace cews {
 namespace internal {
 
-LogLevel& GlobalLogLevel() {
-  static LogLevel level = LogLevel::kInfo;
-  return level;
-}
-
-std::mutex& LogMutex() {
-  static std::mutex mu;
-  return mu;
-}
-
 namespace {
+
+/// Parses CEWS_LOG_LEVEL: symbolic names (any case prefix works via exact
+/// match on the lowered string) or the numeric levels 0-3. Unset or
+/// unparseable values fall back to Info.
+LogLevel LevelFromEnv() {
+  const char* v = std::getenv("CEWS_LOG_LEVEL");
+  if (v == nullptr || *v == '\0') return LogLevel::kInfo;
+  std::string s(v);
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  if (s == "debug" || s == "0") return LogLevel::kDebug;
+  if (s == "info" || s == "1") return LogLevel::kInfo;
+  if (s == "warning" || s == "warn" || s == "2") return LogLevel::kWarning;
+  if (s == "error" || s == "3") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+/// Steady-clock origin of the timestamp column: the first log statement.
+uint64_t LogEpochNs() {
+  static const uint64_t epoch = Stopwatch::NowNs();
+  return epoch;
+}
+
 const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -27,7 +47,24 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LevelFromEnv();
+  return level;
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GlobalLogLevel()) {
@@ -36,7 +73,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+    // Read the epoch before sampling the clock: on the very first log
+    // statement LogEpochNs() initializes itself, and sampling first would
+    // make now < epoch and wrap the unsigned difference.
+    const uint64_t epoch = LogEpochNs();
+    const double seconds =
+        static_cast<double>(Stopwatch::NowNs() - epoch) * 1e-9;
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "[%s %.3f T%02d ", LevelTag(level),
+                  seconds, LogThreadId());
+    stream_ << prefix << base << ":" << line << "] ";
   }
 }
 

@@ -1,5 +1,15 @@
 // Minimal leveled logging. Verbosity is process-global; benches default to
 // warnings-only so their stdout stays parseable as results.
+//
+// Each line is prefixed with the level tag, a monotonic timestamp (seconds
+// since the first log statement of the process) and a small per-thread id,
+// so interleaved employee-thread output can be reconstructed:
+//
+//   [I 12.345 T03 chief_employee.cc:310] checkpoint -> cews_ckpt_100.bin
+//
+// The CEWS_LOG_LEVEL environment variable (debug|info|warning|error, or the
+// numeric levels 0-3) sets the initial verbosity so benches/CI can raise it
+// without code changes; SetLogLevel() overrides it at runtime.
 #ifndef CEWS_COMMON_LOG_H_
 #define CEWS_COMMON_LOG_H_
 
@@ -13,11 +23,17 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 namespace internal {
 
-/// Process-global minimum level that will be emitted.
+/// Process-global minimum level that will be emitted. Initialized from the
+/// CEWS_LOG_LEVEL environment variable (defaults to Info).
 LogLevel& GlobalLogLevel();
 
 /// Serializes concurrent writers (employee threads log during training).
 std::mutex& LogMutex();
+
+/// Small dense id of the calling thread (0 for the first thread that logs,
+/// then 1, 2, ...). Also used by the obs trace exporter so log lines and
+/// trace rows share thread numbering.
+int LogThreadId();
 
 /// One log statement: buffers, then flushes a single line on destruction.
 class LogMessage {

@@ -1,8 +1,11 @@
-// Wall-clock stopwatch used by the training-time experiments (Fig. 3).
+// Wall-clock stopwatch used by the training-time experiments (Fig. 3) and
+// the obs telemetry layer. All timing in this codebase goes through the
+// steady (monotonic) clock — never the system clock, which can jump.
 #ifndef CEWS_COMMON_STOPWATCH_H_
 #define CEWS_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace cews {
 
@@ -11,8 +14,26 @@ class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
+  /// Nanoseconds on the steady clock since an arbitrary epoch. The single
+  /// timestamp source for spans and duration metrics (obs/), so readings
+  /// from different threads are mutually comparable.
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
   /// Resets the start point to now.
   void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or last Restart().
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   /// Seconds elapsed since construction or last Restart().
   double ElapsedSeconds() const {

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/env_flags.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cews::runtime {
 
@@ -12,10 +15,29 @@ namespace {
 /// these so a worker never blocks waiting for peers it is starving.
 thread_local bool tls_in_pool_worker = false;
 
+/// Pool telemetry (obs/metrics.h). Only the parallel dispatch path reports;
+/// the serial fast path of ParallelFor stays untouched.
+struct PoolMetrics {
+  obs::Counter* const regions = obs::GetCounter("threadpool.regions");
+  obs::Counter* const chunks = obs::GetCounter("threadpool.chunks");
+  obs::Counter* const busy_ns = obs::GetCounter("threadpool.busy_ns");
+  obs::Histogram* const region_ns =
+      obs::GetHistogram("threadpool.region_ns");
+  obs::Histogram* const queue_wait_ns =
+      obs::GetHistogram("threadpool.queue_wait_ns");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics;
+  return *metrics;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
+  obs::GetGauge("threadpool.threads")
+      ->Set(static_cast<double>(num_threads_));
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 0; i < num_threads_ - 1; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -48,6 +70,9 @@ void ThreadPool::WorkerLoop() {
     }
     region->active.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
+    // Time from enqueue until this worker joined the region: how long work
+    // sat waiting for a free lane.
+    Metrics().queue_wait_ns->Record(Stopwatch::NowNs() - region->enqueue_ns);
     RunChunks(*region);
     lock.lock();
     if (region->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -57,10 +82,14 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunChunks(Region& region) {
+  PoolMetrics& metrics = Metrics();
+  const uint64_t t0 = Stopwatch::NowNs();
+  uint64_t chunks = 0;
   while (true) {
     const int64_t start =
         region.next.fetch_add(region.chunk, std::memory_order_relaxed);
     if (start >= region.end) break;
+    ++chunks;
     const int64_t stop = std::min(region.end, start + region.chunk);
     try {
       region.body(start, stop);
@@ -71,6 +100,10 @@ void ThreadPool::RunChunks(Region& region) {
       region.next.store(region.end, std::memory_order_relaxed);
       break;
     }
+  }
+  if (chunks > 0) {
+    metrics.chunks->Add(chunks);
+    metrics.busy_ns->Add(Stopwatch::NowNs() - t0);
   }
 }
 
@@ -90,9 +123,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     body(begin, end);
     return;
   }
+  CEWS_TRACE_SCOPE("runtime.ParallelFor");
+  PoolMetrics& metrics = Metrics();
+  metrics.regions->Add(1);
+  const uint64_t dispatch_ns = Stopwatch::NowNs();
   auto region = std::make_shared<Region>();
   region->body = body;
   region->end = end;
+  region->enqueue_ns = dispatch_ns;
   region->next.store(begin, std::memory_order_relaxed);
   // ~4 chunks per lane keeps claiming overhead low while still balancing
   // uneven chunk costs; scheduling only, never results.
@@ -119,6 +157,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // Drop the region from the queue if no worker got around to it.
   auto it = std::find(queue_.begin(), queue_.end(), region);
   if (it != queue_.end()) queue_.erase(it);
+  metrics.region_ns->Record(Stopwatch::NowNs() - dispatch_ns);
   if (region->error) std::rethrow_exception(region->error);
 }
 

@@ -68,6 +68,7 @@ class ThreadPool {
     Body body;
     int64_t end = 0;
     int64_t chunk = 1;
+    uint64_t enqueue_ns = 0;       ///< Steady-clock enqueue time (obs).
     std::atomic<int64_t> next{0};  ///< First unclaimed index.
     std::atomic<int> active{0};    ///< Threads currently running chunks.
     std::exception_ptr error;      ///< First failure; guarded by pool mu_.

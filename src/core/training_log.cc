@@ -9,10 +9,14 @@ namespace cews::core {
 
 std::string HistoryToCsv(const std::vector<agents::EpisodeRecord>& history) {
   std::ostringstream os;
-  os << "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward\n";
+  // The original columns stay a stable prefix; downstream plot scripts that
+  // index by name or by the first six positions keep working.
+  os << "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward,"
+        "wall_seconds,steps_per_sec\n";
   for (const agents::EpisodeRecord& rec : history) {
     os << rec.episode << "," << rec.kappa << "," << rec.xi << "," << rec.rho
-       << "," << rec.extrinsic_reward << "," << rec.intrinsic_reward << "\n";
+       << "," << rec.extrinsic_reward << "," << rec.intrinsic_reward << ","
+       << rec.wall_seconds << "," << rec.steps_per_sec << "\n";
   }
   return os.str();
 }

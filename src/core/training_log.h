@@ -12,7 +12,8 @@
 namespace cews::core {
 
 /// Renders a training history as CSV with columns
-/// episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward.
+/// episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward,
+/// wall_seconds,steps_per_sec (the first six columns are a stable prefix).
 std::string HistoryToCsv(const std::vector<agents::EpisodeRecord>& history);
 
 /// Writes HistoryToCsv to `path`.

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cews::env {
 
@@ -227,6 +229,11 @@ int Env::NearestStation(const Position& p) const {
 StepResult Env::Step(const std::vector<WorkerAction>& actions) {
   CEWS_CHECK_EQ(static_cast<int>(actions.size()), num_workers());
   CEWS_CHECK(!Done()) << "Step() after episode end";
+  CEWS_TRACE_SCOPE("env.Step");
+  static obs::Counter* const steps = obs::GetCounter("env.steps");
+  static obs::Histogram* const step_ns = obs::GetHistogram("env.step_ns");
+  steps->Increment();
+  obs::ScopedTimerNs step_timer(step_ns);
   const int w_count = num_workers();
   StepResult result;
   result.collected.assign(w_count, 0.0);

@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cews::nn {
 
@@ -37,6 +40,33 @@ void ParallelKernel(Index n, Index flops_per_index, Fn&& fn) {
   pool.ParallelFor(0, n, [&fn](int64_t begin, int64_t end) {
     fn(static_cast<Index>(begin), static_cast<Index>(end));
   });
+}
+
+/// Telemetry for one hot kernel (obs/metrics.h): call count plus FLOP- and
+/// time-weighted forward/backward totals, so a scrape can report effective
+/// FLOP/s per kernel.
+struct KernelMetrics {
+  explicit KernelMetrics(const std::string& prefix)
+      : calls(obs::GetCounter(prefix + ".calls")),
+        fwd_flops(obs::GetCounter(prefix + ".fwd_flops")),
+        fwd_ns(obs::GetCounter(prefix + ".fwd_ns")),
+        bwd_flops(obs::GetCounter(prefix + ".bwd_flops")),
+        bwd_ns(obs::GetCounter(prefix + ".bwd_ns")) {}
+  obs::Counter* const calls;
+  obs::Counter* const fwd_flops;
+  obs::Counter* const fwd_ns;
+  obs::Counter* const bwd_flops;
+  obs::Counter* const bwd_ns;
+};
+
+KernelMetrics& MatMulMetrics() {
+  static KernelMetrics* m = new KernelMetrics("nn.matmul");
+  return *m;
+}
+
+KernelMetrics& Conv2dMetrics() {
+  static KernelMetrics* m = new KernelMetrics("nn.conv2d");
+  return *m;
 }
 
 /// Builds the result node: adopts data, wires tape parents (only those that
@@ -258,18 +288,31 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  ParallelKernel(n, 2 * k * m, [&](Index i0, Index i1) {
-    MatMulRowsKernel(pa, pb, po, i0, i1, k, m);
-  });
+  const uint64_t flops = 2ull * static_cast<uint64_t>(n * k * m);
+  {
+    CEWS_TRACE_SCOPE("nn.MatMul");
+    const uint64_t t0 = Stopwatch::NowNs();
+    ParallelKernel(n, 2 * k * m, [&](Index i0, Index i1) {
+      MatMulRowsKernel(pa, pb, po, i0, i1, k, m);
+    });
+    KernelMetrics& metrics = MatMulMetrics();
+    metrics.calls->Increment();
+    metrics.fwd_flops->Add(flops);
+    metrics.fwd_ns->Add(Stopwatch::NowNs() - t0);
+  }
   Tensor r = MakeResult({n, m}, std::move(out), {a, b});
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
     auto ib = b.impl();
     r.impl()->backward_fn = [o, ia, ib, n, k, m]() {
+      CEWS_TRACE_SCOPE("nn.MatMul.bwd");
+      const uint64_t t0 = Stopwatch::NowNs();
+      uint64_t bwd_flops = 0;
       // dA = dC * B^T, partitioned over rows of dA (each row has one owner);
       // dB = A^T * dC, partitioned over rows of dB.
       if (ia->requires_grad) {
+        bwd_flops += 2ull * static_cast<uint64_t>(n * k * m);
         ia->EnsureGrad();
         const float* og = o->grad.data();
         const float* pb = ib->data.data();
@@ -287,6 +330,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         });
       }
       if (ib->requires_grad) {
+        bwd_flops += 2ull * static_cast<uint64_t>(n * k * m);
         ib->EnsureGrad();
         const float* og = o->grad.data();
         const float* pa = ia->data.data();
@@ -303,6 +347,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           }
         });
       }
+      KernelMetrics& metrics = MatMulMetrics();
+      metrics.bwd_flops->Add(bwd_flops);
+      metrics.bwd_ns->Add(Stopwatch::NowNs() - t0);
     };
   }
   return r;
@@ -746,10 +793,18 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   CEWS_CHECK_GE(s.ow, 1);
   const Index ck2 = s.ck2(), ohow = s.ohow();
 
+  // FLOPs of one batched im2col product: multiply + add per (image, output
+  // channel, patch row, output pixel). Forward and each backward product
+  // share this cost.
+  const uint64_t conv_flops =
+      2ull * static_cast<uint64_t>(s.n * s.oc * ck2 * ohow);
+
   // Forward = one [oc, ck2] x [ck2, ohow] product per image, parallel over
   // the flattened (image, output-channel) rows. Each output row is owned by
   // exactly one index and accumulated p-ascending, so results do not depend
   // on the partition.
+  CEWS_TRACE_SCOPE("nn.Conv2d");
+  const uint64_t fwd_t0 = Stopwatch::NowNs();
   const std::vector<float> cols = BatchIm2Col(s, x.data());
   std::vector<float> out(static_cast<size_t>(s.n * s.oc * ohow));
   {
@@ -774,6 +829,12 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
       }
     });
   }
+  {
+    KernelMetrics& metrics = Conv2dMetrics();
+    metrics.calls->Increment();
+    metrics.fwd_flops->Add(conv_flops);
+    metrics.fwd_ns->Add(Stopwatch::NowNs() - fwd_t0);
+  }
 
   Tensor r = MakeResult({s.n, s.oc, s.oh, s.ow}, std::move(out),
                         {x, w, bias});
@@ -782,7 +843,10 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
     auto ix = x.impl();
     auto iw = w.impl();
     auto ib = bias.defined() ? bias.impl() : nullptr;
-    r.impl()->backward_fn = [o, ix, iw, ib, s, ck2, ohow]() {
+    r.impl()->backward_fn = [o, ix, iw, ib, s, ck2, ohow, conv_flops]() {
+      CEWS_TRACE_SCOPE("nn.Conv2d.bwd");
+      const uint64_t t0 = Stopwatch::NowNs();
+      uint64_t bwd_flops = 0;
       const bool need_dx = ix->requires_grad;
       const bool need_dw = iw->requires_grad;
       const bool need_db = ib != nullptr && ib->requires_grad;
@@ -795,6 +859,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
       // partitioned over output channels (each dW row / db entry has one
       // owner, accumulated image-major).
       if (need_dw || need_db) {
+        if (need_dw) bwd_flops += conv_flops;
         const std::vector<float> cols = BatchIm2Col(s, ix->data.data());
         const float* pc = cols.data();
         float* gw = need_dw ? iw->grad.data() : nullptr;
@@ -824,6 +889,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
 
       // dX_n = col2im(W^T * dY_n), partitioned over images.
       if (need_dx) {
+        bwd_flops += conv_flops;
         const float* pw = iw->data.data();
         float* gx = ix->grad.data();
         ParallelKernel(s.n, 2 * s.oc * ck2 * ohow, [&](Index n0, Index n1) {
@@ -844,6 +910,9 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
           }
         });
       }
+      KernelMetrics& metrics = Conv2dMetrics();
+      metrics.bwd_flops->Add(bwd_flops);
+      metrics.bwd_ns->Add(Stopwatch::NowNs() - t0);
     };
   }
   return r;

@@ -1,0 +1,404 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cews::obs {
+
+namespace {
+
+/// Slots per histogram in a shard: count, sum, then the buckets.
+constexpr int kHistStride = 2 + kHistogramBuckets;
+
+/// floor(log2(v)) clamped into the bucket range; 0 maps to bucket 0.
+int BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v) - 1;
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+/// One thread's slice of every counter/histogram. Slots are relaxed atomics:
+/// written only by the owning thread (plain-speed on x86 — no lock prefix,
+/// the line stays in the owner's cache), read by scrapers without a race.
+struct Shard {
+  std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<uint64_t>, kMaxHistograms * kHistStride> hist{};
+};
+
+/// Owner-thread bump; no other thread writes this slot.
+inline void Bump(std::atomic<uint64_t>& slot, uint64_t delta) {
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+namespace {
+
+/// All registry state, file-local and leaked deliberately so metric pointers
+/// and thread-exit flushes stay valid through static teardown.
+struct RegistryImpl {
+  mutable std::mutex mu;
+
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+  std::vector<std::string> counter_names;  // slot -> name
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::vector<std::string> histogram_names;  // slot -> name
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+
+  std::vector<Shard*> live_shards;
+  /// Accumulated totals of exited threads (multi-writer: real fetch_add).
+  Shard retired;
+};
+
+RegistryImpl* GlobalImpl() {
+  static RegistryImpl* impl = new RegistryImpl;
+  return impl;
+}
+
+/// Registers this thread's shard for scraping; on thread exit the totals are
+/// folded into the retired accumulator so nothing is lost when the trainers'
+/// employee threads finish.
+struct ShardHandle {
+  Shard* shard;
+  ShardHandle() : shard(new Shard) {
+    RegistryImpl* impl = GlobalImpl();
+    std::lock_guard<std::mutex> lock(impl->mu);
+    impl->live_shards.push_back(shard);
+  }
+  ~ShardHandle() {
+    RegistryImpl* impl = GlobalImpl();
+    std::lock_guard<std::mutex> lock(impl->mu);
+    for (int i = 0; i < kMaxCounters; ++i) {
+      impl->retired.counters[static_cast<size_t>(i)].fetch_add(
+          shard->counters[static_cast<size_t>(i)].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < shard->hist.size(); ++i) {
+      impl->retired.hist[i].fetch_add(
+          shard->hist[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    auto& live = impl->live_shards;
+    live.erase(std::find(live.begin(), live.end(), shard));
+    delete shard;
+  }
+};
+
+Shard& LocalShard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t delta) {
+  Bump(LocalShard().counters[static_cast<size_t>(slot_)], delta);
+}
+
+void Histogram::Record(uint64_t value) {
+  Shard& shard = LocalShard();
+  const size_t base = static_cast<size_t>(slot_) * kHistStride;
+  Bump(shard.hist[base], 1);
+  Bump(shard.hist[base + 1], value);
+  Bump(shard.hist[base + 2 + static_cast<size_t>(BucketIndex(value))], 1);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry;  // leaked deliberately
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  RegistryImpl* i = GlobalImpl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->counters.find(name);
+  if (it != i->counters.end()) return it->second.get();
+  const int slot = static_cast<int>(i->counter_names.size());
+  CEWS_CHECK_LT(slot, kMaxCounters) << "too many counters; raise kMaxCounters";
+  i->counter_names.push_back(name);
+  return i->counters.emplace(name, std::unique_ptr<Counter>(new Counter(slot)))
+      .first->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  RegistryImpl* i = GlobalImpl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->histograms.find(name);
+  if (it != i->histograms.end()) return it->second.get();
+  const int slot = static_cast<int>(i->histogram_names.size());
+  CEWS_CHECK_LT(slot, kMaxHistograms)
+      << "too many histograms; raise kMaxHistograms";
+  i->histogram_names.push_back(name);
+  return i->histograms
+      .emplace(name, std::unique_ptr<Histogram>(new Histogram(slot)))
+      .first->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  RegistryImpl* i = GlobalImpl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->gauges.find(name);
+  if (it != i->gauges.end()) return it->second.get();
+  return i->gauges.emplace(name, std::unique_ptr<Gauge>(new Gauge()))
+      .first->second.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  const RegistryImpl* i = GlobalImpl();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(i->mu);
+
+  auto slot_total = [&](const Shard& shard, size_t idx) {
+    return shard.hist[idx].load(std::memory_order_relaxed);
+  };
+
+  snap.counters.reserve(i->counter_names.size());
+  for (size_t slot = 0; slot < i->counter_names.size(); ++slot) {
+    CounterSnapshot c;
+    c.name = i->counter_names[slot];
+    c.value = i->retired.counters[slot].load(std::memory_order_relaxed);
+    for (const Shard* shard : i->live_shards) {
+      c.value += shard->counters[slot].load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back(std::move(c));
+  }
+
+  snap.histograms.reserve(i->histogram_names.size());
+  for (size_t slot = 0; slot < i->histogram_names.size(); ++slot) {
+    HistogramSnapshot h;
+    h.name = i->histogram_names[slot];
+    const size_t base = slot * kHistStride;
+    h.count = slot_total(i->retired, base);
+    h.sum = slot_total(i->retired, base + 1);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[static_cast<size_t>(b)] =
+          slot_total(i->retired, base + 2 + static_cast<size_t>(b));
+    }
+    for (const Shard* shard : i->live_shards) {
+      h.count += slot_total(*shard, base);
+      h.sum += slot_total(*shard, base + 1);
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[static_cast<size_t>(b)] +=
+            slot_total(*shard, base + 2 + static_cast<size_t>(b));
+      }
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+
+  snap.gauges.reserve(i->gauges.size());
+  for (const auto& [name, gauge] : i->gauges) {
+    snap.gauges.push_back(GaugeSnapshot{name, gauge->Get()});
+  }
+
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  RegistryImpl* i = GlobalImpl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto zero = [](Shard& shard) {
+    for (auto& slot : shard.counters) slot.store(0, std::memory_order_relaxed);
+    for (auto& slot : shard.hist) slot.store(0, std::memory_order_relaxed);
+  };
+  zero(i->retired);
+  for (Shard* shard : i->live_shards) zero(*shard);
+  for (auto& [name, gauge] : i->gauges) gauge->Set(0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot queries and emitters.
+// ---------------------------------------------------------------------------
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  const double target = p * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[static_cast<size_t>(b)];
+    if (static_cast<double>(seen) >= target) {
+      return b + 1 >= 64 ? UINT64_MAX : (uint64_t{1} << (b + 1));
+    }
+  }
+  return UINT64_MAX;
+}
+
+namespace {
+
+template <typename T>
+const T* FindByName(const std::vector<T>& items, const std::string& name) {
+  for (const T& item : items) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  return FindByName(counters, name);
+}
+const GaugeSnapshot* MetricsSnapshot::FindGauge(
+    const std::string& name) const {
+  return FindByName(gauges, name);
+}
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  return FindByName(histograms, name);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const CounterSnapshot* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name) const {
+  const GaugeSnapshot* g = FindGauge(name);
+  return g == nullptr ? 0.0 : g->value;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    \"" << counters[i].name
+       << "\": " << counters[i].value;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    \"" << gauges[i].name
+       << "\": " << FmtDouble(gauges[i].value);
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    os << (i == 0 ? "" : ",") << "\n    \"" << h.name << "\": {\"count\": "
+       << h.count << ", \"sum\": " << h.sum << ", \"mean\": "
+       << FmtDouble(h.Mean()) << ", \"p50\": " << h.Percentile(0.5)
+       << ", \"p99\": " << h.Percentile(0.99) << ", \"buckets\": [";
+    // Trailing zero buckets are elided; the bucket index is its exponent.
+    int last = kHistogramBuckets - 1;
+    while (last >= 0 && h.buckets[static_cast<size_t>(last)] == 0) --last;
+    for (int b = 0; b <= last; ++b) {
+      os << (b == 0 ? "" : ", ") << h.buckets[static_cast<size_t>(b)];
+    }
+    os << "]}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+Table MetricsSnapshot::ToTable() const {
+  Table table({"metric", "type", "count", "value", "mean", "p50", "p99"});
+  for (const CounterSnapshot& c : counters) {
+    table.AddRow({c.name, "counter", "", std::to_string(c.value), "", "", ""});
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    table.AddRow({g.name, "gauge", "", FmtDouble(g.value), "", "", ""});
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    table.AddRow({h.name, "histogram", std::to_string(h.count),
+                  std::to_string(h.sum), FmtDouble(h.Mean()),
+                  std::to_string(h.Percentile(0.5)),
+                  std::to_string(h.Percentile(0.99))});
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Global convenience surface.
+// ---------------------------------------------------------------------------
+
+Counter* GetCounter(const std::string& name) {
+  return Registry::Global().GetCounter(name);
+}
+Gauge* GetGauge(const std::string& name) {
+  return Registry::Global().GetGauge(name);
+}
+Histogram* GetHistogram(const std::string& name) {
+  return Registry::Global().GetHistogram(name);
+}
+MetricsSnapshot SnapshotMetrics() { return Registry::Global().Snapshot(); }
+
+Status WriteMetricsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SnapshotMetrics().ToJson();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Table ProfileTable() {
+  const MetricsSnapshot snap = SnapshotMetrics();
+  // One row per duration source: every histogram, plus every "*_ns" counter
+  // (the FLOP-weighted kernel timers record totals only). A sibling
+  // "<prefix>.calls" counter supplies the count for the counter rows.
+  struct Row {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    const HistogramSnapshot* hist = nullptr;  // null for counter rows
+  };
+  std::vector<Row> rows;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (h.count == 0) continue;
+    rows.push_back(Row{h.name, h.count, h.sum, &h});
+  }
+  for (const CounterSnapshot& c : snap.counters) {
+    if (c.value == 0 || c.name.size() < 4 ||
+        c.name.compare(c.name.size() - 3, 3, "_ns") != 0) {
+      continue;
+    }
+    const std::string prefix = c.name.substr(0, c.name.rfind('.'));
+    rows.push_back(Row{c.name, snap.CounterValue(prefix + ".calls"),
+                       c.value, nullptr});
+  }
+  // Largest total time first: the profile reads top-down as "where did the
+  // wall-clock go".
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.sum != b.sum ? a.sum > b.sum : a.name < b.name;
+  });
+  Table table(
+      {"phase", "count", "total_ms", "mean_us", "p50_us", "p99_us"});
+  for (const Row& r : rows) {
+    const double mean_ns =
+        r.count > 0 ? static_cast<double>(r.sum) / static_cast<double>(r.count)
+                    : 0.0;
+    table.AddRow(
+        {r.name, r.count > 0 ? std::to_string(r.count) : "-",
+         Table::Fmt(static_cast<double>(r.sum) * 1e-6, 2),
+         r.count > 0 ? Table::Fmt(mean_ns * 1e-3, 2) : "-",
+         r.hist != nullptr
+             ? Table::Fmt(static_cast<double>(r.hist->Percentile(0.5)) * 1e-3,
+                          2)
+             : "-",
+         r.hist != nullptr
+             ? Table::Fmt(static_cast<double>(r.hist->Percentile(0.99)) * 1e-3,
+                          2)
+             : "-"});
+  }
+  return table;
+}
+
+}  // namespace cews::obs

@@ -1,0 +1,198 @@
+// cews::obs — lock-cheap metrics registry.
+//
+// Counters and histograms write to thread-local shards: a hot-path
+// Counter::Add is one relaxed load + store on a cache line owned by the
+// calling thread (no lock prefix, no contention), yet scrapes from another
+// thread are race-free because the slots are relaxed atomics. Shards of
+// exited threads are folded into a retired accumulator, so totals survive
+// the short-lived employee threads the trainers spawn per Train() call.
+// Gauges are rare-write/last-write-wins and live directly in the registry.
+//
+// Metric objects are created on first GetCounter/GetGauge/GetHistogram and
+// live for the process lifetime; instrumented code caches the pointer in a
+// function-local static:
+//
+//   static obs::Counter* const steps = obs::GetCounter("env.steps");
+//   steps->Add(1);
+//
+// Snapshot() aggregates every shard into a deterministic (name-sorted)
+// MetricsSnapshot with JSON and CSV/table emitters (reusing common/table).
+#ifndef CEWS_OBS_METRICS_H_
+#define CEWS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace cews::obs {
+
+/// Number of exponential histogram buckets. Bucket i counts values v with
+/// 2^i <= v < 2^(i+1) (bucket 0 also counts v == 0); values past the last
+/// bound clamp into the final bucket. 40 buckets resolve nanosecond-scale
+/// durations up to ~9 minutes.
+inline constexpr int kHistogramBuckets = 40;
+
+/// Fixed shard capacities. Metrics are a small, hand-curated set; creation
+/// CHECK-fails past these bounds rather than complicating the hot path with
+/// growable (and then lock-guarded) shard storage.
+inline constexpr int kMaxCounters = 192;
+inline constexpr int kMaxHistograms = 64;
+
+class Registry;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  /// Wait-free; bumps the calling thread's shard slot.
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+
+ private:
+  friend class Registry;
+  explicit Counter(int slot) : slot_(slot) {}
+  const int slot_;
+};
+
+/// Last-write-wins instantaneous value (loss, kappa, pool size, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed exponential buckets, tracking count and sum too.
+class Histogram {
+ public:
+  /// Wait-free; records into the calling thread's shard.
+  void Record(uint64_t value);
+
+ private:
+  friend class Registry;
+  explicit Histogram(int slot) : slot_(slot) {}
+  const int slot_;
+};
+
+/// RAII duration recorder: records elapsed nanoseconds into a histogram on
+/// destruction. Pass a second histogram-or-null to double-record (e.g. a
+/// per-op and a rolled-up total).
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram* hist)
+      : hist_(hist), start_(Stopwatch::NowNs()) {}
+  ~ScopedTimerNs() { hist_->Record(Stopwatch::NowNs() - start_); }
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histogram* const hist_;
+  const uint64_t start_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bucket bound below which a fraction p of samples fall
+  /// (p in [0, 1]); 0 when empty. Bucket-resolution estimate.
+  uint64_t Percentile(double p) const;
+};
+
+/// A consistent, name-sorted view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* FindCounter(const std::string& name) const;
+  const GaugeSnapshot* FindGauge(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  /// Counter value by name, 0 when absent (heartbeat rate arithmetic).
+  uint64_t CounterValue(const std::string& name) const;
+  /// Gauge value by name, 0.0 when absent.
+  double GaugeValue(const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// mean, p50, p99, buckets}}} — keys sorted, stable across runs with equal
+  /// values.
+  std::string ToJson() const;
+
+  /// One row per metric: name | type | count | value/sum | mean | p50 | p99.
+  Table ToTable() const;
+  std::string ToCsv() const { return ToTable().ToCsv(); }
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+class Registry {
+ public:
+  /// The process-wide registry (leaked, never destroyed: metric pointers and
+  /// thread-exit flushes stay valid during static teardown).
+  static Registry& Global();
+
+  /// Create-or-lookup by name; the returned pointer is valid forever.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Aggregates all shards (live and retired) into a name-sorted snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter/histogram shard and gauge. Test-only: must not
+  /// race with concurrent writers.
+  void ResetForTest();
+
+ private:
+  Registry() = default;
+};
+
+/// Convenience accessors against Registry::Global().
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name);
+MetricsSnapshot SnapshotMetrics();
+
+/// Writes SnapshotMetrics().ToJson() to `path`.
+Status WriteMetricsJson(const std::string& path);
+
+/// Profile summary over every histogram with samples plus rate-style
+/// counters: the table benches print (name | count | total ms | mean us |
+/// p50 us | p99 us).
+Table ProfileTable();
+
+}  // namespace cews::obs
+
+#endif  // CEWS_OBS_METRICS_H_

@@ -1,0 +1,109 @@
+#include "obs/stats_reporter.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/stopwatch.h"
+
+namespace cews::obs {
+
+namespace {
+
+/// "8123.4" -> "8.1k" style for step rates; plain for small numbers.
+std::string FmtRate(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v * 1e-6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+StatsReporter::StatsReporter(double period_seconds)
+    : period_seconds_(period_seconds) {
+  CEWS_CHECK_GT(period_seconds_, 0.0);
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string StatsReporter::FormatHeartbeat(const MetricsSnapshot& prev,
+                                           const MetricsSnapshot& cur,
+                                           double dt_seconds) {
+  const double dt = dt_seconds > 0.0 ? dt_seconds : 1.0;
+  std::string line = "heartbeat:";
+  char buf[96];
+
+  const uint64_t episodes =
+      cur.CounterValue("train.episodes") - prev.CounterValue("train.episodes");
+  std::snprintf(buf, sizeof(buf), " %s ep/s",
+                FmtRate(static_cast<double>(episodes) / dt).c_str());
+  line += buf;
+
+  const uint64_t steps =
+      cur.CounterValue("env.steps") - prev.CounterValue("env.steps");
+  std::snprintf(buf, sizeof(buf), " | %s steps/s",
+                FmtRate(static_cast<double>(steps) / dt).c_str());
+  line += buf;
+
+  if (cur.FindGauge("train.loss") != nullptr) {
+    std::snprintf(buf, sizeof(buf), " | loss %.4g",
+                  cur.GaugeValue("train.loss"));
+    line += buf;
+  }
+  if (cur.FindGauge("train.kappa") != nullptr) {
+    std::snprintf(buf, sizeof(buf), " | kappa %.3f xi %.3f rho %.3f",
+                  cur.GaugeValue("train.kappa"), cur.GaugeValue("train.xi"),
+                  cur.GaugeValue("train.rho"));
+    line += buf;
+  }
+
+  // Pool utilization: lane-busy nanoseconds per wall-second per lane.
+  const double pool_threads = cur.GaugeValue("threadpool.threads");
+  if (pool_threads > 0.0) {
+    const uint64_t busy = cur.CounterValue("threadpool.busy_ns") -
+                          prev.CounterValue("threadpool.busy_ns");
+    const double frac =
+        static_cast<double>(busy) / (dt * 1e9 * pool_threads);
+    std::snprintf(buf, sizeof(buf), " | pool %d thr %.0f%% busy",
+                  static_cast<int>(pool_threads), frac * 100.0);
+    line += buf;
+  }
+  return line;
+}
+
+void StatsReporter::Loop() {
+  MetricsSnapshot prev = SnapshotMetrics();
+  Stopwatch watch;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::duration<double>(period_seconds_),
+        [this]() { return stop_; });
+    const double dt = watch.ElapsedSeconds();
+    watch.Restart();
+    MetricsSnapshot cur = SnapshotMetrics();
+    CEWS_LOG(Info) << FormatHeartbeat(prev, cur, dt);
+    prev = std::move(cur);
+    if (stopping) return;
+  }
+}
+
+}  // namespace cews::obs

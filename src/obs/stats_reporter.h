@@ -1,0 +1,57 @@
+// cews::obs — periodic training heartbeat.
+//
+// A background thread snapshots the metrics registry every `period_seconds`
+// and logs one line of rates and levels:
+//
+//   heartbeat: 3.9 ep/s | 8.1k steps/s | loss 0.812 | kappa 0.41 xi 0.88
+//   rho 0.36 | pool 2 thr 63% busy
+//
+// Rates (episodes/s, steps/s, pool busy fraction) are deltas between
+// consecutive snapshots; levels (loss, kappa/xi/rho) are the gauges the
+// trainers maintain. Metrics that have never been written are omitted, so
+// the line adapts to whichever trainer is running.
+#ifndef CEWS_OBS_STATS_REPORTER_H_
+#define CEWS_OBS_STATS_REPORTER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace cews::obs {
+
+class StatsReporter {
+ public:
+  /// Starts the reporter thread. period_seconds must be positive.
+  explicit StatsReporter(double period_seconds);
+
+  /// Stops and joins the reporter thread (idempotent). The final heartbeat
+  /// covering the tail interval is logged before the thread exits.
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Stop();
+
+  /// Formats one heartbeat line from the delta between two snapshots taken
+  /// `dt_seconds` apart. Exposed for tests.
+  static std::string FormatHeartbeat(const MetricsSnapshot& prev,
+                                     const MetricsSnapshot& cur,
+                                     double dt_seconds);
+
+ private:
+  void Loop();
+
+  const double period_seconds_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cews::obs
+
+#endif  // CEWS_OBS_STATS_REPORTER_H_

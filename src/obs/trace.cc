@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/env_flags.h"
+#include "common/log.h"
+
+namespace cews::obs {
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{[] {
+  return GetEnvBool("CEWS_OBS_TRACE");
+}()};
+
+}  // namespace internal
+
+namespace {
+
+/// One ring slot. Fields are relaxed atomics so a scrape racing a wrapped
+/// writer reads torn-but-defined values instead of UB; the committed-count
+/// release/acquire pair makes fully written slots visible.
+struct SpanSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<uint64_t> dur_ns{0};
+};
+
+struct Ring {
+  explicit Ring(size_t capacity, int tid)
+      : slots(capacity), tid(tid) {}
+  std::vector<SpanSlot> slots;
+  const int tid;
+  /// Monotonic count of spans ever written; slot = head % capacity.
+  std::atomic<uint64_t> head{0};
+};
+
+struct TraceState {
+  std::mutex mu;
+  /// Rings live for the process so spans survive their threads.
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+TraceState* GlobalTrace() {
+  static TraceState* state = new TraceState;  // leaked deliberately
+  return state;
+}
+
+size_t RingCapacity() {
+  static const size_t capacity = [] {
+    const long v = GetEnvInt("CEWS_OBS_TRACE_CAPACITY", 1 << 16);
+    return static_cast<size_t>(v > 0 ? v : 1 << 16);
+  }();
+  return capacity;
+}
+
+Ring& LocalRing() {
+  thread_local Ring* ring = [] {
+    TraceState* state = GlobalTrace();
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->rings.push_back(std::make_unique<Ring>(
+        RingCapacity(), cews::internal::LogThreadId()));
+    return state->rings.back().get();
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+namespace internal {
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  Ring& ring = LocalRing();
+  const uint64_t head = ring.head.load(std::memory_order_relaxed);
+  SpanSlot& slot = ring.slots[head % ring.slots.size()];
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(end_ns - start_ns, std::memory_order_relaxed);
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void SetTraceEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<CollectedSpan> CollectSpans() {
+  TraceState* state = GlobalTrace();
+  std::vector<CollectedSpan> spans;
+  bool wrapped = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (const std::unique_ptr<Ring>& ring : state->rings) {
+      const uint64_t head = ring->head.load(std::memory_order_acquire);
+      const uint64_t capacity = ring->slots.size();
+      if (head > capacity) wrapped = true;
+      const uint64_t n = std::min(head, capacity);
+      const uint64_t first = head - n;
+      for (uint64_t i = first; i < head; ++i) {
+        const SpanSlot& slot = ring->slots[i % capacity];
+        CollectedSpan span;
+        span.name = slot.name.load(std::memory_order_relaxed);
+        span.tid = ring->tid;
+        span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+        span.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+        if (span.name != nullptr) spans.push_back(span);
+      }
+    }
+  }
+  if (wrapped) {
+    CEWS_LOG(Warning) << "trace ring(s) wrapped; oldest spans were dropped "
+                         "(raise CEWS_OBS_TRACE_CAPACITY)";
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const CollectedSpan& a, const CollectedSpan& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  return spans;
+}
+
+std::string SpansToChromeJson(const std::vector<CollectedSpan>& spans) {
+  uint64_t epoch = UINT64_MAX;
+  for (const CollectedSpan& span : spans) {
+    epoch = std::min(epoch, span.start_ns);
+  }
+  if (spans.empty()) epoch = 0;
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const CollectedSpan& span = spans[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"cews\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+                  i == 0 ? "" : ",", span.name,
+                  static_cast<double>(span.start_ns - epoch) * 1e-3,
+                  static_cast<double>(span.dur_ns) * 1e-3, span.tid);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SpansToChromeJson(CollectSpans());
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+void ClearTraceForTest() {
+  TraceState* state = GlobalTrace();
+  std::lock_guard<std::mutex> lock(state->mu);
+  for (std::unique_ptr<Ring>& ring : state->rings) {
+    ring->head.store(0, std::memory_order_release);
+    for (SpanSlot& slot : ring->slots) {
+      slot.name.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace cews::obs

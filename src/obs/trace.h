@@ -1,0 +1,100 @@
+// cews::obs — tracing layer: RAII spans recorded into per-thread ring
+// buffers, exported as Chrome trace_event JSON (loadable in chrome://tracing
+// or https://ui.perfetto.dev).
+//
+// Cost model: tracing is OFF by default and a disabled CEWS_TRACE_SCOPE is a
+// single relaxed atomic load plus two register writes — no clock read, no
+// allocation, no branch beyond the check. When enabled (SetTraceEnabled or
+// the CEWS_OBS_TRACE env var), each span costs two steady-clock reads and
+// three relaxed atomic stores into a ring buffer owned by the recording
+// thread. Rings are bounded (CEWS_OBS_TRACE_CAPACITY spans per thread,
+// default 65536) and overwrite their oldest spans; they outlive their
+// threads so trainer employee spans survive until the trace is written.
+#ifndef CEWS_OBS_TRACE_H_
+#define CEWS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace cews::obs {
+
+namespace internal {
+
+extern std::atomic<bool> g_trace_enabled;
+
+/// Appends one finished span to the calling thread's ring buffer.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+}  // namespace internal
+
+/// True when spans are being recorded. Initialized from CEWS_OBS_TRACE.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on or off at runtime (the CLI's --trace-out flag
+/// turns it on before training).
+void SetTraceEnabled(bool enabled);
+
+/// RAII span: captures the steady clock on construction and records
+/// (name, tid, start, duration) on destruction. `name` must outlive the
+/// trace (string literals only). A span constructed while tracing is
+/// disabled records nothing, even if tracing is enabled before it closes.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(TraceEnabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? Stopwatch::NowNs() : 0) {}
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_ns_, Stopwatch::NowNs());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+/// One span as collected from the rings.
+struct CollectedSpan {
+  const char* name = nullptr;
+  int tid = 0;  ///< common/log.h LogThreadId numbering
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// Drains a copy of every ring, sorted by (start, tid) for determinism.
+/// Spans overwritten by ring wrap-around are gone; a note is logged when
+/// any ring wrapped.
+std::vector<CollectedSpan> CollectSpans();
+
+/// Renders spans as a Chrome trace_event JSON document ("traceEvents" array
+/// of complete events, timestamps in microseconds relative to the earliest
+/// span).
+std::string SpansToChromeJson(const std::vector<CollectedSpan>& spans);
+
+/// CollectSpans + SpansToChromeJson + write to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Empties every ring buffer. Test-only: must not race with live spans.
+void ClearTraceForTest();
+
+}  // namespace cews::obs
+
+/// CEWS_TRACE_SCOPE("phase.name"): names the rest of the enclosing scope as
+/// one trace span. Near-zero cost while tracing is disabled.
+#define CEWS_OBS_INTERNAL_CONCAT2(a, b) a##b
+#define CEWS_OBS_INTERNAL_CONCAT(a, b) CEWS_OBS_INTERNAL_CONCAT2(a, b)
+#define CEWS_TRACE_SCOPE(name)                                         \
+  ::cews::obs::TraceSpan CEWS_OBS_INTERNAL_CONCAT(cews_trace_scope_,   \
+                                                  __LINE__)(name)
+
+#endif  // CEWS_OBS_TRACE_H_

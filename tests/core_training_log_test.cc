@@ -18,6 +18,8 @@ std::vector<agents::EpisodeRecord> MakeHistory(int n) {
     rec.rho = 0.05 * i;
     rec.extrinsic_reward = i;
     rec.intrinsic_reward = 0.5 * i;
+    rec.wall_seconds = 2.0 * i;
+    rec.steps_per_sec = 100.0 * i;
     history.push_back(rec);
   }
   return history;
@@ -28,17 +30,20 @@ TEST(TrainingLogTest, CsvHeaderAndRows) {
   std::istringstream in(csv);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward");
+  EXPECT_EQ(line,
+            "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward,"
+            "wall_seconds,steps_per_sec");
   int rows = 0;
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, 3);
-  EXPECT_NE(csv.find("2,0.2,0.8,0.1,2,1"), std::string::npos);
+  EXPECT_NE(csv.find("2,0.2,0.8,0.1,2,1,4,200"), std::string::npos);
 }
 
 TEST(TrainingLogTest, EmptyHistoryIsHeaderOnly) {
   const std::string csv = HistoryToCsv({});
   EXPECT_EQ(csv,
-            "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward\n");
+            "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward,"
+            "wall_seconds,steps_per_sec\n");
 }
 
 TEST(TrainingLogTest, WriteAndReadBack) {
@@ -48,7 +53,8 @@ TEST(TrainingLogTest, WriteAndReadBack) {
   std::string header;
   std::getline(in, header);
   EXPECT_EQ(header,
-            "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward");
+            "episode,kappa,xi,rho,extrinsic_reward,intrinsic_reward,"
+            "wall_seconds,steps_per_sec");
   std::remove(path.c_str());
   EXPECT_EQ(WriteHistoryCsv({}, "/nonexistent/x.csv").code(),
             StatusCode::kIOError);

@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cews::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().ResetForTest(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAcrossThreads) {
+  Counter* c = GetCounter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c]() {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The worker threads have exited: their shards are folded into the
+  // retired accumulator and the total must still be exact.
+  EXPECT_EQ(SnapshotMetrics().CounterValue("test.counter"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterVisibleWhileOwnerThreadStillRuns) {
+  Counter* c = GetCounter("test.live");
+  std::atomic<bool> wrote{false}, release{false};
+  std::thread writer([&]() {
+    c->Add(7);
+    wrote.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!wrote.load()) std::this_thread::yield();
+  EXPECT_EQ(SnapshotMetrics().CounterValue("test.live"), 7u);
+  release.store(true);
+  writer.join();
+}
+
+TEST_F(MetricsTest, GetReturnsSamePointerForSameName) {
+  EXPECT_EQ(GetCounter("test.same"), GetCounter("test.same"));
+  EXPECT_EQ(GetGauge("test.g"), GetGauge("test.g"));
+  EXPECT_EQ(GetHistogram("test.h"), GetHistogram("test.h"));
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  Gauge* g = GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->Get(), -2.25);
+  EXPECT_DOUBLE_EQ(SnapshotMetrics().GaugeValue("test.gauge"), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketsCountAndSum) {
+  Histogram* h = GetHistogram("test.hist");
+  // 0 and 1 land in bucket 0; 2,3 in bucket 1; 1024 in bucket 10.
+  h->Record(0);
+  h->Record(1);
+  h->Record(2);
+  h->Record(3);
+  h->Record(1024);
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 5u);
+  EXPECT_EQ(hs->sum, 1030u);
+  EXPECT_EQ(hs->buckets[0], 2u);
+  EXPECT_EQ(hs->buckets[1], 2u);
+  EXPECT_EQ(hs->buckets[10], 1u);
+  EXPECT_DOUBLE_EQ(hs->Mean(), 1030.0 / 5.0);
+}
+
+TEST_F(MetricsTest, HistogramClampsOverflowIntoLastBucket) {
+  Histogram* h = GetHistogram("test.huge");
+  h->Record(~uint64_t{0});
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.huge");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST_F(MetricsTest, HistogramConcurrentRecordsExact) {
+  Histogram* h = GetHistogram("test.conc");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<uint64_t>(i % 128));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.conc");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hs->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hs->count);
+}
+
+TEST_F(MetricsTest, PercentileReturnsBucketUpperBound) {
+  Histogram* h = GetHistogram("test.pct");
+  for (int i = 0; i < 99; ++i) h->Record(10);    // bucket 3: [8, 16)
+  h->Record(100000);                             // far-right outlier
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.pct");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->Percentile(0.5), 16u);
+  EXPECT_GT(hs->Percentile(0.999), 100000u);
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSortedAndDeterministic) {
+  GetCounter("zz.last")->Add(1);
+  GetCounter("aa.first")->Add(2);
+  GetCounter("mm.mid")->Add(3);
+  const MetricsSnapshot a = SnapshotMetrics();
+  // ResetForTest zeroes values but keeps names registered by earlier tests,
+  // so assert relative order rather than exact positions.
+  ptrdiff_t first = -1, mid = -1, last = -1;
+  for (size_t i = 0; i < a.counters.size(); ++i) {
+    if (a.counters[i].name == "aa.first") first = static_cast<ptrdiff_t>(i);
+    if (a.counters[i].name == "mm.mid") mid = static_cast<ptrdiff_t>(i);
+    if (a.counters[i].name == "zz.last") last = static_cast<ptrdiff_t>(i);
+  }
+  ASSERT_GE(first, 0);
+  ASSERT_GE(mid, 0);
+  ASSERT_GE(last, 0);
+  EXPECT_LT(first, mid);
+  EXPECT_LT(mid, last);
+  for (size_t i = 1; i < a.counters.size(); ++i) {
+    EXPECT_LT(a.counters[i - 1].name, a.counters[i].name);
+  }
+  // Identical state must serialize identically (snapshot determinism).
+  EXPECT_EQ(a.ToJson(), SnapshotMetrics().ToJson());
+  EXPECT_EQ(a.ToCsv(), SnapshotMetrics().ToCsv());
+}
+
+TEST_F(MetricsTest, JsonContainsAllSections) {
+  GetCounter("j.c")->Add(5);
+  GetGauge("j.g")->Set(1.5);
+  GetHistogram("j.h")->Record(3);
+  const std::string json = SnapshotMetrics().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"j.c\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"j.h\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, ProfileTableIncludesDurationCountersWithCalls) {
+  GetCounter("prof.kernel.calls")->Add(4);
+  GetCounter("prof.kernel.fwd_ns")->Add(8000);
+  GetHistogram("prof.phase_ns")->Record(2000);
+  const std::string profile = ProfileTable().ToString();
+  EXPECT_NE(profile.find("prof.kernel.fwd_ns"), std::string::npos);
+  EXPECT_NE(profile.find("prof.phase_ns"), std::string::npos);
+  // The counter row picks up its sibling ".calls" count.
+  EXPECT_NE(profile.find("4"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetForTestZeroesEverything) {
+  GetCounter("r.c")->Add(9);
+  GetGauge("r.g")->Set(3.0);
+  GetHistogram("r.h")->Record(7);
+  Registry::Global().ResetForTest();
+  const MetricsSnapshot snap = SnapshotMetrics();
+  EXPECT_EQ(snap.CounterValue("r.c"), 0u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("r.g"), 0.0);
+  const HistogramSnapshot* hs = snap.FindHistogram("r.h");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 0u);
+}
+
+}  // namespace
+}  // namespace cews::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cews::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClearTraceForTest();
+    SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTraceForTest();
+  }
+};
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings.
+bool BalancedJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST_F(TraceTest, RecordsNamedSpan) {
+  { CEWS_TRACE_SCOPE("unit.test_span"); }
+  const std::vector<CollectedSpan> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit.test_span");
+}
+
+TEST_F(TraceTest, NestedSpansBothRecordedAndParentCoversChild) {
+  {
+    CEWS_TRACE_SCOPE("unit.outer");
+    CEWS_TRACE_SCOPE("unit.inner");
+  }
+  std::vector<CollectedSpan> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: outer opened first.
+  EXPECT_STREQ(spans[0].name, "unit.outer");
+  EXPECT_STREQ(spans[1].name, "unit.inner");
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].start_ns + spans[0].dur_ns,
+            spans[1].start_ns + spans[1].dur_ns);
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  SetTraceEnabled(false);
+  { CEWS_TRACE_SCOPE("unit.invisible"); }
+  EXPECT_TRUE(CollectSpans().empty());
+}
+
+TEST_F(TraceTest, SpanConstructedWhileDisabledStaysUnrecorded) {
+  SetTraceEnabled(false);
+  {
+    CEWS_TRACE_SCOPE("unit.late_enable");
+    SetTraceEnabled(true);  // enabling mid-span must not record it
+  }
+  EXPECT_TRUE(CollectSpans().empty());
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  { CEWS_TRACE_SCOPE("unit.main_thread"); }
+  std::thread other([]() { CEWS_TRACE_SCOPE("unit.other_thread"); });
+  other.join();
+  const std::vector<CollectedSpan> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+}
+
+TEST_F(TraceTest, ChromeJsonRoundTrip) {
+  {
+    CEWS_TRACE_SCOPE("unit.a");
+    CEWS_TRACE_SCOPE("unit.b");
+  }
+  const std::string json = SpansToChromeJson(CollectSpans());
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.b\""), std::string::npos);
+  // Complete-event fields of the trace_event format.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsValidJson) {
+  const std::string json = SpansToChromeJson(CollectSpans());
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ManySpansAcrossThreadsAllCollected) {
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;  // well under the ring capacity
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([]() {
+      for (int i = 0; i < kSpans; ++i) {
+        CEWS_TRACE_SCOPE("unit.bulk");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(CollectSpans().size(),
+            static_cast<size_t>(kThreads) * kSpans);
+}
+
+TEST_F(TraceTest, CollectIsSortedByStartTime) {
+  for (int i = 0; i < 10; ++i) {
+    CEWS_TRACE_SCOPE("unit.seq");
+  }
+  const std::vector<CollectedSpan> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 10u);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_ns, spans[i].start_ns);
+  }
+}
+
+}  // namespace
+}  // namespace cews::obs

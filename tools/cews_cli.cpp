@@ -8,9 +8,15 @@
 //              [--algorithm drl-cews|dppo] [--episodes N] [--employees N]
 //              [--threads N] [--seed N] [--ckpt policy.bin]
 //              [--history history.csv]
+//              [--metrics-out metrics.json] [--trace-out trace.json]
+//              [--heartbeat SECONDS]
 //              train a policy and export artifacts
 //              (--threads sizes the intra-op NN kernel pool; 0 = all cores,
-//               the CEWS_NUM_THREADS env var overrides)
+//               the CEWS_NUM_THREADS env var overrides;
+//               --metrics-out dumps the obs counters/histograms as JSON,
+//               --trace-out enables span tracing and writes a Chrome
+//               trace_event file loadable in Perfetto / chrome://tracing,
+//               --heartbeat logs a periodic one-line training pulse)
 //   cews eval --map FILE --ckpt policy.bin
 //             [--episodes N] [--svg traj.svg]       evaluate a checkpoint
 #include <cstdio>
@@ -27,6 +33,8 @@
 #include "core/visualize.h"
 #include "env/map_io.h"
 #include "env/state_encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -61,6 +69,11 @@ class Args {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::strtol(it->second.c_str(),
                                                         nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
   }
 
  private:
@@ -142,8 +155,11 @@ int CmdTrain(const Args& args) {
   env::EnvConfig env_config;
   env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
   const core::BenchmarkOptions options = OptionsFrom(args);
-  auto system_or = core::DrlCews::Create(
-      core::MakeTrainerConfig(which, env_config, options), *map_or);
+  agents::TrainerConfig trainer_config =
+      core::MakeTrainerConfig(which, env_config, options);
+  trainer_config.heartbeat_seconds = args.GetDouble("heartbeat", 0.0);
+  if (args.Has("trace-out")) obs::SetTraceEnabled(true);
+  auto system_or = core::DrlCews::Create(trainer_config, *map_or);
   if (!system_or.ok()) return Fail(system_or.status());
   core::DrlCews& system = **system_or;
   std::printf("training %s: %d episodes x %d employees...\n",
@@ -163,6 +179,16 @@ int CmdTrain(const Args& args) {
         core::WriteHistoryCsv(result.history, args.Get("history", ""));
     if (!status.ok()) return Fail(status);
     std::printf("history -> %s\n", args.Get("history", "").c_str());
+  }
+  if (args.Has("metrics-out")) {
+    const Status status = obs::WriteMetricsJson(args.Get("metrics-out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("metrics -> %s\n", args.Get("metrics-out", "").c_str());
+  }
+  if (args.Has("trace-out")) {
+    const Status status = obs::WriteChromeTrace(args.Get("trace-out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("trace -> %s\n", args.Get("trace-out", "").c_str());
   }
   return 0;
 }
