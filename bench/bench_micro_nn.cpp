@@ -162,6 +162,31 @@ void BM_PolicyNetForward(benchmark::State& state) {
 }
 BENCHMARK(BM_PolicyNetForward)->Arg(12)->Arg(20);
 
+// The vectorized acting path's inference shape: one Forward over a
+// [batch, C, g, g] stack of per-env states. items_per_second counts env
+// states, so dividing by BM_PolicyNetForward's rate gives the per-state
+// amortization from batching (graph/dispatch overhead is paid once per
+// batch instead of once per state).
+void BM_PolicyNetForwardBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  PoolGuard pool(state);
+  const int grid = 12;
+  Rng rng(6);
+  agents::PolicyNet net(BenchNet(grid), rng);
+  nn::Tensor x = nn::Tensor::Zeros({batch, 3, grid, grid});
+  for (nn::Index i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Uniform(0, 1));
+  }
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_PolicyNetForwardBatch)
+    ->ArgNames({"batch", "threads"})
+    ->ArgsProduct({{1, 4, 8, 16}, {1, 2}});
+
 void BM_PpoLossBackward(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
   PoolGuard pool(state);

@@ -1,0 +1,155 @@
+// Micro-benchmark of the vectorized acting path (env::VecEnv + batched
+// policy inference, PR "vec acting path").
+//
+// BM_VecActStep measures the full per-lockstep-step acting pipeline the
+// trainers run in their rollout loops:
+//
+//   EncodeBatch -> MoveValidityMasks -> SamplePolicyBatch -> VecEnv::Step
+//
+// with items_per_second counting *env steps* (batch env instances advance
+// per iteration). Comparing the batch=8 row against batch=1 shows the
+// amortization the batched Forward buys: the autograd-graph and kernel
+// dispatch overhead is paid once per lockstep step instead of once per env.
+// The `threads` argument sizes the intra-op kernel pool via
+// runtime::ResolveNumThreads, so 0 = all hardware cores (the trainer's
+// runtime_threads=0 configuration).
+//
+// BM_VecEncodeBatch and BM_VecMaskBatch isolate the non-NN stages so a
+// regression in either is attributable at a glance.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "agents/eval.h"
+#include "agents/policy_net.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "env/map.h"
+#include "env/state_encoder.h"
+#include "env/vec_env.h"
+#include "nn/module.h"
+
+namespace {
+
+using namespace cews;
+
+/// Sizes the global pool for one benchmark run (through ResolveNumThreads,
+/// so 0 = hardware cores) and restores the serial default on destruction.
+class PoolGuard {
+ public:
+  explicit PoolGuard(benchmark::State& state, int arg_index = 1)
+      : threads_(runtime::ResolveNumThreads(
+            static_cast<int>(state.range(arg_index)))) {
+    runtime::SetGlobalPoolThreads(threads_);
+  }
+  ~PoolGuard() { runtime::SetGlobalPoolThreads(1); }
+
+ private:
+  int threads_;
+};
+
+env::Map BenchMap() {
+  env::MapConfig config;
+  config.num_pois = 80;
+  config.num_workers = 2;
+  config.num_stations = 3;
+  config.num_obstacles = 4;
+  Rng rng(42);
+  auto result = env::GenerateMap(config, rng);
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+agents::PolicyNetConfig BenchNet(const env::Map& map,
+                                 const env::EnvConfig& env_config,
+                                 int grid) {
+  agents::PolicyNetConfig config;
+  config.grid = grid;
+  config.num_workers = static_cast<int>(map.worker_spawns.size());
+  config.num_moves = env_config.action_space.num_moves();
+  config.conv1_channels = 6;
+  config.conv2_channels = 8;
+  config.conv3_channels = 8;
+  config.feature_dim = 128;
+  return config;
+}
+
+/// The trainers' acting hot path: encode all instances, mask, one batched
+/// Forward + per-env sampling, lockstep Step. Auto-reset keeps every
+/// instance live so the loop never runs out of episode.
+void BM_VecActStep(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  PoolGuard pool(state);
+  const int grid = 12;
+  const env::Map map = BenchMap();
+  env::EnvConfig env_config;
+  env_config.horizon = 60;
+  const env::StateEncoder encoder({grid});
+  Rng net_rng(6);
+  const agents::PolicyNet net(BenchNet(map, env_config, grid), net_rng);
+  env::VecEnv vec(env_config, map, batch, /*auto_reset=*/true);
+  Rng rng(7);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    const std::vector<float> states = encoder.EncodeBatch(vec.EnvPtrs());
+    const std::vector<uint8_t> masks = vec.MoveValidityMasks();
+    std::vector<agents::ActResult> acts = agents::SamplePolicyBatch(
+        net, states, batch, rng, /*deterministic=*/false, masks.data());
+    std::vector<std::vector<env::WorkerAction>> actions;
+    actions.reserve(static_cast<size_t>(batch));
+    for (agents::ActResult& act : acts) {
+      actions.push_back(std::move(act.actions));
+    }
+    benchmark::DoNotOptimize(vec.Step(actions));
+  }
+  // Each iteration advances `batch` env instances by one step, so
+  // items_per_second is acting env-steps/s; compare across batch values.
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_VecActStep)
+    ->ArgNames({"batch", "threads"})
+    ->ArgsProduct({{1, 4, 8, 16}, {0, 1}});
+
+/// Batched state encoding alone ([N, C, grid, grid] fill).
+void BM_VecEncodeBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const env::Map map = BenchMap();
+  env::EnvConfig env_config;
+  env_config.horizon = 60;
+  const env::StateEncoder encoder({12});
+  env::VecEnv vec(env_config, map, batch, /*auto_reset=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.EncodeBatch(vec.EnvPtrs()));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_VecEncodeBatch)->ArgName("batch")->Arg(1)->Arg(4)->Arg(8)->Arg(
+    16);
+
+/// Per-instance move-validity mask extraction alone.
+void BM_VecMaskBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const env::Map map = BenchMap();
+  env::EnvConfig env_config;
+  env_config.horizon = 60;
+  env::VecEnv vec(env_config, map, batch, /*auto_reset=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec.MoveValidityMasks());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_VecMaskBatch)->ArgName("batch")->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+// Expanded BENCHMARK_MAIN() with a trailing obs profile dump: set
+// CEWS_OBS_PROFILE=1 to print where the acting time actually went.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  cews::bench::MaybeEmitProfile();
+  return 0;
+}

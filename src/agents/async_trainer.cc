@@ -4,8 +4,8 @@
 #include <cmath>
 #include <thread>
 
-#include "agents/eval.h"
 #include "agents/rollout.h"
+#include "agents/trainer_core.h"
 #include "agents/trainer_obs.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -54,6 +54,7 @@ AsyncTrainer::AsyncTrainer(const AsyncTrainerConfig& config, env::Map map)
     : config_(config), map_(std::move(map)), encoder_(config.encoder) {
   CEWS_CHECK_GT(config_.num_employees, 0);
   CEWS_CHECK_GT(config_.episodes, 0);
+  CEWS_CHECK_GT(config_.envs_per_employee, 0);
   config_.net.num_workers = static_cast<int>(map_.worker_spawns.size());
   config_.net.num_moves = config_.env.action_space.num_moves();
   config_.net.grid = config_.encoder.grid;
@@ -69,7 +70,8 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
   Rng init_rng(config_.seed + static_cast<uint64_t>(employee_id) + 5000);
   PolicyNet local(config_.net, init_rng);
   const std::vector<nn::Tensor> local_params = local.Parameters();
-  env::Env env(config_.env, map_);
+  env::VecEnv vec(config_.env, map_, config_.envs_per_employee);
+  const int n = vec.size();
   Rng rng(config_.seed * 6131 + static_cast<uint64_t>(employee_id));
   {
     std::lock_guard<std::mutex> lock(model_mu_);
@@ -77,39 +79,22 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
   }
   const int state_size = encoder_.StateSize();
 
+  VecRolloutOptions rollout_options;
+  rollout_options.sparse_reward =
+      config_.reward_mode == RewardMode::kSparse;
+  rollout_options.reward_scale = config_.reward_scale;
+
   TrainerPhaseMetrics& phase_metrics = TrainerMetrics();
   for (int episode = 0; episode < config_.episodes; ++episode) {
-    // ---- Rollout with the (possibly stale) local policy ----
+    // ---- Rollout with the (possibly stale) local policy, via the shared
+    // vectorized acting path (trainer_core.h) ----
     Stopwatch episode_watch;
-    int64_t episode_steps = 0;
-    env.Reset();
-    RolloutBuffer buffer;
-    {
-      CEWS_TRACE_SCOPE("trainer.rollout");
-      obs::ScopedTimerNs rollout_timer(phase_metrics.rollout_ns);
-      std::vector<float> state = encoder_.Encode(env);
-      while (!env.Done()) {
-        const ActResult act = SamplePolicy(local, state, rng, false);
-        const env::StepResult step = env.Step(act.actions);
-        ++episode_steps;
-        const double r_ext = config_.reward_mode == RewardMode::kSparse
-                                 ? step.sparse_reward
-                                 : step.dense_reward;
-        Transition t;
-        t.state = std::move(state);
-        t.moves = act.moves;
-        t.charges = act.charges;
-        t.log_prob = act.log_prob;
-        t.value = act.value;
-        t.reward = config_.reward_scale * static_cast<float>(r_ext);
-        t.done = step.done;
-        buffer.Add(std::move(t));
-        state = encoder_.Encode(env);
-      }
-    }
-    // One contiguous gather of the whole episode for the learner pass.
-    MiniBatch mb = buffer.PackAll();
-    const size_t t_max = static_cast<size_t>(mb.batch);
+    VecRolloutResult rollout =
+        RunVecRollout(local, vec, encoder_, rng, rollout_options);
+    // One contiguous gather per instance episode for the learner pass.
+    std::vector<MiniBatch> batches;
+    batches.reserve(static_cast<size_t>(n));
+    for (RolloutBuffer& b : rollout.buffers) batches.push_back(b.PackAll());
 
     // ---- Pull the newest global parameters: the learner is now *ahead* of
     // the behavior policy that produced the rollout (other employees have
@@ -122,62 +107,75 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
       nn::CopyParameters(global_net_->Parameters(), local_params);
     }
 
-    // ---- Learner pass: consumes the packed arrays directly ----
+    // ---- Learner pass: one V-trace loss per instance episode, gradients
+    // accumulated across instances into a single update ----
     std::vector<float> grads;
     {
       CEWS_TRACE_SCOPE("trainer.learn");
       obs::ScopedTimerNs learn_timer(phase_metrics.learn_ns);
       const PolicyNetConfig& cfg = config_.net;
-      CEWS_CHECK_EQ(mb.state_size, static_cast<int64_t>(state_size));
-      CEWS_CHECK_EQ(mb.num_workers, cfg.num_workers);
       nn::ZeroGradients(local_params);
-      const nn::Tensor x = nn::Tensor::FromData(
-          {static_cast<nn::Index>(t_max), cfg.in_channels, cfg.grid,
-           cfg.grid},
-          std::move(mb.states));
-      const PolicyOutput out = local.Forward(x);
-      nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);
-      nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);
-      nn::Tensor logp = nn::Add(
-          nn::SumLastDim(nn::GatherLastDim(move_logp, mb.move_indices)),
-          nn::SumLastDim(nn::GatherLastDim(charge_logp, mb.charge_indices)));
+      for (MiniBatch& mb : batches) {
+        const size_t t_max = static_cast<size_t>(mb.batch);
+        CEWS_CHECK_EQ(mb.state_size, static_cast<int64_t>(state_size));
+        CEWS_CHECK_EQ(mb.num_workers, cfg.num_workers);
+        const nn::Tensor x = nn::Tensor::FromData(
+            {static_cast<nn::Index>(t_max), cfg.in_channels, cfg.grid,
+             cfg.grid},
+            std::move(mb.states));
+        const PolicyOutput out = local.Forward(x);
+        nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);
+        nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);
+        nn::Tensor logp = nn::Add(
+            nn::SumLastDim(nn::GatherLastDim(move_logp, mb.move_indices)),
+            nn::SumLastDim(
+                nn::GatherLastDim(charge_logp, mb.charge_indices)));
 
-      // Detached values and IS ratios feed the (constant) targets.
-      std::vector<float> values(t_max + 1, 0.0f);
-      std::vector<float> ratios(t_max, 1.0f);
-      std::vector<bool> dones(t_max);
-      for (size_t t = 0; t < t_max; ++t) {
-        values[t] = out.value.data()[t];
-        dones[t] = mb.dones[t] != 0;
-        if (config_.use_vtrace) {
-          ratios[t] = std::exp(logp.data()[t] - mb.log_probs[t]);
+        // Detached values and IS ratios feed the (constant) targets.
+        std::vector<float> values(t_max + 1, 0.0f);
+        std::vector<float> ratios(t_max, 1.0f);
+        std::vector<bool> dones(t_max);
+        for (size_t t = 0; t < t_max; ++t) {
+          values[t] = out.value.data()[t];
+          dones[t] = mb.dones[t] != 0;
+          if (config_.use_vtrace) {
+            ratios[t] = std::exp(logp.data()[t] - mb.log_probs[t]);
+          }
+        }
+        const VtraceResult vtrace =
+            ComputeVtrace(mb.rewards, dones, values, ratios, config_.gamma,
+                          config_.rho_bar, config_.c_bar);
+
+        const nn::Tensor advantages = nn::Tensor::FromData(
+            {static_cast<nn::Index>(t_max)}, vtrace.pg_advantages);
+        const nn::Tensor value_targets =
+            nn::Tensor::FromData({static_cast<nn::Index>(t_max)}, vtrace.vs);
+        nn::Tensor policy_loss =
+            nn::Neg(nn::Mean(nn::Mul(logp, advantages)));
+        nn::Tensor value_loss =
+            nn::Mean(nn::Square(nn::Sub(out.value, value_targets)));
+        const float inv_t = 1.0f / static_cast<float>(t_max);
+        nn::Tensor entropy = nn::MulScalar(
+            nn::Add(
+                nn::Sum(nn::Mul(nn::Softmax(out.move_logits), move_logp)),
+                nn::Sum(
+                    nn::Mul(nn::Softmax(out.charge_logits), charge_logp))),
+            -inv_t);
+        nn::Tensor total = nn::Add(
+            nn::Add(policy_loss,
+                    nn::MulScalar(value_loss, config_.value_coef)),
+            nn::MulScalar(entropy, -config_.entropy_coef));
+        total.Backward();
+        if (employee_id == 0) {
+          phase_metrics.loss->Set(total.item());
         }
       }
-      const VtraceResult vtrace =
-          ComputeVtrace(mb.rewards, dones, values, ratios, config_.gamma,
-                        config_.rho_bar, config_.c_bar);
-
-      const nn::Tensor advantages = nn::Tensor::FromData(
-          {static_cast<nn::Index>(t_max)}, vtrace.pg_advantages);
-      const nn::Tensor value_targets =
-          nn::Tensor::FromData({static_cast<nn::Index>(t_max)}, vtrace.vs);
-      nn::Tensor policy_loss = nn::Neg(nn::Mean(nn::Mul(logp, advantages)));
-      nn::Tensor value_loss =
-          nn::Mean(nn::Square(nn::Sub(out.value, value_targets)));
-      const float inv_t = 1.0f / static_cast<float>(t_max);
-      nn::Tensor entropy = nn::MulScalar(
-          nn::Add(
-              nn::Sum(nn::Mul(nn::Softmax(out.move_logits), move_logp)),
-              nn::Sum(nn::Mul(nn::Softmax(out.charge_logits), charge_logp))),
-          -inv_t);
-      nn::Tensor total = nn::Add(
-          nn::Add(policy_loss, nn::MulScalar(value_loss, config_.value_coef)),
-          nn::MulScalar(entropy, -config_.entropy_coef));
-      total.Backward();
-      if (employee_id == 0) {
-        phase_metrics.loss->Set(total.item());
-      }
-      nn::ClipGradByGlobalNorm(local_params, config_.max_grad_norm);
+      // The clip budget scales with the number of accumulated instance
+      // losses, mirroring the chief's num_employees convention; n == 1
+      // keeps the legacy bound.
+      nn::ClipGradByGlobalNorm(local_params,
+                               config_.max_grad_norm *
+                                   static_cast<float>(n));
       grads = nn::FlattenGradients(local_params);
     }
 
@@ -194,28 +192,33 @@ void AsyncTrainer::EmployeeLoop(int employee_id) {
       nn::CopyParameters(global_params, local_params);
     }
 
-    // ---- Record stats ----
-    double reward_sum = 0.0;
-    for (float r : mb.rewards) reward_sum += r;
-    EpisodeRecord rec;
-    rec.kappa = env.Kappa();
-    rec.xi = env.Xi();
-    rec.rho = env.Rho();
-    rec.extrinsic_reward =
-        reward_sum / (config_.reward_scale * config_.env.horizon);
-    rec.wall_seconds = episode_watch.ElapsedSeconds();
-    if (rec.wall_seconds > 0.0) {
-      rec.steps_per_sec =
-          static_cast<double>(episode_steps) / rec.wall_seconds;
-    }
-    phase_metrics.episodes->Increment();
-    phase_metrics.kappa->Set(rec.kappa);
-    phase_metrics.xi->Set(rec.xi);
-    phase_metrics.rho->Set(rec.rho);
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      rec.episode = static_cast<int>(history_.size());
-      history_.push_back(rec);
+    // ---- Record stats: one EpisodeRecord per instance episode ----
+    const double wall = episode_watch.ElapsedSeconds();
+    for (int i = 0; i < n; ++i) {
+      double reward_sum = 0.0;
+      for (float r : batches[static_cast<size_t>(i)].rewards) {
+        reward_sum += r;
+      }
+      EpisodeRecord rec;
+      rec.kappa = vec.env(i).Kappa();
+      rec.xi = vec.env(i).Xi();
+      rec.rho = vec.env(i).Rho();
+      rec.extrinsic_reward =
+          reward_sum / (config_.reward_scale * config_.env.horizon);
+      rec.wall_seconds = wall;
+      if (rec.wall_seconds > 0.0) {
+        rec.steps_per_sec =
+            static_cast<double>(rollout.env_steps) / rec.wall_seconds;
+      }
+      phase_metrics.episodes->Increment();
+      phase_metrics.kappa->Set(rec.kappa);
+      phase_metrics.xi->Set(rec.xi);
+      phase_metrics.rho->Set(rec.rho);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        rec.episode = static_cast<int>(history_.size());
+        history_.push_back(rec);
+      }
     }
   }
 }
@@ -225,8 +228,9 @@ TrainResult AsyncTrainer::Train() {
   runtime::SetGlobalPoolThreads(
       runtime::ResolveNumThreads(config_.runtime_threads));
   history_.clear();
-  history_.reserve(
-      static_cast<size_t>(config_.num_employees * config_.episodes));
+  history_.reserve(static_cast<size_t>(config_.num_employees) *
+                   static_cast<size_t>(config_.episodes) *
+                   static_cast<size_t>(config_.envs_per_employee));
   std::vector<std::thread> threads;
   for (int i = 0; i < config_.num_employees; ++i) {
     threads.emplace_back([this, i]() { EmployeeLoop(i); });

@@ -51,6 +51,9 @@ struct AsyncTrainerConfig {
   int episodes = 100;
   /// Intra-op NN kernel threads; see TrainerConfig::runtime_threads.
   int runtime_threads = 1;
+  /// Env instances per employee on the vectorized acting path; see
+  /// TrainerConfig::envs_per_employee. 1 ≡ the legacy single-env loop.
+  int envs_per_employee = 1;
   bool use_vtrace = true;
   float rho_bar = 1.0f;
   float c_bar = 1.0f;

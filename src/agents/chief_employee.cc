@@ -4,6 +4,7 @@
 
 #include "agents/eval.h"
 #include "agents/reward_normalizer.h"
+#include "agents/trainer_core.h"
 #include "agents/trainer_obs.h"
 #include "common/check.h"
 #include "common/log.h"
@@ -32,6 +33,82 @@ PositionObs MakeObs(const env::StateEncoder& encoder, const env::Map& map,
   return obs;
 }
 
+/// Bridges the intrinsic-reward modules into the shared vectorized rollout
+/// (trainer_core.h): captures per-worker "from" observations before each
+/// lockstep step and computes r^int after it — per-worker spatial curiosity
+/// (with curiosity-sample collection and heat-map accumulation) or RND on
+/// the freshly encoded next state.
+class IntrinsicObserver : public StepObserver {
+ public:
+  IntrinsicObserver(const env::StateEncoder& encoder, const env::Map& map,
+                    SpatialCuriosity* curiosity, RndCuriosity* rnd,
+                    std::vector<CuriositySample>* samples,
+                    std::mutex& stats_mu, std::vector<double>& heatmap_sum,
+                    std::vector<int64_t>& heatmap_count, int num_envs,
+                    int num_workers)
+      : encoder_(encoder),
+        map_(map),
+        curiosity_(curiosity),
+        rnd_(rnd),
+        samples_(samples),
+        stats_mu_(stats_mu),
+        heatmap_sum_(heatmap_sum),
+        heatmap_count_(heatmap_count),
+        from_(static_cast<size_t>(num_envs),
+              std::vector<PositionObs>(static_cast<size_t>(num_workers))) {}
+
+  void BeforeStep(int env_index, const env::Env& env,
+                  const ActResult& /*act*/) override {
+    if (curiosity_ == nullptr) return;
+    std::vector<PositionObs>& from = from_[static_cast<size_t>(env_index)];
+    for (size_t w = 0; w < from.size(); ++w) {
+      from[w] = MakeObs(encoder_, map_, WorkerPos(env, static_cast<int>(w)));
+    }
+  }
+
+  double IntrinsicReward(int env_index, const env::Env& env,
+                         const ActResult& act,
+                         const float* next_state) override {
+    if (curiosity_ != nullptr) {
+      std::vector<PositionObs>& from =
+          from_[static_cast<size_t>(env_index)];
+      const int num_workers = static_cast<int>(from.size());
+      double r_int = 0.0;
+      for (int w = 0; w < num_workers; ++w) {
+        const PositionObs to = MakeObs(encoder_, map_, WorkerPos(env, w));
+        const double r = curiosity_->IntrinsicReward(
+            w, from[static_cast<size_t>(w)],
+            act.moves[static_cast<size_t>(w)], to);
+        r_int += r;
+        samples_->push_back(CuriositySample{w, from[static_cast<size_t>(w)],
+                                            act.moves[static_cast<size_t>(w)],
+                                            to});
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          heatmap_sum_[static_cast<size_t>(
+              from[static_cast<size_t>(w)].cell)] += r;
+          ++heatmap_count_[static_cast<size_t>(
+              from[static_cast<size_t>(w)].cell)];
+        }
+      }
+      return r_int / num_workers;
+    }
+    if (rnd_ != nullptr) return rnd_->IntrinsicReward(next_state);
+    return 0.0;
+  }
+
+ private:
+  const env::StateEncoder& encoder_;
+  const env::Map& map_;
+  SpatialCuriosity* curiosity_;
+  RndCuriosity* rnd_;
+  std::vector<CuriositySample>* samples_;
+  std::mutex& stats_mu_;
+  std::vector<double>& heatmap_sum_;
+  std::vector<int64_t>& heatmap_count_;
+  std::vector<std::vector<PositionObs>> from_;
+};
+
 }  // namespace
 
 ChiefEmployeeTrainer::ChiefEmployeeTrainer(const TrainerConfig& config,
@@ -44,6 +121,7 @@ ChiefEmployeeTrainer::ChiefEmployeeTrainer(const TrainerConfig& config,
   CEWS_CHECK_GT(config_.episodes, 0);
   CEWS_CHECK_GT(config_.batch_size, 0);
   CEWS_CHECK_GT(config_.update_epochs, 0);
+  CEWS_CHECK_GT(config_.envs_per_employee, 0);
 
   // Auto-fill dependent dimensions so callers cannot desynchronize them.
   config_.net.num_workers = static_cast<int>(map_.worker_spawns.size());
@@ -146,12 +224,22 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
   } else if (config_.intrinsic == IntrinsicMode::kRnd) {
     rnd = std::make_unique<RndCuriosity>(config_.rnd, rnd_seed_);
   }
-  env::Env env(config_.env, map_);
+  env::VecEnv vec(config_.env, map_, config_.envs_per_employee);
   Rng rng(config_.seed * 7919 + static_cast<uint64_t>(employee_id));
-  RolloutBuffer buffer;
-  RewardNormalizer normalizer(config_.ppo.gamma);
+  std::vector<RewardNormalizer> normalizers(
+      static_cast<size_t>(config_.envs_per_employee),
+      RewardNormalizer(config_.ppo.gamma));
 
-  const int num_workers = env.num_workers();
+  std::vector<CuriositySample> curiosity_samples;
+  IntrinsicObserver observer(encoder_, map_, curiosity.get(), rnd.get(),
+                             &curiosity_samples, stats_mu_, heatmap_sum_,
+                             heatmap_count_, vec.size(), vec.num_workers());
+
+  VecRolloutOptions rollout_options;
+  rollout_options.sparse_reward =
+      config_.reward_mode == RewardMode::kSparse;
+  rollout_options.add_intrinsic_to_reward = config_.add_intrinsic_to_reward;
+  rollout_options.reward_scale = config_.reward_scale;
 
   auto copy_globals = [&]() {
     nn::CopyParameters(global_net_->Parameters(), agent.Parameters());
@@ -166,90 +254,46 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
 
   TrainerPhaseMetrics& phase_metrics = TrainerMetrics();
   for (int episode = 0; episode < config_.episodes; ++episode) {
-    // ---- Exploration (Algorithm 1, lines 4-15) ----
+    // ---- Exploration (Algorithm 1, lines 4-15), via the shared
+    // vectorized rollout: all envs_per_employee instances act through one
+    // batched Forward per lockstep step. ----
     Stopwatch episode_watch;
-    int64_t episode_steps = 0;
-    env.Reset();
-    buffer.Clear();
-    std::vector<CuriositySample> curiosity_samples;
-    double ext_sum = 0.0, int_sum = 0.0;
+    curiosity_samples.clear();
 
-    {
-      CEWS_TRACE_SCOPE("trainer.rollout");
-      obs::ScopedTimerNs rollout_timer(phase_metrics.rollout_ns);
-      std::vector<float> state = encoder_.Encode(env);
-      while (!env.Done()) {
-        const ActResult act = agent.Act(state, rng);
-        std::vector<PositionObs> from(static_cast<size_t>(num_workers));
-        for (int w = 0; w < num_workers; ++w) {
-          from[static_cast<size_t>(w)] =
-              MakeObs(encoder_, map_, WorkerPos(env, w));
-        }
-        const env::StepResult step = env.Step(act.actions);
-        ++episode_steps;
-        std::vector<float> next_state = encoder_.Encode(env);
-
-        const double r_ext = config_.reward_mode == RewardMode::kSparse
-                                 ? step.sparse_reward
-                                 : step.dense_reward;
-        double r_int = 0.0;
-        if (curiosity != nullptr) {
-          for (int w = 0; w < num_workers; ++w) {
-            const PositionObs to =
-                MakeObs(encoder_, map_, WorkerPos(env, w));
-            const double r = curiosity->IntrinsicReward(
-                w, from[static_cast<size_t>(w)],
-                act.moves[static_cast<size_t>(w)], to);
-            r_int += r;
-            curiosity_samples.push_back(
-                CuriositySample{w, from[static_cast<size_t>(w)],
-                                act.moves[static_cast<size_t>(w)], to});
-            {
-              std::lock_guard<std::mutex> lock(stats_mu_);
-              heatmap_sum_[static_cast<size_t>(
-                  from[static_cast<size_t>(w)].cell)] += r;
-              ++heatmap_count_[static_cast<size_t>(
-                  from[static_cast<size_t>(w)].cell)];
-            }
-          }
-          r_int /= num_workers;
-        } else if (rnd != nullptr) {
-          r_int = rnd->IntrinsicReward(next_state);
-        }
-
-        Transition t;
-        t.state = std::move(state);
-        t.moves = act.moves;
-        t.charges = act.charges;
-        t.log_prob = act.log_prob;
-        t.value = act.value;
-        const float raw_reward = static_cast<float>(
-            config_.add_intrinsic_to_reward ? r_ext + r_int : r_ext);
-        t.reward = config_.normalize_rewards
-                       ? normalizer.Normalize(raw_reward)
-                       : config_.reward_scale * raw_reward;
-        t.done = step.done;
-        buffer.Add(std::move(t));
-        state = std::move(next_state);
-        ext_sum += r_ext;
-        int_sum += r_int;
-      }
-      normalizer.EndEpisode();
-      buffer.ComputeAdvantages(config_.ppo.gamma, config_.ppo.gae_lambda,
-                               /*last_value=*/0.0f);
+    VecRolloutResult rollout = RunVecRollout(
+        agent.net(), vec, encoder_, rng, rollout_options, &observer,
+        config_.normalize_rewards ? &normalizers : nullptr);
+    const int64_t episode_steps = rollout.env_steps;
+    // GAE per instance buffer — advantages must not bridge episodes.
+    for (RolloutBuffer& b : rollout.buffers) {
+      b.ComputeAdvantages(config_.ppo.gamma, config_.ppo.gae_lambda,
+                          /*last_value=*/0.0f);
     }
 
-    // Record this employee's episode diagnostics.
+    double ext_sum = 0.0, int_sum = 0.0;
+    for (size_t i = 0; i < rollout.extrinsic_sums.size(); ++i) {
+      ext_sum += rollout.extrinsic_sums[i];
+      int_sum += rollout.intrinsic_sums[i];
+    }
+
+    // Record this employee's episode diagnostics (instance means, so the
+    // accumulator keeps the legacy per-employee scale at any
+    // envs_per_employee).
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       EpisodeAccumulator& acc =
           episode_accum_[static_cast<size_t>(episode)];
-      acc.kappa += env.Kappa();
-      acc.xi += env.Xi();
-      acc.rho += env.Rho();
-      acc.extrinsic += ext_sum / config_.env.horizon;
-      acc.intrinsic += int_sum / config_.env.horizon;
+      acc.kappa += vec.MeanKappa();
+      acc.xi += vec.MeanXi();
+      acc.rho += vec.MeanRho();
+      acc.extrinsic +=
+          ext_sum / (config_.env.horizon * config_.envs_per_employee);
+      acc.intrinsic +=
+          int_sum / (config_.env.horizon * config_.envs_per_employee);
     }
+
+    // All instance episodes train as one pool of transitions.
+    RolloutBuffer buffer = MergeBuffers(std::move(rollout.buffers));
 
     // ---- Exploitation (Algorithm 1, lines 16-23) ----
     const std::vector<nn::Tensor> local_ppo_params = agent.Parameters();

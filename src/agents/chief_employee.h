@@ -47,6 +47,14 @@ struct TrainerConfig {
   /// are bitwise-identical at any setting.
   int runtime_threads = 1;
 
+  /// Environment instances each employee drives through the vectorized
+  /// acting path (env::VecEnv + one batched Forward per lockstep step).
+  /// 1 reproduces the legacy single-env employee bitwise; larger values
+  /// collect envs_per_employee episodes per training episode and batch
+  /// their action selection, which is where the intra-op kernel runtime
+  /// pays off during rollouts.
+  int envs_per_employee = 1;
+
   PolicyNetConfig net;
   PpoConfig ppo;
 

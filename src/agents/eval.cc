@@ -38,32 +38,65 @@ float LogProbOf(const float* logits, int n, int k) {
 
 ActResult SamplePolicy(const PolicyNet& net, const std::vector<float>& state,
                        Rng& rng, bool deterministic) {
+  std::vector<ActResult> results =
+      SamplePolicyBatch(net, state, /*batch=*/1, rng, deterministic);
+  return std::move(results.front());
+}
+
+std::vector<ActResult> SamplePolicyBatch(const PolicyNet& net,
+                                         const std::vector<float>& states,
+                                         int batch, Rng& rng,
+                                         bool deterministic,
+                                         const uint8_t* move_masks) {
   nn::NoGradGuard no_grad;
   const PolicyNetConfig& cfg = net.config();
-  CEWS_CHECK_EQ(static_cast<int>(state.size()),
-                cfg.in_channels * cfg.grid * cfg.grid);
-  const nn::Tensor x =
-      nn::Tensor::FromData({1, cfg.in_channels, cfg.grid, cfg.grid}, state);
+  CEWS_CHECK_GT(batch, 0);
+  CEWS_CHECK_EQ(static_cast<int>(states.size()),
+                batch * cfg.in_channels * cfg.grid * cfg.grid);
+  const nn::Tensor x = nn::Tensor::FromData(
+      {batch, cfg.in_channels, cfg.grid, cfg.grid}, states);
   const PolicyOutput out = net.Forward(x);
 
-  ActResult result;
-  result.value = out.value.item();
   const float* move_logits = out.move_logits.data();
   const float* charge_logits = out.charge_logits.data();
-  float log_prob = 0.0f;
-  for (int w = 0; w < cfg.num_workers; ++w) {
-    const float* ml = move_logits + w * cfg.num_moves;
-    const int move = SampleFromLogits(ml, cfg.num_moves, rng, deterministic);
-    log_prob += LogProbOf(ml, cfg.num_moves, move);
-    const float* cl = charge_logits + w * 2;
-    const int charge = SampleFromLogits(cl, 2, rng, deterministic);
-    log_prob += LogProbOf(cl, 2, charge);
-    result.moves.push_back(move);
-    result.charges.push_back(charge);
-    result.actions.push_back(env::WorkerAction{move, charge == 1});
+  const float* values = out.value.data();
+  const int per_env_moves = cfg.num_workers * cfg.num_moves;
+
+  // Scratch for masked logits; untouched (and unallocated) when unmasked so
+  // the unmasked batch-1 path stays bitwise-identical to the legacy
+  // SamplePolicy arithmetic.
+  std::vector<float> masked;
+  if (move_masks != nullptr) {
+    masked.resize(static_cast<size_t>(cfg.num_moves));
   }
-  result.log_prob = log_prob;
-  return result;
+
+  std::vector<ActResult> results(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    ActResult& result = results[static_cast<size_t>(i)];
+    result.value = values[i];
+    float log_prob = 0.0f;
+    for (int w = 0; w < cfg.num_workers; ++w) {
+      const float* ml = move_logits + i * per_env_moves + w * cfg.num_moves;
+      if (move_masks != nullptr) {
+        const uint8_t* mask =
+            move_masks + i * per_env_moves + w * cfg.num_moves;
+        for (int m = 0; m < cfg.num_moves; ++m) {
+          masked[static_cast<size_t>(m)] = mask[m] ? ml[m] : -1e9f;
+        }
+        ml = masked.data();
+      }
+      const int move = SampleFromLogits(ml, cfg.num_moves, rng, deterministic);
+      log_prob += LogProbOf(ml, cfg.num_moves, move);
+      const float* cl = charge_logits + i * cfg.num_workers * 2 + w * 2;
+      const int charge = SampleFromLogits(cl, 2, rng, deterministic);
+      log_prob += LogProbOf(cl, 2, charge);
+      result.moves.push_back(move);
+      result.charges.push_back(charge);
+      result.actions.push_back(env::WorkerAction{move, charge == 1});
+    }
+    result.log_prob = log_prob;
+  }
+  return results;
 }
 
 EvalResult EvaluatePolicy(const PolicyNet& net, env::Env& env,
@@ -110,6 +143,54 @@ EvalResult EvaluatePolicyAveraged(const PolicyNet& net, env::Env& env,
   total.mean_sparse_reward /= episodes;
   total.mean_dense_reward /= episodes;
   return total;
+}
+
+std::vector<EvalResult> EvaluatePolicyVec(const PolicyNet& net,
+                                          env::VecEnv& vec,
+                                          const env::StateEncoder& encoder,
+                                          Rng& rng, bool deterministic) {
+  CEWS_CHECK(!vec.auto_reset())
+      << "EvaluatePolicyVec runs bounded episodes; build the VecEnv with "
+         "auto_reset off";
+  vec.Reset();
+  const int n = vec.size();
+  std::vector<EvalResult> results(static_cast<size_t>(n));
+  std::vector<int> steps(static_cast<size_t>(n), 0);
+
+  std::vector<const env::Env*> live;
+  std::vector<int> live_index;
+  while (!vec.AllDone()) {
+    live.clear();
+    live_index.clear();
+    for (int i = 0; i < n; ++i) {
+      if (!vec.env(i).Done()) {
+        live.push_back(&vec.env(i));
+        live_index.push_back(i);
+      }
+    }
+    const std::vector<float> states = encoder.EncodeBatch(live);
+    const std::vector<ActResult> acts = SamplePolicyBatch(
+        net, states, static_cast<int>(live.size()), rng, deterministic);
+    for (size_t k = 0; k < live_index.size(); ++k) {
+      const int i = live_index[k];
+      const env::StepResult step = vec.env(i).Step(acts[k].actions);
+      results[static_cast<size_t>(i)].mean_sparse_reward +=
+          step.sparse_reward;
+      results[static_cast<size_t>(i)].mean_dense_reward += step.dense_reward;
+      ++steps[static_cast<size_t>(i)];
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    EvalResult& r = results[static_cast<size_t>(i)];
+    if (steps[static_cast<size_t>(i)] > 0) {
+      r.mean_sparse_reward /= steps[static_cast<size_t>(i)];
+      r.mean_dense_reward /= steps[static_cast<size_t>(i)];
+    }
+    r.kappa = vec.env(i).Kappa();
+    r.xi = vec.env(i).Xi();
+    r.rho = vec.env(i).Rho();
+  }
+  return results;
 }
 
 }  // namespace cews::agents

@@ -4,11 +4,15 @@
 #ifndef CEWS_AGENTS_EVAL_H_
 #define CEWS_AGENTS_EVAL_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "agents/policy_net.h"
 #include "agents/ppo.h"
 #include "common/rng.h"
 #include "env/env.h"
 #include "env/state_encoder.h"
+#include "env/vec_env.h"
 
 namespace cews::agents {
 
@@ -16,6 +20,26 @@ namespace cews::agents {
 /// With `deterministic` the mode of each distribution is taken.
 ActResult SamplePolicy(const PolicyNet& net, const std::vector<float>& state,
                        Rng& rng, bool deterministic);
+
+/// Batched action selection: one Forward over `batch` stacked states
+/// (`states` holds batch * StateSize floats, [N, C, H, W] row-major, e.g.
+/// from StateEncoder::EncodeBatch), then per-instance sampling from the
+/// factored heads. Samples are drawn instance-by-instance in index order,
+/// worker-by-worker, move head before charge head — exactly the draw order
+/// of `batch` consecutive SamplePolicy calls, so with batch == 1 the result
+/// is bitwise-identical to SamplePolicy on the same Rng state.
+///
+/// `move_masks` (optional) points at batch * W * num_moves 0/1 flags,
+/// instance-major (env::VecEnv::MoveValidityMasks layout); masked-out moves
+/// have their logits forced to -1e9 before sampling and log-prob
+/// computation, confining each worker's route head to its valid options.
+/// The legacy single-env trainers never masked, so passing nullptr keeps
+/// the historical behavior.
+std::vector<ActResult> SamplePolicyBatch(const PolicyNet& net,
+                                         const std::vector<float>& states,
+                                         int batch, Rng& rng,
+                                         bool deterministic = false,
+                                         const uint8_t* move_masks = nullptr);
 
 /// End-of-episode metrics of one evaluation run.
 struct EvalResult {
@@ -36,6 +60,18 @@ EvalResult EvaluatePolicy(const PolicyNet& net, env::Env& env,
 EvalResult EvaluatePolicyAveraged(const PolicyNet& net, env::Env& env,
                                   const env::StateEncoder& encoder, Rng& rng,
                                   int episodes, bool deterministic = false);
+
+/// Vectorized evaluation: resets `vec` and runs every instance to episode
+/// end through the batched acting path (EncodeBatch + SamplePolicyBatch),
+/// returning one EvalResult per instance in index order. Instances that
+/// finish early drop out of the batch; sampling always walks the still-live
+/// instances in index order, so with vec.size() == 1 the run consumes the
+/// Rng identically to EvaluatePolicy. Requires auto_reset off.
+std::vector<EvalResult> EvaluatePolicyVec(const PolicyNet& net,
+                                          env::VecEnv& vec,
+                                          const env::StateEncoder& encoder,
+                                          Rng& rng,
+                                          bool deterministic = false);
 
 }  // namespace cews::agents
 

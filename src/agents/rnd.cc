@@ -43,6 +43,11 @@ double RndCuriosity::IntrinsicReward(const std::vector<float>& state) const {
   return config_.eta * loss / config_.out_dim;
 }
 
+double RndCuriosity::IntrinsicReward(const float* state) const {
+  return IntrinsicReward(
+      std::vector<float>(state, state + config_.state_size));
+}
+
 nn::Tensor RndCuriosity::Loss(const MiniBatch& batch) const {
   CEWS_CHECK_GT(batch.batch, 0) << "RND Loss on an empty minibatch";
   CEWS_CHECK_EQ(batch.state_size, config_.state_size);

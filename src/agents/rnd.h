@@ -36,6 +36,10 @@ class RndCuriosity {
   /// Intrinsic reward for a (next) state: eta * ||pred - target||^2.
   double IntrinsicReward(const std::vector<float>& state) const;
 
+  /// Same, over config().state_size floats at `state` — the batched acting
+  /// path hands per-instance slices of one [N, ...] encode buffer.
+  double IntrinsicReward(const float* state) const;
+
   /// Predictor training loss over a packed minibatch: consumes
   /// `batch.states` ([B * state_size], row-major) directly — the trainer
   /// hot path; no per-transition gather.

@@ -1,6 +1,7 @@
 #include "agents/rollout.h"
 
 #include <algorithm>
+#include <iterator>
 #include <numeric>
 
 #include "common/check.h"
@@ -14,6 +15,19 @@ void RolloutBuffer::Clear() {
   transitions_.clear();
   advantages_.clear();
   returns_.clear();
+}
+
+void RolloutBuffer::Append(RolloutBuffer&& other) {
+  CEWS_CHECK_EQ(advantages_.empty(), other.advantages_.empty())
+      << "Append mixes buffers with and without computed advantages";
+  transitions_.insert(transitions_.end(),
+                      std::make_move_iterator(other.transitions_.begin()),
+                      std::make_move_iterator(other.transitions_.end()));
+  advantages_.insert(advantages_.end(), other.advantages_.begin(),
+                     other.advantages_.end());
+  returns_.insert(returns_.end(), other.returns_.begin(),
+                  other.returns_.end());
+  other.Clear();
 }
 
 void RolloutBuffer::ComputeAdvantages(float gamma, float gae_lambda,

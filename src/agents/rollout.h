@@ -50,6 +50,13 @@ struct MiniBatch {
 class RolloutBuffer {
  public:
   void Add(Transition t) { transitions_.push_back(std::move(t)); }
+
+  /// Concatenates `other`'s transitions (and, when present, advantages /
+  /// returns) after this buffer's, leaving `other` empty. Episode
+  /// boundaries stay intact via the stored done flags; compute advantages
+  /// per source buffer *before* appending — GAE must not bridge episodes.
+  void Append(RolloutBuffer&& other);
+
   void Clear();
   size_t size() const { return transitions_.size(); }
   bool empty() const { return transitions_.empty(); }

@@ -1,0 +1,110 @@
+#include "agents/trainer_core.h"
+
+#include <utility>
+
+#include "agents/eval.h"
+#include "agents/trainer_obs.h"
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace cews::agents {
+
+VecRolloutResult RunVecRollout(const PolicyNet& net, env::VecEnv& vec,
+                               const env::StateEncoder& encoder, Rng& rng,
+                               const VecRolloutOptions& options,
+                               StepObserver* observer,
+                               std::vector<RewardNormalizer>* normalizers) {
+  CEWS_CHECK(!vec.auto_reset())
+      << "RunVecRollout runs bounded episodes; build the VecEnv with "
+         "auto_reset off";
+  const int n = vec.size();
+  if (normalizers != nullptr) {
+    CEWS_CHECK_EQ(static_cast<int>(normalizers->size()), n)
+        << "need one RewardNormalizer per environment instance";
+  }
+  CEWS_TRACE_SCOPE("trainer.rollout");
+  TrainerPhaseMetrics& phase_metrics = TrainerMetrics();
+  obs::ScopedTimerNs rollout_timer(phase_metrics.rollout_ns);
+
+  vec.Reset();
+  VecRolloutResult result;
+  result.buffers.resize(static_cast<size_t>(n));
+  result.extrinsic_sums.assign(static_cast<size_t>(n), 0.0);
+  result.intrinsic_sums.assign(static_cast<size_t>(n), 0.0);
+
+  const size_t stride = static_cast<size_t>(encoder.StateSize());
+  std::vector<float> states = encoder.EncodeBatch(vec.EnvPtrs());
+  std::vector<std::vector<env::WorkerAction>> actions(
+      static_cast<size_t>(n));
+  while (!vec.AllDone()) {
+    std::vector<ActResult> acts;
+    {
+      CEWS_TRACE_SCOPE("trainer.act");
+      obs::ScopedTimerNs act_timer(phase_metrics.act_ns);
+      acts = SamplePolicyBatch(net, states, n, rng, /*deterministic=*/false);
+      phase_metrics.act_batches->Increment();
+      phase_metrics.act_env_steps->Add(static_cast<uint64_t>(n));
+    }
+    if (observer != nullptr) {
+      for (int i = 0; i < n; ++i) {
+        observer->BeforeStep(i, vec.env(i), acts[static_cast<size_t>(i)]);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      actions[static_cast<size_t>(i)] =
+          std::move(acts[static_cast<size_t>(i)].actions);
+    }
+    const env::VecEnv::StepResults step_results = vec.Step(actions);
+    result.env_steps += n;
+    std::vector<float> next_states = encoder.EncodeBatch(vec.EnvPtrs());
+
+    for (int i = 0; i < n; ++i) {
+      ActResult& act = acts[static_cast<size_t>(i)];
+      const env::StepResult& step =
+          step_results.per_env[static_cast<size_t>(i)];
+      const double r_ext =
+          options.sparse_reward ? step.sparse_reward : step.dense_reward;
+      const double r_int =
+          observer != nullptr
+              ? observer->IntrinsicReward(
+                    i, vec.env(i), act,
+                    next_states.data() + static_cast<size_t>(i) * stride)
+              : 0.0;
+
+      Transition t;
+      t.state.assign(
+          states.begin() + static_cast<ptrdiff_t>(i * stride),
+          states.begin() + static_cast<ptrdiff_t>((i + 1) * stride));
+      t.moves = std::move(act.moves);
+      t.charges = std::move(act.charges);
+      t.log_prob = act.log_prob;
+      t.value = act.value;
+      const float raw_reward = static_cast<float>(
+          options.add_intrinsic_to_reward ? r_ext + r_int : r_ext);
+      t.reward = normalizers != nullptr
+                     ? (*normalizers)[static_cast<size_t>(i)].Normalize(
+                           raw_reward)
+                     : options.reward_scale * raw_reward;
+      t.done = step.done;
+      result.buffers[static_cast<size_t>(i)].Add(std::move(t));
+      result.extrinsic_sums[static_cast<size_t>(i)] += r_ext;
+      result.intrinsic_sums[static_cast<size_t>(i)] += r_int;
+    }
+    states = std::move(next_states);
+  }
+  if (normalizers != nullptr) {
+    for (RewardNormalizer& norm : *normalizers) norm.EndEpisode();
+  }
+  return result;
+}
+
+RolloutBuffer MergeBuffers(std::vector<RolloutBuffer> buffers) {
+  CEWS_CHECK(!buffers.empty()) << "MergeBuffers on an empty buffer list";
+  RolloutBuffer merged = std::move(buffers.front());
+  for (size_t i = 1; i < buffers.size(); ++i) {
+    merged.Append(std::move(buffers[i]));
+  }
+  return merged;
+}
+
+}  // namespace cews::agents

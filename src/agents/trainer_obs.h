@@ -12,10 +12,17 @@ namespace cews::agents {
 
 struct TrainerPhaseMetrics {
   obs::Histogram* const rollout_ns = obs::GetHistogram("trainer.rollout_ns");
+  /// Batched action selection (EncodeBatch + Forward + sample) inside the
+  /// rollout — the phase the vectorized acting path accelerates.
+  obs::Histogram* const act_ns = obs::GetHistogram("trainer.act_ns");
   obs::Histogram* const learn_ns = obs::GetHistogram("trainer.learn_ns");
   obs::Histogram* const sync_ns = obs::GetHistogram("trainer.sync_ns");
   obs::Histogram* const barrier_ns = obs::GetHistogram("trainer.barrier_ns");
   obs::Counter* const episodes = obs::GetCounter("train.episodes");
+  /// Env transitions produced / batched Forward calls taken by the acting
+  /// path; their ratio is the delivered acting batch size.
+  obs::Counter* const act_env_steps = obs::GetCounter("act.env_steps");
+  obs::Counter* const act_batches = obs::GetCounter("act.batches");
   obs::Gauge* const loss = obs::GetGauge("train.loss");
   obs::Gauge* const kappa = obs::GetGauge("train.kappa");
   obs::Gauge* const xi = obs::GetGauge("train.xi");

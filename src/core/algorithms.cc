@@ -49,6 +49,7 @@ agents::TrainerConfig MakeTrainerConfig(Algorithm algorithm,
   config.num_employees = options.num_employees;
   config.batch_size = options.batch_size;
   config.runtime_threads = options.runtime_threads;
+  config.envs_per_employee = options.envs_per_employee;
   config.update_epochs = options.update_epochs;
   config.ppo.lr = options.lr;
   config.ppo.gamma = options.gamma;

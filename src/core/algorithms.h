@@ -35,6 +35,9 @@ struct BenchmarkOptions {
   /// Intra-op NN kernel threads (TrainerConfig::runtime_threads); 1 keeps
   /// kernels serial, 0 = hardware cores, CEWS_NUM_THREADS overrides.
   int runtime_threads = 1;
+  /// Env instances per employee on the vectorized acting path
+  /// (TrainerConfig::envs_per_employee); 1 ≡ the legacy single-env loop.
+  int envs_per_employee = 1;
   /// PPO epochs K per episode.
   int update_epochs = 6;
   /// Evaluation episodes averaged for the reported metrics.

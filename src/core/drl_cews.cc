@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "env/vec_env.h"
 #include "nn/serialize.h"
 
 namespace cews::core {
@@ -37,6 +38,11 @@ Status ValidateTrainerConfig(const agents::TrainerConfig& config,
     return Status::InvalidArgument(
         "runtime_threads must be non-negative (0 = hardware cores), got " +
         std::to_string(config.runtime_threads));
+  }
+  if (config.envs_per_employee <= 0) {
+    return Status::InvalidArgument(
+        "envs_per_employee must be positive, got " +
+        std::to_string(config.envs_per_employee));
   }
   if (config.encoder.grid <= 0) {
     return Status::InvalidArgument(
@@ -109,10 +115,28 @@ DrlCews::~DrlCews() = default;
 agents::TrainResult DrlCews::Train() { return trainer_->Train(); }
 
 agents::EvalResult DrlCews::Evaluate(int episodes, bool deterministic) {
-  env::Env env(trainer_->config().env, map_);
-  return agents::EvaluatePolicyAveraged(trainer_->global_net(), env,
-                                        encoder_, eval_rng_, episodes,
-                                        deterministic);
+  CEWS_CHECK_GT(episodes, 0);
+  // One VecEnv instance per episode: the whole evaluation is a single pass
+  // through the batched acting path instead of `episodes` sequential runs.
+  env::VecEnv vec(trainer_->config().env, map_, episodes);
+  const std::vector<agents::EvalResult> per_episode =
+      agents::EvaluatePolicyVec(trainer_->global_net(), vec, encoder_,
+                                eval_rng_, deterministic);
+  agents::EvalResult total;
+  total.xi = 0.0;
+  for (const agents::EvalResult& r : per_episode) {
+    total.kappa += r.kappa;
+    total.xi += r.xi;
+    total.rho += r.rho;
+    total.mean_sparse_reward += r.mean_sparse_reward;
+    total.mean_dense_reward += r.mean_dense_reward;
+  }
+  total.kappa /= episodes;
+  total.xi /= episodes;
+  total.rho /= episodes;
+  total.mean_sparse_reward /= episodes;
+  total.mean_dense_reward /= episodes;
+  return total;
 }
 
 Status DrlCews::SaveCheckpoint(const std::string& path) const {

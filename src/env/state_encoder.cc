@@ -21,16 +21,33 @@ int StateEncoder::CellIndex(const Map& map, const Position& p) const {
 }
 
 std::vector<float> StateEncoder::Encode(const Env& env) const {
+  std::vector<float> state(static_cast<size_t>(StateSize()), 0.0f);
+  EncodeInto(env, state.data());
+  return state;
+}
+
+std::vector<float> StateEncoder::EncodeBatch(
+    const std::vector<const Env*>& envs) const {
+  CEWS_CHECK(!envs.empty()) << "EncodeBatch on an empty instance list";
+  const size_t stride = static_cast<size_t>(StateSize());
+  std::vector<float> batch(envs.size() * stride, 0.0f);
+  for (size_t i = 0; i < envs.size(); ++i) {
+    EncodeInto(*envs[i], batch.data() + i * stride);
+  }
+  return batch;
+}
+
+void StateEncoder::EncodeInto(const Env& env, float* state) const {
   const int g = config_.grid;
   const int plane = g * g;
-  std::vector<float> state(static_cast<size_t>(kChannels * plane), 0.0f);
+  std::fill(state, state + kChannels * plane, 0.0f);
   const Map& map = env.map();
 
   // Channel 1 statics first: obstacles then stations (stations overwrite,
   // so a station adjacent to rubble stays visible).
   const double cell_w = map.config.size_x / g;
   const double cell_h = map.config.size_y / g;
-  float* ch1 = state.data() + plane;
+  float* ch1 = state + plane;
   for (int gy = 0; gy < g; ++gy) {
     for (int gx = 0; gx < g; ++gx) {
       const Position center{(gx + 0.5) * cell_w, (gy + 0.5) * cell_h};
@@ -41,7 +58,7 @@ std::vector<float> StateEncoder::Encode(const Env& env) const {
     ch1[CellIndex(map, s.pos)] = 2.0f;
   }
   // Remaining PoI data (accumulated per cell) and access times.
-  float* ch2 = state.data() + 2 * plane;
+  float* ch2 = state + 2 * plane;
   const float inv_t = 1.0f / static_cast<float>(env.config().horizon);
   for (int p = 0; p < env.num_pois(); ++p) {
     const int cell = CellIndex(map, map.pois[static_cast<size_t>(p)].pos);
@@ -50,12 +67,11 @@ std::vector<float> StateEncoder::Encode(const Env& env) const {
                  inv_t;
   }
   // Channel 0: worker energy at worker cells.
-  float* ch0 = state.data();
+  float* ch0 = state;
   for (const WorkerState& w : env.workers()) {
     ch0[CellIndex(map, w.pos)] +=
         static_cast<float>(w.energy / env.config().energy_capacity);
   }
-  return state;
 }
 
 }  // namespace cews::env

@@ -43,6 +43,17 @@ class StateEncoder {
   /// laid out [channel][gy][gx].
   std::vector<float> Encode(const Env& env) const;
 
+  /// Encodes one environment into caller-owned memory: writes exactly
+  /// StateSize() floats at `out` (the batched path's per-instance slice).
+  /// Byte-for-byte the same encoding as Encode().
+  void EncodeInto(const Env& env, float* out) const;
+
+  /// Encodes N environments into one contiguous [N, kChannels, grid, grid]
+  /// batch (row-major; instance i occupies floats [i * StateSize(),
+  /// (i+1) * StateSize())), ready to adopt as the policy network's input
+  /// tensor. Instances may differ in map but must share the grid config.
+  std::vector<float> EncodeBatch(const std::vector<const Env*>& envs) const;
+
  private:
   StateEncoderConfig config_;
 };

@@ -1,0 +1,164 @@
+#include "env/vec_env.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace cews::env {
+
+std::vector<uint8_t> MoveValidityMask(const Env& env) {
+  const int w_count = env.num_workers();
+  const int num_moves = env.config().action_space.num_moves();
+  std::vector<uint8_t> mask(static_cast<size_t>(w_count * num_moves), 0);
+  for (int w = 0; w < w_count; ++w) {
+    for (int m = 0; m < num_moves; ++m) {
+      mask[static_cast<size_t>(w * num_moves + m)] =
+          env.MoveValid(w, m) ? 1 : 0;
+    }
+  }
+  return mask;
+}
+
+uint64_t VecEnv::InstanceSeed(uint64_t base_seed, int index) {
+  // Mix the base into SplitMix64 state, advance `index + 1` draws, and take
+  // the last: each index reads a statistically independent 64-bit word of
+  // the stream anchored at base_seed. (A single draw over base ^ index would
+  // keep adjacent indices one bit apart at the *input*; advancing the stream
+  // also decorrelates the relation between (base, i) and (base + 1, i).)
+  uint64_t state = base_seed;
+  uint64_t seed = 0;
+  for (int i = 0; i <= index; ++i) seed = SplitMix64(state);
+  return seed;
+}
+
+VecEnv::VecEnv(const EnvConfig& config, const Map& map, int num_envs,
+               bool auto_reset)
+    : auto_reset_(auto_reset) {
+  CEWS_CHECK_GT(num_envs, 0) << "VecEnv needs at least one instance";
+  envs_.reserve(static_cast<size_t>(num_envs));
+  for (int i = 0; i < num_envs; ++i) envs_.emplace_back(config, map);
+}
+
+VecEnv::VecEnv(const EnvConfig& config, std::vector<Map> maps,
+               bool auto_reset)
+    : auto_reset_(auto_reset) {
+  CEWS_CHECK(!maps.empty()) << "VecEnv needs at least one instance";
+  envs_.reserve(maps.size());
+  for (Map& map : maps) envs_.emplace_back(config, std::move(map));
+  for (const Env& e : envs_) {
+    CEWS_CHECK_EQ(e.num_workers(), envs_.front().num_workers())
+        << "all VecEnv instances must spawn the same number of workers";
+  }
+}
+
+Result<VecEnv> VecEnv::CreateGenerated(const EnvConfig& config,
+                                       const MapConfig& map_config,
+                                       uint64_t base_seed, int num_envs,
+                                       bool auto_reset) {
+  if (num_envs <= 0) {
+    return Status::InvalidArgument("num_envs must be positive, got " +
+                                   std::to_string(num_envs));
+  }
+  std::vector<Map> maps;
+  maps.reserve(static_cast<size_t>(num_envs));
+  for (int i = 0; i < num_envs; ++i) {
+    Rng rng(InstanceSeed(base_seed, i));
+    CEWS_ASSIGN_OR_RETURN(Map map, GenerateMap(map_config, rng));
+    maps.push_back(std::move(map));
+  }
+  return VecEnv(config, std::move(maps), auto_reset);
+}
+
+std::vector<const Env*> VecEnv::EnvPtrs() const {
+  std::vector<const Env*> ptrs;
+  ptrs.reserve(envs_.size());
+  for (const Env& e : envs_) ptrs.push_back(&e);
+  return ptrs;
+}
+
+void VecEnv::Reset() {
+  for (Env& e : envs_) e.Reset();
+  finished_.clear();
+}
+
+VecEnv::StepResults VecEnv::Step(
+    const std::vector<std::vector<WorkerAction>>& actions) {
+  CEWS_CHECK_EQ(actions.size(), envs_.size())
+      << "VecEnv::Step needs one action vector per instance";
+  static obs::Counter* const vec_steps = obs::GetCounter("vecenv.steps");
+  static obs::Counter* const vec_episodes =
+      obs::GetCounter("vecenv.episodes");
+  vec_steps->Add(static_cast<uint64_t>(envs_.size()));
+  StepResults results;
+  results.per_env.reserve(envs_.size());
+  for (size_t i = 0; i < envs_.size(); ++i) {
+    Env& e = envs_[i];
+    StepResult r = e.Step(actions[i]);
+    if (r.done) {
+      ++results.episodes_finished;
+      vec_episodes->Increment();
+      if (auto_reset_) {
+        finished_.push_back(EpisodeMetrics{static_cast<int>(i), e.Kappa(),
+                                           e.Xi(), e.Rho()});
+        e.Reset();
+      }
+    }
+    results.per_env.push_back(std::move(r));
+  }
+  return results;
+}
+
+bool VecEnv::AllDone() const {
+  for (const Env& e : envs_) {
+    if (!e.Done()) return false;
+  }
+  return true;
+}
+
+bool VecEnv::AnyDone() const {
+  for (const Env& e : envs_) {
+    if (e.Done()) return true;
+  }
+  return false;
+}
+
+double VecEnv::MeanKappa() const {
+  double acc = 0.0;
+  for (const Env& e : envs_) acc += e.Kappa();
+  return acc / static_cast<double>(envs_.size());
+}
+
+double VecEnv::MeanXi() const {
+  double acc = 0.0;
+  for (const Env& e : envs_) acc += e.Xi();
+  return acc / static_cast<double>(envs_.size());
+}
+
+double VecEnv::MeanRho() const {
+  double acc = 0.0;
+  for (const Env& e : envs_) acc += e.Rho();
+  return acc / static_cast<double>(envs_.size());
+}
+
+std::vector<VecEnv::EpisodeMetrics> VecEnv::DrainFinishedEpisodes() {
+  std::vector<EpisodeMetrics> drained = std::move(finished_);
+  finished_.clear();
+  return drained;
+}
+
+std::vector<uint8_t> VecEnv::MoveValidityMasks() const {
+  const int w_count = num_workers();
+  const int num_moves = envs_.front().config().action_space.num_moves();
+  std::vector<uint8_t> masks;
+  masks.reserve(envs_.size() *
+                static_cast<size_t>(w_count * num_moves));
+  for (const Env& e : envs_) {
+    const std::vector<uint8_t> one = MoveValidityMask(e);
+    masks.insert(masks.end(), one.begin(), one.end());
+  }
+  return masks;
+}
+
+}  // namespace cews::env

@@ -1,0 +1,128 @@
+// Vectorized environment: N independently-seeded Env instances stepped in
+// lockstep, the substrate of the batched acting path. One VecEnv::Step call
+// advances every instance, so the caller can run a single batched policy
+// Forward over all N states instead of N batch-1 calls — the batching that
+// lets the intra-op kernel runtime (common/thread_pool.h) pay off during
+// rollouts, not just during learning.
+#ifndef CEWS_ENV_VEC_ENV_H_
+#define CEWS_ENV_VEC_ENV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "env/env.h"
+#include "env/map.h"
+
+namespace cews::env {
+
+/// Flat [W * num_moves] 0/1 move-validity mask of one environment
+/// (Env::MoveValid per worker and move). 1 = the factored policy head may
+/// pick this route-planning option.
+std::vector<uint8_t> MoveValidityMask(const Env& env);
+
+/// N lockstep Env instances with per-instance auto-reset and aggregated
+/// kappa/xi/rho metrics.
+///
+/// Determinism contract: an Env is deterministic given its Map, so a VecEnv
+/// is deterministic given its instance maps and the action stream. With
+/// auto_reset off and a uniform horizon, all instances finish together
+/// (AllDone()), which is how the trainers drive fixed-length episodes; with
+/// auto_reset on, an instance that reports done has its end-of-episode
+/// metrics recorded (finished_episodes()) and is reset in place, so the
+/// *next* state the caller encodes is the fresh episode's initial state
+/// while the returned StepResult keeps done = true (gym-style auto-reset).
+class VecEnv {
+ public:
+  /// Seed for instance `index` derived from `base_seed` via SplitMix64.
+  /// Unlike `base_seed + index`, adjacent indices land in statistically
+  /// unrelated regions of the seed space, so per-instance generated maps
+  /// (CreateGenerated) have uncorrelated PoI layouts.
+  static uint64_t InstanceSeed(uint64_t base_seed, int index);
+
+  /// `num_envs` instances all running copies of one map (the trainers'
+  /// configuration: identical scenario, independent stochasticity upstream).
+  VecEnv(const EnvConfig& config, const Map& map, int num_envs,
+         bool auto_reset = false);
+
+  /// One instance per entry of `maps` (heterogeneous fleet of scenarios).
+  /// All maps must spawn the same number of workers.
+  VecEnv(const EnvConfig& config, std::vector<Map> maps,
+         bool auto_reset = false);
+
+  /// `num_envs` instances over procedurally generated maps, map i seeded
+  /// with InstanceSeed(base_seed, i). Fails when generation fails for any
+  /// instance (inconsistent MapConfig, crowded space).
+  static Result<VecEnv> CreateGenerated(const EnvConfig& config,
+                                        const MapConfig& map_config,
+                                        uint64_t base_seed, int num_envs,
+                                        bool auto_reset = false);
+
+  /// Number of instances N.
+  int size() const { return static_cast<int>(envs_.size()); }
+  /// Workers per instance (uniform across instances, checked at build).
+  int num_workers() const { return envs_.front().num_workers(); }
+
+  const Env& env(int i) const { return envs_[static_cast<size_t>(i)]; }
+  Env& env(int i) { return envs_[static_cast<size_t>(i)]; }
+
+  /// Instance pointers in index order (StateEncoder::EncodeBatch input).
+  std::vector<const Env*> EnvPtrs() const;
+
+  /// Lockstep reset of every instance; clears finished-episode records.
+  void Reset();
+
+  /// Everything one lockstep step produced.
+  struct StepResults {
+    /// Per-instance transition results, index-aligned with env(i).
+    std::vector<StepResult> per_env;
+    /// Instances whose episode ended this step (== auto-resets performed
+    /// when auto_reset is on).
+    int episodes_finished = 0;
+  };
+
+  /// Advances every instance one slot. `actions[i]` must hold one
+  /// WorkerAction per worker for instance i. With auto_reset off it is an
+  /// error to step an already-done instance (same contract as Env::Step).
+  StepResults Step(const std::vector<std::vector<WorkerAction>>& actions);
+
+  /// True when every / any instance's current episode has ended (only
+  /// meaningful with auto_reset off; auto-reset instances are never done).
+  bool AllDone() const;
+  bool AnyDone() const;
+
+  /// Aggregated metrics: mean of the per-instance values over the *current*
+  /// episodes (Eqns 4-6 of the paper, averaged over the batch).
+  double MeanKappa() const;
+  double MeanXi() const;
+  double MeanRho() const;
+
+  /// End-of-episode metrics captured at auto-reset time.
+  struct EpisodeMetrics {
+    int env_index = 0;
+    double kappa = 0.0;
+    double xi = 1.0;
+    double rho = 0.0;
+  };
+
+  /// Episodes finished (and auto-reset) since the last Reset()/drain.
+  const std::vector<EpisodeMetrics>& finished_episodes() const {
+    return finished_;
+  }
+  std::vector<EpisodeMetrics> DrainFinishedEpisodes();
+
+  /// Concatenated [N * W * num_moves] 0/1 move-validity masks, instance
+  /// major — the per-env mask input of agents::SamplePolicyBatch.
+  std::vector<uint8_t> MoveValidityMasks() const;
+
+  bool auto_reset() const { return auto_reset_; }
+
+ private:
+  std::vector<Env> envs_;
+  bool auto_reset_ = false;
+  std::vector<EpisodeMetrics> finished_;
+};
+
+}  // namespace cews::env
+
+#endif  // CEWS_ENV_VEC_ENV_H_

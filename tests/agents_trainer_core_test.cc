@@ -1,0 +1,263 @@
+// The shared vectorized acting core: batched sampling vs the single-state
+// path, validity masking, RunVecRollout vs a hand-rolled legacy loop, and
+// buffer merging.
+#include "agents/trainer_core.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agents/eval.h"
+#include "agents/policy_net.h"
+#include "env/map.h"
+#include "env/state_encoder.h"
+#include "env/vec_env.h"
+
+namespace cews::agents {
+namespace {
+
+env::Map SmallMap(uint64_t seed = 42) {
+  env::MapConfig config;
+  config.num_pois = 30;
+  config.num_workers = 2;
+  config.num_stations = 2;
+  config.num_obstacles = 2;
+  Rng rng(seed);
+  auto result = env::GenerateMap(config, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+env::EnvConfig ShortConfig(int horizon = 6) {
+  env::EnvConfig config;
+  config.horizon = horizon;
+  return config;
+}
+
+PolicyNetConfig TinyNet(const env::Map& map, const env::EnvConfig& env,
+                        int grid) {
+  PolicyNetConfig net;
+  net.grid = grid;
+  net.num_workers = static_cast<int>(map.worker_spawns.size());
+  net.num_moves = env.action_space.num_moves();
+  net.conv1_channels = 4;
+  net.conv2_channels = 4;
+  net.conv3_channels = 4;
+  net.feature_dim = 32;
+  return net;
+}
+
+TEST(SamplePolicyBatchTest, BatchOneIsBitwiseIdenticalToSamplePolicy) {
+  const env::Map map = SmallMap();
+  const env::EnvConfig env_config = ShortConfig();
+  env::StateEncoderConfig encoder_config;
+  encoder_config.grid = 10;
+  const env::StateEncoder encoder(encoder_config);
+  Rng net_rng(5);
+  const PolicyNet net(TinyNet(map, env_config, 10), net_rng);
+
+  env::Env env(env_config, map);
+  const std::vector<float> state = encoder.Encode(env);
+
+  Rng rng_a(99), rng_b(99);
+  const ActResult single = SamplePolicy(net, state, rng_a, false);
+  const std::vector<ActResult> batch =
+      SamplePolicyBatch(net, state, 1, rng_b, false);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(single.moves, batch[0].moves);
+  EXPECT_EQ(single.charges, batch[0].charges);
+  EXPECT_EQ(single.log_prob, batch[0].log_prob);  // bitwise
+  EXPECT_EQ(single.value, batch[0].value);
+  EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64());  // same draws consumed
+}
+
+TEST(SamplePolicyBatchTest, BatchRowsMatchSequentialSingleCalls) {
+  const env::Map map = SmallMap();
+  const env::EnvConfig env_config = ShortConfig();
+  env::StateEncoderConfig encoder_config;
+  encoder_config.grid = 10;
+  const env::StateEncoder encoder(encoder_config);
+  Rng net_rng(5);
+  const PolicyNet net(TinyNet(map, env_config, 10), net_rng);
+
+  env::VecEnv vec(env_config, map, /*num_envs=*/3);
+  std::vector<std::vector<env::WorkerAction>> actions(
+      3, std::vector<env::WorkerAction>(2, env::WorkerAction{0, false}));
+  actions[1][0] = env::WorkerAction{1, false};
+  actions[2][1] = env::WorkerAction{3, false};
+  vec.Step(actions);
+  const std::vector<float> states = encoder.EncodeBatch(vec.EnvPtrs());
+
+  Rng rng_batch(7), rng_seq(7);
+  const std::vector<ActResult> batched =
+      SamplePolicyBatch(net, states, 3, rng_batch, false);
+  const size_t stride = static_cast<size_t>(encoder.StateSize());
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<float> state(
+        states.begin() + static_cast<ptrdiff_t>(i * stride),
+        states.begin() + static_cast<ptrdiff_t>((i + 1) * stride));
+    const ActResult single = SamplePolicy(net, state, rng_seq, false);
+    EXPECT_EQ(single.moves, batched[static_cast<size_t>(i)].moves);
+    EXPECT_EQ(single.charges, batched[static_cast<size_t>(i)].charges);
+    EXPECT_EQ(single.log_prob, batched[static_cast<size_t>(i)].log_prob);
+    EXPECT_EQ(single.value, batched[static_cast<size_t>(i)].value);
+  }
+}
+
+TEST(SamplePolicyBatchTest, MasksConfineMovesToValidOptions) {
+  const env::Map map = SmallMap();
+  const env::EnvConfig env_config = ShortConfig();
+  env::StateEncoderConfig encoder_config;
+  encoder_config.grid = 10;
+  const env::StateEncoder encoder(encoder_config);
+  Rng net_rng(5);
+  const PolicyNetConfig net_config = TinyNet(map, env_config, 10);
+  const PolicyNet net(net_config, net_rng);
+
+  env::VecEnv vec(env_config, map, /*num_envs=*/2);
+  const std::vector<float> states = encoder.EncodeBatch(vec.EnvPtrs());
+  const std::vector<uint8_t> masks = vec.MoveValidityMasks();
+
+  // Sampled (and argmax) moves always land on a mask-valid option.
+  for (const bool deterministic : {false, true}) {
+    Rng rng(13);
+    const std::vector<ActResult> acts = SamplePolicyBatch(
+        net, states, 2, rng, deterministic, masks.data());
+    for (int i = 0; i < 2; ++i) {
+      for (int w = 0; w < net_config.num_workers; ++w) {
+        const int move =
+            acts[static_cast<size_t>(i)].moves[static_cast<size_t>(w)];
+        EXPECT_TRUE(vec.env(i).MoveValid(w, move))
+            << "env " << i << " worker " << w << " move " << move;
+      }
+    }
+  }
+
+  // A mask that forbids everything but move 0 forces move 0.
+  std::vector<uint8_t> only_stay(masks.size(), 0);
+  const int num_moves = net_config.num_moves;
+  for (size_t k = 0; k < only_stay.size(); k += num_moves) only_stay[k] = 1;
+  Rng rng(13);
+  const std::vector<ActResult> forced =
+      SamplePolicyBatch(net, states, 2, rng, false, only_stay.data());
+  for (const ActResult& act : forced) {
+    for (int move : act.moves) EXPECT_EQ(move, 0);
+  }
+}
+
+TEST(RunVecRolloutTest, SingleEnvMatchesHandRolledLegacyLoop) {
+  const env::Map map = SmallMap();
+  const env::EnvConfig env_config = ShortConfig();
+  env::StateEncoderConfig encoder_config;
+  encoder_config.grid = 10;
+  const env::StateEncoder encoder(encoder_config);
+  Rng net_rng(5);
+  const PolicyNet net(TinyNet(map, env_config, 10), net_rng);
+  const float reward_scale = 0.1f;
+
+  // Reference: the legacy single-env rollout, verbatim.
+  RolloutBuffer expected;
+  double expected_ext = 0.0;
+  {
+    env::Env env(env_config, map);
+    Rng rng(77);
+    std::vector<float> state = encoder.Encode(env);
+    while (!env.Done()) {
+      const ActResult act = SamplePolicy(net, state, rng, false);
+      const env::StepResult step = env.Step(act.actions);
+      Transition t;
+      t.state = std::move(state);
+      t.moves = act.moves;
+      t.charges = act.charges;
+      t.log_prob = act.log_prob;
+      t.value = act.value;
+      t.reward = reward_scale * static_cast<float>(step.dense_reward);
+      t.done = step.done;
+      expected.Add(std::move(t));
+      state = encoder.Encode(env);
+      expected_ext += step.dense_reward;
+    }
+  }
+
+  env::VecEnv vec(env_config, map, /*num_envs=*/1);
+  Rng rng(77);
+  VecRolloutOptions options;
+  options.sparse_reward = false;
+  options.reward_scale = reward_scale;
+  VecRolloutResult rollout =
+      RunVecRollout(net, vec, encoder, rng, options);
+
+  ASSERT_EQ(rollout.buffers.size(), 1u);
+  ASSERT_EQ(rollout.buffers[0].size(), expected.size());
+  EXPECT_EQ(rollout.env_steps, static_cast<int64_t>(expected.size()));
+  EXPECT_DOUBLE_EQ(rollout.extrinsic_sums[0], expected_ext);
+  for (size_t t = 0; t < expected.size(); ++t) {
+    const Transition& a = expected[t];
+    const Transition& b = rollout.buffers[0][t];
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.moves, b.moves);
+    EXPECT_EQ(a.charges, b.charges);
+    EXPECT_EQ(a.log_prob, b.log_prob);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.reward, b.reward);
+    EXPECT_EQ(a.done, b.done);
+  }
+}
+
+TEST(RunVecRolloutTest, MultiEnvFillsEveryBuffer) {
+  const env::Map map = SmallMap();
+  const env::EnvConfig env_config = ShortConfig(/*horizon=*/4);
+  env::StateEncoderConfig encoder_config;
+  encoder_config.grid = 10;
+  const env::StateEncoder encoder(encoder_config);
+  Rng net_rng(5);
+  const PolicyNet net(TinyNet(map, env_config, 10), net_rng);
+
+  env::VecEnv vec(env_config, map, /*num_envs=*/3);
+  Rng rng(21);
+  VecRolloutOptions options;
+  VecRolloutResult rollout =
+      RunVecRollout(net, vec, encoder, rng, options);
+  ASSERT_EQ(rollout.buffers.size(), 3u);
+  EXPECT_EQ(rollout.env_steps, 3 * 4);
+  for (const RolloutBuffer& b : rollout.buffers) {
+    EXPECT_EQ(b.size(), 4u);
+    EXPECT_TRUE(b[3].done);
+  }
+}
+
+TEST(MergeBuffersTest, ConcatenatesInOrder) {
+  auto make = [](float base, int steps) {
+    RolloutBuffer buffer;
+    for (int t = 0; t < steps; ++t) {
+      Transition tr;
+      tr.reward = base + static_cast<float>(t);
+      tr.value = 0.0f;
+      tr.done = t == steps - 1;
+      buffer.Add(std::move(tr));
+    }
+    buffer.ComputeAdvantages(0.9f, 0.95f, 0.0f);
+    return buffer;
+  };
+  std::vector<RolloutBuffer> buffers;
+  buffers.push_back(make(10.0f, 2));
+  buffers.push_back(make(20.0f, 3));
+  const RolloutBuffer merged = MergeBuffers(std::move(buffers));
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].reward, 10.0f);
+  EXPECT_EQ(merged[1].reward, 11.0f);
+  EXPECT_EQ(merged[2].reward, 20.0f);
+  EXPECT_EQ(merged[4].reward, 22.0f);
+  ASSERT_EQ(merged.advantages().size(), 5u);
+  // Advantages were computed per episode, before merging: the merged
+  // buffer's tail must equal a standalone computation on the second
+  // episode.
+  const RolloutBuffer solo = make(20.0f, 3);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(merged.advantages()[static_cast<size_t>(2 + t)],
+              solo.advantages()[static_cast<size_t>(t)]);
+  }
+}
+
+}  // namespace
+}  // namespace cews::agents

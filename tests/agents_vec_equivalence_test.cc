@@ -1,0 +1,318 @@
+// The envs_per_employee=1 determinism contract: the vectorized acting path
+// must reproduce the pre-vectorization trainers bitwise. Each test
+// hand-rolls the legacy single-env employee loop (the exact code the shared
+// trainer core replaced) and checks per-episode rewards and final global
+// parameters against the refactored trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "agents/async_trainer.h"
+#include "agents/chief_employee.h"
+#include "agents/eval.h"
+#include "agents/ppo.h"
+#include "agents/rollout.h"
+#include "env/map.h"
+#include "env/state_encoder.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/params.h"
+
+namespace cews::agents {
+namespace {
+
+env::Map SmallMap(uint64_t seed = 42) {
+  env::MapConfig config;
+  config.num_pois = 30;
+  config.num_workers = 2;
+  config.num_stations = 2;
+  config.num_obstacles = 2;
+  Rng rng(seed);
+  auto result = env::GenerateMap(config, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+/// Applies the chief-employee constructor's dependent-dimension autofill so
+/// the reference nets match the trainer's exactly.
+void AutoFill(TrainerConfig& config, const env::Map& map) {
+  config.net.num_workers = static_cast<int>(map.worker_spawns.size());
+  config.net.num_moves = config.env.action_space.num_moves();
+  config.net.grid = config.encoder.grid;
+}
+
+TrainerConfig TinyChiefConfig() {
+  TrainerConfig config;
+  config.num_employees = 1;
+  config.episodes = 3;
+  config.batch_size = 16;
+  config.update_epochs = 2;
+  config.env.horizon = 12;
+  config.encoder.grid = 10;
+  config.net.grid = 10;
+  config.net.conv1_channels = 4;
+  config.net.conv2_channels = 4;
+  config.net.conv3_channels = 4;
+  config.net.feature_dim = 32;
+  config.intrinsic = IntrinsicMode::kNone;
+  config.reward_mode = RewardMode::kSparse;
+  config.seed = 3;
+  return config;
+}
+
+TEST(VecEquivalenceTest, ChiefTrainerMatchesLegacyLoopBitwise) {
+  const env::Map map = SmallMap();
+  TrainerConfig config = TinyChiefConfig();
+  AutoFill(config, map);
+
+  // ---- Reference: the legacy single-env, single-employee loop ----
+  Rng global_rng(config.seed);
+  PolicyNet global(config.net, global_rng);
+  nn::Adam optimizer(global.Parameters(), config.ppo.lr);
+  std::vector<float> grad_buffer(
+      static_cast<size_t>(nn::FlatSize(global.Parameters())), 0.0f);
+
+  PpoAgent agent(config.net, config.ppo, config.seed + 1000);
+  const env::StateEncoder encoder(config.encoder);
+  env::Env env(config.env, map);
+  Rng rng(config.seed * 7919);
+  RolloutBuffer buffer;
+  nn::CopyParameters(global.Parameters(), agent.Parameters());
+
+  std::vector<double> expected_rewards;
+  for (int episode = 0; episode < config.episodes; ++episode) {
+    env.Reset();
+    buffer.Clear();
+    double ext_sum = 0.0;
+    std::vector<float> state = encoder.Encode(env);
+    while (!env.Done()) {
+      const ActResult act = agent.Act(state, rng);
+      const env::StepResult step = env.Step(act.actions);
+      std::vector<float> next_state = encoder.Encode(env);
+      const double r_ext = step.sparse_reward;
+      Transition t;
+      t.state = std::move(state);
+      t.moves = act.moves;
+      t.charges = act.charges;
+      t.log_prob = act.log_prob;
+      t.value = act.value;
+      t.reward = config.reward_scale * static_cast<float>(r_ext);
+      t.done = step.done;
+      buffer.Add(std::move(t));
+      state = std::move(next_state);
+      ext_sum += r_ext;
+    }
+    buffer.ComputeAdvantages(config.ppo.gamma, config.ppo.gae_lambda, 0.0f);
+    expected_rewards.push_back(ext_sum / config.env.horizon);
+
+    const std::vector<nn::Tensor> local_params = agent.Parameters();
+    for (int k = 0; k < config.update_epochs; ++k) {
+      MiniBatch mb =
+          buffer.SampleBatch(static_cast<size_t>(config.batch_size), rng);
+      LossStats loss_stats;
+      nn::ZeroGradients(local_params);
+      nn::Tensor loss = agent.ComputeLoss(std::move(mb), &loss_stats);
+      loss.Backward();
+      nn::ClipGradByGlobalNorm(local_params, config.ppo.max_grad_norm);
+      const std::vector<float> flat = nn::FlattenGradients(local_params);
+      for (size_t i = 0; i < flat.size(); ++i) grad_buffer[i] += flat[i];
+
+      // Chief apply (num_employees == 1).
+      const std::vector<nn::Tensor> global_params = global.Parameters();
+      nn::ZeroGradients(global_params);
+      nn::AccumulateFlatGradients(global_params, grad_buffer);
+      nn::ClipGradByGlobalNorm(global_params,
+                               config.ppo.max_grad_norm *
+                                   config.num_employees);
+      optimizer.Step();
+      std::fill(grad_buffer.begin(), grad_buffer.end(), 0.0f);
+      nn::CopyParameters(global.Parameters(), agent.Parameters());
+    }
+  }
+
+  // ---- The refactored trainer at envs_per_employee = 1 ----
+  TrainerConfig vec_config = TinyChiefConfig();
+  vec_config.envs_per_employee = 1;
+  ChiefEmployeeTrainer trainer(vec_config, map);
+  const TrainResult result = trainer.Train();
+
+  ASSERT_EQ(result.history.size(), expected_rewards.size());
+  for (size_t e = 0; e < expected_rewards.size(); ++e) {
+    EXPECT_DOUBLE_EQ(result.history[e].extrinsic_reward,
+                     expected_rewards[e])
+        << "episode " << e;
+  }
+  const std::vector<float> got =
+      nn::FlattenValues(trainer.global_net().Parameters());
+  const std::vector<float> want = nn::FlattenValues(global.Parameters());
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "parameter " << i;  // bitwise
+  }
+}
+
+AsyncTrainerConfig TinyAsyncConfig() {
+  AsyncTrainerConfig config;
+  config.num_employees = 1;
+  config.episodes = 3;
+  config.env.horizon = 12;
+  config.encoder.grid = 10;
+  config.net.grid = 10;
+  config.net.conv1_channels = 4;
+  config.net.conv2_channels = 4;
+  config.net.conv3_channels = 4;
+  config.net.feature_dim = 32;
+  config.seed = 3;
+  return config;
+}
+
+TEST(VecEquivalenceTest, AsyncTrainerMatchesLegacyLoopBitwise) {
+  const env::Map map = SmallMap();
+  AsyncTrainerConfig config = TinyAsyncConfig();
+  config.net.num_workers = static_cast<int>(map.worker_spawns.size());
+  config.net.num_moves = config.env.action_space.num_moves();
+  config.net.grid = config.encoder.grid;
+
+  // ---- Reference: the legacy single-env async employee loop ----
+  Rng global_rng(config.seed);
+  PolicyNet global(config.net, global_rng);
+  nn::Adam optimizer(global.Parameters(), config.lr);
+
+  Rng init_rng(config.seed + 5000);
+  PolicyNet local(config.net, init_rng);
+  const std::vector<nn::Tensor> local_params = local.Parameters();
+  const env::StateEncoder encoder(config.encoder);
+  env::Env env(config.env, map);
+  Rng rng(config.seed * 6131);
+  nn::CopyParameters(global.Parameters(), local_params);
+
+  std::vector<double> expected_rewards;
+  for (int episode = 0; episode < config.episodes; ++episode) {
+    env.Reset();
+    RolloutBuffer buffer;
+    std::vector<float> state = encoder.Encode(env);
+    while (!env.Done()) {
+      const ActResult act = SamplePolicy(local, state, rng, false);
+      const env::StepResult step = env.Step(act.actions);
+      const double r_ext = config.reward_mode == RewardMode::kSparse
+                               ? step.sparse_reward
+                               : step.dense_reward;
+      Transition t;
+      t.state = std::move(state);
+      t.moves = act.moves;
+      t.charges = act.charges;
+      t.log_prob = act.log_prob;
+      t.value = act.value;
+      t.reward = config.reward_scale * static_cast<float>(r_ext);
+      t.done = step.done;
+      buffer.Add(std::move(t));
+      state = encoder.Encode(env);
+    }
+    MiniBatch mb = buffer.PackAll();
+    const size_t t_max = static_cast<size_t>(mb.batch);
+    nn::CopyParameters(global.Parameters(), local_params);
+
+    double reward_sum = 0.0;
+    for (float r : mb.rewards) reward_sum += r;
+    expected_rewards.push_back(
+        reward_sum / (config.reward_scale * config.env.horizon));
+
+    const PolicyNetConfig& cfg = config.net;
+    nn::ZeroGradients(local_params);
+    const nn::Tensor x = nn::Tensor::FromData(
+        {static_cast<nn::Index>(t_max), cfg.in_channels, cfg.grid,
+         cfg.grid},
+        std::move(mb.states));
+    const PolicyOutput out = local.Forward(x);
+    nn::Tensor move_logp = nn::LogSoftmax(out.move_logits);
+    nn::Tensor charge_logp = nn::LogSoftmax(out.charge_logits);
+    nn::Tensor logp = nn::Add(
+        nn::SumLastDim(nn::GatherLastDim(move_logp, mb.move_indices)),
+        nn::SumLastDim(nn::GatherLastDim(charge_logp, mb.charge_indices)));
+    std::vector<float> values(t_max + 1, 0.0f);
+    std::vector<float> ratios(t_max, 1.0f);
+    std::vector<bool> dones(t_max);
+    for (size_t t = 0; t < t_max; ++t) {
+      values[t] = out.value.data()[t];
+      dones[t] = mb.dones[t] != 0;
+      if (config.use_vtrace) {
+        ratios[t] = std::exp(logp.data()[t] - mb.log_probs[t]);
+      }
+    }
+    const VtraceResult vtrace =
+        ComputeVtrace(mb.rewards, dones, values, ratios, config.gamma,
+                      config.rho_bar, config.c_bar);
+    const nn::Tensor advantages = nn::Tensor::FromData(
+        {static_cast<nn::Index>(t_max)}, vtrace.pg_advantages);
+    const nn::Tensor value_targets =
+        nn::Tensor::FromData({static_cast<nn::Index>(t_max)}, vtrace.vs);
+    nn::Tensor policy_loss = nn::Neg(nn::Mean(nn::Mul(logp, advantages)));
+    nn::Tensor value_loss =
+        nn::Mean(nn::Square(nn::Sub(out.value, value_targets)));
+    const float inv_t = 1.0f / static_cast<float>(t_max);
+    nn::Tensor entropy = nn::MulScalar(
+        nn::Add(nn::Sum(nn::Mul(nn::Softmax(out.move_logits), move_logp)),
+                nn::Sum(nn::Mul(nn::Softmax(out.charge_logits),
+                                charge_logp))),
+        -inv_t);
+    nn::Tensor total = nn::Add(
+        nn::Add(policy_loss, nn::MulScalar(value_loss, config.value_coef)),
+        nn::MulScalar(entropy, -config.entropy_coef));
+    total.Backward();
+    nn::ClipGradByGlobalNorm(local_params, config.max_grad_norm);
+    const std::vector<float> grads = nn::FlattenGradients(local_params);
+
+    const std::vector<nn::Tensor> global_params = global.Parameters();
+    nn::ZeroGradients(global_params);
+    nn::AccumulateFlatGradients(global_params, grads);
+    optimizer.Step();
+    nn::CopyParameters(global_params, local_params);
+  }
+
+  // ---- The refactored trainer at envs_per_employee = 1 ----
+  AsyncTrainerConfig vec_config = TinyAsyncConfig();
+  vec_config.envs_per_employee = 1;
+  AsyncTrainer trainer(vec_config, map);
+  const TrainResult result = trainer.Train();
+
+  ASSERT_EQ(result.history.size(), expected_rewards.size());
+  for (size_t e = 0; e < expected_rewards.size(); ++e) {
+    EXPECT_DOUBLE_EQ(result.history[e].extrinsic_reward,
+                     expected_rewards[e])
+        << "episode " << e;
+  }
+  const std::vector<float> got =
+      nn::FlattenValues(trainer.global_net().Parameters());
+  const std::vector<float> want = nn::FlattenValues(global.Parameters());
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "parameter " << i;  // bitwise
+  }
+}
+
+TEST(VecEquivalenceTest, MultiEnvChiefTrainerRunsAndRecordsHistory) {
+  TrainerConfig config = TinyChiefConfig();
+  config.envs_per_employee = 3;
+  config.episodes = 2;
+  ChiefEmployeeTrainer trainer(config, SmallMap());
+  const TrainResult result = trainer.Train();
+  ASSERT_EQ(result.history.size(), 2u);
+  for (const EpisodeRecord& rec : result.history) {
+    EXPECT_GE(rec.kappa, 0.0);
+    EXPECT_LE(rec.kappa, 1.0 + 1e-9);
+  }
+}
+
+TEST(VecEquivalenceTest, MultiEnvAsyncTrainerEmitsPerInstanceRecords) {
+  AsyncTrainerConfig config = TinyAsyncConfig();
+  config.envs_per_employee = 2;
+  config.episodes = 2;
+  AsyncTrainer trainer(config, SmallMap());
+  const TrainResult result = trainer.Train();
+  // One record per instance episode: episodes * envs_per_employee.
+  ASSERT_EQ(result.history.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cews::agents

@@ -1,0 +1,224 @@
+// VecEnv: SplitMix64 instance-seed separation, lockstep stepping,
+// auto-reset semantics, aggregated metrics, and the batched state encoding.
+#include "env/vec_env.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "env/state_encoder.h"
+
+namespace cews::env {
+namespace {
+
+EnvConfig ShortConfig(int horizon = 5) {
+  EnvConfig config;
+  config.horizon = horizon;
+  return config;
+}
+
+MapConfig SmallMapConfig() {
+  MapConfig config;
+  config.num_pois = 30;
+  config.num_workers = 2;
+  config.num_stations = 2;
+  config.num_obstacles = 2;
+  return config;
+}
+
+Map SmallMap(uint64_t seed = 42) {
+  Rng rng(seed);
+  auto result = GenerateMap(SmallMapConfig(), rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<std::vector<WorkerAction>> StayAll(const VecEnv& vec) {
+  return std::vector<std::vector<WorkerAction>>(
+      static_cast<size_t>(vec.size()),
+      std::vector<WorkerAction>(static_cast<size_t>(vec.num_workers()),
+                                WorkerAction{0, false}));
+}
+
+TEST(InstanceSeedTest, DistinctAcrossIndicesAndBases) {
+  std::set<uint64_t> seeds;
+  for (uint64_t base : {1ULL, 2ULL, 3ULL, 1000ULL}) {
+    for (int i = 0; i < 16; ++i) {
+      seeds.insert(VecEnv::InstanceSeed(base, i));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 64u);  // no collision anywhere in the block
+}
+
+TEST(InstanceSeedTest, NoDiagonalCollisionUnlikeSeedPlusIndex) {
+  // The naive `seed + i` derivation collides on the (base+1, i-1) diagonal:
+  // base + i == (base+1) + (i-1). The SplitMix64 stream must not.
+  for (uint64_t base : {7ULL, 123ULL}) {
+    for (int i = 1; i < 8; ++i) {
+      EXPECT_NE(VecEnv::InstanceSeed(base, i),
+                VecEnv::InstanceSeed(base + 1, i - 1))
+          << "base=" << base << " i=" << i;
+    }
+  }
+}
+
+TEST(InstanceSeedTest, AdjacentSeedsGiveUncorrelatedPoiLayouts) {
+  // Generated layouts for adjacent (base, index) pairs share no PoI
+  // position: every PoI of one layout is far from its index-counterpart in
+  // the other.
+  auto vec_a = VecEnv::CreateGenerated(ShortConfig(), SmallMapConfig(),
+                                       /*base_seed=*/7, /*num_envs=*/3);
+  auto vec_b = VecEnv::CreateGenerated(ShortConfig(), SmallMapConfig(),
+                                       /*base_seed=*/8, /*num_envs=*/3);
+  ASSERT_TRUE(vec_a.ok());
+  ASSERT_TRUE(vec_b.ok());
+  auto coincident = [](const Map& x, const Map& y) {
+    int same = 0;
+    for (size_t p = 0; p < x.pois.size(); ++p) {
+      const double dx = x.pois[p].pos.x - y.pois[p].pos.x;
+      const double dy = x.pois[p].pos.y - y.pois[p].pos.y;
+      if (std::sqrt(dx * dx + dy * dy) < 1e-6) ++same;
+    }
+    return same;
+  };
+  for (int i = 0; i < 3; ++i) {
+    // Same base, different instance index.
+    if (i > 0) {
+      EXPECT_EQ(coincident(vec_a->env(i).map(), vec_a->env(i - 1).map()), 0);
+    }
+    // Adjacent bases, same index.
+    EXPECT_EQ(coincident(vec_a->env(i).map(), vec_b->env(i).map()), 0);
+  }
+}
+
+TEST(VecEnvTest, SharedMapInstancesStartIdentical) {
+  const Map map = SmallMap();
+  VecEnv vec(ShortConfig(), map, /*num_envs=*/3);
+  EXPECT_EQ(vec.size(), 3);
+  EXPECT_EQ(vec.num_workers(), 2);
+  for (int i = 1; i < vec.size(); ++i) {
+    EXPECT_EQ(vec.env(i).num_pois(), vec.env(0).num_pois());
+    EXPECT_EQ(vec.env(i).t(), 0);
+  }
+}
+
+TEST(VecEnvTest, LockstepStepMatchesIndividualEnvs) {
+  const Map map = SmallMap();
+  const EnvConfig config = ShortConfig();
+  VecEnv vec(config, map, /*num_envs=*/2);
+  Env solo(config, map);
+  const auto actions = StayAll(vec);
+  for (int t = 0; t < config.horizon; ++t) {
+    const VecEnv::StepResults results = vec.Step(actions);
+    const StepResult solo_step = solo.Step(actions[0]);
+    for (int i = 0; i < vec.size(); ++i) {
+      const StepResult& r = results.per_env[static_cast<size_t>(i)];
+      EXPECT_DOUBLE_EQ(r.sparse_reward, solo_step.sparse_reward);
+      EXPECT_DOUBLE_EQ(r.dense_reward, solo_step.dense_reward);
+      EXPECT_EQ(r.done, solo_step.done);
+    }
+  }
+  EXPECT_TRUE(vec.AllDone());
+  EXPECT_TRUE(vec.AnyDone());
+  EXPECT_DOUBLE_EQ(vec.MeanKappa(), solo.Kappa());
+  EXPECT_DOUBLE_EQ(vec.MeanXi(), solo.Xi());
+  EXPECT_DOUBLE_EQ(vec.MeanRho(), solo.Rho());
+}
+
+TEST(VecEnvTest, AutoResetRestartsFinishedInstances) {
+  const int horizon = 4;
+  VecEnv vec(ShortConfig(horizon), SmallMap(), /*num_envs=*/2,
+             /*auto_reset=*/true);
+  const auto actions = StayAll(vec);
+  int episodes_reported = 0;
+  // 3 horizons of continuous stepping: auto-reset must keep every instance
+  // live the whole time.
+  for (int t = 0; t < 3 * horizon; ++t) {
+    const VecEnv::StepResults results = vec.Step(actions);
+    episodes_reported += results.episodes_finished;
+    if ((t + 1) % horizon == 0) {
+      // The StepResult keeps done=true (gym-style), but the instance has
+      // already been reset for the next encode.
+      for (const StepResult& r : results.per_env) EXPECT_TRUE(r.done);
+      for (int i = 0; i < vec.size(); ++i) EXPECT_EQ(vec.env(i).t(), 0);
+    }
+    EXPECT_FALSE(vec.AnyDone());
+  }
+  EXPECT_EQ(episodes_reported, 6);  // 2 instances x 3 episodes
+  EXPECT_EQ(static_cast<int>(vec.finished_episodes().size()), 6);
+  for (const VecEnv::EpisodeMetrics& m : vec.finished_episodes()) {
+    EXPECT_GE(m.kappa, 0.0);
+    EXPECT_GE(m.xi, 0.0);
+    EXPECT_LE(m.xi, 1.0 + 1e-9);
+  }
+  EXPECT_EQ(vec.DrainFinishedEpisodes().size(), 6u);
+  EXPECT_TRUE(vec.finished_episodes().empty());
+}
+
+TEST(VecEnvTest, ResetClearsFinishedEpisodes) {
+  VecEnv vec(ShortConfig(2), SmallMap(), /*num_envs=*/1,
+             /*auto_reset=*/true);
+  const auto actions = StayAll(vec);
+  vec.Step(actions);
+  vec.Step(actions);
+  EXPECT_EQ(vec.finished_episodes().size(), 1u);
+  vec.Reset();
+  EXPECT_TRUE(vec.finished_episodes().empty());
+}
+
+TEST(VecEnvTest, MoveValidityMasksMatchEnvQueries) {
+  VecEnv vec(ShortConfig(), SmallMap(), /*num_envs=*/2);
+  const int num_moves = vec.env(0).config().action_space.num_moves();
+  const std::vector<uint8_t> masks = vec.MoveValidityMasks();
+  ASSERT_EQ(static_cast<int>(masks.size()),
+            vec.size() * vec.num_workers() * num_moves);
+  int valid = 0;
+  for (int i = 0; i < vec.size(); ++i) {
+    for (int w = 0; w < vec.num_workers(); ++w) {
+      for (int m = 0; m < num_moves; ++m) {
+        const uint8_t bit =
+            masks[static_cast<size_t>((i * vec.num_workers() + w) *
+                                          num_moves +
+                                      m)];
+        EXPECT_EQ(bit, vec.env(i).MoveValid(w, m) ? 1 : 0);
+        valid += bit;
+      }
+    }
+  }
+  EXPECT_GT(valid, 0);  // staying put is always an option
+}
+
+TEST(EncodeBatchTest, MatchesPerEnvEncodeBitwise) {
+  const Map map = SmallMap();
+  VecEnv vec(ShortConfig(), map, /*num_envs=*/3);
+  // Desynchronize the instances so the slices genuinely differ.
+  std::vector<std::vector<WorkerAction>> actions = StayAll(vec);
+  actions[1][0] = WorkerAction{1, false};
+  actions[2][1] = WorkerAction{2, true};
+  vec.Step(actions);
+
+  StateEncoderConfig encoder_config;
+  encoder_config.grid = 10;
+  const StateEncoder encoder(encoder_config);
+  const std::vector<float> batch = encoder.EncodeBatch(vec.EnvPtrs());
+  const size_t stride = static_cast<size_t>(encoder.StateSize());
+  ASSERT_EQ(batch.size(), stride * 3);
+  for (int i = 0; i < vec.size(); ++i) {
+    const std::vector<float> single = encoder.Encode(vec.env(i));
+    ASSERT_EQ(single.size(), stride);
+    for (size_t k = 0; k < stride; ++k) {
+      EXPECT_EQ(batch[static_cast<size_t>(i) * stride + k], single[k])
+          << "instance " << i << " float " << k;
+    }
+  }
+}
+
+TEST(VecEnvTest, CreateGeneratedRejectsBadCounts) {
+  const auto result = VecEnv::CreateGenerated(ShortConfig(),
+                                              SmallMapConfig(), 1, 0);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace cews::env

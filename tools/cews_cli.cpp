@@ -6,13 +6,17 @@
 //   cews show --map site.map                        render a saved map
 //   cews train --scenario X | --map FILE
 //              [--algorithm drl-cews|dppo] [--episodes N] [--employees N]
-//              [--threads N] [--seed N] [--ckpt policy.bin]
+//              [--threads N] [--envs-per-employee N] [--seed N]
+//              [--ckpt policy.bin]
 //              [--history history.csv]
 //              [--metrics-out metrics.json] [--trace-out trace.json]
 //              [--heartbeat SECONDS]
 //              train a policy and export artifacts
 //              (--threads sizes the intra-op NN kernel pool; 0 = all cores,
 //               the CEWS_NUM_THREADS env var overrides;
+//               --envs-per-employee drives N env instances per employee
+//               through the vectorized acting path — one batched policy
+//               Forward per lockstep step; 1 = the legacy single-env loop;
 //               --metrics-out dumps the obs counters/histograms as JSON,
 //               --trace-out enables span tracing and writes a Chrome
 //               trace_event file loadable in Perfetto / chrome://tracing,
@@ -133,6 +137,8 @@ core::BenchmarkOptions OptionsFrom(const Args& args) {
   options.num_employees = static_cast<int>(args.GetInt("employees", 2));
   options.batch_size = static_cast<int>(args.GetInt("batch", 64));
   options.runtime_threads = static_cast<int>(args.GetInt("threads", 1));
+  options.envs_per_employee =
+      static_cast<int>(args.GetInt("envs-per-employee", 1));
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   options.grid = 12;
   options.net.conv1_channels = 4;

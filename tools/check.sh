@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 build + tests, then a ThreadSanitizer build of
 # the concurrency-sensitive targets (thread pool, parallel kernels, both
-# trainers). Run from anywhere; builds land in build/ and build-tsan/.
+# trainers) and an ASan+UBSan build of the vectorized acting path (VecEnv,
+# trainer core, both trainers). Run from anywhere; builds land in build/,
+# build-tsan/, and build-asan/.
 #
-# Usage: tools/check.sh [--skip-tsan]
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
 skip_tsan=0
-[[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
+skip_asan=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-tsan" ]] && skip_tsan=1
+  [[ "$arg" == "--skip-asan" ]] && skip_asan=1
+done
 
 echo "== tier-1: configure + build =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
@@ -54,21 +60,37 @@ fi
 
 if [[ "$skip_tsan" == 1 ]]; then
   echo "== skipping TSan pass (--skip-tsan) =="
-  exit 0
+else
+  echo "== tsan: configure + build (tests only) =="
+  cmake -B "$repo/build-tsan" -S "$repo" \
+    -DCEWS_SANITIZE=thread \
+    -DCEWS_BUILD_BENCHMARKS=OFF \
+    -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$repo/build-tsan" -j "$jobs" --target \
+    common_thread_pool_test nn_parallel_determinism_test \
+    agents_trainer_test agents_async_test \
+    obs_metrics_test obs_trace_test obs_integration_test
+
+  echo "== tsan: concurrency tests =="
+  (cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
+    "common_thread_pool_test|nn_parallel_determinism_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test")
 fi
 
-echo "== tsan: configure + build (tests only) =="
-cmake -B "$repo/build-tsan" -S "$repo" \
-  -DCEWS_SANITIZE=thread \
-  -DCEWS_BUILD_BENCHMARKS=OFF \
-  -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$repo/build-tsan" -j "$jobs" --target \
-  common_thread_pool_test nn_parallel_determinism_test \
-  agents_trainer_test agents_async_test \
-  obs_metrics_test obs_trace_test obs_integration_test
+if [[ "$skip_asan" == 1 ]]; then
+  echo "== skipping ASan+UBSan pass (--skip-asan) =="
+else
+  echo "== asan+ubsan: configure + build (tests only) =="
+  cmake -B "$repo/build-asan" -S "$repo" \
+    -DCEWS_SANITIZE=address,undefined \
+    -DCEWS_BUILD_BENCHMARKS=OFF \
+    -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$repo/build-asan" -j "$jobs" --target \
+    env_vec_env_test agents_trainer_core_test agents_vec_equivalence_test \
+    agents_trainer_test agents_async_test
 
-echo "== tsan: concurrency tests =="
-(cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
-  "common_thread_pool_test|nn_parallel_determinism_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test")
+  echo "== asan+ubsan: vec acting path tests =="
+  (cd "$repo/build-asan" && ctest --output-on-failure -j "$jobs" -R \
+    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test")
+fi
 
 echo "== all checks passed =="
