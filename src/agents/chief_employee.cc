@@ -390,10 +390,15 @@ void ChiefEmployeeTrainer::EmployeeLoop(int employee_id) {
             (episode + 1) % config_.checkpoint_every == 0) {
           const std::string path = config_.checkpoint_prefix +
                                    std::to_string(episode + 1) + ".bin";
+          nn::SaveInfo info;
           const Status status =
-              nn::SaveParameters(path, global_net_->Parameters());
+              nn::SaveParameters(path, global_net_->Parameters(), &info);
           if (!status.ok()) {
             CEWS_LOG(Warning) << "checkpoint failed: " << status.ToString();
+          } else {
+            CEWS_LOG(Info) << "checkpoint -> " << path << " (" << info.bytes
+                           << " bytes, crc32 " << std::hex << info.crc32
+                           << ")";
           }
         }
       });

@@ -34,6 +34,37 @@ float LogProbOf(const float* logits, int n, int k) {
   return logits[k] - mx - static_cast<float>(std::log(sum));
 }
 
+/// Samples every worker of one instance from its logit rows, accumulating
+/// the joint log-prob into `result`. `masks` (nullable) uses
+/// `masked_scratch` (num_moves floats) to apply the -1e9 sentinel without
+/// touching the forward output; draw order is the SamplePolicy contract
+/// (per worker: move head, then charge head).
+void SampleWorkers(const PolicyNetConfig& cfg, const float* move_logits,
+                   const float* charge_logits, const uint8_t* masks,
+                   float* masked_scratch, Rng& rng, bool deterministic,
+                   ActResult& result) {
+  float log_prob = 0.0f;
+  for (int w = 0; w < cfg.num_workers; ++w) {
+    const float* ml = move_logits + w * cfg.num_moves;
+    if (masks != nullptr) {
+      const uint8_t* mask = masks + w * cfg.num_moves;
+      for (int m = 0; m < cfg.num_moves; ++m) {
+        masked_scratch[m] = mask[m] ? ml[m] : -1e9f;
+      }
+      ml = masked_scratch;
+    }
+    const int move = SampleFromLogits(ml, cfg.num_moves, rng, deterministic);
+    log_prob += LogProbOf(ml, cfg.num_moves, move);
+    const float* cl = charge_logits + w * 2;
+    const int charge = SampleFromLogits(cl, 2, rng, deterministic);
+    log_prob += LogProbOf(cl, 2, charge);
+    result.moves.push_back(move);
+    result.charges.push_back(charge);
+    result.actions.push_back(env::WorkerAction{move, charge == 1});
+  }
+  result.log_prob = log_prob;
+}
+
 }  // namespace
 
 ActResult SamplePolicy(const PolicyNet& net, const std::vector<float>& state,
@@ -74,29 +105,57 @@ std::vector<ActResult> SamplePolicyBatch(const PolicyNet& net,
   for (int i = 0; i < batch; ++i) {
     ActResult& result = results[static_cast<size_t>(i)];
     result.value = values[i];
-    float log_prob = 0.0f;
-    for (int w = 0; w < cfg.num_workers; ++w) {
-      const float* ml = move_logits + i * per_env_moves + w * cfg.num_moves;
-      if (move_masks != nullptr) {
-        const uint8_t* mask =
-            move_masks + i * per_env_moves + w * cfg.num_moves;
-        for (int m = 0; m < cfg.num_moves; ++m) {
-          masked[static_cast<size_t>(m)] = mask[m] ? ml[m] : -1e9f;
-        }
-        ml = masked.data();
-      }
-      const int move = SampleFromLogits(ml, cfg.num_moves, rng, deterministic);
-      log_prob += LogProbOf(ml, cfg.num_moves, move);
-      const float* cl = charge_logits + i * cfg.num_workers * 2 + w * 2;
-      const int charge = SampleFromLogits(cl, 2, rng, deterministic);
-      log_prob += LogProbOf(cl, 2, charge);
-      result.moves.push_back(move);
-      result.charges.push_back(charge);
-      result.actions.push_back(env::WorkerAction{move, charge == 1});
-    }
-    result.log_prob = log_prob;
+    SampleWorkers(cfg, move_logits + i * per_env_moves,
+                  charge_logits + i * cfg.num_workers * 2,
+                  move_masks != nullptr ? move_masks + i * per_env_moves
+                                        : nullptr,
+                  masked.data(), rng, deterministic, result);
   }
   return results;
+}
+
+std::vector<PolicyDecision> DecidePolicyBatch(
+    const PolicyNet& net, const std::vector<float>& states, int batch,
+    Rng& rng, const uint8_t* deterministic_flags,
+    const uint8_t* move_masks) {
+  nn::NoGradGuard no_grad;
+  const PolicyNetConfig& cfg = net.config();
+  CEWS_CHECK_GT(batch, 0);
+  CEWS_CHECK_EQ(static_cast<int>(states.size()),
+                batch * cfg.in_channels * cfg.grid * cfg.grid);
+  const nn::Tensor x = nn::Tensor::FromData(
+      {batch, cfg.in_channels, cfg.grid, cfg.grid}, states);
+  const PolicyOutput out = net.Forward(x);
+
+  const float* move_logits = out.move_logits.data();
+  const float* charge_logits = out.charge_logits.data();
+  const float* values = out.value.data();
+  const int per_env_moves = cfg.num_workers * cfg.num_moves;
+  const int per_env_charges = cfg.num_workers * 2;
+
+  std::vector<PolicyDecision> decisions(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    PolicyDecision& d = decisions[static_cast<size_t>(i)];
+    // Masking is applied directly into the returned copy, so the logits a
+    // client sees are the exact values the action was sampled from.
+    d.move_logits.assign(move_logits + i * per_env_moves,
+                         move_logits + (i + 1) * per_env_moves);
+    if (move_masks != nullptr) {
+      const uint8_t* mask = move_masks + i * per_env_moves;
+      for (int m = 0; m < per_env_moves; ++m) {
+        if (!mask[m]) d.move_logits[static_cast<size_t>(m)] = -1e9f;
+      }
+    }
+    d.charge_logits.assign(charge_logits + i * per_env_charges,
+                           charge_logits + (i + 1) * per_env_charges);
+    d.act.value = values[i];
+    const bool deterministic =
+        deterministic_flags != nullptr && deterministic_flags[i] != 0;
+    SampleWorkers(cfg, d.move_logits.data(), d.charge_logits.data(),
+                  /*masks=*/nullptr, /*masked_scratch=*/nullptr, rng,
+                  deterministic, d.act);
+  }
+  return decisions;
 }
 
 EvalResult EvaluatePolicy(const PolicyNet& net, env::Env& env,

@@ -41,6 +41,30 @@ std::vector<ActResult> SamplePolicyBatch(const PolicyNet& net,
                                          bool deterministic = false,
                                          const uint8_t* move_masks = nullptr);
 
+/// One instance's outcome from DecidePolicyBatch: the sampled action plus
+/// the exact logits it was drawn from — what an inference service returns
+/// to its clients alongside the decision.
+struct PolicyDecision {
+  ActResult act;
+  /// Post-masking route logits, [num_workers * num_moves] (masked-out
+  /// entries are the -1e9 sentinel actually used for sampling).
+  std::vector<float> move_logits;
+  /// Charging logits, [num_workers * 2].
+  std::vector<float> charge_logits;
+};
+
+/// Serving variant of SamplePolicyBatch: one Forward over `batch` stacked
+/// states on caller-provided encodings, with a per-instance deterministic
+/// flag (`deterministic_flags`, `batch` 0/1 bytes, nullptr = all sampled)
+/// so independently-submitted requests can share a batch, and the (masked)
+/// logits copied out per instance. Draw order matches SamplePolicyBatch:
+/// instances in index order, worker-by-worker, move head before charge
+/// head; deterministic instances consume no randomness.
+std::vector<PolicyDecision> DecidePolicyBatch(
+    const PolicyNet& net, const std::vector<float>& states, int batch,
+    Rng& rng, const uint8_t* deterministic_flags = nullptr,
+    const uint8_t* move_masks = nullptr);
+
 /// End-of-episode metrics of one evaluation run.
 struct EvalResult {
   double kappa = 0.0;  ///< Average data collection ratio (Eqn 4).

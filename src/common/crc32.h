@@ -1,0 +1,62 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) — the integrity footer
+// of checkpoint files (nn/serialize.cc). Table-driven, computed at compile
+// time; incremental so large buffers can be folded in chunks.
+#ifndef CEWS_COMMON_CRC32_H_
+#define CEWS_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cews {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// Incremental CRC-32 accumulator. Update() over any byte partitioning of a
+/// buffer yields the same Value() as one call over the whole buffer.
+class Crc32 {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    uint32_t c = state_;
+    for (size_t i = 0; i < n; ++i) {
+      c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+
+  /// The checksum of everything Updated so far.
+  uint32_t Value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+inline uint32_t ComputeCrc32(const void* data, size_t n) {
+  Crc32 crc;
+  crc.Update(data, n);
+  return crc.Value();
+}
+
+}  // namespace cews
+
+#endif  // CEWS_COMMON_CRC32_H_

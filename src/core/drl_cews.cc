@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "env/vec_env.h"
 #include "nn/serialize.h"
 
@@ -140,7 +141,14 @@ agents::EvalResult DrlCews::Evaluate(int episodes, bool deterministic) {
 }
 
 Status DrlCews::SaveCheckpoint(const std::string& path) const {
-  return nn::SaveParameters(path, trainer_->global_net().Parameters());
+  nn::SaveInfo info;
+  CEWS_RETURN_IF_ERROR(
+      nn::SaveParameters(path, trainer_->global_net().Parameters(), &info));
+  // Path + size + checksum, so operators can correlate a server-side hot
+  // reload (serve::PolicyServer::PublishFromFile) with this trainer output.
+  CEWS_LOG(Info) << "checkpoint -> " << path << " (" << info.bytes
+                 << " bytes, crc32 " << std::hex << info.crc32 << ")";
+  return Status::OK();
 }
 
 Status DrlCews::LoadCheckpoint(const std::string& path) {

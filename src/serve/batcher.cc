@@ -1,0 +1,87 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace cews::serve {
+
+namespace {
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const gauge = obs::GetGauge("serve.queue_depth");
+  return gauge;
+}
+
+}  // namespace
+
+RequestBatcher::RequestBatcher(int max_batch, int64_t max_queue_delay_us)
+    : max_batch_(max_batch), max_delay_ns_(max_queue_delay_us * 1000) {
+  CEWS_CHECK_GT(max_batch, 0);
+  CEWS_CHECK_GE(max_queue_delay_us, 0);
+}
+
+bool RequestBatcher::Push(PendingRequest& item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    item.enqueue_ns = Stopwatch::NowNs();
+    queue_.push_back(std::move(item));
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<PendingRequest> RequestBatcher::PopBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (shutdown_) return {};
+      cv_.wait(lock);
+      continue;
+    }
+    if (static_cast<int>(queue_.size()) >= max_batch_ || shutdown_) break;
+    // Flush-by-timeout deadline is anchored to the oldest request: wait out
+    // its remaining budget, then serve whatever has coalesced.
+    const int64_t waited_ns = static_cast<int64_t>(
+        Stopwatch::NowNs() - queue_.front().enqueue_ns);
+    const int64_t remaining_ns = max_delay_ns_ - waited_ns;
+    if (remaining_ns <= 0) break;
+    cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns));
+    // Re-evaluate: the wake may be a new push (size flush), a shutdown, a
+    // timeout, or spurious — the loop conditions cover all four.
+  }
+  const int n =
+      std::min<int>(max_batch_, static_cast<int>(queue_.size()));
+  std::vector<PendingRequest> batch;
+  batch.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  // If requests remain (burst larger than max_batch), let another consumer
+  // start on them without waiting for the next push.
+  if (!queue_.empty()) cv_.notify_one();
+  return batch;
+}
+
+void RequestBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+int RequestBatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace cews::serve

@@ -1,0 +1,65 @@
+// cews::serve — dynamic micro-batcher: an MPMC queue that coalesces
+// independently-submitted requests into batches for one shared Forward.
+//
+// Flush policy: a consumer's PopBatch returns as soon as either the queue
+// holds max_batch requests (flush by size) or the *oldest* queued request
+// has waited max_queue_delay_us (flush by timeout), whichever comes first.
+// The delay bound is therefore a hard cap on the queueing latency any
+// request pays to help later arrivals share its batch.
+#ifndef CEWS_SERVE_BATCHER_H_
+#define CEWS_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace cews::serve {
+
+/// A queued request: payload, completion promise, enqueue timestamp.
+struct PendingRequest {
+  ScheduleRequest request;
+  std::promise<ScheduleResponse> promise;
+  uint64_t enqueue_ns = 0;  ///< Stopwatch::NowNs() at Push.
+};
+
+/// Thread-safe for any number of producers (Push) and consumers (PopBatch).
+class RequestBatcher {
+ public:
+  RequestBatcher(int max_batch, int64_t max_queue_delay_us);
+
+  /// Enqueues one request, stamping its enqueue time. Returns false after
+  /// Shutdown without consuming `item` — the caller still owns the promise
+  /// and must complete it.
+  bool Push(PendingRequest& item);
+
+  /// Blocks until a batch is ready per the flush policy, then returns up to
+  /// max_batch requests in arrival order. Returns an empty vector only at
+  /// shutdown with the queue fully drained — the consumer's exit signal.
+  std::vector<PendingRequest> PopBatch();
+
+  /// Rejects future Pushes and wakes all consumers. Already-queued requests
+  /// are still handed out by PopBatch (graceful drain). Idempotent.
+  void Shutdown();
+
+  /// Instantaneous queue length (telemetry).
+  int depth() const;
+
+  int max_batch() const { return max_batch_; }
+
+ private:
+  const int max_batch_;
+  const int64_t max_delay_ns_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace cews::serve
+
+#endif  // CEWS_SERVE_BATCHER_H_

@@ -1,0 +1,128 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "env/state_encoder.h"
+#include "env/vec_env.h"
+
+namespace cews::serve {
+
+namespace {
+
+/// Latencies and error count one client collected.
+struct ClientTally {
+  std::vector<uint64_t> latency_ns;
+  uint64_t batch_size_sum = 0;
+  uint64_t errors = 0;
+};
+
+void RunClient(PolicyServer& server, const env::Map& map,
+               const LoadGenOptions& options, int client_index,
+               ClientTally& tally) {
+  env::Env env(options.env, map);
+  env.Reset();
+  const env::StateEncoder encoder(
+      env::StateEncoderConfig{server.net_config().grid});
+  const bool pre_encode = client_index % 2 == 0;
+  tally.latency_ns.reserve(
+      static_cast<size_t>(options.requests_per_client));
+
+  for (int r = 0; r < options.requests_per_client; ++r) {
+    ScheduleRequest request;
+    if (pre_encode) {
+      request.state = encoder.Encode(env);
+    } else {
+      request.env = &env;
+    }
+    if (options.use_masks) request.move_mask = env::MoveValidityMask(env);
+    request.deterministic = options.deterministic;
+
+    const uint64_t start_ns = Stopwatch::NowNs();
+    ScheduleResponse response = server.Submit(std::move(request)).get();
+    tally.latency_ns.push_back(Stopwatch::NowNs() - start_ns);
+    if (!response.ok()) {
+      ++tally.errors;
+      continue;
+    }
+    tally.batch_size_sum += static_cast<uint64_t>(response.batch_size);
+    env.Step(response.act.actions);
+    if (env.Done()) env.Reset();
+  }
+}
+
+double PercentileUs(const std::vector<uint64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_ns.size() - 1);
+  const size_t idx = static_cast<size_t>(std::llround(rank));
+  return static_cast<double>(sorted_ns[std::min(idx, sorted_ns.size() - 1)]) /
+         1e3;
+}
+
+}  // namespace
+
+Result<LoadGenResult> RunClosedLoopLoad(PolicyServer& server,
+                                        const env::Map& map,
+                                        const LoadGenOptions& options) {
+  if (options.clients <= 0) {
+    return Status::InvalidArgument("clients must be positive, got " +
+                                   std::to_string(options.clients));
+  }
+  if (options.requests_per_client <= 0) {
+    return Status::InvalidArgument(
+        "requests_per_client must be positive, got " +
+        std::to_string(options.requests_per_client));
+  }
+
+  std::vector<ClientTally> tallies(static_cast<size_t>(options.clients));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(options.clients));
+  const uint64_t start_ns = Stopwatch::NowNs();
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&server, &map, &options, c, &tallies] {
+      RunClient(server, map, options, c, tallies[static_cast<size_t>(c)]);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double wall_seconds =
+      static_cast<double>(Stopwatch::NowNs() - start_ns) / 1e9;
+
+  LoadGenResult result;
+  result.wall_seconds = wall_seconds;
+  std::vector<uint64_t> all_latencies;
+  uint64_t batch_sum = 0;
+  for (const ClientTally& tally : tallies) {
+    result.requests += tally.latency_ns.size();
+    result.errors += tally.errors;
+    batch_sum += tally.batch_size_sum;
+    all_latencies.insert(all_latencies.end(), tally.latency_ns.begin(),
+                         tally.latency_ns.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const uint64_t completed = result.requests - result.errors;
+  result.throughput_rps =
+      wall_seconds > 0.0 ? static_cast<double>(result.requests) / wall_seconds
+                         : 0.0;
+  if (!all_latencies.empty()) {
+    double sum_us = 0.0;
+    for (const uint64_t ns : all_latencies) {
+      sum_us += static_cast<double>(ns) / 1e3;
+    }
+    result.latency_mean_us = sum_us / static_cast<double>(all_latencies.size());
+    result.latency_p50_us = PercentileUs(all_latencies, 0.50);
+    result.latency_p95_us = PercentileUs(all_latencies, 0.95);
+    result.latency_p99_us = PercentileUs(all_latencies, 0.99);
+  }
+  result.mean_batch =
+      completed > 0
+          ? static_cast<double>(batch_sum) / static_cast<double>(completed)
+          : 0.0;
+  return result;
+}
+
+}  // namespace cews::serve

@@ -1,0 +1,59 @@
+// cews::serve — synthetic closed-loop load generator: N client threads,
+// each driving its own Env through the server (encode → submit → wait →
+// step), the pattern a real per-fleet control loop would follow. Used by
+// the `cews serve` CLI subcommand and bench_serve to measure latency and
+// throughput under offered load.
+#ifndef CEWS_SERVE_LOADGEN_H_
+#define CEWS_SERVE_LOADGEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "env/env.h"
+#include "env/map.h"
+#include "serve/server.h"
+
+namespace cews::serve {
+
+struct LoadGenOptions {
+  /// Concurrent closed-loop clients (each submits its next request only
+  /// after the previous response arrives).
+  int clients = 8;
+  /// Requests per client; total offered work is clients * this.
+  int requests_per_client = 100;
+  /// Environment the clients step (horizon, action space, ...). The action
+  /// space must produce the server net's num_moves and the map must spawn
+  /// its num_workers.
+  env::EnvConfig env;
+  /// Argmax decisions instead of sampling.
+  bool deterministic = false;
+  /// Attach per-step move-validity masks (env::MoveValidityMask).
+  bool use_masks = true;
+};
+
+struct LoadGenResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;  ///< Responses with a non-OK status.
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  /// Client-observed submit-to-response latency, exact percentiles over
+  /// every request (not bucketed estimates).
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  /// Mean flush size over the responses (how well requests coalesced).
+  double mean_batch = 0.0;
+};
+
+/// Runs the closed-loop load to completion. Clients alternate between
+/// submitting pre-encoded states (even indices) and raw env observations
+/// (odd indices), exercising both encoding paths. Returns InvalidArgument
+/// for non-positive client/request counts.
+Result<LoadGenResult> RunClosedLoopLoad(PolicyServer& server,
+                                        const env::Map& map,
+                                        const LoadGenOptions& options);
+
+}  // namespace cews::serve
+
+#endif  // CEWS_SERVE_LOADGEN_H_

@@ -1,0 +1,72 @@
+#include "serve/model_registry.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cews::serve {
+
+namespace {
+
+std::vector<nn::Tensor> CloneParams(const std::vector<nn::Tensor>& params) {
+  std::vector<nn::Tensor> clones;
+  clones.reserve(params.size());
+  for (const nn::Tensor& t : params) clones.push_back(t.Clone());
+  return clones;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(const std::vector<nn::Tensor>& initial) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->epoch = 0;
+  snapshot->params = CloneParams(initial);
+  current_.store(std::move(snapshot), std::memory_order_release);
+}
+
+std::shared_ptr<const ModelRegistry::Snapshot> ModelRegistry::Acquire()
+    const {
+  return current_.load(std::memory_order_acquire);
+}
+
+Status ModelRegistry::Publish(const std::vector<nn::Tensor>& params) {
+  CEWS_TRACE_SCOPE("serve.publish");
+  const std::shared_ptr<const Snapshot> reference = Acquire();
+  if (params.size() != reference->params.size()) {
+    return Status::InvalidArgument(
+        "Publish: parameter count mismatch (" +
+        std::to_string(params.size()) + " vs " +
+        std::to_string(reference->params.size()) + ")");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!params[i].defined()) {
+      return Status::InvalidArgument("Publish: undefined tensor at index " +
+                                     std::to_string(i));
+    }
+    if (params[i].shape() != reference->params[i].shape()) {
+      return Status::InvalidArgument(
+          "Publish: shape mismatch at index " + std::to_string(i) + ", " +
+          nn::ShapeToString(params[i].shape()) + " vs " +
+          nn::ShapeToString(reference->params[i].shape()));
+    }
+  }
+  // Clone outside the writer lock — only the epoch assignment and pointer
+  // swap are serialized.
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->params = CloneParams(params);
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    snapshot->epoch =
+        current_.load(std::memory_order_relaxed)->epoch + 1;
+    current_.store(std::move(snapshot), std::memory_order_release);
+  }
+  static obs::Counter* const swaps = obs::GetCounter("serve.hot_swaps");
+  static obs::Gauge* const epoch_gauge = obs::GetGauge("serve.epoch");
+  swaps->Increment();
+  epoch_gauge->Set(static_cast<double>(epoch()));
+  return Status::OK();
+}
+
+}  // namespace cews::serve

@@ -1,0 +1,70 @@
+// cews::serve — lock-free model hot-swap.
+//
+// The registry decouples parameter publication (a trainer finishing an
+// update round, or a checkpoint watcher reloading from disk) from inference
+// (server workers running batched Forwards): Publish() clones the new
+// parameter values into an immutable snapshot and swaps an atomic pointer;
+// Acquire() is a single atomic shared_ptr load on the inference hot path.
+// A request is served entirely by the snapshot captured at dequeue time, so
+// a swap can never expose a torn half-old/half-new parameter set, and
+// publication never blocks in-flight inference.
+//
+// Double-buffering argument (see DESIGN.md): snapshots are reference-
+// counted, and servers pin a snapshot only for the duration of one batch.
+// At steady state at most two parameter buffers are therefore live — the
+// current snapshot and the previous one still finishing its last batches —
+// after which the old buffer frees itself when its final reader drops it.
+#ifndef CEWS_SERVE_MODEL_REGISTRY_H_
+#define CEWS_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace cews::serve {
+
+class ModelRegistry {
+ public:
+  /// One published parameter set. `params` are deep copies, immutable after
+  /// publication; epoch 0 is the registry's initial set, each Publish
+  /// increments it by one.
+  struct Snapshot {
+    uint64_t epoch = 0;
+    std::vector<nn::Tensor> params;
+  };
+
+  /// Clones `initial` as the epoch-0 snapshot. The list fixes the shapes
+  /// every later Publish must match.
+  explicit ModelRegistry(const std::vector<nn::Tensor>& initial);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The current snapshot (lock-free: one atomic load + refcount bump).
+  /// The returned pointer keeps the snapshot alive for as long as the
+  /// caller holds it, regardless of concurrent Publishes.
+  std::shared_ptr<const Snapshot> Acquire() const;
+
+  /// Clones `params` into a fresh snapshot and swaps it in as the current
+  /// one. Concurrent publishers are serialized against each other; readers
+  /// are never blocked. Shapes must match the initial set pairwise —
+  /// returns InvalidArgument otherwise, leaving the current snapshot
+  /// untouched.
+  Status Publish(const std::vector<nn::Tensor>& params);
+
+  /// Epoch of the current snapshot.
+  uint64_t epoch() const { return Acquire()->epoch; }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> current_;
+  std::mutex publish_mu_;  ///< Serializes writers only.
+};
+
+}  // namespace cews::serve
+
+#endif  // CEWS_SERVE_MODEL_REGISTRY_H_

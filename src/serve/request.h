@@ -1,0 +1,69 @@
+// cews::serve — request/response types of the in-process policy-inference
+// service: what one client (a worker fleet's control loop) sends to the
+// PolicyServer and what it gets back.
+#ifndef CEWS_SERVE_REQUEST_H_
+#define CEWS_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agents/ppo.h"
+#include "common/status.h"
+#include "env/env.h"
+
+namespace cews::serve {
+
+/// One client's ask for a scheduling decision. Carries either a pre-encoded
+/// grid state or a raw environment to encode server-side.
+struct ScheduleRequest {
+  /// Pre-encoded state in StateEncoder layout ([channels, grid, grid]
+  /// row-major, exactly PolicyServer::StateSize() floats). Leave empty to
+  /// have the server encode `env` instead.
+  std::vector<float> state;
+
+  /// Raw observation to encode server-side when `state` is empty. The
+  /// pointed-to Env must stay alive and unmodified until the response
+  /// future resolves — the closed-loop client pattern (submit, wait, step)
+  /// satisfies this by construction.
+  const env::Env* env = nullptr;
+
+  /// Optional move-validity mask, [num_workers * num_moves] 0/1 flags
+  /// (env::MoveValidityMask layout). Masked-out moves get the -1e9 logit
+  /// sentinel before sampling. Empty = every move valid.
+  std::vector<uint8_t> move_mask;
+
+  /// Argmax instead of sampling. Per-request: deterministic and sampled
+  /// requests still share one batched Forward.
+  bool deterministic = false;
+};
+
+/// The completed decision for one request.
+struct ScheduleResponse {
+  /// Non-OK when the request was rejected (bad sizes, server stopped).
+  /// Every other field is meaningful only when ok().
+  Status status;
+
+  /// Parameter-snapshot epoch that served this request. A response is
+  /// computed entirely from the snapshot captured at dequeue time — never
+  /// a torn mix of old and new parameters.
+  uint64_t epoch = 0;
+
+  /// Sampled per-worker actions, joint log-prob and value estimate V(s).
+  agents::ActResult act;
+
+  /// The exact logits the decision was drawn from: post-masking route
+  /// logits [num_workers * num_moves] and charge logits [num_workers * 2].
+  std::vector<float> move_logits;
+  std::vector<float> charge_logits;
+
+  /// Telemetry: how many requests shared this flush, and the enqueue-to-
+  /// completion time of this one.
+  int batch_size = 0;
+  uint64_t latency_ns = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace cews::serve
+
+#endif  // CEWS_SERVE_REQUEST_H_

@@ -1,0 +1,268 @@
+#include "serve/server.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "agents/eval.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "nn/params.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cews::serve {
+
+namespace {
+
+/// Epoch-0 parameters: a freshly initialized network. The temporary net's
+/// tensors are cloned by the registry, so it can die here.
+std::vector<nn::Tensor> InitialParams(const PolicyServerConfig& config) {
+  Rng rng(config.seed);
+  const agents::PolicyNet net(config.net, rng);
+  return net.Parameters();
+}
+
+Status ValidateConfig(const PolicyServerConfig& config) {
+  if (config.net.grid <= 0 || config.net.in_channels <= 0 ||
+      config.net.num_workers <= 0 || config.net.num_moves <= 0) {
+    return Status::InvalidArgument(
+        "net dimensions must be positive (grid " +
+        std::to_string(config.net.grid) + ", channels " +
+        std::to_string(config.net.in_channels) + ", workers " +
+        std::to_string(config.net.num_workers) + ", moves " +
+        std::to_string(config.net.num_moves) + ")");
+  }
+  if (config.num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive, got " +
+                                   std::to_string(config.num_threads));
+  }
+  if (config.max_batch <= 0) {
+    return Status::InvalidArgument("max_batch must be positive, got " +
+                                   std::to_string(config.max_batch));
+  }
+  if (config.max_queue_delay_us < 0) {
+    return Status::InvalidArgument(
+        "max_queue_delay_us must be non-negative, got " +
+        std::to_string(config.max_queue_delay_us));
+  }
+  if (config.runtime_threads < 0) {
+    return Status::InvalidArgument(
+        "runtime_threads must be non-negative (0 = hardware cores), got " +
+        std::to_string(config.runtime_threads));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(
+    const PolicyServerConfig& config) {
+  CEWS_RETURN_IF_ERROR(ValidateConfig(config));
+  // Size the intra-op kernel pool before inference threads start issuing
+  // ParallelFor regions (same contract as the trainers).
+  runtime::SetGlobalPoolThreads(config.runtime_threads);
+  return std::unique_ptr<PolicyServer>(new PolicyServer(config));
+}
+
+PolicyServer::PolicyServer(const PolicyServerConfig& config)
+    : config_(config),
+      encoder_(env::StateEncoderConfig{config.net.grid}),
+      registry_(InitialParams(config)),
+      batcher_(config.max_batch, config.max_queue_delay_us) {
+  workers_.reserve(static_cast<size_t>(config_.num_threads));
+  for (int i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+PolicyServer::~PolicyServer() { Stop(); }
+
+void PolicyServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  batcher_.Shutdown();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Status PolicyServer::ValidateRequest(const ScheduleRequest& request) const {
+  if (request.state.empty() && request.env == nullptr) {
+    return Status::InvalidArgument(
+        "request carries neither a pre-encoded state nor an env");
+  }
+  if (!request.state.empty() &&
+      static_cast<int>(request.state.size()) != StateSize()) {
+    return Status::InvalidArgument(
+        "encoded state has " + std::to_string(request.state.size()) +
+        " floats, server expects " + std::to_string(StateSize()));
+  }
+  if (request.state.empty()) {
+    if (config_.net.in_channels != env::StateEncoder::kChannels) {
+      return Status::InvalidArgument(
+          "server net takes " + std::to_string(config_.net.in_channels) +
+          " channels; server-side encoding produces " +
+          std::to_string(env::StateEncoder::kChannels) +
+          " — submit a pre-encoded state instead");
+    }
+    if (request.env->num_workers() != config_.net.num_workers) {
+      return Status::InvalidArgument(
+          "env has " + std::to_string(request.env->num_workers()) +
+          " workers, server net commands " +
+          std::to_string(config_.net.num_workers));
+    }
+  }
+  const int mask_size = config_.net.num_workers * config_.net.num_moves;
+  if (!request.move_mask.empty() &&
+      static_cast<int>(request.move_mask.size()) != mask_size) {
+    return Status::InvalidArgument(
+        "move_mask has " + std::to_string(request.move_mask.size()) +
+        " flags, server expects " + std::to_string(mask_size));
+  }
+  return Status::OK();
+}
+
+std::future<ScheduleResponse> PolicyServer::Submit(
+    ScheduleRequest request) {
+  PendingRequest item;
+  item.request = std::move(request);
+  std::future<ScheduleResponse> future = item.promise.get_future();
+
+  const auto reject = [&item](Status status) {
+    ScheduleResponse response;
+    response.status = std::move(status);
+    item.promise.set_value(std::move(response));
+  };
+
+  const Status valid = ValidateRequest(item.request);
+  if (!valid.ok()) {
+    reject(valid);
+    return future;
+  }
+  static obs::Counter* const requests = obs::GetCounter("serve.requests");
+  if (!batcher_.Push(item)) {
+    reject(Status::FailedPrecondition("PolicyServer is stopped"));
+    return future;
+  }
+  requests->Increment();
+  return future;
+}
+
+Status PolicyServer::Publish(const std::vector<nn::Tensor>& params) {
+  return registry_.Publish(params);
+}
+
+Status PolicyServer::PublishFromFile(const std::string& path) {
+  // Load into a scratch clone of the current snapshot: shapes are checked
+  // by LoadParameters against a real parameter set, and a corrupt file
+  // leaves the served model untouched.
+  const std::shared_ptr<const ModelRegistry::Snapshot> snapshot =
+      registry_.Acquire();
+  std::vector<nn::Tensor> scratch;
+  scratch.reserve(snapshot->params.size());
+  for (const nn::Tensor& t : snapshot->params) scratch.push_back(t.Clone());
+  CEWS_RETURN_IF_ERROR(nn::LoadParameters(path, scratch));
+  return registry_.Publish(scratch);
+}
+
+void PolicyServer::WorkerLoop(int worker_index) {
+  // Private replica: parameters are copied in from the registry snapshot
+  // whenever the epoch changes, so workers never share mutable tensors and
+  // a batch is served entirely by the snapshot it captured.
+  Rng init_rng(config_.seed + 0x9E3779B97F4A7C15ULL *
+                                 static_cast<uint64_t>(worker_index + 1));
+  agents::PolicyNet net(config_.net, init_rng);
+  const std::vector<nn::Tensor> net_params = net.Parameters();
+  Rng sample_rng(config_.seed * 1000003ULL +
+                 static_cast<uint64_t>(worker_index));
+  uint64_t cached_epoch = ~uint64_t{0};
+
+  static obs::Counter* const batches = obs::GetCounter("serve.batches");
+  static obs::Histogram* const batch_size_hist =
+      obs::GetHistogram("serve.batch_size");
+  static obs::Histogram* const latency_hist =
+      obs::GetHistogram("serve.request_latency_ns");
+
+  const int state_size = StateSize();
+  const int mask_size = config_.net.num_workers * config_.net.num_moves;
+  std::vector<float> states;
+  std::vector<uint8_t> masks;
+  std::vector<uint8_t> deterministic;
+
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_.PopBatch();
+    if (batch.empty()) return;  // Shutdown, queue drained.
+    CEWS_TRACE_SCOPE("serve.batch");
+
+    const std::shared_ptr<const ModelRegistry::Snapshot> snapshot =
+        registry_.Acquire();
+    if (snapshot->epoch != cached_epoch) {
+      CEWS_TRACE_SCOPE("serve.swap_in");
+      nn::CopyParameters(snapshot->params, net_params);
+      cached_epoch = snapshot->epoch;
+    }
+
+    const int n = static_cast<int>(batch.size());
+    batches->Increment();
+    batch_size_hist->Record(static_cast<uint64_t>(n));
+
+    states.resize(static_cast<size_t>(n) * state_size);
+    deterministic.resize(static_cast<size_t>(n));
+    bool any_mask = false;
+    for (const PendingRequest& item : batch) {
+      if (!item.request.move_mask.empty()) any_mask = true;
+    }
+    // Absent masks default to all-valid so masked and unmasked requests
+    // can share one batch.
+    if (any_mask) masks.assign(static_cast<size_t>(n) * mask_size, 1);
+
+    {
+      CEWS_TRACE_SCOPE("serve.encode");
+      for (int i = 0; i < n; ++i) {
+        const ScheduleRequest& request = batch[static_cast<size_t>(i)].request;
+        float* slice = states.data() + static_cast<size_t>(i) * state_size;
+        if (!request.state.empty()) {
+          std::memcpy(slice, request.state.data(),
+                      sizeof(float) * static_cast<size_t>(state_size));
+        } else {
+          encoder_.EncodeInto(*request.env, slice);
+        }
+        if (any_mask && !request.move_mask.empty()) {
+          std::memcpy(masks.data() + static_cast<size_t>(i) * mask_size,
+                      request.move_mask.data(),
+                      static_cast<size_t>(mask_size));
+        }
+        deterministic[static_cast<size_t>(i)] =
+            request.deterministic ? 1 : 0;
+      }
+    }
+
+    std::vector<agents::PolicyDecision> decisions;
+    {
+      CEWS_TRACE_SCOPE("serve.forward");
+      decisions = agents::DecidePolicyBatch(
+          net, states, n, sample_rng, deterministic.data(),
+          any_mask ? masks.data() : nullptr);
+    }
+
+    const uint64_t now_ns = Stopwatch::NowNs();
+    for (int i = 0; i < n; ++i) {
+      PendingRequest& item = batch[static_cast<size_t>(i)];
+      agents::PolicyDecision& decision = decisions[static_cast<size_t>(i)];
+      ScheduleResponse response;
+      response.epoch = snapshot->epoch;
+      response.act = std::move(decision.act);
+      response.move_logits = std::move(decision.move_logits);
+      response.charge_logits = std::move(decision.charge_logits);
+      response.batch_size = n;
+      response.latency_ns = now_ns - item.enqueue_ns;
+      latency_hist->Record(response.latency_ns);
+      item.promise.set_value(std::move(response));
+    }
+  }
+}
+
+}  // namespace cews::serve

@@ -1,0 +1,109 @@
+// cews::serve — PolicyServer: an in-process, dynamically micro-batched
+// inference service over the trained DRL-CEWS policy.
+//
+// Clients submit per-fleet ScheduleRequests from any thread and get a
+// future; the batcher coalesces concurrent requests (flush on max_batch or
+// max_queue_delay_us); a pool of inference workers runs ONE batched
+// PolicyNet::Forward per flush and completes each future with the actions,
+// masked logits and value estimate. Model parameters hot-swap through the
+// ModelRegistry without ever blocking in-flight inference: each worker
+// keeps a private PolicyNet and copies a snapshot's values in only when the
+// snapshot epoch changes, so concurrent workers never share mutable
+// tensors and every response is computed from exactly one epoch.
+#ifndef CEWS_SERVE_SERVER_H_
+#define CEWS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agents/policy_net.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "env/state_encoder.h"
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+
+namespace cews::serve {
+
+struct PolicyServerConfig {
+  /// Architecture served (grid, channels, workers, moves). Must match the
+  /// checkpoints published into the registry.
+  agents::PolicyNetConfig net;
+  /// Inference worker threads draining the batcher.
+  int num_threads = 1;
+  /// Flush a batch at this many coalesced requests...
+  int max_batch = 8;
+  /// ...or once the oldest queued request has waited this long.
+  int64_t max_queue_delay_us = 200;
+  /// Intra-op NN kernel threads (0 = hardware cores; CEWS_NUM_THREADS
+  /// overrides), applied to the global kernel pool at Create.
+  int runtime_threads = 1;
+  /// Seeds the epoch-0 parameters and the per-worker sampling streams.
+  uint64_t seed = 1;
+};
+
+class PolicyServer {
+ public:
+  /// Validates the config (positive net dims, threads, batch bound) and
+  /// starts the worker pool. The epoch-0 model is freshly initialized from
+  /// `seed`; publish trained parameters via Publish/PublishFromFile.
+  static Result<std::unique_ptr<PolicyServer>> Create(
+      const PolicyServerConfig& config);
+
+  /// Stops and joins the workers (draining queued requests).
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  /// Enqueues one request; thread-safe. The future always resolves — with
+  /// a non-OK ScheduleResponse::status for malformed requests or after
+  /// Stop(), never with a broken promise.
+  std::future<ScheduleResponse> Submit(ScheduleRequest request);
+
+  /// Hot-swaps the served parameters (clones `params`; see ModelRegistry).
+  Status Publish(const std::vector<nn::Tensor>& params);
+
+  /// Reloads a checkpoint from disk (nn::LoadParameters into a scratch
+  /// copy, so the live model is untouched on failure) and publishes it.
+  Status PublishFromFile(const std::string& path);
+
+  /// Epoch of the currently served snapshot.
+  uint64_t epoch() const { return registry_.epoch(); }
+
+  ModelRegistry& registry() { return registry_; }
+
+  const agents::PolicyNetConfig& net_config() const { return config_.net; }
+
+  /// Floats a pre-encoded ScheduleRequest::state must carry.
+  int StateSize() const {
+    return config_.net.in_channels * config_.net.grid * config_.net.grid;
+  }
+
+  /// Drains the queue, completes every pending request, joins the workers.
+  /// Later Submits resolve immediately with FailedPrecondition. Idempotent.
+  void Stop();
+
+ private:
+  explicit PolicyServer(const PolicyServerConfig& config);
+
+  void WorkerLoop(int worker_index);
+  Status ValidateRequest(const ScheduleRequest& request) const;
+
+  const PolicyServerConfig config_;
+  env::StateEncoder encoder_;
+  ModelRegistry registry_;
+  RequestBatcher batcher_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace cews::serve
+
+#endif  // CEWS_SERVE_SERVER_H_

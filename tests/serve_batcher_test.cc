@@ -1,0 +1,153 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace cews::serve {
+namespace {
+
+/// A request whose state[0] carries an id, so once-delivery is checkable.
+PendingRequest Tagged(float id) {
+  PendingRequest item;
+  item.request.state = {id};
+  return item;
+}
+
+TEST(RequestBatcherTest, FlushBySizeReturnsFullBatchInArrivalOrder) {
+  // Delay far beyond the test runtime: the only way PopBatch returns
+  // quickly is the size trigger.
+  RequestBatcher batcher(/*max_batch=*/4, /*max_queue_delay_us=*/5'000'000);
+  for (int i = 0; i < 4; ++i) {
+    PendingRequest item = Tagged(static_cast<float>(i));
+    ASSERT_TRUE(batcher.Push(item));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<PendingRequest> batch = batcher.PopBatch();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(batch.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch[static_cast<size_t>(i)].request.state[0],
+              static_cast<float>(i));
+  }
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_EQ(batcher.depth(), 0);
+}
+
+TEST(RequestBatcherTest, FlushByTimeoutReleasesPartialBatch) {
+  RequestBatcher batcher(/*max_batch=*/64, /*max_queue_delay_us=*/30'000);
+  PendingRequest a = Tagged(1.0f);
+  PendingRequest b = Tagged(2.0f);
+  ASSERT_TRUE(batcher.Push(a));
+  ASSERT_TRUE(batcher.Push(b));
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<PendingRequest> batch = batcher.PopBatch();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch.size(), 2u);
+  // Far below max_batch, so only the oldest request aging past the delay
+  // bound can have released the batch. (Lower bound is loose: the requests
+  // aged a bit before PopBatch was called.)
+  EXPECT_GE(elapsed, std::chrono::milliseconds(10));
+}
+
+TEST(RequestBatcherTest, PopBatchCapsAtMaxBatch) {
+  RequestBatcher batcher(/*max_batch=*/3, /*max_queue_delay_us=*/5'000'000);
+  for (int i = 0; i < 7; ++i) {
+    PendingRequest item = Tagged(static_cast<float>(i));
+    ASSERT_TRUE(batcher.Push(item));
+  }
+  EXPECT_EQ(batcher.depth(), 7);
+  EXPECT_EQ(batcher.PopBatch().size(), 3u);
+  EXPECT_EQ(batcher.depth(), 4);
+  EXPECT_EQ(batcher.PopBatch().size(), 3u);
+  // The remainder is below max_batch, but shutdown flushes it immediately.
+  batcher.Shutdown();
+  EXPECT_EQ(batcher.PopBatch().size(), 1u);
+}
+
+TEST(RequestBatcherTest, ShutdownDrainsThenReturnsEmpty) {
+  RequestBatcher batcher(/*max_batch=*/8, /*max_queue_delay_us=*/5'000'000);
+  for (int i = 0; i < 3; ++i) {
+    PendingRequest item = Tagged(static_cast<float>(i));
+    ASSERT_TRUE(batcher.Push(item));
+  }
+  batcher.Shutdown();
+  EXPECT_EQ(batcher.PopBatch().size(), 3u);  // graceful drain
+  EXPECT_TRUE(batcher.PopBatch().empty());   // consumer exit signal
+  EXPECT_TRUE(batcher.PopBatch().empty());   // stays empty (idempotent)
+}
+
+TEST(RequestBatcherTest, PushAfterShutdownLeavesItemWithCaller) {
+  RequestBatcher batcher(/*max_batch=*/2, /*max_queue_delay_us=*/100);
+  batcher.Shutdown();
+  PendingRequest item = Tagged(7.0f);
+  EXPECT_FALSE(batcher.Push(item));
+  EXPECT_EQ(batcher.depth(), 0);
+  // The batcher must not have consumed the item: the caller still owns the
+  // promise and can complete it with a rejection.
+  ScheduleResponse response;
+  response.status = Status::FailedPrecondition("stopped");
+  item.promise.set_value(std::move(response));
+  EXPECT_FALSE(item.promise.get_future().get().ok());
+}
+
+TEST(RequestBatcherTest, ManyProducersManyConsumersDeliverEachRequestOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 50;
+  RequestBatcher batcher(/*max_batch=*/5, /*max_queue_delay_us=*/500);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&batcher, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        PendingRequest item = Tagged(static_cast<float>(p * kPerProducer + i));
+        ASSERT_TRUE(batcher.Push(item));
+      }
+    });
+  }
+
+  std::mutex mu;
+  std::multiset<int> delivered;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&batcher, &mu, &delivered] {
+      for (;;) {
+        const std::vector<PendingRequest> batch = batcher.PopBatch();
+        if (batch.empty()) return;
+        std::lock_guard<std::mutex> lock(mu);
+        for (const PendingRequest& item : batch) {
+          delivered.insert(static_cast<int>(item.request.state[0]));
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  batcher.Shutdown();
+  for (std::thread& t : consumers) t.join();
+
+  ASSERT_EQ(delivered.size(),
+            static_cast<size_t>(kProducers * kPerProducer));
+  for (int id = 0; id < kProducers * kPerProducer; ++id) {
+    EXPECT_EQ(delivered.count(id), 1u) << "request " << id;
+  }
+  EXPECT_EQ(batcher.depth(), 0);
+}
+
+TEST(RequestBatcherTest, StampsEnqueueTime) {
+  RequestBatcher batcher(/*max_batch=*/1, /*max_queue_delay_us=*/0);
+  PendingRequest item = Tagged(0.0f);
+  ASSERT_TRUE(batcher.Push(item));
+  const std::vector<PendingRequest> batch = batcher.PopBatch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_GT(batch[0].enqueue_ns, 0u);
+}
+
+}  // namespace
+}  // namespace cews::serve

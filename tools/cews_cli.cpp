@@ -23,6 +23,19 @@
 //               --heartbeat logs a periodic one-line training pulse)
 //   cews eval --map FILE --ckpt policy.bin
 //             [--episodes N] [--svg traj.svg]       evaluate a checkpoint
+//   cews serve --map FILE | --scenario X [--ckpt policy.bin]
+//              [--clients N] [--requests N] [--max-batch N] [--delay-us N]
+//              [--serve-threads N] [--threads N] [--seed N]
+//              [--metrics-out metrics.json] [--trace-out trace.json]
+//              start the in-process micro-batching inference service, drive
+//              it with a synthetic closed-loop load (N clients each issuing
+//              N requests against their own env), and print a
+//              latency/throughput table
+//              (--ckpt hot-loads a checkpoint trained on the same map and
+//               options — without it a randomly initialized policy serves;
+//               --max-batch / --delay-us tune the dynamic micro-batcher,
+//               --serve-threads sizes the inference worker pool,
+//               --threads the intra-op NN kernel pool)
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -35,10 +48,13 @@
 #include "core/scenarios.h"
 #include "core/training_log.h"
 #include "core/visualize.h"
+#include "common/table.h"
 #include "env/map_io.h"
 #include "env/state_encoder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -232,9 +248,88 @@ int CmdEval(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  auto map_or = ResolveMap(args);
+  if (!map_or.ok()) return Fail(map_or.status());
+  const env::Map& map = *map_or;
+  env::EnvConfig env_config;
+  env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
+  const core::BenchmarkOptions options = OptionsFrom(args);
+
+  // Mirror the trainers' net sizing (map fleet + action space + bench
+  // grid), so a --ckpt from `cews train` on the same map loads unchanged.
+  serve::PolicyServerConfig server_config;
+  server_config.net = options.net;
+  server_config.net.grid = options.grid;
+  server_config.net.num_workers = static_cast<int>(map.worker_spawns.size());
+  server_config.net.num_moves = env_config.action_space.num_moves();
+  server_config.num_threads =
+      static_cast<int>(args.GetInt("serve-threads", 1));
+  server_config.max_batch = static_cast<int>(args.GetInt("max-batch", 8));
+  server_config.max_queue_delay_us = args.GetInt("delay-us", 200);
+  server_config.runtime_threads = options.runtime_threads;
+  server_config.seed = options.seed;
+  if (args.Has("trace-out")) obs::SetTraceEnabled(true);
+
+  auto server_or = serve::PolicyServer::Create(server_config);
+  if (!server_or.ok()) return Fail(server_or.status());
+  serve::PolicyServer& server = **server_or;
+  if (args.Has("ckpt")) {
+    const Status status = server.PublishFromFile(args.Get("ckpt", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("serving checkpoint %s (epoch %llu)\n",
+                args.Get("ckpt", "").c_str(),
+                static_cast<unsigned long long>(server.epoch()));
+  } else {
+    std::printf(
+        "warning: no --ckpt, serving a randomly initialized policy\n");
+  }
+
+  serve::LoadGenOptions load;
+  load.clients = static_cast<int>(args.GetInt("clients", 8));
+  load.requests_per_client = static_cast<int>(args.GetInt("requests", 100));
+  load.env = env_config;
+  std::printf("load: %d closed-loop clients x %d requests, max_batch=%d "
+              "delay=%lldus serve_threads=%d\n",
+              load.clients, load.requests_per_client,
+              server_config.max_batch,
+              static_cast<long long>(server_config.max_queue_delay_us),
+              server_config.num_threads);
+  auto result_or = serve::RunClosedLoopLoad(server, map, load);
+  if (!result_or.ok()) return Fail(result_or.status());
+  const serve::LoadGenResult& result = *result_or;
+
+  Table table({"clients", "requests", "errors", "rps", "mean_us", "p50_us",
+               "p95_us", "p99_us", "mean_batch"});
+  table.AddRow({std::to_string(load.clients),
+                std::to_string(result.requests),
+                std::to_string(result.errors),
+                Table::Fmt(result.throughput_rps, 1),
+                Table::Fmt(result.latency_mean_us, 1),
+                Table::Fmt(result.latency_p50_us, 1),
+                Table::Fmt(result.latency_p95_us, 1),
+                Table::Fmt(result.latency_p99_us, 1),
+                Table::Fmt(result.mean_batch, 2)});
+  std::printf("%s", table.ToString().c_str());
+
+  server.Stop();
+  if (args.Has("metrics-out")) {
+    const Status status = obs::WriteMetricsJson(args.Get("metrics-out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("metrics -> %s\n", args.Get("metrics-out", "").c_str());
+  }
+  if (args.Has("trace-out")) {
+    const Status status = obs::WriteChromeTrace(args.Get("trace-out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("trace -> %s\n", args.Get("trace-out", "").c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: cews <scenarios|map|show|train|eval> [--flag value]\n"
+               "usage: cews <scenarios|map|show|train|eval|serve>"
+               " [--flag value]\n"
                "see the header of tools/cews_cli.cpp for details\n");
   return 2;
 }
@@ -257,5 +352,6 @@ int main(int argc, char** argv) {
   }
   if (command == "train") return CmdTrain(args);
   if (command == "eval") return CmdEval(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }

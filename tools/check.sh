@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 build + tests, then a ThreadSanitizer build of
 # the concurrency-sensitive targets (thread pool, parallel kernels, both
-# trainers) and an ASan+UBSan build of the vectorized acting path (VecEnv,
-# trainer core, both trainers). Run from anywhere; builds land in build/,
+# trainers, the serve subsystem) and an ASan+UBSan build of the vectorized
+# acting path (VecEnv, trainer core, both trainers) plus the serve and
+# checkpoint-serialization tests. Run from anywhere; builds land in build/,
 # build-tsan/, and build-asan/.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan]
@@ -69,11 +70,12 @@ else
   cmake --build "$repo/build-tsan" -j "$jobs" --target \
     common_thread_pool_test nn_parallel_determinism_test \
     agents_trainer_test agents_async_test \
-    obs_metrics_test obs_trace_test obs_integration_test
+    obs_metrics_test obs_trace_test obs_integration_test \
+    serve_batcher_test serve_server_test
 
   echo "== tsan: concurrency tests =="
   (cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
-    "common_thread_pool_test|nn_parallel_determinism_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test")
+    "common_thread_pool_test|nn_parallel_determinism_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|serve_batcher_test|serve_server_test")
 fi
 
 if [[ "$skip_asan" == 1 ]]; then
@@ -86,11 +88,12 @@ else
     -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "$repo/build-asan" -j "$jobs" --target \
     env_vec_env_test agents_trainer_core_test agents_vec_equivalence_test \
-    agents_trainer_test agents_async_test
+    agents_trainer_test agents_async_test \
+    nn_serialize_test serve_batcher_test serve_server_test
 
-  echo "== asan+ubsan: vec acting path tests =="
+  echo "== asan+ubsan: vec acting + serve path tests =="
   (cd "$repo/build-asan" && ctest --output-on-failure -j "$jobs" -R \
-    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test")
+    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_serialize_test|serve_batcher_test|serve_server_test")
 fi
 
 echo "== all checks passed =="
