@@ -7,14 +7,26 @@
 // so the sweep measures scheduling only.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "agents/policy_net.h"
 #include "agents/ppo.h"
 #include "bench/bench_util.h"
+#include "common/env_flags.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "nn/gemm.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "nn/params.h"
+#include "nn/workspace.h"
 
 namespace {
 
@@ -235,15 +247,196 @@ void BM_AdamStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdamStep);
 
+// ---------------------------------------------------------------------------
+// Raw GEMM kernel benchmarks: packed kernels vs the retained scalar
+// reference. Serial on purpose — the acceptance metric for the packed
+// kernels is single-thread GFLOP/s (thread scaling is BM_MatMul's job).
+// items_per_second is FLOPs (2mnk per product), i.e. FLOP/s.
+
+std::vector<float> RandomBuffer(nn::Index n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1, 1));
+  return v;
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const nn::Index n = state.range(0);
+  const bool packed = state.range(1) != 0;
+  const std::vector<float> a = RandomBuffer(n * n, 11);
+  const std::vector<float> b = RandomBuffer(n * n, 12);
+  std::vector<float> c(static_cast<size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    if (packed) {
+      nn::gemm::GemmNN(n, n, n, a.data(), n, 1, b.data(), n, c.data(), n);
+    } else {
+      nn::gemm::reference::GemmNN(n, n, n, a.data(), n, 1, b.data(), n,
+                                  c.data(), n);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)
+    ->ArgNames({"n", "packed"})
+    ->ArgsProduct({{64, 256}, {0, 1}});
+
+void BM_GemmNT(benchmark::State& state) {
+  const nn::Index n = state.range(0);
+  const bool packed = state.range(1) != 0;
+  const std::vector<float> x = RandomBuffer(n * n, 13);
+  const std::vector<float> y = RandomBuffer(n * n, 14);
+  std::vector<float> c(static_cast<size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    if (packed) {
+      nn::gemm::GemmNT(n, n, n, x.data(), n, y.data(), n, c.data(), n);
+    } else {
+      nn::gemm::reference::GemmNT(n, n, n, x.data(), n, y.data(), n, c.data(),
+                                  n);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)
+    ->ArgNames({"n", "packed"})
+    ->ArgsProduct({{64, 256}, {0, 1}});
+
+// ---------------------------------------------------------------------------
+// CEWS_BENCH_KERNELS=1 kernel sweep: times packed vs reference kernels on
+// the trainer + serve GEMM shapes and writes BENCH_kernels.json (path
+// overridable via CEWS_BENCH_KERNELS_OUT). Runs single-threaded — the JSON
+// records the per-kernel speedup the ISSUE acceptance criterion asks for —
+// and also records workspace misses per iteration for the packed kernels
+// (0 in steady state: all transient buffers come from the recycling arena).
+
+struct KernelShape {
+  const char* name;   // what the shape is in the training/serving pipeline
+  const char* kind;   // "NN" or "NT"
+  nn::Index m, n, k;
+};
+
+/// Seconds per iteration of `fn`, auto-scaling reps until the measured
+/// window is long enough to trust (>= 0.1 s).
+double TimePerIter(const std::function<void()>& fn) {
+  fn();  // warm up: faults pages, fills the workspace arena
+  long reps = 1;
+  for (;;) {
+    Stopwatch sw;
+    for (long i = 0; i < reps; ++i) fn();
+    const double s = sw.ElapsedSeconds();
+    if (s >= 0.1 || reps >= (1L << 24)) return s / static_cast<double>(reps);
+    reps = (s < 0.01) ? reps * 10
+                      : static_cast<long>(static_cast<double>(reps) *
+                                          (0.15 / s)) +
+                            1;
+  }
+}
+
+void RunKernelSweep() {
+  using nn::gemm::GemmNN;
+  using nn::gemm::GemmNT;
+  runtime::SetGlobalPoolThreads(1);
+
+  // Trainer shapes: PPO minibatch 64 through the policy net (conv products
+  // per image, trunk FC, heads) and their backward products. Serve shapes:
+  // the micro-batcher's batch-16 inference. Large squares are the headline
+  // cache-blocking case.
+  const KernelShape kShapes[] = {
+      {"square_256", "NN", 256, 256, 256},
+      {"square_256", "NT", 256, 256, 256},
+      {"trunk_fc_fwd_b64", "NN", 64, 128, 1152},
+      {"trunk_fc_dA_b64", "NT", 64, 1152, 128},
+      {"trunk_fc_dW_b64", "NN", 1152, 128, 64},
+      {"head_fwd_b64", "NN", 64, 34, 128},
+      {"conv2_img_g12", "NN", 8, 144, 54},
+      {"conv2_img_g20", "NN", 8, 400, 54},
+      {"conv2_dW_img_g12", "NT", 8, 54, 144},
+      {"serve_fc_fwd_b16", "NN", 16, 128, 1152},
+  };
+
+  std::string out_path = "BENCH_kernels.json";
+  if (const char* p = std::getenv("CEWS_BENCH_KERNELS_OUT")) out_path = p;
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"gemm_kernel_sweep\",\n"
+      << "  \"threads\": 1,\n  \"flops_formula\": \"2*m*n*k\",\n"
+      << "  \"shapes\": [\n";
+
+  bool first = true;
+  for (const KernelShape& s : kShapes) {
+    const bool nt = std::string(s.kind) == "NT";
+    const std::vector<float> a = RandomBuffer(s.m * s.k, 21);
+    const std::vector<float> b =
+        RandomBuffer(nt ? s.n * s.k : s.k * s.n, 22);
+    std::vector<float> c(static_cast<size_t>(s.m * s.n), 0.0f);
+    const auto run_packed = [&] {
+      if (nt) {
+        GemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, c.data(), s.n);
+      } else {
+        GemmNN(s.m, s.n, s.k, a.data(), s.k, 1, b.data(), s.n, c.data(), s.n);
+      }
+    };
+    const auto run_ref = [&] {
+      if (nt) {
+        nn::gemm::reference::GemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(),
+                                    s.k, c.data(), s.n);
+      } else {
+        nn::gemm::reference::GemmNN(s.m, s.n, s.k, a.data(), s.k, 1, b.data(),
+                                    s.n, c.data(), s.n);
+      }
+    };
+
+    const double ref_s = TimePerIter(run_ref);
+    const double packed_s = TimePerIter(run_packed);
+
+    // Steady-state workspace traffic of the packed kernel (arena is warm
+    // after TimePerIter): misses must be 0, hits >= 1 per iteration.
+    const nn::Workspace::Stats before = nn::Workspace::GlobalStats();
+    constexpr int kProbeIters = 16;
+    for (int i = 0; i < kProbeIters; ++i) run_packed();
+    const nn::Workspace::Stats after = nn::Workspace::GlobalStats();
+    const double misses_per_iter =
+        static_cast<double>(after.misses - before.misses) / kProbeIters;
+
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.n) * static_cast<double>(s.k);
+    const double ref_gflops = flops / ref_s * 1e-9;
+    const double packed_gflops = flops / packed_s * 1e-9;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"kind\": \"%s\", \"m\": %lld, \"n\": %lld, "
+        "\"k\": %lld, \"reference_gflops\": %.3f, \"packed_gflops\": %.3f, "
+        "\"speedup\": %.3f, \"workspace_misses_per_iter\": %.3f}",
+        s.name, s.kind, static_cast<long long>(s.m),
+        static_cast<long long>(s.n), static_cast<long long>(s.k), ref_gflops,
+        packed_gflops, packed_s > 0 ? ref_s / packed_s : 0.0, misses_per_iter);
+    out << (first ? "" : ",\n") << buf;
+    first = false;
+    std::printf("[kernels] %-18s %s m=%lld n=%lld k=%lld  ref %.2f GF/s  "
+                "packed %.2f GF/s  speedup %.2fx  misses/iter %.2f\n",
+                s.name, s.kind, static_cast<long long>(s.m),
+                static_cast<long long>(s.n), static_cast<long long>(s.k),
+                ref_gflops, packed_gflops,
+                packed_s > 0 ? ref_s / packed_s : 0.0, misses_per_iter);
+  }
+  out << "\n  ]\n}\n";
+  std::printf("[kernels] wrote %s\n", out_path.c_str());
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN() with a trailing obs profile dump: set
-// CEWS_OBS_PROFILE=1 to print where the kernel time actually went.
+// CEWS_OBS_PROFILE=1 to print where the kernel time actually went. Set
+// CEWS_BENCH_KERNELS=1 to run the packed-vs-reference GEMM sweep and write
+// BENCH_kernels.json (use --benchmark_filter=NONE to skip the google
+// benchmarks and run the sweep alone).
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (cews::GetEnvBool("CEWS_BENCH_KERNELS")) RunKernelSweep();
   cews::bench::MaybeEmitProfile();
   return 0;
 }

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
+#include "common/env_flags.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "nn/gemm.h"
+#include "nn/workspace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,31 +20,21 @@ namespace {
 // ---------------------------------------------------------------------------
 // Intra-op parallelism.
 //
-// The hot kernels (MatMul, Conv2d) run on the cews::runtime global pool.
-// Every kernel is written so that each parallel index owns its accumulators
-// outright (a row of the output, an image of the batch, an output channel of
-// the weight gradient) and accumulates them in a fixed serial order. Chunk
-// boundaries therefore never change any floating-point result: outputs are
-// bitwise-identical at any thread count.
+// The hot kernels (MatMul, Conv2d) run on the cews::runtime global pool via
+// the packed GEMM layer (nn/gemm.h). Every kernel is written so that each
+// parallel index owns its accumulators outright (a row of the output, an
+// image of the batch, an output channel of the weight gradient) and
+// accumulates them in a fixed serial order. Chunk boundaries therefore never
+// change any floating-point result: outputs are bitwise-identical at any
+// thread count.
+//
+// Transient buffers (im2col columns, packed panels, per-image gradient
+// scratch) and op outputs come from the per-thread workspace arena
+// (nn/workspace.h), so a steady-state training step recycles every one of
+// them instead of hitting the allocator.
 // ---------------------------------------------------------------------------
 
-/// Parallelizes [0, n) over the global pool when the total kernel cost
-/// (roughly `flops_per_index * n`) justifies the dispatch overhead;
-/// otherwise runs inline. The threshold only picks serial-vs-pool execution,
-/// which cannot change results (see above).
-template <typename Fn>
-void ParallelKernel(Index n, Index flops_per_index, Fn&& fn) {
-  constexpr Index kMinFlops = 16 * 1024;
-  runtime::ThreadPool& pool = runtime::GlobalPool();
-  if (n <= 1 || pool.num_threads() <= 1 ||
-      n * std::max<Index>(flops_per_index, 1) < kMinFlops) {
-    fn(Index{0}, n);
-    return;
-  }
-  pool.ParallelFor(0, n, [&fn](int64_t begin, int64_t end) {
-    fn(static_cast<Index>(begin), static_cast<Index>(end));
-  });
-}
+using gemm::ParallelKernel;
 
 /// Telemetry for one hot kernel (obs/metrics.h): call count plus FLOP- and
 /// time-weighted forward/backward totals, so a scrape can report effective
@@ -107,7 +101,7 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  std::vector<float> out(a.numel());
+  std::vector<float> out = Workspace::AcquireVec(a.numel());
   const float* pa = a.data();
   const float* pb = b.data();
   for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] + pb[i];
@@ -133,7 +127,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  std::vector<float> out(a.numel());
+  std::vector<float> out = Workspace::AcquireVec(a.numel());
   const float* pa = a.data();
   const float* pb = b.data();
   for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] - pb[i];
@@ -159,7 +153,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  std::vector<float> out(a.numel());
+  std::vector<float> out = Workspace::AcquireVec(a.numel());
   const float* pa = a.data();
   const float* pb = b.data();
   for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] * pb[i];
@@ -184,7 +178,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  std::vector<float> out(a.numel());
+  std::vector<float> out = Workspace::AcquireVec(a.numel());
   const float* pa = a.data();
   for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] + s;
   Tensor r = MakeResult(a.shape(), std::move(out), {a});
@@ -200,7 +194,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  std::vector<float> out(a.numel());
+  std::vector<float> out = Workspace::AcquireVec(a.numel());
   const float* pa = a.data();
   for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] * s;
   Tensor r = MakeResult(a.shape(), std::move(out), {a});
@@ -223,7 +217,7 @@ Tensor AddBias(const Tensor& x, const Tensor& b) {
   CEWS_CHECK_EQ(b.ndim(), 1);
   const Index n = x.dim(0), d = x.dim(1);
   CEWS_CHECK_EQ(b.dim(0), d);
-  std::vector<float> out(static_cast<size_t>(n * d));
+  std::vector<float> out = Workspace::AcquireVec(n * d);
   const float* px = x.data();
   const float* pb = b.data();
   for (Index i = 0; i < n; ++i) {
@@ -251,40 +245,12 @@ Tensor AddBias(const Tensor& x, const Tensor& b) {
   return r;
 }
 
-namespace {
-
-/// Rows of B kept hot per tile while the forward kernel streams output rows.
-constexpr Index kMatMulLTile = 64;
-
-/// C[i0:i1, :] += A[i0:i1, :] * B for row-major operands. Blocked over the
-/// inner dimension so a kMatMulLTile x m slab of B stays cache-resident.
-/// Per output element the accumulation order is l ascending regardless of
-/// the row range, so any row partition yields identical results.
-void MatMulRowsKernel(const float* pa, const float* pb, float* out, Index i0,
-                      Index i1, Index k, Index m) {
-  for (Index l0 = 0; l0 < k; l0 += kMatMulLTile) {
-    const Index l1 = std::min(k, l0 + kMatMulLTile);
-    for (Index i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* orow = out + i * m;
-      for (Index l = l0; l < l1; ++l) {
-        const float av = arow[l];
-        if (av == 0.0f) continue;
-        const float* brow = pb + l * m;
-        for (Index j = 0; j < m; ++j) orow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-}  // namespace
-
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   CEWS_CHECK_EQ(a.ndim(), 2);
   CEWS_CHECK_EQ(b.ndim(), 2);
   const Index n = a.dim(0), k = a.dim(1), m = b.dim(1);
   CEWS_CHECK_EQ(b.dim(0), k);
-  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  std::vector<float> out = Workspace::AcquireVec(n * m);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -292,9 +258,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   {
     CEWS_TRACE_SCOPE("nn.MatMul");
     const uint64_t t0 = Stopwatch::NowNs();
-    ParallelKernel(n, 2 * k * m, [&](Index i0, Index i1) {
-      MatMulRowsKernel(pa, pb, po, i0, i1, k, m);
-    });
+    gemm::GemmNN(n, m, k, pa, k, 1, pb, m, po, m);
     KernelMetrics& metrics = MatMulMetrics();
     metrics.calls->Increment();
     metrics.fwd_flops->Add(flops);
@@ -309,25 +273,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       CEWS_TRACE_SCOPE("nn.MatMul.bwd");
       const uint64_t t0 = Stopwatch::NowNs();
       uint64_t bwd_flops = 0;
-      // dA = dC * B^T, partitioned over rows of dA (each row has one owner);
-      // dB = A^T * dC, partitioned over rows of dB.
+      // dA = dC * B^T (NT shape: one fresh dot per element) and
+      // dB = A^T * dC (NN shape: rows of dB accumulate n-ascending, matching
+      // the transposed read of A). Both partitioned over output rows.
       if (ia->requires_grad) {
         bwd_flops += 2ull * static_cast<uint64_t>(n * k * m);
         ia->EnsureGrad();
         const float* og = o->grad.data();
         const float* pb = ib->data.data();
         float* ga = ia->grad.data();
-        ParallelKernel(n, 2 * k * m, [&](Index i0, Index i1) {
-          for (Index i = i0; i < i1; ++i) {
-            const float* grow = og + i * m;
-            for (Index l = 0; l < k; ++l) {
-              const float* brow = pb + l * m;
-              float dot = 0.0f;
-              for (Index j = 0; j < m; ++j) dot += grow[j] * brow[j];
-              ga[i * k + l] += dot;
-            }
-          }
-        });
+        gemm::GemmNT(n, k, m, og, m, pb, m, ga, k);
       }
       if (ib->requires_grad) {
         bwd_flops += 2ull * static_cast<uint64_t>(n * k * m);
@@ -335,17 +290,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* og = o->grad.data();
         const float* pa = ia->data.data();
         float* gb = ib->grad.data();
-        ParallelKernel(k, 2 * n * m, [&](Index l0, Index l1) {
-          for (Index l = l0; l < l1; ++l) {
-            float* gbrow = gb + l * m;
-            for (Index i = 0; i < n; ++i) {
-              const float av = pa[i * k + l];
-              if (av == 0.0f) continue;
-              const float* grow = og + i * m;
-              for (Index j = 0; j < m; ++j) gbrow[j] += av * grow[j];
-            }
-          }
-        });
+        gemm::GemmNN(k, m, n, pa, 1, k, og, m, gb, m);
       }
       KernelMetrics& metrics = MatMulMetrics();
       metrics.bwd_flops->Add(bwd_flops);
@@ -361,7 +306,7 @@ namespace {
 /// dx = dy * dfn(x, y).
 template <typename FwdFn, typename BwdFn>
 Tensor UnaryElementwise(const Tensor& x, FwdFn fwd, BwdFn dfn) {
-  std::vector<float> out(x.numel());
+  std::vector<float> out = Workspace::AcquireVec(x.numel());
   const float* px = x.data();
   for (Index i = 0; i < x.numel(); ++i) out[i] = fwd(px[i]);
   Tensor r = MakeResult(x.shape(), std::move(out), {x});
@@ -437,7 +382,7 @@ Tensor BinarySelect(const Tensor& a, const Tensor& b, PickA pick_a,
                     const char* name) {
   CheckSameShape(a, b, name);
   const Index n = a.numel();
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = Workspace::AcquireVec(n);
   const float* pa = a.data();
   const float* pb = b.data();
   for (Index i = 0; i < n; ++i) {
@@ -477,7 +422,7 @@ Tensor Softmax(const Tensor& x) {
   CEWS_CHECK_GE(x.ndim(), 1);
   const Index d = x.dim(-1);
   const Index rows = x.numel() / d;
-  std::vector<float> out(x.numel());
+  std::vector<float> out = Workspace::AcquireVec(x.numel());
   const float* px = x.data();
   for (Index r = 0; r < rows; ++r) {
     const float* row = px + r * d;
@@ -515,7 +460,7 @@ Tensor LogSoftmax(const Tensor& x) {
   CEWS_CHECK_GE(x.ndim(), 1);
   const Index d = x.dim(-1);
   const Index rows = x.numel() / d;
-  std::vector<float> out(x.numel());
+  std::vector<float> out = Workspace::AcquireVec(x.numel());
   const float* px = x.data();
   for (Index r = 0; r < rows; ++r) {
     const float* row = px + r * d;
@@ -589,7 +534,7 @@ Tensor SumLastDim(const Tensor& x) {
   const Index d = x.dim(-1);
   const Index rows = x.numel() / d;
   Shape out_shape(x.shape().begin(), x.shape().end() - 1);
-  std::vector<float> out(static_cast<size_t>(rows), 0.0f);
+  std::vector<float> out = Workspace::AcquireVec(rows);
   const float* px = x.data();
   for (Index r = 0; r < rows; ++r) {
     double acc = 0.0;
@@ -613,7 +558,9 @@ Tensor SumLastDim(const Tensor& x) {
 
 Tensor Reshape(const Tensor& x, const Shape& shape) {
   CEWS_CHECK_EQ(NumElements(shape), x.numel());
-  Tensor r = MakeResult(shape, x.ToVector(), {x});
+  std::vector<float> out = Workspace::AcquireVec(x.numel());
+  std::copy(x.data(), x.data() + x.numel(), out.begin());
+  Tensor r = MakeResult(shape, std::move(out), {x});
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -633,7 +580,7 @@ Tensor Concat(const Tensor& a, const Tensor& b) {
   const Index rows = a.numel() / da;
   Shape out_shape = a.shape();
   out_shape.back() = da + db;
-  std::vector<float> out(static_cast<size_t>(rows * (da + db)));
+  std::vector<float> out = Workspace::AcquireVec(rows * (da + db));
   const float* pa = a.data();
   const float* pb = b.data();
   for (Index r = 0; r < rows; ++r) {
@@ -669,7 +616,7 @@ Tensor GatherLastDim(const Tensor& x, const std::vector<Index>& idx) {
   const Index rows = x.numel() / d;
   CEWS_CHECK_EQ(static_cast<Index>(idx.size()), rows);
   Shape out_shape(x.shape().begin(), x.shape().end() - 1);
-  std::vector<float> out(static_cast<size_t>(rows));
+  std::vector<float> out = Workspace::AcquireVec(rows);
   const float* px = x.data();
   for (Index r = 0; r < rows; ++r) {
     CEWS_CHECK_GE(idx[r], 0);
@@ -757,18 +704,40 @@ void Col2ImAccum(const ConvShape& s, const float* cols, float* img) {
   }
 }
 
-/// Unfolds the whole batch, one image per parallel index.
-std::vector<float> BatchIm2Col(const ConvShape& s, const float* px) {
-  std::vector<float> cols(
-      static_cast<size_t>(s.n) * static_cast<size_t>(s.ck2() * s.ohow()));
-  float* pc = cols.data();
+/// Unfolds the whole batch into cols (n * ck2 * ohow floats, caller-owned —
+/// typically a workspace chunk), one image per parallel index.
+void BatchIm2Col(const ConvShape& s, const float* px, float* pc) {
   ParallelKernel(s.n, s.ck2() * s.ohow(), [&](Index n0, Index n1) {
     for (Index in = n0; in < n1; ++in) {
       Im2Col(s, px + in * s.c * s.h * s.w, pc + in * s.ck2() * s.ohow());
     }
   });
-  return cols;
 }
+
+/// Packs each image's column matrix [ck2, ohow] into the GEMM panel layout,
+/// one image per parallel index. Pass transposed=true for the Yᵀ (PackNT)
+/// layout the dW product consumes.
+void PackBatch(const ConvShape& s, const float* pc, float* pp,
+               bool transposed) {
+  const Index ck2 = s.ck2(), ohow = s.ohow();
+  ParallelKernel(s.n, ck2 * ohow, [&](Index n0, Index n1) {
+    for (Index in = n0; in < n1; ++in) {
+      const float* src = pc + in * ck2 * ohow;
+      float* dst = pp + in * ck2 * ohow;
+      if (transposed) {
+        gemm::PackNT(ohow, ck2, src, ohow, dst);
+      } else {
+        gemm::PackNN(ck2, ohow, src, ohow, dst);
+      }
+    }
+  });
+}
+
+/// When true (default), Conv2d keeps the forward im2col buffer alive inside
+/// the backward closure so dW does not recompute it. CEWS_CONV_CACHE=0
+/// restores the recompute-in-backward behavior (trades time for memory);
+/// read per call so tests can toggle it.
+bool ConvColsCacheEnabled() { return GetEnvBool("CEWS_CONV_CACHE", true); }
 
 }  // namespace
 
@@ -802,30 +771,37 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   // Forward = one [oc, ck2] x [ck2, ohow] product per image, parallel over
   // the flattened (image, output-channel) rows. Each output row is owned by
   // exactly one index and accumulated p-ascending, so results do not depend
-  // on the partition.
+  // on the partition. The cols buffer is shared so that, when the cache is
+  // on, the backward closure can reuse it for dW instead of re-unfolding x.
   CEWS_TRACE_SCOPE("nn.Conv2d");
   const uint64_t fwd_t0 = Stopwatch::NowNs();
-  const std::vector<float> cols = BatchIm2Col(s, x.data());
-  std::vector<float> out(static_cast<size_t>(s.n * s.oc * ohow));
+  auto cols = std::make_shared<ScopedVec>(s.n * ck2 * ohow);
+  BatchIm2Col(s, x.data(), cols->data());
+  std::vector<float> out = Workspace::AcquireVec(s.n * s.oc * ohow);
   {
+    ScopedVec packed(s.n * ck2 * ohow);
+    PackBatch(s, cols->data(), packed.data(), /*transposed=*/false);
     const float* pw = w.data();
     const float* pbias = bias.defined() ? bias.data() : nullptr;
-    const float* pc = cols.data();
+    const float* pp = packed.data();
     float* po = out.data();
     ParallelKernel(s.n * s.oc, 2 * ck2 * ohow, [&](Index r0, Index r1) {
-      for (Index row = r0; row < r1; ++row) {
-        const Index in = row / s.oc, io = row % s.oc;
-        const float* wrow = pw + io * ck2;
-        const float* icols = pc + in * ck2 * ohow;
-        float* orow = po + row * ohow;
-        std::fill(orow, orow + ohow,
-                  pbias != nullptr ? pbias[io] : 0.0f);
-        for (Index p = 0; p < ck2; ++p) {
-          const float wv = wrow[p];
-          if (wv == 0.0f) continue;
-          const float* crow = icols + p * ohow;
-          for (Index q = 0; q < ohow; ++q) orow[q] += wv * crow[q];
+      // A chunk may span image boundaries; group its rows by image so each
+      // NNRows call covers a contiguous block of output channels and gets
+      // the full kMr-row register tiling.
+      Index row = r0;
+      while (row < r1) {
+        const Index in = row / s.oc;
+        const Index io0 = row % s.oc;
+        const Index io1 = std::min(s.oc, io0 + (r1 - row));
+        float* obase = po + in * s.oc * ohow;
+        for (Index io = io0; io < io1; ++io) {
+          float* orow = obase + io * ohow;
+          std::fill(orow, orow + ohow, pbias != nullptr ? pbias[io] : 0.0f);
         }
+        gemm::NNRows(io0, io1, ohow, ck2, pw, ck2, 1,
+                     pp + in * ck2 * ohow, obase, ohow);
+        row += io1 - io0;
       }
     });
   }
@@ -843,7 +819,10 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
     auto ix = x.impl();
     auto iw = w.impl();
     auto ib = bias.defined() ? bias.impl() : nullptr;
-    r.impl()->backward_fn = [o, ix, iw, ib, s, ck2, ohow, conv_flops]() {
+    std::shared_ptr<ScopedVec> cached;
+    if (ConvColsCacheEnabled()) cached = cols;
+    r.impl()->backward_fn = [o, ix, iw, ib, s, ck2, ohow, conv_flops,
+                             cached]() {
       CEWS_TRACE_SCOPE("nn.Conv2d.bwd");
       const uint64_t t0 = Stopwatch::NowNs();
       uint64_t bwd_flops = 0;
@@ -855,57 +834,62 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
       if (need_db) ib->EnsureGrad();
       const float* og = o->grad.data();
 
-      // dW = sum_n dY_n * cols_n^T and db = sum over pixels, both
-      // partitioned over output channels (each dW row / db entry has one
-      // owner, accumulated image-major).
+      // dW = sum_n dY_n * cols_n^T (NT shape: one fresh dot per element,
+      // images accumulated in ascending order) and db = sum over pixels.
+      // Partitioned over output channels: each dW row / db entry has one
+      // owner.
       if (need_dw || need_db) {
         if (need_dw) bwd_flops += conv_flops;
-        const std::vector<float> cols = BatchIm2Col(s, ix->data.data());
-        const float* pc = cols.data();
         float* gw = need_dw ? iw->grad.data() : nullptr;
         float* gb = need_db ? ib->grad.data() : nullptr;
+        ScopedVec packt(need_dw ? s.n * ck2 * ohow : 0);
+        if (need_dw) {
+          const float* pc;
+          ScopedVec recomputed(cached ? 0 : s.n * ck2 * ohow);
+          if (cached) {
+            pc = cached->data();
+          } else {
+            BatchIm2Col(s, ix->data.data(), recomputed.data());
+            pc = recomputed.data();
+          }
+          PackBatch(s, pc, packt.data(), /*transposed=*/true);
+        }
+        const float* pt = packt.data();
         ParallelKernel(s.oc, 2 * s.n * ck2 * ohow, [&](Index o0, Index o1) {
-          for (Index io = o0; io < o1; ++io) {
-            for (Index in = 0; in < s.n; ++in) {
-              const float* grow = og + (in * s.oc + io) * ohow;
-              if (need_db) {
+          // Images ascend in the outer loop; every dW/db element still
+          // receives its per-image contributions in image order, identical
+          // to the channel-outer loop this replaced.
+          for (Index in = 0; in < s.n; ++in) {
+            const float* gbase = og + in * s.oc * ohow;
+            if (need_db) {
+              for (Index io = o0; io < o1; ++io) {
+                const float* grow = gbase + io * ohow;
                 float acc = 0.0f;
                 for (Index q = 0; q < ohow; ++q) acc += grow[q];
                 gb[io] += acc;
               }
-              if (!need_dw) continue;
-              const float* icols = pc + in * ck2 * ohow;
-              float* gwrow = gw + io * ck2;
-              for (Index p = 0; p < ck2; ++p) {
-                const float* crow = icols + p * ohow;
-                float dot = 0.0f;
-                for (Index q = 0; q < ohow; ++q) dot += grow[q] * crow[q];
-                gwrow[p] += dot;
-              }
             }
+            if (!need_dw) continue;
+            gemm::NTRows(o0, o1, ck2, ohow, gbase, ohow,
+                         pt + in * ck2 * ohow, gw, ck2);
           }
         });
       }
 
-      // dX_n = col2im(W^T * dY_n), partitioned over images.
+      // dX_n = col2im(W^T * dY_n), partitioned over images. The W^T product
+      // is NN-shaped: dcols rows accumulate channel-ascending.
       if (need_dx) {
         bwd_flops += conv_flops;
         const float* pw = iw->data.data();
         float* gx = ix->grad.data();
         ParallelKernel(s.n, 2 * s.oc * ck2 * ohow, [&](Index n0, Index n1) {
-          std::vector<float> dcols(static_cast<size_t>(ck2 * ohow));
           for (Index in = n0; in < n1; ++in) {
-            std::fill(dcols.begin(), dcols.end(), 0.0f);
-            for (Index io = 0; io < s.oc; ++io) {
-              const float* grow = og + (in * s.oc + io) * ohow;
-              const float* wrow = pw + io * ck2;
-              for (Index p = 0; p < ck2; ++p) {
-                const float wv = wrow[p];
-                if (wv == 0.0f) continue;
-                float* drow = dcols.data() + p * ohow;
-                for (Index q = 0; q < ohow; ++q) drow[q] += wv * grow[q];
-              }
-            }
+            ScopedVec dcols(ck2 * ohow);  // acquired zero-filled
+            ScopedVec packdy(s.oc * ohow);
+            gemm::PackNN(s.oc, ohow, og + in * s.oc * ohow, ohow,
+                         packdy.data());
+            gemm::NNRows(0, ck2, ohow, s.oc, pw, 1, ck2, packdy.data(),
+                         dcols.data(), ohow);
             Col2ImAccum(s, dcols.data(), gx + in * s.c * s.h * s.w);
           }
         });
@@ -925,7 +909,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const Index f = x.numel() / n;
   CEWS_CHECK_EQ(gamma.numel(), f);
   CEWS_CHECK_EQ(beta.numel(), f);
-  std::vector<float> out(x.numel());
+  std::vector<float> out = Workspace::AcquireVec(x.numel());
   std::vector<float> xhat(x.numel());
   std::vector<float> inv_sigma(static_cast<size_t>(n));
   const float* px = x.data();
@@ -999,7 +983,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<Index>& ids) {
   CEWS_CHECK_EQ(table.ndim(), 2);
   const Index v = table.dim(0), d = table.dim(1);
   const Index n = static_cast<Index>(ids.size());
-  std::vector<float> out(static_cast<size_t>(n * d));
+  std::vector<float> out = Workspace::AcquireVec(n * d);
   const float* pt = table.data();
   for (Index i = 0; i < n; ++i) {
     CEWS_CHECK_GE(ids[i], 0);

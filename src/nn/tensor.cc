@@ -1,9 +1,11 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "nn/workspace.h"
 
 namespace cews::nn {
 
@@ -36,10 +38,21 @@ std::string ShapeToString(const Shape& shape) {
   return os.str();
 }
 
+TensorImpl::~TensorImpl() {
+  Workspace::Recycle(std::move(data));
+  Workspace::Recycle(std::move(grad));
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.empty()) {
+    grad = Workspace::AcquireVec(static_cast<Index>(data.size()));
+  }
+}
+
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  impl->data = Workspace::AcquireVec(NumElements(shape));
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -133,7 +146,12 @@ std::vector<float> Tensor::ToVector() const {
 
 void Tensor::ZeroGrad() {
   CEWS_CHECK(defined());
-  impl_->grad.assign(impl_->data.size(), 0.0f);
+  if (impl_->grad.size() == impl_->data.size()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);  // no realloc
+  } else {
+    Workspace::Recycle(std::move(impl_->grad));
+    impl_->grad = Workspace::AcquireVec(static_cast<Index>(impl_->data.size()));
+  }
 }
 
 Tensor Tensor::Detach() const {

@@ -139,10 +139,16 @@ struct TensorImpl {
   /// Tape edges toward leaves.
   std::vector<std::shared_ptr<TensorImpl>> parents;
 
-  /// Allocates (zeroed) grad storage if absent.
-  void EnsureGrad() {
-    if (grad.empty()) grad.assign(data.size(), 0.0f);
-  }
+  TensorImpl() = default;
+  /// Recycles data/grad storage into the per-thread workspace arena
+  /// (nn/workspace.h), so the next step's ops reuse it allocation-free.
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
+  /// Allocates (zeroed) grad storage if absent; storage comes from the
+  /// workspace arena.
+  void EnsureGrad();
 };
 
 }  // namespace cews::nn

@@ -1,0 +1,94 @@
+// cews::nn — per-thread transient-buffer workspace.
+//
+// The NN hot path (MatMul, Conv2d, and every elementwise op) used to
+// heap-allocate a fresh std::vector<float> for each output, each im2col
+// expansion, and each packed GEMM panel, on every forward *and* backward
+// call. The workspace turns those into recycled acquisitions: each thread
+// owns a size-bucketed arena of float vectors, Acquire pops a vector whose
+// capacity covers the request (power-of-two buckets), and Recycle pushes the
+// storage back for the next call. In steady state a training step touches
+// the allocator zero times for kernel transients — the reuse counters below
+// prove it (tests/nn_gemm_test.cc, agents_trainer_core_test.cc).
+//
+// Ownership rules:
+//  * Arenas are strictly per-thread (thread_local): Acquire and Recycle
+//    always operate on the *calling* thread's arena, so no locks are needed
+//    and TSan sees no shared mutable state. A vector acquired on thread A
+//    and recycled on thread B simply migrates A→B; totals are global.
+//  * Recycling is optional. An acquired vector is an ordinary
+//    std::vector<float>; letting it die normally just frees the memory
+//    (and forfeits the reuse).
+//  * After a thread's arena is torn down (thread exit / process teardown),
+//    Recycle degrades to a plain free and Acquire to a plain allocation.
+//
+// Telemetry (cews::obs):
+//  * workspace.reuse_hits    — acquisitions served from a freelist
+//  * workspace.misses        — acquisitions that had to allocate
+//  * workspace.recycles      — vectors returned to an arena
+//  * workspace.evictions     — recycles dropped because a bucket was full
+//  * workspace.bytes_in_use  — gauge: bytes currently retained in freelists
+//                              across all live arenas
+#ifndef CEWS_NN_WORKSPACE_H_
+#define CEWS_NN_WORKSPACE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace cews::nn {
+
+class Workspace {
+ public:
+  /// Returns a zero-filled vector of exactly `n` elements whose storage is
+  /// recycled from this thread's arena when a compatible chunk is retained
+  /// (capacity is the enclosing power of two). Semantically identical to
+  /// `std::vector<float>(n)` — only the allocation is (usually) saved.
+  static std::vector<float> AcquireVec(Index n);
+
+  /// Returns `v`'s storage to this thread's arena for future AcquireVec
+  /// calls. Empty or capacity-less vectors are ignored; buckets past their
+  /// retention cap drop the storage (counted as an eviction).
+  static void Recycle(std::vector<float>&& v);
+
+  /// Aggregated counters for tests/diagnostics; mirrors the obs metrics but
+  /// readable without a registry snapshot.
+  struct Stats {
+    uint64_t reuse_hits = 0;
+    uint64_t misses = 0;
+    uint64_t recycles = 0;
+    uint64_t evictions = 0;
+    int64_t bytes_in_use = 0;  ///< Freelist bytes across all live arenas.
+  };
+  static Stats GlobalStats();
+
+  /// Drops every chunk retained by the calling thread's arena (tests that
+  /// want a cold arena). Other threads' arenas are untouched.
+  static void TrimThisThread();
+};
+
+/// RAII scratch buffer: AcquireVec on construction, Recycle on destruction.
+/// Move-only; the typical holder for im2col columns, packed GEMM panels and
+/// per-image scratch inside kernel bodies.
+class ScopedVec {
+ public:
+  explicit ScopedVec(Index n) : v_(Workspace::AcquireVec(n)) {}
+  ~ScopedVec() { Workspace::Recycle(std::move(v_)); }
+  ScopedVec(ScopedVec&&) = default;
+  ScopedVec& operator=(ScopedVec&&) = delete;
+  ScopedVec(const ScopedVec&) = delete;
+  ScopedVec& operator=(const ScopedVec&) = delete;
+
+  float* data() { return v_.data(); }
+  const float* data() const { return v_.data(); }
+  Index size() const { return static_cast<Index>(v_.size()); }
+  std::vector<float>& vec() { return v_; }
+
+ private:
+  std::vector<float> v_;
+};
+
+}  // namespace cews::nn
+
+#endif  // CEWS_NN_WORKSPACE_H_

@@ -9,9 +9,12 @@
 
 #include "agents/eval.h"
 #include "agents/policy_net.h"
+#include "common/thread_pool.h"
 #include "env/map.h"
 #include "env/state_encoder.h"
 #include "env/vec_env.h"
+#include "nn/ops.h"
+#include "nn/workspace.h"
 
 namespace cews::agents {
 namespace {
@@ -224,6 +227,53 @@ TEST(RunVecRolloutTest, MultiEnvFillsEveryBuffer) {
     EXPECT_EQ(b.size(), 4u);
     EXPECT_TRUE(b[3].done);
   }
+}
+
+TEST(WorkspaceChurnTest, PolicyNetStepIsAllocationFreeInSteadyState) {
+  // A full policy-net forward + backward — the inner loop of every PPO
+  // update epoch — must run out of the per-thread workspace arena once it
+  // is warm: zero allocator hits (workspace misses) per steady-state step.
+  // Serial pool so every acquisition lands on one arena; with workers the
+  // warm-up set is split nondeterministically across threads.
+  runtime::SetGlobalPoolThreads(1);
+  const env::Map map = SmallMap();
+  const env::EnvConfig env_config = ShortConfig();
+  env::StateEncoderConfig encoder_config;
+  encoder_config.grid = 10;
+  const env::StateEncoder encoder(encoder_config);
+  Rng net_rng(5);
+  const PolicyNet net(TinyNet(map, env_config, 10), net_rng);
+
+  env::VecEnv vec(env_config, map, /*num_envs=*/4);
+  const std::vector<float> states = encoder.EncodeBatch(vec.EnvPtrs());
+  const PolicyNetConfig& cfg = net.config();
+  const std::vector<nn::Tensor> params = net.Parameters();
+
+  auto step = [&]() {
+    std::vector<float> batch = nn::Workspace::AcquireVec(
+        static_cast<nn::Index>(states.size()));
+    std::copy(states.begin(), states.end(), batch.begin());
+    nn::Tensor x = nn::Tensor::FromData(
+        {4, cfg.in_channels, cfg.grid, cfg.grid}, std::move(batch), false);
+    const PolicyOutput out = net.Forward(x);
+    nn::Tensor loss =
+        nn::Add(nn::Add(nn::Mean(nn::Square(out.move_logits)),
+                        nn::Mean(nn::Square(out.charge_logits))),
+                nn::Mean(nn::Square(out.value)));
+    for (const nn::Tensor& p : params) {
+      nn::Tensor grad_holder = p;
+      grad_holder.ZeroGrad();
+    }
+    loss.Backward();
+  };
+
+  for (int i = 0; i < 3; ++i) step();  // warm the arena
+  const nn::Workspace::Stats before = nn::Workspace::GlobalStats();
+  for (int i = 0; i < 5; ++i) step();
+  const nn::Workspace::Stats after = nn::Workspace::GlobalStats();
+  EXPECT_EQ(after.misses, before.misses)
+      << "steady-state policy-net step hit the allocator";
+  EXPECT_GT(after.reuse_hits, before.reuse_hits);
 }
 
 TEST(MergeBuffersTest, ConcatenatesInOrder) {
