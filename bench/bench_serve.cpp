@@ -1,19 +1,29 @@
-// Benchmark of the serve subsystem: closed-loop load against a
-// serve::PolicyServer, sweeping offered load (clients) x micro-batch bound
-// (max_batch) x inference workers (threads).
+// Benchmark of the serve subsystem, in two parts:
 //
-// Each row runs a fresh server and reports client-observed throughput and
-// latency percentiles from serve::RunClosedLoopLoad, plus the mean flush
-// size (how well concurrent requests coalesced into shared Forwards). The
-// interesting comparisons:
+//   1. Closed-loop batching sweep — completion-gated clients against a
+//      single-shard fleet, sweeping offered load (clients) x micro-batch
+//      bound (max_batch) x inference workers. Shows how well concurrent
+//      requests coalesce into shared Forwards (mean_batch) and what that
+//      does to throughput. Closed-loop latency flatters the server under
+//      load (clients slow down with it), so these rows are for throughput
+//      and batching conclusions only.
 //
-//   * clients=8, max_batch=1 vs max_batch>=8: the same offered load with
-//     batching disabled vs enabled — the batched rows amortize kernel
-//     dispatch across coalesced requests.
-//   * threads=1 vs threads=2 at fixed load: scaling of the worker pool
-//     (meaningful only on multi-core hosts; see the caveat printed at the
-//     end on single-core containers).
+//   2. Open-loop fleet sweep — Poisson arrivals at arrival_rps from a
+//      simulated population of up to 10^6 client ids (ids drive the
+//      consistent-hash routing; no thread per client), sweeping shards x
+//      population x arrival rate. Latency is charged from each request's
+//      scheduled arrival (no coordinated omission) and shards run bounded
+//      queues, so overload shows up honestly: p99/p999 growth up to the
+//      admission bound, then counted sheds — never a blocked arrival
+//      process. The shards=1 vs shards=2 rows at the same rate are the
+//      scaling comparison (meaningful on multi-core hosts only; see the
+//      caveat printed at the end).
+//
+// Writes BENCH_serve.json (path overridable via CEWS_BENCH_SERVE_OUT) with
+// one record per row of both sweeps.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,8 +32,8 @@
 #include "common/table.h"
 #include "env/env.h"
 #include "env/map.h"
+#include "serve/fleet.h"
 #include "serve/loadgen.h"
-#include "serve/server.h"
 
 namespace {
 
@@ -41,19 +51,9 @@ env::Map BenchMap() {
   return std::move(result).value();
 }
 
-struct SweepPoint {
-  int clients;
-  int max_batch;
-  int threads;
-};
-
-}  // namespace
-
-int main() {
-  const env::Map map = BenchMap();
-  const env::EnvConfig env_config;
-
-  serve::PolicyServerConfig base;
+serve::FleetConfig BaseFleet(const env::Map& map,
+                             const env::EnvConfig& env_config) {
+  serve::FleetConfig base;
   base.net.grid = 12;
   base.net.num_workers = static_cast<int>(map.worker_spawns.size());
   base.net.num_moves = env_config.action_space.num_moves();
@@ -64,58 +64,204 @@ int main() {
   base.max_queue_delay_us = 200;
   base.runtime_threads = 1;  // isolate batching gains from kernel threading
   base.seed = 7;
+  return base;
+}
 
-  const std::vector<SweepPoint> sweep = {
-      {1, 1, 1},  {8, 1, 1},   {8, 8, 1},  {8, 16, 1},
-      {16, 16, 1}, {8, 8, 2},  {16, 16, 2},
+struct ClosedPoint {
+  int clients;
+  int max_batch;
+  int threads;
+};
+
+struct OpenPoint {
+  int shards;
+  int clients;  // simulated id population
+  double arrival_rps;
+  /// Per-shard admission bound and flush delay. The default bound is
+  /// generous; the admission-control row shrinks it (and slows flushes) so
+  /// the arrival rate provably exceeds service capacity and the sheds are
+  /// visible in the JSON.
+  int max_queue_depth = 256;
+  int64_t delay_us = 200;
+};
+
+/// One JSON record; fields follow serve::LoadResult.
+std::string JsonRow(const char* mode, int shards, int clients, int max_batch,
+                    int threads, double arrival_rps,
+                    const serve::LoadResult& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"mode\": \"%s\", \"shards\": %d, \"clients\": %d, "
+      "\"max_batch\": %d, \"threads_per_shard\": %d, \"arrival_rps\": %.1f, "
+      "\"requests\": %llu, \"shed\": %llu, \"errors\": %llu, "
+      "\"offered_rps\": %.1f, \"throughput_rps\": %.1f, "
+      "\"latency_mean_us\": %.1f, \"latency_p50_us\": %.1f, "
+      "\"latency_p95_us\": %.1f, \"latency_p99_us\": %.1f, "
+      "\"latency_p999_us\": %.1f, \"mean_batch\": %.2f}",
+      mode, shards, clients, max_batch, threads, arrival_rps,
+      static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.errors), r.offered_rps,
+      r.throughput_rps, r.latency_mean_us, r.latency_p50_us,
+      r.latency_p95_us, r.latency_p99_us, r.latency_p999_us, r.mean_batch);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const env::Map map = BenchMap();
+  const env::EnvConfig env_config;
+  const serve::FleetConfig base = BaseFleet(map, env_config);
+  std::vector<std::string> json_rows;
+
+  // -------------------------------------------------------------------
+  // Part 1: closed-loop batching sweep (single shard, unbounded queue —
+  // the closed loop cannot overrun it).
+  // -------------------------------------------------------------------
+  const std::vector<ClosedPoint> closed_sweep = {
+      {1, 1, 1}, {8, 1, 1}, {8, 8, 1}, {8, 16, 1},
+      {16, 16, 1}, {8, 8, 2}, {16, 16, 2},
   };
 
-  Table table({"clients", "max_batch", "threads", "rps", "mean_us", "p50_us",
-               "p95_us", "p99_us", "mean_batch"});
-  for (const SweepPoint& point : sweep) {
-    serve::PolicyServerConfig config = base;
+  Table closed_table({"clients", "max_batch", "threads", "rps", "mean_us",
+                      "p50_us", "p95_us", "p99_us", "mean_batch"});
+  for (const ClosedPoint& point : closed_sweep) {
+    serve::FleetConfig config = base;
+    config.num_shards = 1;
     config.max_batch = point.max_batch;
-    config.num_threads = point.threads;
-    auto server = serve::PolicyServer::Create(config);
-    if (!server.ok()) {
-      std::fprintf(stderr, "server: %s\n",
-                   server.status().ToString().c_str());
+    config.threads_per_shard = point.threads;
+    config.max_queue_depth = 0;
+    auto fleet = serve::Fleet::Create(config);
+    if (!fleet.ok()) {
+      std::fprintf(stderr, "fleet: %s\n", fleet.status().ToString().c_str());
       return 1;
     }
 
-    serve::LoadGenOptions options;
-    options.clients = point.clients;
-    options.requests_per_client = 50;
-    options.env = env_config;
-    auto result = serve::RunClosedLoopLoad(*server.value(), map, options);
+    serve::LoadSpec spec;
+    spec.mode = serve::LoadMode::kClosedLoop;
+    spec.clients = point.clients;
+    spec.requests_per_client = 50;
+    spec.env = env_config;
+    auto result = serve::RunLoad(*fleet.value(), map, spec);
     if (!result.ok()) {
       std::fprintf(stderr, "loadgen: %s\n",
                    result.status().ToString().c_str());
       return 1;
     }
-    const serve::LoadGenResult& r = result.value();
+    const serve::LoadResult& r = result.value();
+    if (r.errors != 0 || r.shed != 0) {
+      std::fprintf(stderr, "closed loop reported %llu errors, %llu shed\n",
+                   static_cast<unsigned long long>(r.errors),
+                   static_cast<unsigned long long>(r.shed));
+      return 1;
+    }
+    closed_table.AddRow({std::to_string(point.clients),
+                         std::to_string(point.max_batch),
+                         std::to_string(point.threads),
+                         Table::Fmt(r.throughput_rps, 1),
+                         Table::Fmt(r.latency_mean_us, 1),
+                         Table::Fmt(r.latency_p50_us, 1),
+                         Table::Fmt(r.latency_p95_us, 1),
+                         Table::Fmt(r.latency_p99_us, 1),
+                         Table::Fmt(r.mean_batch, 2)});
+    json_rows.push_back(JsonRow("closed", 1, point.clients, point.max_batch,
+                                point.threads, 0.0, r));
+  }
+  std::printf("closed-loop batching sweep (1 shard):\n%s\n",
+              closed_table.ToString().c_str());
+
+  // -------------------------------------------------------------------
+  // Part 2: open-loop fleet sweep — shards x client population x arrival
+  // rate, bounded per-shard queues.
+  // -------------------------------------------------------------------
+  const std::vector<OpenPoint> open_sweep = {
+      // Scaling comparison: same rate, 1 vs 2 shards.
+      {1, 10'000, 500.0},   {2, 10'000, 500.0},
+      {1, 10'000, 1'000.0}, {2, 10'000, 1'000.0},
+      {1, 10'000, 2'000.0}, {2, 10'000, 2'000.0},
+      // Overload: far past one core's capacity — sheds, not queues.
+      {1, 10'000, 4'000.0}, {2, 10'000, 4'000.0},
+      // Population sweep at fixed rate: routing/bookkeeping cost of large
+      // simulated fleets (10^5 and 10^6 distinct client ids).
+      {2, 100'000, 1'000.0},
+      {2, 1'000'000, 1'000.0},
+      // Admission-control demo: flushes throttled to ~max_batch/5ms per
+      // shard (~1.6k rps service ceiling) under a 4k rps arrival stream
+      // with an 8-deep queue — the excess MUST surface as counted sheds
+      // while the arrival process never blocks.
+      {1, 10'000, 4'000.0, /*max_queue_depth=*/8, /*delay_us=*/5'000},
+  };
+
+  Table open_table({"shards", "clients", "arrival_rps", "offered_rps",
+                    "rps", "shed", "p50_us", "p99_us", "p999_us",
+                    "mean_batch"});
+  for (const OpenPoint& point : open_sweep) {
+    serve::FleetConfig config = base;
+    config.num_shards = point.shards;
+    config.threads_per_shard = 1;
+    config.max_batch = 8;
+    config.max_queue_delay_us = point.delay_us;
+    config.max_queue_depth = point.max_queue_depth;  // overload is shed
+    auto fleet = serve::Fleet::Create(config);
+    if (!fleet.ok()) {
+      std::fprintf(stderr, "fleet: %s\n", fleet.status().ToString().c_str());
+      return 1;
+    }
+
+    serve::LoadSpec spec;
+    spec.mode = serve::LoadMode::kOpenLoop;
+    spec.clients = point.clients;
+    spec.arrival_rps = point.arrival_rps;
+    spec.duration_seconds = 0.5;
+    spec.submit_threads = 2;
+    spec.env = env_config;
+    auto result = serve::RunLoad(*fleet.value(), map, spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const serve::LoadResult& r = result.value();
     if (r.errors != 0) {
-      std::fprintf(stderr, "loadgen reported %llu errors\n",
+      std::fprintf(stderr, "open loop reported %llu errors\n",
                    static_cast<unsigned long long>(r.errors));
       return 1;
     }
-    table.AddRow({std::to_string(point.clients),
-                  std::to_string(point.max_batch),
-                  std::to_string(point.threads),
-                  Table::Fmt(r.throughput_rps, 1),
-                  Table::Fmt(r.latency_mean_us, 1),
-                  Table::Fmt(r.latency_p50_us, 1),
-                  Table::Fmt(r.latency_p95_us, 1),
-                  Table::Fmt(r.latency_p99_us, 1),
-                  Table::Fmt(r.mean_batch, 2)});
+    open_table.AddRow({std::to_string(point.shards),
+                       std::to_string(point.clients),
+                       Table::Fmt(point.arrival_rps, 0),
+                       Table::Fmt(r.offered_rps, 1),
+                       Table::Fmt(r.throughput_rps, 1),
+                       std::to_string(r.shed),
+                       Table::Fmt(r.latency_p50_us, 1),
+                       Table::Fmt(r.latency_p99_us, 1),
+                       Table::Fmt(r.latency_p999_us, 1),
+                       Table::Fmt(r.mean_batch, 2)});
+    json_rows.push_back(JsonRow("open", point.shards, point.clients, 8, 1,
+                                point.arrival_rps, r));
   }
+  std::printf("open-loop fleet sweep (Poisson arrivals, max_queue=256):\n%s\n",
+              open_table.ToString().c_str());
 
-  std::printf("%s\n", table.ToString().c_str());
+  std::string out_path = "BENCH_serve.json";
+  if (const char* p = std::getenv("CEWS_BENCH_SERVE_OUT")) out_path = p;
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"serve_fleet_sweep\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < json_rows.size(); ++i) {
+    out << json_rows[i] << (i + 1 < json_rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("json -> %s\n", out_path.c_str());
+
   std::printf(
-      "hardware threads: %u. On a single-core host the threads=2 rows and\n"
-      "the absolute rps are not meaningful for scaling conclusions; the\n"
-      "batching comparison (max_batch=1 vs >=8 at clients=8) still is,\n"
-      "since coalescing amortizes per-Forward overhead even on one core.\n",
+      "hardware threads: %u. On a single-core host the multi-shard and\n"
+      "threads=2 rows are not meaningful for scaling conclusions (every\n"
+      "shard's workers share one core): expect shards=2 ~= shards=1 there,\n"
+      "and trust the comparison only on multi-core hardware. The batching\n"
+      "comparison (max_batch=1 vs >=8 at clients=8), the shed accounting\n"
+      "and the p999-vs-p99 spread are core-count-independent.\n",
       std::thread::hardware_concurrency());
   return 0;
 }

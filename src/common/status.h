@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kIOError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -40,8 +40,11 @@ inline constexpr int kHistogramBuckets = 40;
 
 /// Fixed shard capacities. Metrics are a small, hand-curated set; creation
 /// CHECK-fails past these bounds rather than complicating the hot path with
-/// growable (and then lock-guarded) shard storage.
-inline constexpr int kMaxCounters = 192;
+/// growable (and then lock-guarded) shard storage. The serve fleet mints
+/// one counter per server shard (serve.shard.N.shed, N bounded at 64 by
+/// Fleet::Create), so the counter cap leaves headroom for a full-size
+/// fleet plus the hand-written set.
+inline constexpr int kMaxCounters = 320;
 inline constexpr int kMaxHistograms = 64;
 
 class Registry;

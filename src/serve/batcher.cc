@@ -10,31 +10,32 @@
 
 namespace cews::serve {
 
-namespace {
-
-obs::Gauge* QueueDepthGauge() {
-  static obs::Gauge* const gauge = obs::GetGauge("serve.queue_depth");
-  return gauge;
-}
-
-}  // namespace
-
-RequestBatcher::RequestBatcher(int max_batch, int64_t max_queue_delay_us)
-    : max_batch_(max_batch), max_delay_ns_(max_queue_delay_us * 1000) {
+RequestBatcher::RequestBatcher(int max_batch, int64_t max_queue_delay_us,
+                               int max_depth, obs::Gauge* depth_gauge)
+    : max_batch_(max_batch),
+      max_delay_ns_(max_queue_delay_us * 1000),
+      max_depth_(max_depth),
+      depth_gauge_(depth_gauge) {
   CEWS_CHECK_GT(max_batch, 0);
   CEWS_CHECK_GE(max_queue_delay_us, 0);
+  CEWS_CHECK_GE(max_depth, 0);
 }
 
-bool RequestBatcher::Push(PendingRequest& item) {
+PushResult RequestBatcher::Push(PendingRequest& item) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return false;
+    if (shutdown_) return PushResult::kShutdown;
+    if (max_depth_ > 0 && static_cast<int>(queue_.size()) >= max_depth_) {
+      return PushResult::kOverloaded;
+    }
     item.enqueue_ns = Stopwatch::NowNs();
     queue_.push_back(std::move(item));
-    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_one();
-  return true;
+  return PushResult::kAccepted;
 }
 
 std::vector<PendingRequest> RequestBatcher::PopBatch() {
@@ -64,7 +65,9 @@ std::vector<PendingRequest> RequestBatcher::PopBatch() {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
-  QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
   // If requests remain (burst larger than max_batch), let another consumer
   // start on them without waiting for the next push.
   if (!queue_.empty()) cv_.notify_one();

@@ -1,12 +1,15 @@
 #include "serve/loadgen.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "env/state_encoder.h"
 #include "env/vec_env.h"
@@ -15,44 +18,147 @@ namespace cews::serve {
 
 namespace {
 
-/// Latencies and error count one client collected.
+/// Both overloads of RunLoad drive this signature; the fleet/server
+/// distinction is one bound call.
+using SubmitFn =
+    std::function<std::future<ScheduleResponse>(ScheduleRequest)>;
+
+/// Latencies and error/shed counts one client or submitter collected.
 struct ClientTally {
   std::vector<uint64_t> latency_ns;
   uint64_t batch_size_sum = 0;
+  uint64_t completed = 0;
   uint64_t errors = 0;
+  uint64_t shed = 0;
+  uint64_t submitted = 0;
 };
 
-void RunClient(PolicyServer& server, const env::Map& map,
-               const LoadGenOptions& options, int client_index,
-               ClientTally& tally) {
-  env::Env env(options.env, map);
-  env.Reset();
-  const env::StateEncoder encoder(
-      env::StateEncoderConfig{server.net_config().grid});
-  const bool pre_encode = client_index % 2 == 0;
-  tally.latency_ns.reserve(
-      static_cast<size_t>(options.requests_per_client));
+/// Folds one harvested response into the tally. `latency_ns` is the
+/// caller-measured latency (closed loop: client-side submit-to-response;
+/// open loop: scheduled-arrival lag + server enqueue-to-completion).
+void Tally(const ScheduleResponse& response, uint64_t latency_ns,
+           ClientTally& tally) {
+  if (response.status.code() == StatusCode::kResourceExhausted) {
+    ++tally.shed;
+    return;
+  }
+  if (!response.ok()) {
+    ++tally.errors;
+    return;
+  }
+  ++tally.completed;
+  tally.batch_size_sum += static_cast<uint64_t>(response.batch_size);
+  tally.latency_ns.push_back(latency_ns);
+}
 
-  for (int r = 0; r < options.requests_per_client; ++r) {
+void RunClosedLoopClient(const SubmitFn& submit, const env::Map& map,
+                         const LoadSpec& spec, int encoder_grid,
+                         int client_index, ClientTally& tally) {
+  env::Env env(spec.env, map);
+  env.Reset();
+  const env::StateEncoder encoder(env::StateEncoderConfig{encoder_grid});
+  const bool pre_encode = client_index % 2 == 0;
+  tally.latency_ns.reserve(static_cast<size_t>(spec.requests_per_client));
+
+  for (int r = 0; r < spec.requests_per_client; ++r) {
     ScheduleRequest request;
+    request.client_id = static_cast<uint64_t>(client_index);
+    request.scenario = spec.scenario;
     if (pre_encode) {
       request.state = encoder.Encode(env);
     } else {
       request.env = &env;
     }
-    if (options.use_masks) request.move_mask = env::MoveValidityMask(env);
-    request.deterministic = options.deterministic;
+    if (spec.use_masks) request.move_mask = env::MoveValidityMask(env);
+    request.deterministic = spec.deterministic;
 
     const uint64_t start_ns = Stopwatch::NowNs();
-    ScheduleResponse response = server.Submit(std::move(request)).get();
-    tally.latency_ns.push_back(Stopwatch::NowNs() - start_ns);
-    if (!response.ok()) {
-      ++tally.errors;
-      continue;
-    }
-    tally.batch_size_sum += static_cast<uint64_t>(response.batch_size);
+    const ScheduleResponse response = submit(std::move(request)).get();
+    ++tally.submitted;
+    Tally(response, Stopwatch::NowNs() - start_ns, tally);
+    if (!response.ok()) continue;  // shed/error: retry same observation
     env.Step(response.act.actions);
     if (env.Done()) env.Reset();
+  }
+}
+
+/// One open-loop submitter: generates its share of the Poisson process for
+/// the duration window (submit at scheduled arrivals, never gated by
+/// completions), then harvests its futures. Latency is charged from the
+/// *scheduled* arrival — submitter lag adds to the measured latency rather
+/// than silently thinning the offered load (no coordinated omission).
+void RunOpenLoopSubmitter(const SubmitFn& submit, const env::Map& map,
+                          const LoadSpec& spec, int encoder_grid,
+                          int thread_index, ClientTally& tally) {
+  struct InFlight {
+    std::future<ScheduleResponse> future;
+    uint64_t intended_ns = 0;
+    uint64_t submit_ns = 0;
+  };
+
+  env::Env env(spec.env, map);
+  env.Reset();
+  const env::StateEncoder encoder(env::StateEncoderConfig{encoder_grid});
+  // Pre-encode once: at 10^5+ requests/second the generator must cost
+  // almost nothing per request, and the open-loop mode measures the
+  // serving path, not the encoder.
+  const std::vector<float> base_state = encoder.Encode(env);
+  const std::vector<uint8_t> base_mask =
+      spec.use_masks ? env::MoveValidityMask(env) : std::vector<uint8_t>{};
+
+  Rng rng(spec.seed + 0x9E3779B97F4A7C15ULL *
+                          static_cast<uint64_t>(thread_index + 1));
+  const double rate_per_thread =
+      spec.arrival_rps / static_cast<double>(spec.submit_threads);
+  const uint64_t population = static_cast<uint64_t>(spec.clients);
+  const uint64_t window_ns =
+      static_cast<uint64_t>(spec.duration_seconds * 1e9);
+
+  std::vector<InFlight> in_flight;
+  in_flight.reserve(static_cast<size_t>(rate_per_thread *
+                                        spec.duration_seconds * 1.25) +
+                    16);
+
+  const uint64_t start_ns = Stopwatch::NowNs();
+  double next_arrival_s = 0.0;
+  for (;;) {
+    // Exponential inter-arrival gap of this thread's Poisson sub-process.
+    next_arrival_s +=
+        -std::log(1.0 - rng.Uniform()) / rate_per_thread;
+    const uint64_t intended_ns =
+        start_ns + static_cast<uint64_t>(next_arrival_s * 1e9);
+    if (intended_ns - start_ns >= window_ns) break;
+
+    uint64_t now_ns = Stopwatch::NowNs();
+    if (intended_ns > now_ns + 100'000) {
+      // Sleep out the bulk; the residue (scheduler wakeup jitter) is
+      // charged into the request's latency below, not hidden.
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(intended_ns - now_ns - 50'000));
+    }
+
+    ScheduleRequest request;
+    request.client_id = rng.NextU64() % population;
+    request.scenario = spec.scenario;
+    request.state = base_state;
+    request.move_mask = base_mask;
+    request.deterministic = spec.deterministic;
+
+    InFlight flight;
+    flight.intended_ns = intended_ns;
+    flight.submit_ns = Stopwatch::NowNs();
+    flight.future = submit(std::move(request));
+    in_flight.push_back(std::move(flight));
+  }
+
+  tally.submitted = in_flight.size();
+  tally.latency_ns.reserve(in_flight.size());
+  for (InFlight& flight : in_flight) {
+    const ScheduleResponse response = flight.future.get();
+    const uint64_t lag_ns = flight.submit_ns > flight.intended_ns
+                                ? flight.submit_ns - flight.intended_ns
+                                : 0;
+    Tally(response, lag_ns + response.latency_ns, tally);
   }
 }
 
@@ -64,50 +170,82 @@ double PercentileUs(const std::vector<uint64_t>& sorted_ns, double p) {
          1e3;
 }
 
-}  // namespace
-
-Result<LoadGenResult> RunClosedLoopLoad(PolicyServer& server,
-                                        const env::Map& map,
-                                        const LoadGenOptions& options) {
-  if (options.clients <= 0) {
+Status ValidateSpec(const LoadSpec& spec) {
+  if (spec.clients <= 0) {
     return Status::InvalidArgument("clients must be positive, got " +
-                                   std::to_string(options.clients));
+                                   std::to_string(spec.clients));
   }
-  if (options.requests_per_client <= 0) {
-    return Status::InvalidArgument(
-        "requests_per_client must be positive, got " +
-        std::to_string(options.requests_per_client));
+  if (spec.mode == LoadMode::kClosedLoop) {
+    if (spec.requests_per_client <= 0) {
+      return Status::InvalidArgument(
+          "requests_per_client must be positive, got " +
+          std::to_string(spec.requests_per_client));
+    }
+  } else {
+    if (!(spec.arrival_rps > 0.0)) {
+      return Status::InvalidArgument("arrival_rps must be positive");
+    }
+    if (!(spec.duration_seconds > 0.0)) {
+      return Status::InvalidArgument("duration_seconds must be positive");
+    }
+    if (spec.submit_threads <= 0) {
+      return Status::InvalidArgument("submit_threads must be positive, got " +
+                                     std::to_string(spec.submit_threads));
+    }
   }
+  return Status::OK();
+}
 
-  std::vector<ClientTally> tallies(static_cast<size_t>(options.clients));
-  std::vector<std::thread> clients;
-  clients.reserve(static_cast<size_t>(options.clients));
+Result<LoadResult> RunLoadImpl(const SubmitFn& submit, const env::Map& map,
+                               const LoadSpec& spec, int encoder_grid) {
+  CEWS_RETURN_IF_ERROR(ValidateSpec(spec));
+
+  const int num_threads = spec.mode == LoadMode::kClosedLoop
+                              ? spec.clients
+                              : spec.submit_threads;
+  std::vector<ClientTally> tallies(static_cast<size_t>(num_threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
   const uint64_t start_ns = Stopwatch::NowNs();
-  for (int c = 0; c < options.clients; ++c) {
-    clients.emplace_back([&server, &map, &options, c, &tallies] {
-      RunClient(server, map, options, c, tallies[static_cast<size_t>(c)]);
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&submit, &map, &spec, encoder_grid, t, &tallies] {
+      if (spec.mode == LoadMode::kClosedLoop) {
+        RunClosedLoopClient(submit, map, spec, encoder_grid, t,
+                            tallies[static_cast<size_t>(t)]);
+      } else {
+        RunOpenLoopSubmitter(submit, map, spec, encoder_grid, t,
+                             tallies[static_cast<size_t>(t)]);
+      }
     });
   }
-  for (std::thread& client : clients) client.join();
+  for (std::thread& thread : threads) thread.join();
   const double wall_seconds =
       static_cast<double>(Stopwatch::NowNs() - start_ns) / 1e9;
 
-  LoadGenResult result;
+  LoadResult result;
   result.wall_seconds = wall_seconds;
   std::vector<uint64_t> all_latencies;
   uint64_t batch_sum = 0;
+  uint64_t completed = 0;
   for (const ClientTally& tally : tallies) {
-    result.requests += tally.latency_ns.size();
+    result.requests += tally.submitted;
     result.errors += tally.errors;
+    result.shed += tally.shed;
+    completed += tally.completed;
     batch_sum += tally.batch_size_sum;
     all_latencies.insert(all_latencies.end(), tally.latency_ns.begin(),
                          tally.latency_ns.end());
   }
   std::sort(all_latencies.begin(), all_latencies.end());
-  const uint64_t completed = result.requests - result.errors;
   result.throughput_rps =
-      wall_seconds > 0.0 ? static_cast<double>(result.requests) / wall_seconds
+      wall_seconds > 0.0 ? static_cast<double>(completed) / wall_seconds
                          : 0.0;
+  result.offered_rps =
+      spec.mode == LoadMode::kOpenLoop
+          ? static_cast<double>(result.requests) / spec.duration_seconds
+          : (wall_seconds > 0.0
+                 ? static_cast<double>(result.requests) / wall_seconds
+                 : 0.0);
   if (!all_latencies.empty()) {
     double sum_us = 0.0;
     for (const uint64_t ns : all_latencies) {
@@ -117,12 +255,46 @@ Result<LoadGenResult> RunClosedLoopLoad(PolicyServer& server,
     result.latency_p50_us = PercentileUs(all_latencies, 0.50);
     result.latency_p95_us = PercentileUs(all_latencies, 0.95);
     result.latency_p99_us = PercentileUs(all_latencies, 0.99);
+    result.latency_p999_us = PercentileUs(all_latencies, 0.999);
   }
   result.mean_batch =
       completed > 0
           ? static_cast<double>(batch_sum) / static_cast<double>(completed)
           : 0.0;
   return result;
+}
+
+}  // namespace
+
+Result<LoadResult> RunLoad(Fleet& fleet, const env::Map& map,
+                           const LoadSpec& spec) {
+  return RunLoadImpl(
+      [&fleet](ScheduleRequest request) {
+        return fleet.Submit(std::move(request));
+      },
+      map, spec, fleet.net_config().grid);
+}
+
+Result<LoadResult> RunLoad(PolicyServer& server, const env::Map& map,
+                           const LoadSpec& spec) {
+  return RunLoadImpl(
+      [&server](ScheduleRequest request) {
+        return server.Submit(std::move(request));
+      },
+      map, spec, server.net_config().grid);
+}
+
+Result<LoadGenResult> RunClosedLoopLoad(PolicyServer& server,
+                                        const env::Map& map,
+                                        const LoadGenOptions& options) {
+  LoadSpec spec;
+  spec.mode = LoadMode::kClosedLoop;
+  spec.clients = options.clients;
+  spec.requests_per_client = options.requests_per_client;
+  spec.env = options.env;
+  spec.deterministic = options.deterministic;
+  spec.use_masks = options.use_masks;
+  return RunLoad(server, map, spec);
 }
 
 }  // namespace cews::serve

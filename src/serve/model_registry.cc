@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "common/check.h"
+#include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -56,17 +58,79 @@ Status ModelRegistry::Publish(const std::vector<nn::Tensor>& params) {
   // swap are serialized.
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->params = CloneParams(params);
+  uint64_t published_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
-    snapshot->epoch =
+    published_epoch =
         current_.load(std::memory_order_relaxed)->epoch + 1;
+    snapshot->epoch = published_epoch;
     current_.store(std::move(snapshot), std::memory_order_release);
+    epoch_.store(published_epoch, std::memory_order_relaxed);
   }
   static obs::Counter* const swaps = obs::GetCounter("serve.hot_swaps");
   static obs::Gauge* const epoch_gauge = obs::GetGauge("serve.epoch");
   swaps->Increment();
-  epoch_gauge->Set(static_cast<double>(epoch()));
+  epoch_gauge->Set(static_cast<double>(published_epoch));
   return Status::OK();
+}
+
+Status ModelRegistry::PublishFromFile(const std::string& path) {
+  // Load into a scratch clone of the current snapshot: shapes are checked
+  // by LoadParameters against a real parameter set, and a corrupt file
+  // leaves the served model untouched.
+  const std::shared_ptr<const Snapshot> snapshot = Acquire();
+  std::vector<nn::Tensor> scratch = CloneParams(snapshot->params);
+  CEWS_RETURN_IF_ERROR(nn::LoadParameters(path, scratch));
+  return Publish(scratch);
+}
+
+ScenarioRegistry::ScenarioRegistry(const std::vector<std::string>& scenarios,
+                                   const std::vector<nn::Tensor>& initial) {
+  CEWS_CHECK(!scenarios.empty()) << "ScenarioRegistry needs >= 1 scenario";
+  for (const std::string& name : scenarios) {
+    CEWS_CHECK(!name.empty()) << "scenario names must be non-empty";
+    CEWS_CHECK(registries_.count(name) == 0)
+        << "duplicate scenario '" << name << "'";
+    names_.push_back(name);
+    registries_.emplace(name, std::make_unique<ModelRegistry>(initial));
+  }
+}
+
+ModelRegistry* ScenarioRegistry::Find(const std::string& scenario) const {
+  if (scenario.empty()) {
+    const auto it = registries_.find(kDefaultScenario);
+    if (it != registries_.end()) return it->second.get();
+    if (registries_.size() == 1) return registries_.begin()->second.get();
+    return nullptr;
+  }
+  const auto it = registries_.find(scenario);
+  return it == registries_.end() ? nullptr : it->second.get();
+}
+
+Status ScenarioRegistry::Publish(const std::string& scenario,
+                                 const std::vector<nn::Tensor>& params) {
+  ModelRegistry* registry = Find(scenario);
+  if (registry == nullptr) {
+    return Status::NotFound("unknown scenario '" + scenario + "'");
+  }
+  return registry->Publish(params);
+}
+
+Status ScenarioRegistry::PublishFromFile(const std::string& scenario,
+                                         const std::string& path) {
+  ModelRegistry* registry = Find(scenario);
+  if (registry == nullptr) {
+    return Status::NotFound("unknown scenario '" + scenario + "'");
+  }
+  return registry->PublishFromFile(path);
+}
+
+Result<uint64_t> ScenarioRegistry::Epoch(const std::string& scenario) const {
+  const ModelRegistry* registry = Find(scenario);
+  if (registry == nullptr) {
+    return Status::NotFound("unknown scenario '" + scenario + "'");
+  }
+  return registry->epoch();
 }
 
 }  // namespace cews::serve

@@ -1,6 +1,6 @@
-// cews::serve — lock-free model hot-swap.
+// cews::serve — lock-free model hot-swap, single- and multi-scenario.
 //
-// The registry decouples parameter publication (a trainer finishing an
+// ModelRegistry decouples parameter publication (a trainer finishing an
 // update round, or a checkpoint watcher reloading from disk) from inference
 // (server workers running batched Forwards): Publish() clones the new
 // parameter values into an immutable snapshot and swaps an atomic pointer;
@@ -8,6 +8,13 @@
 // A request is served entirely by the snapshot captured at dequeue time, so
 // a swap can never expose a torn half-old/half-new parameter set, and
 // publication never blocks in-flight inference.
+//
+// ScenarioRegistry maps scenario names ("cities") to independent
+// ModelRegistry instances. The name set is fixed at construction, so Find()
+// needs no lock on the hot path — only each registry's own atomics. One
+// serving fleet holds one ScenarioRegistry shared by every shard: publishing
+// scenario A's parameters can never perturb requests being served under
+// scenario B, because they resolve to different ModelRegistry objects.
 //
 // Double-buffering argument (see DESIGN.md): snapshots are reference-
 // counted, and servers pin a snapshot only for the duration of one batch.
@@ -19,10 +26,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "nn/tensor.h"
 
@@ -57,12 +67,63 @@ class ModelRegistry {
   /// untouched.
   Status Publish(const std::vector<nn::Tensor>& params);
 
-  /// Epoch of the current snapshot.
-  uint64_t epoch() const { return Acquire()->epoch; }
+  /// Loads a checkpoint from disk into a scratch clone of the current
+  /// snapshot (shape-checked against a real parameter set; a corrupt file
+  /// leaves the served model untouched) and publishes it.
+  Status PublishFromFile(const std::string& path);
+
+  /// Epoch of the current snapshot. A dedicated relaxed counter, NOT an
+  /// Acquire(): polling the epoch (admission checks, worker staleness
+  /// probes, CLI display) must not bump the snapshot refcount — that is a
+  /// contended RMW on the control-block cache line shared with the
+  /// inference hot path.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<std::shared_ptr<const Snapshot>> current_;
+  /// Mirrors current_->epoch; updated inside the writer lock in Publish.
+  std::atomic<uint64_t> epoch_{0};
   std::mutex publish_mu_;  ///< Serializes writers only.
+};
+
+/// Immutable name -> ModelRegistry map: one hot-swappable parameter stream
+/// per named scenario. All scenarios share one architecture (`initial`
+/// fixes the shapes) and each starts at an independent epoch 0.
+class ScenarioRegistry {
+ public:
+  /// The scenario a request with an empty scenario tag resolves to.
+  static constexpr const char* kDefaultScenario = "default";
+
+  /// One registry per name, each seeded with a clone of `initial`.
+  /// `scenarios` must be non-empty, with unique non-empty names
+  /// (CHECK-enforced; Fleet::Create validates user input first).
+  ScenarioRegistry(const std::vector<std::string>& scenarios,
+                   const std::vector<nn::Tensor>& initial);
+
+  ScenarioRegistry(const ScenarioRegistry&) = delete;
+  ScenarioRegistry& operator=(const ScenarioRegistry&) = delete;
+
+  /// The registry for `scenario` ("" resolves to kDefaultScenario if
+  /// registered, else to the sole scenario when only one exists), or
+  /// nullptr for an unknown name. Lock-free: the map is immutable after
+  /// construction.
+  ModelRegistry* Find(const std::string& scenario) const;
+
+  /// Publish into one scenario; NotFound for unknown names.
+  Status Publish(const std::string& scenario,
+                 const std::vector<nn::Tensor>& params);
+  Status PublishFromFile(const std::string& scenario,
+                         const std::string& path);
+
+  /// Epoch of one scenario's current snapshot; NotFound for unknown names.
+  Result<uint64_t> Epoch(const std::string& scenario) const;
+
+  /// Registered names, in registration order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, std::unique_ptr<ModelRegistry>> registries_;
 };
 
 }  // namespace cews::serve

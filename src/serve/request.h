@@ -5,6 +5,7 @@
 #define CEWS_SERVE_REQUEST_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "agents/ppo.h"
@@ -16,6 +17,17 @@ namespace cews::serve {
 /// One client's ask for a scheduling decision. Carries either a pre-encoded
 /// grid state or a raw environment to encode server-side.
 struct ScheduleRequest {
+  /// Stable client identity. A Fleet's consistent-hash router keys on
+  /// (client_id, scenario), so every request a client sends lands on the
+  /// same shard — its in-order stream shares one batcher and its latency
+  /// is not smeared across the fleet. Ignored by a standalone PolicyServer.
+  uint64_t client_id = 0;
+
+  /// Named scenario ("city") whose published model should decide. Empty
+  /// resolves to ScenarioRegistry::kDefaultScenario (or the sole scenario
+  /// when only one is registered); unknown names are rejected NotFound.
+  std::string scenario;
+
   /// Pre-encoded state in StateEncoder layout ([channels, grid, grid]
   /// row-major, exactly PolicyServer::StateSize() floats). Leave empty to
   /// have the server encode `env` instead.
@@ -56,10 +68,15 @@ struct ScheduleResponse {
   std::vector<float> move_logits;
   std::vector<float> charge_logits;
 
-  /// Telemetry: how many requests shared this flush, and the enqueue-to-
-  /// completion time of this one.
+  /// Telemetry: how many requests shared this one's batched Forward, and
+  /// the enqueue-to-completion time of this one.
   int batch_size = 0;
   uint64_t latency_ns = 0;
+
+  /// Fleet shard that served this request (-1 from a standalone
+  /// PolicyServer). The routing invariant — same (client_id, scenario),
+  /// same shard — is observable here.
+  int shard = -1;
 
   bool ok() const { return status.ok(); }
 };

@@ -1,0 +1,70 @@
+#include "serve/router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cews::serve {
+
+namespace {
+
+/// One SplitMix64 finalization of `x` (stateless convenience wrapper).
+uint64_t Mix64(uint64_t x) { return SplitMix64(x); }
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+ConsistentHashRouter::ConsistentHashRouter(const RouterConfig& config)
+    : num_shards_(config.num_shards) {
+  CEWS_CHECK_GT(config.num_shards, 0);
+  CEWS_CHECK_GT(config.vnodes_per_shard, 0);
+  ring_.reserve(static_cast<size_t>(config.num_shards) *
+                static_cast<size_t>(config.vnodes_per_shard));
+  for (int shard = 0; shard < config.num_shards; ++shard) {
+    for (int v = 0; v < config.vnodes_per_shard; ++v) {
+      // Vnode position depends only on (seed, shard, vnode) — NOT on the
+      // total shard count — so shard s's vnodes sit at the same ring
+      // positions in an N-shard and an (N+1)-shard fleet; that identity is
+      // what bounds remapping to the new shard's captured intervals.
+      const uint64_t position =
+          Mix64(config.seed ^ Mix64(static_cast<uint64_t>(shard) * 0x9E3779B97F4A7C15ULL +
+                                    static_cast<uint64_t>(v)));
+      ring_.emplace_back(position, shard);
+    }
+  }
+  // Position ties (astronomically unlikely) resolve to the lower shard
+  // index, deterministically.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint64_t ConsistentHashRouter::KeyHash(uint64_t client_id,
+                                       const std::string& scenario) {
+  return Mix64(Fnv1a(scenario) ^
+               (client_id * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+}
+
+int ConsistentHashRouter::ShardFor(uint64_t client_id,
+                                   const std::string& scenario) const {
+  const uint64_t key = KeyHash(client_id, scenario);
+  // First vnode at or after the key, wrapping past the top of the ring.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(key, 0),
+      [](const std::pair<uint64_t, int>& a, const std::pair<uint64_t, int>& b) {
+        return a.first < b.first;
+      });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+}  // namespace cews::serve

@@ -1,0 +1,63 @@
+// cews::serve — consistent-hash request router.
+//
+// Maps a (client_id, scenario) routing key onto one of N shards via a
+// virtual-node hash ring: each shard owns `vnodes_per_shard` points on a
+// 64-bit ring, and a key routes to the shard owning the first point at or
+// after the key's hash (wrapping). Two properties the fleet needs:
+//
+//   * Stability — the mapping is a pure function of (key, ring layout), so
+//     a client's requests always land on the same shard: its in-order
+//     stream shares one batcher, and per-client state (future: sessions,
+//     per-city caches) never migrates under load.
+//   * Minimal remapping — growing N shards to N+1 moves only the keys whose
+//     ring interval the new shard's vnodes capture, ~1/(N+1) of the space,
+//     instead of the (N-1)/N a modulo router reshuffles. Vnodes keep the
+//     per-shard share balanced (variance shrinks with vnode count).
+//
+// Everything is deterministic from RouterConfig (seeded hash, no RNG
+// state), so routing is reproducible across runs and processes.
+#ifndef CEWS_SERVE_ROUTER_H_
+#define CEWS_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cews::serve {
+
+struct RouterConfig {
+  int num_shards = 1;
+  /// Ring points per shard. 64 keeps the max/min shard share within ~2x
+  /// for small fleets; raise it if per-shard load skew ever matters more
+  /// than the O(vnodes * shards) ring memory.
+  int vnodes_per_shard = 64;
+  /// Seeds the vnode placement (and thus the key->shard mapping).
+  uint64_t seed = 0x5ca1ab1e5ca1ab1eULL;
+};
+
+class ConsistentHashRouter {
+ public:
+  /// CHECK-fails on non-positive shard/vnode counts (Fleet::Create
+  /// validates user input before constructing one).
+  explicit ConsistentHashRouter(const RouterConfig& config);
+
+  /// Shard in [0, num_shards) for this routing key. Pure and thread-safe
+  /// (the ring is immutable after construction).
+  int ShardFor(uint64_t client_id, const std::string& scenario) const;
+
+  /// The 64-bit ring position of a routing key: FNV-1a over the scenario
+  /// bytes finalized together with the client id through SplitMix64.
+  static uint64_t KeyHash(uint64_t client_id, const std::string& scenario);
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  /// (ring position, shard) sorted by position.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+}  // namespace cews::serve
+
+#endif  // CEWS_SERVE_ROUTER_H_

@@ -10,7 +10,6 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "nn/params.h"
-#include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,7 +25,16 @@ std::vector<nn::Tensor> InitialParams(const PolicyServerConfig& config) {
   return net.Parameters();
 }
 
-Status ValidateConfig(const PolicyServerConfig& config) {
+/// Per-shard metric names: serve.shard.N.* for fleet shards, the legacy
+/// serve.* names for standalone servers.
+std::string ShardMetricName(int shard_index, const char* suffix) {
+  if (shard_index < 0) return std::string("serve.") + suffix;
+  return "serve.shard." + std::to_string(shard_index) + "." + suffix;
+}
+
+}  // namespace
+
+Status PolicyServer::ValidateConfig(const PolicyServerConfig& config) {
   if (config.net.grid <= 0 || config.net.in_channels <= 0 ||
       config.net.num_workers <= 0 || config.net.num_moves <= 0) {
     return Status::InvalidArgument(
@@ -49,6 +57,11 @@ Status ValidateConfig(const PolicyServerConfig& config) {
         "max_queue_delay_us must be non-negative, got " +
         std::to_string(config.max_queue_delay_us));
   }
+  if (config.max_queue_depth < 0) {
+    return Status::InvalidArgument(
+        "max_queue_depth must be non-negative (0 = unbounded), got " +
+        std::to_string(config.max_queue_depth));
+  }
   if (config.runtime_threads < 0) {
     return Status::InvalidArgument(
         "runtime_threads must be non-negative (0 = hardware cores), got " +
@@ -57,22 +70,45 @@ Status ValidateConfig(const PolicyServerConfig& config) {
   return Status::OK();
 }
 
-}  // namespace
-
 Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(
     const PolicyServerConfig& config) {
   CEWS_RETURN_IF_ERROR(ValidateConfig(config));
   // Size the intra-op kernel pool before inference threads start issuing
   // ParallelFor regions (same contract as the trainers).
   runtime::SetGlobalPoolThreads(config.runtime_threads);
-  return std::unique_ptr<PolicyServer>(new PolicyServer(config));
+  auto scenarios = std::make_shared<ScenarioRegistry>(
+      std::vector<std::string>{ScenarioRegistry::kDefaultScenario},
+      InitialParams(config));
+  return std::unique_ptr<PolicyServer>(
+      new PolicyServer(config, std::move(scenarios)));
 }
 
-PolicyServer::PolicyServer(const PolicyServerConfig& config)
+Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(
+    const PolicyServerConfig& config,
+    std::shared_ptr<ScenarioRegistry> scenarios) {
+  CEWS_RETURN_IF_ERROR(ValidateConfig(config));
+  if (scenarios == nullptr) {
+    return Status::InvalidArgument("scenario registry must be non-null");
+  }
+  return std::unique_ptr<PolicyServer>(
+      new PolicyServer(config, std::move(scenarios)));
+}
+
+PolicyServer::PolicyServer(const PolicyServerConfig& config,
+                           std::shared_ptr<ScenarioRegistry> scenarios)
     : config_(config),
       encoder_(env::StateEncoderConfig{config.net.grid}),
-      registry_(InitialParams(config)),
-      batcher_(config.max_batch, config.max_queue_delay_us) {
+      scenarios_(std::move(scenarios)),
+      default_registry_(scenarios_->Find("") != nullptr
+                            ? scenarios_->Find("")
+                            : scenarios_->Find(scenarios_->names().front())),
+      depth_gauge_(obs::GetGauge(
+          ShardMetricName(config.shard_index, "queue_depth"))),
+      shed_counter_(obs::GetCounter(
+          ShardMetricName(config.shard_index, "shed"))),
+      batcher_(config.max_batch, config.max_queue_delay_us,
+               config.max_queue_depth, depth_gauge_) {
+  CEWS_CHECK(default_registry_ != nullptr);
   workers_.reserve(static_cast<size_t>(config_.num_threads));
   for (int i = 0; i < config_.num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -131,9 +167,10 @@ std::future<ScheduleResponse> PolicyServer::Submit(
   item.request = std::move(request);
   std::future<ScheduleResponse> future = item.promise.get_future();
 
-  const auto reject = [&item](Status status) {
+  const auto reject = [&item, this](Status status) {
     ScheduleResponse response;
     response.status = std::move(status);
+    response.shard = config_.shard_index;
     item.promise.set_value(std::move(response));
   };
 
@@ -142,42 +179,55 @@ std::future<ScheduleResponse> PolicyServer::Submit(
     reject(valid);
     return future;
   }
-  static obs::Counter* const requests = obs::GetCounter("serve.requests");
-  if (!batcher_.Push(item)) {
-    reject(Status::FailedPrecondition("PolicyServer is stopped"));
+  item.registry = scenarios_->Find(item.request.scenario);
+  if (item.registry == nullptr) {
+    reject(Status::NotFound("unknown scenario '" + item.request.scenario +
+                            "'"));
     return future;
   }
-  requests->Increment();
+  static obs::Counter* const requests = obs::GetCounter("serve.requests");
+  static obs::Counter* const fleet_shed =
+      obs::GetCounter("serve.fleet.shed_total");
+  switch (batcher_.Push(item)) {
+    case PushResult::kAccepted:
+      requests->Increment();
+      break;
+    case PushResult::kShutdown:
+      reject(Status::FailedPrecondition("PolicyServer is stopped"));
+      break;
+    case PushResult::kOverloaded:
+      // Shed, never block: overload resolves immediately so the client can
+      // back off, instead of queueing into unbounded tail latency.
+      shed_counter_->Increment();
+      fleet_shed->Increment();
+      reject(Status::ResourceExhausted(
+          "shard queue full (max_queue_depth " +
+          std::to_string(config_.max_queue_depth) + ")"));
+      break;
+  }
   return future;
 }
 
 Status PolicyServer::Publish(const std::vector<nn::Tensor>& params) {
-  return registry_.Publish(params);
+  return default_registry_->Publish(params);
 }
 
 Status PolicyServer::PublishFromFile(const std::string& path) {
-  // Load into a scratch clone of the current snapshot: shapes are checked
-  // by LoadParameters against a real parameter set, and a corrupt file
-  // leaves the served model untouched.
-  const std::shared_ptr<const ModelRegistry::Snapshot> snapshot =
-      registry_.Acquire();
-  std::vector<nn::Tensor> scratch;
-  scratch.reserve(snapshot->params.size());
-  for (const nn::Tensor& t : snapshot->params) scratch.push_back(t.Clone());
-  CEWS_RETURN_IF_ERROR(nn::LoadParameters(path, scratch));
-  return registry_.Publish(scratch);
+  return default_registry_->PublishFromFile(path);
 }
 
 void PolicyServer::WorkerLoop(int worker_index) {
-  // Private replica: parameters are copied in from the registry snapshot
-  // whenever the epoch changes, so workers never share mutable tensors and
-  // a batch is served entirely by the snapshot it captured.
+  // Private replica: parameters are copied in from a registry snapshot
+  // whenever the (scenario, epoch) being served changes, so workers never
+  // share mutable tensors and a scenario group is served entirely by the
+  // snapshot it captured.
   Rng init_rng(config_.seed + 0x9E3779B97F4A7C15ULL *
                                  static_cast<uint64_t>(worker_index + 1));
   agents::PolicyNet net(config_.net, init_rng);
   const std::vector<nn::Tensor> net_params = net.Parameters();
   Rng sample_rng(config_.seed * 1000003ULL +
                  static_cast<uint64_t>(worker_index));
+  const ModelRegistry* cached_registry = nullptr;
   uint64_t cached_epoch = ~uint64_t{0};
 
   static obs::Counter* const batches = obs::GetCounter("serve.batches");
@@ -191,76 +241,104 @@ void PolicyServer::WorkerLoop(int worker_index) {
   std::vector<float> states;
   std::vector<uint8_t> masks;
   std::vector<uint8_t> deterministic;
+  // (registry, member indices) per scenario in this flush, grouped in
+  // first-appearance order. Single-scenario flushes — every standalone
+  // server, and fleet shards under per-city load — form exactly one group,
+  // preserving the pre-fleet batching behavior bit for bit.
+  std::vector<std::pair<ModelRegistry*, std::vector<int>>> groups;
 
   for (;;) {
     std::vector<PendingRequest> batch = batcher_.PopBatch();
     if (batch.empty()) return;  // Shutdown, queue drained.
     CEWS_TRACE_SCOPE("serve.batch");
 
-    const std::shared_ptr<const ModelRegistry::Snapshot> snapshot =
-        registry_.Acquire();
-    if (snapshot->epoch != cached_epoch) {
-      CEWS_TRACE_SCOPE("serve.swap_in");
-      nn::CopyParameters(snapshot->params, net_params);
-      cached_epoch = snapshot->epoch;
-    }
-
-    const int n = static_cast<int>(batch.size());
-    batches->Increment();
-    batch_size_hist->Record(static_cast<uint64_t>(n));
-
-    states.resize(static_cast<size_t>(n) * state_size);
-    deterministic.resize(static_cast<size_t>(n));
-    bool any_mask = false;
-    for (const PendingRequest& item : batch) {
-      if (!item.request.move_mask.empty()) any_mask = true;
-    }
-    // Absent masks default to all-valid so masked and unmasked requests
-    // can share one batch.
-    if (any_mask) masks.assign(static_cast<size_t>(n) * mask_size, 1);
-
-    {
-      CEWS_TRACE_SCOPE("serve.encode");
-      for (int i = 0; i < n; ++i) {
-        const ScheduleRequest& request = batch[static_cast<size_t>(i)].request;
-        float* slice = states.data() + static_cast<size_t>(i) * state_size;
-        if (!request.state.empty()) {
-          std::memcpy(slice, request.state.data(),
-                      sizeof(float) * static_cast<size_t>(state_size));
-        } else {
-          encoder_.EncodeInto(*request.env, slice);
-        }
-        if (any_mask && !request.move_mask.empty()) {
-          std::memcpy(masks.data() + static_cast<size_t>(i) * mask_size,
-                      request.move_mask.data(),
-                      static_cast<size_t>(mask_size));
-        }
-        deterministic[static_cast<size_t>(i)] =
-            request.deterministic ? 1 : 0;
+    groups.clear();
+    for (int i = 0; i < static_cast<int>(batch.size()); ++i) {
+      ModelRegistry* registry = batch[static_cast<size_t>(i)].registry;
+      auto it = groups.begin();
+      for (; it != groups.end(); ++it) {
+        if (it->first == registry) break;
       }
+      if (it == groups.end()) {
+        groups.emplace_back(registry, std::vector<int>{});
+        it = groups.end() - 1;
+      }
+      it->second.push_back(i);
     }
 
-    std::vector<agents::PolicyDecision> decisions;
-    {
-      CEWS_TRACE_SCOPE("serve.forward");
-      decisions = agents::DecidePolicyBatch(
-          net, states, n, sample_rng, deterministic.data(),
-          any_mask ? masks.data() : nullptr);
-    }
+    for (auto& [registry, members] : groups) {
+      const std::shared_ptr<const ModelRegistry::Snapshot> snapshot =
+          registry->Acquire();
+      if (registry != cached_registry || snapshot->epoch != cached_epoch) {
+        CEWS_TRACE_SCOPE("serve.swap_in");
+        nn::CopyParameters(snapshot->params, net_params);
+        cached_registry = registry;
+        cached_epoch = snapshot->epoch;
+      }
 
-    const uint64_t now_ns = Stopwatch::NowNs();
-    for (int i = 0; i < n; ++i) {
-      PendingRequest& item = batch[static_cast<size_t>(i)];
-      agents::PolicyDecision& decision = decisions[static_cast<size_t>(i)];
-      ScheduleResponse response;
-      response.epoch = snapshot->epoch;
-      response.act = std::move(decision.act);
-      response.move_logits = std::move(decision.move_logits);
-      response.charge_logits = std::move(decision.charge_logits);
-      response.batch_size = n;
-      response.latency_ns = now_ns - item.enqueue_ns;
-      latency_hist->Record(response.latency_ns);
-      item.promise.set_value(std::move(response));
+      const int n = static_cast<int>(members.size());
+      batches->Increment();
+      batch_size_hist->Record(static_cast<uint64_t>(n));
+
+      states.resize(static_cast<size_t>(n) * state_size);
+      deterministic.resize(static_cast<size_t>(n));
+      bool any_mask = false;
+      for (const int m : members) {
+        if (!batch[static_cast<size_t>(m)].request.move_mask.empty()) {
+          any_mask = true;
+        }
+      }
+      // Absent masks default to all-valid so masked and unmasked requests
+      // can share one batch.
+      if (any_mask) masks.assign(static_cast<size_t>(n) * mask_size, 1);
+
+      {
+        CEWS_TRACE_SCOPE("serve.encode");
+        for (int i = 0; i < n; ++i) {
+          const ScheduleRequest& request =
+              batch[static_cast<size_t>(members[static_cast<size_t>(i)])]
+                  .request;
+          float* slice = states.data() + static_cast<size_t>(i) * state_size;
+          if (!request.state.empty()) {
+            std::memcpy(slice, request.state.data(),
+                        sizeof(float) * static_cast<size_t>(state_size));
+          } else {
+            encoder_.EncodeInto(*request.env, slice);
+          }
+          if (any_mask && !request.move_mask.empty()) {
+            std::memcpy(masks.data() + static_cast<size_t>(i) * mask_size,
+                        request.move_mask.data(),
+                        static_cast<size_t>(mask_size));
+          }
+          deterministic[static_cast<size_t>(i)] =
+              request.deterministic ? 1 : 0;
+        }
+      }
+
+      std::vector<agents::PolicyDecision> decisions;
+      {
+        CEWS_TRACE_SCOPE("serve.forward");
+        decisions = agents::DecidePolicyBatch(
+            net, states, n, sample_rng, deterministic.data(),
+            any_mask ? masks.data() : nullptr);
+      }
+
+      const uint64_t now_ns = Stopwatch::NowNs();
+      for (int i = 0; i < n; ++i) {
+        PendingRequest& item =
+            batch[static_cast<size_t>(members[static_cast<size_t>(i)])];
+        agents::PolicyDecision& decision = decisions[static_cast<size_t>(i)];
+        ScheduleResponse response;
+        response.epoch = snapshot->epoch;
+        response.act = std::move(decision.act);
+        response.move_logits = std::move(decision.move_logits);
+        response.charge_logits = std::move(decision.charge_logits);
+        response.batch_size = n;
+        response.latency_ns = now_ns - item.enqueue_ns;
+        response.shard = config_.shard_index;
+        latency_hist->Record(response.latency_ns);
+        item.promise.set_value(std::move(response));
+      }
     }
   }
 }

@@ -1,15 +1,22 @@
-// cews::serve — PolicyServer: an in-process, dynamically micro-batched
-// inference service over the trained DRL-CEWS policy.
+// cews::serve — PolicyServer: one in-process, dynamically micro-batched
+// inference shard over trained DRL-CEWS policies.
 //
 // Clients submit per-fleet ScheduleRequests from any thread and get a
 // future; the batcher coalesces concurrent requests (flush on max_batch or
 // max_queue_delay_us); a pool of inference workers runs ONE batched
-// PolicyNet::Forward per flush and completes each future with the actions,
-// masked logits and value estimate. Model parameters hot-swap through the
-// ModelRegistry without ever blocking in-flight inference: each worker
-// keeps a private PolicyNet and copies a snapshot's values in only when the
-// snapshot epoch changes, so concurrent workers never share mutable
-// tensors and every response is computed from exactly one epoch.
+// PolicyNet::Forward per (flush, scenario) group and completes each future
+// with the actions, masked logits and value estimate. Model parameters
+// hot-swap through per-scenario ModelRegistry entries without ever blocking
+// in-flight inference: each worker keeps a private PolicyNet and copies a
+// snapshot's values in only when the (scenario, epoch) it is serving
+// changes, so concurrent workers never share mutable tensors and every
+// response is computed from exactly one epoch of exactly one scenario.
+//
+// A PolicyServer is the *shard* building block of serve::Fleet (fleet.h) —
+// new code should go through Fleet::Create, which owns routing, the shared
+// multi-scenario registry, admission control and fleet-wide publication.
+// Standalone construction remains supported for single-shard embedding and
+// tests.
 #ifndef CEWS_SERVE_SERVER_H_
 #define CEWS_SERVE_SERVER_H_
 
@@ -29,6 +36,11 @@
 #include "serve/model_registry.h"
 #include "serve/request.h"
 
+namespace cews::obs {
+class Counter;
+class Gauge;
+}  // namespace cews::obs
+
 namespace cews::serve {
 
 struct PolicyServerConfig {
@@ -41,20 +53,41 @@ struct PolicyServerConfig {
   int max_batch = 8;
   /// ...or once the oldest queued request has waited this long.
   int64_t max_queue_delay_us = 200;
+  /// Admission control: queued requests beyond this depth are shed — Submit
+  /// resolves immediately with ResourceExhausted instead of queueing
+  /// (never blocks). 0 = unbounded (legacy standalone behavior).
+  int max_queue_depth = 0;
   /// Intra-op NN kernel threads (0 = hardware cores; CEWS_NUM_THREADS
   /// overrides), applied to the global kernel pool at Create.
   int runtime_threads = 1;
   /// Seeds the epoch-0 parameters and the per-worker sampling streams.
   uint64_t seed = 1;
+  /// Fleet shard index (>= 0): names the per-shard metrics
+  /// (serve.shard.N.queue_depth, serve.shard.N.shed) and is reported in
+  /// every ScheduleResponse::shard. -1 = standalone (legacy metric names,
+  /// shard -1 in responses).
+  int shard_index = -1;
 };
 
 class PolicyServer {
  public:
   /// Validates the config (positive net dims, threads, batch bound) and
-  /// starts the worker pool. The epoch-0 model is freshly initialized from
-  /// `seed`; publish trained parameters via Publish/PublishFromFile.
+  /// starts the worker pool serving a private single-scenario registry
+  /// ("default"). The epoch-0 model is freshly initialized from `seed`;
+  /// publish trained parameters via Publish/PublishFromFile.
   static Result<std::unique_ptr<PolicyServer>> Create(
       const PolicyServerConfig& config);
+
+  /// Fleet hook: a shard serving a shared multi-scenario registry (owned
+  /// jointly with the Fleet and its sibling shards). Does NOT resize the
+  /// global kernel pool — the fleet does that once.
+  static Result<std::unique_ptr<PolicyServer>> Create(
+      const PolicyServerConfig& config,
+      std::shared_ptr<ScenarioRegistry> scenarios);
+
+  /// The validation Create applies (net dims, thread/batch/queue bounds),
+  /// reusable by Fleet::Create before it constructs anything.
+  static Status ValidateConfig(const PolicyServerConfig& config);
 
   /// Stops and joins the workers (draining queued requests).
   ~PolicyServer();
@@ -62,22 +95,36 @@ class PolicyServer {
   PolicyServer(const PolicyServer&) = delete;
   PolicyServer& operator=(const PolicyServer&) = delete;
 
-  /// Enqueues one request; thread-safe. The future always resolves — with
-  /// a non-OK ScheduleResponse::status for malformed requests or after
-  /// Stop(), never with a broken promise.
+  /// Enqueues one request; thread-safe and non-blocking. The future always
+  /// resolves — with a non-OK ScheduleResponse::status for malformed
+  /// requests (InvalidArgument), unknown scenarios (NotFound), a full queue
+  /// (ResourceExhausted, when max_queue_depth bounds it) or after Stop()
+  /// (FailedPrecondition) — never with a broken promise.
   std::future<ScheduleResponse> Submit(ScheduleRequest request);
 
-  /// Hot-swaps the served parameters (clones `params`; see ModelRegistry).
+  /// Hot-swaps the default scenario's parameters (clones `params`; see
+  /// ModelRegistry). Publication into other scenarios goes through the
+  /// owning Fleet (or scenarios().Publish for standalone multi-scenario
+  /// setups).
   Status Publish(const std::vector<nn::Tensor>& params);
 
-  /// Reloads a checkpoint from disk (nn::LoadParameters into a scratch
-  /// copy, so the live model is untouched on failure) and publishes it.
+  /// Reloads a checkpoint from disk into the default scenario (via
+  /// ModelRegistry::PublishFromFile — the live model is untouched on
+  /// failure).
   Status PublishFromFile(const std::string& path);
 
-  /// Epoch of the currently served snapshot.
-  uint64_t epoch() const { return registry_.epoch(); }
+  /// Epoch of the default scenario's served snapshot (relaxed counter
+  /// read; does not touch the snapshot refcount).
+  uint64_t epoch() const { return default_registry_->epoch(); }
 
-  ModelRegistry& registry() { return registry_; }
+  /// Read-only view of the default scenario's registry. Publication goes
+  /// through Publish/PublishFromFile (or the Fleet) — handing out a
+  /// mutable registry would bypass their validation and ownership story.
+  const ModelRegistry& registry() const { return *default_registry_; }
+
+  /// The scenario map this server serves (shared with the fleet's other
+  /// shards when fleet-constructed).
+  const ScenarioRegistry& scenarios() const { return *scenarios_; }
 
   const agents::PolicyNetConfig& net_config() const { return config_.net; }
 
@@ -86,19 +133,26 @@ class PolicyServer {
     return config_.net.in_channels * config_.net.grid * config_.net.grid;
   }
 
+  /// Instantaneous batcher queue length (telemetry, tests).
+  int QueueDepth() const { return batcher_.depth(); }
+
   /// Drains the queue, completes every pending request, joins the workers.
   /// Later Submits resolve immediately with FailedPrecondition. Idempotent.
   void Stop();
 
  private:
-  explicit PolicyServer(const PolicyServerConfig& config);
+  PolicyServer(const PolicyServerConfig& config,
+               std::shared_ptr<ScenarioRegistry> scenarios);
 
   void WorkerLoop(int worker_index);
   Status ValidateRequest(const ScheduleRequest& request) const;
 
   const PolicyServerConfig config_;
   env::StateEncoder encoder_;
-  ModelRegistry registry_;
+  std::shared_ptr<ScenarioRegistry> scenarios_;
+  ModelRegistry* default_registry_;  ///< scenarios_->Find("").
+  obs::Gauge* depth_gauge_;          ///< serve.shard.N.queue_depth.
+  obs::Counter* shed_counter_;       ///< serve.shard.N.shed.
   RequestBatcher batcher_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

@@ -25,7 +25,7 @@ TEST(RequestBatcherTest, FlushBySizeReturnsFullBatchInArrivalOrder) {
   RequestBatcher batcher(/*max_batch=*/4, /*max_queue_delay_us=*/5'000'000);
   for (int i = 0; i < 4; ++i) {
     PendingRequest item = Tagged(static_cast<float>(i));
-    ASSERT_TRUE(batcher.Push(item));
+    ASSERT_EQ(batcher.Push(item), PushResult::kAccepted);
   }
   const auto start = std::chrono::steady_clock::now();
   const std::vector<PendingRequest> batch = batcher.PopBatch();
@@ -43,8 +43,8 @@ TEST(RequestBatcherTest, FlushByTimeoutReleasesPartialBatch) {
   RequestBatcher batcher(/*max_batch=*/64, /*max_queue_delay_us=*/30'000);
   PendingRequest a = Tagged(1.0f);
   PendingRequest b = Tagged(2.0f);
-  ASSERT_TRUE(batcher.Push(a));
-  ASSERT_TRUE(batcher.Push(b));
+  ASSERT_EQ(batcher.Push(a), PushResult::kAccepted);
+  ASSERT_EQ(batcher.Push(b), PushResult::kAccepted);
   const auto start = std::chrono::steady_clock::now();
   const std::vector<PendingRequest> batch = batcher.PopBatch();
   const auto elapsed = std::chrono::steady_clock::now() - start;
@@ -59,7 +59,7 @@ TEST(RequestBatcherTest, PopBatchCapsAtMaxBatch) {
   RequestBatcher batcher(/*max_batch=*/3, /*max_queue_delay_us=*/5'000'000);
   for (int i = 0; i < 7; ++i) {
     PendingRequest item = Tagged(static_cast<float>(i));
-    ASSERT_TRUE(batcher.Push(item));
+    ASSERT_EQ(batcher.Push(item), PushResult::kAccepted);
   }
   EXPECT_EQ(batcher.depth(), 7);
   EXPECT_EQ(batcher.PopBatch().size(), 3u);
@@ -74,7 +74,7 @@ TEST(RequestBatcherTest, ShutdownDrainsThenReturnsEmpty) {
   RequestBatcher batcher(/*max_batch=*/8, /*max_queue_delay_us=*/5'000'000);
   for (int i = 0; i < 3; ++i) {
     PendingRequest item = Tagged(static_cast<float>(i));
-    ASSERT_TRUE(batcher.Push(item));
+    ASSERT_EQ(batcher.Push(item), PushResult::kAccepted);
   }
   batcher.Shutdown();
   EXPECT_EQ(batcher.PopBatch().size(), 3u);  // graceful drain
@@ -86,7 +86,7 @@ TEST(RequestBatcherTest, PushAfterShutdownLeavesItemWithCaller) {
   RequestBatcher batcher(/*max_batch=*/2, /*max_queue_delay_us=*/100);
   batcher.Shutdown();
   PendingRequest item = Tagged(7.0f);
-  EXPECT_FALSE(batcher.Push(item));
+  EXPECT_EQ(batcher.Push(item), PushResult::kShutdown);
   EXPECT_EQ(batcher.depth(), 0);
   // The batcher must not have consumed the item: the caller still owns the
   // promise and can complete it with a rejection.
@@ -94,6 +94,39 @@ TEST(RequestBatcherTest, PushAfterShutdownLeavesItemWithCaller) {
   response.status = Status::FailedPrecondition("stopped");
   item.promise.set_value(std::move(response));
   EXPECT_FALSE(item.promise.get_future().get().ok());
+}
+
+TEST(RequestBatcherTest, BoundedDepthShedsInsteadOfGrowing) {
+  RequestBatcher batcher(/*max_batch=*/8, /*max_queue_delay_us=*/5'000'000,
+                         /*max_depth=*/3);
+  for (int i = 0; i < 3; ++i) {
+    PendingRequest item = Tagged(static_cast<float>(i));
+    ASSERT_EQ(batcher.Push(item), PushResult::kAccepted);
+  }
+  // At the bound: Push resolves immediately with kOverloaded, never blocks,
+  // and leaves the item (and its promise) with the caller.
+  PendingRequest over = Tagged(99.0f);
+  EXPECT_EQ(batcher.Push(over), PushResult::kOverloaded);
+  EXPECT_EQ(batcher.depth(), 3);
+  ScheduleResponse response;
+  response.status = Status::ResourceExhausted("shed");
+  over.promise.set_value(std::move(response));
+  EXPECT_EQ(over.promise.get_future().get().status.code(),
+            StatusCode::kResourceExhausted);
+
+  // Draining reopens admission.
+  batcher.Shutdown();
+  EXPECT_EQ(batcher.PopBatch().size(), 3u);
+}
+
+TEST(RequestBatcherTest, UnboundedDepthNeverSheds) {
+  RequestBatcher batcher(/*max_batch=*/4, /*max_queue_delay_us=*/5'000'000,
+                         /*max_depth=*/0);
+  for (int i = 0; i < 100; ++i) {
+    PendingRequest item = Tagged(static_cast<float>(i));
+    ASSERT_EQ(batcher.Push(item), PushResult::kAccepted);
+  }
+  EXPECT_EQ(batcher.depth(), 100);
 }
 
 TEST(RequestBatcherTest, ManyProducersManyConsumersDeliverEachRequestOnce) {
@@ -107,7 +140,7 @@ TEST(RequestBatcherTest, ManyProducersManyConsumersDeliverEachRequestOnce) {
     producers.emplace_back([&batcher, p] {
       for (int i = 0; i < kPerProducer; ++i) {
         PendingRequest item = Tagged(static_cast<float>(p * kPerProducer + i));
-        ASSERT_TRUE(batcher.Push(item));
+        ASSERT_EQ(batcher.Push(item), PushResult::kAccepted);
       }
     });
   }
@@ -143,7 +176,7 @@ TEST(RequestBatcherTest, ManyProducersManyConsumersDeliverEachRequestOnce) {
 TEST(RequestBatcherTest, StampsEnqueueTime) {
   RequestBatcher batcher(/*max_batch=*/1, /*max_queue_delay_us=*/0);
   PendingRequest item = Tagged(0.0f);
-  ASSERT_TRUE(batcher.Push(item));
+  ASSERT_EQ(batcher.Push(item), PushResult::kAccepted);
   const std::vector<PendingRequest> batch = batcher.PopBatch();
   ASSERT_EQ(batch.size(), 1u);
   EXPECT_GT(batch[0].enqueue_ns, 0u);

@@ -24,18 +24,27 @@
 //   cews eval --map FILE --ckpt policy.bin
 //             [--episodes N] [--svg traj.svg]       evaluate a checkpoint
 //   cews serve --map FILE | --scenario X [--ckpt policy.bin]
-//              [--clients N] [--requests N] [--max-batch N] [--delay-us N]
+//              [--shards N] [--max-queue N] [--mode closed|open]
+//              [--clients N] [--requests N]
+//              [--arrival-rps R] [--duration S] [--submit-threads N]
+//              [--max-batch N] [--delay-us N]
 //              [--serve-threads N] [--threads N] [--seed N]
 //              [--metrics-out metrics.json] [--trace-out trace.json]
-//              start the in-process micro-batching inference service, drive
-//              it with a synthetic closed-loop load (N clients each issuing
-//              N requests against their own env), and print a
-//              latency/throughput table
-//              (--ckpt hot-loads a checkpoint trained on the same map and
+//              start an in-process serving fleet (N consistent-hash-routed
+//              micro-batching shards), drive it with a synthetic load, and
+//              print a latency/throughput table
+//              (--mode closed: N clients each issuing N completion-gated
+//               requests against their own env — throughput/batching focus;
+//               --mode open: Poisson arrivals at --arrival-rps for
+//               --duration seconds from a simulated population of --clients
+//               ids — honest tail latency, including p999 and shed counts;
+//               --ckpt hot-loads a checkpoint trained on the same map and
 //               options — without it a randomly initialized policy serves;
-//               --max-batch / --delay-us tune the dynamic micro-batcher,
-//               --serve-threads sizes the inference worker pool,
-//               --threads the intra-op NN kernel pool)
+//               --shards sizes the fleet, --max-queue bounds each shard's
+//               queue (overload is shed with ResourceExhausted, 0 =
+//               unbounded), --max-batch / --delay-us tune the per-shard
+//               micro-batcher, --serve-threads sets inference workers per
+//               shard, --threads the intra-op NN kernel pool)
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -53,8 +62,8 @@
 #include "env/state_encoder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/fleet.h"
 #include "serve/loadgen.h"
-#include "serve/server.h"
 
 namespace {
 
@@ -255,64 +264,105 @@ int CmdServe(const Args& args) {
   env::EnvConfig env_config;
   env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
   const core::BenchmarkOptions options = OptionsFrom(args);
+  const std::string mode = args.Get("mode", "closed");
+  if (mode != "closed" && mode != "open") {
+    return Fail(Status::InvalidArgument(
+        "--mode must be 'closed' or 'open', got '" + mode + "'"));
+  }
+  // The fleet's scenario name is the map scenario (or "default" for a
+  // --map file); requests and publishes are tagged with it.
+  const std::string scenario_name =
+      args.Has("map")
+          ? std::string(serve::ScenarioRegistry::kDefaultScenario)
+          : args.Get("scenario", "earthquake-site");
 
   // Mirror the trainers' net sizing (map fleet + action space + bench
   // grid), so a --ckpt from `cews train` on the same map loads unchanged.
-  serve::PolicyServerConfig server_config;
-  server_config.net = options.net;
-  server_config.net.grid = options.grid;
-  server_config.net.num_workers = static_cast<int>(map.worker_spawns.size());
-  server_config.net.num_moves = env_config.action_space.num_moves();
-  server_config.num_threads =
+  serve::FleetConfig fleet_config;
+  fleet_config.net = options.net;
+  fleet_config.net.grid = options.grid;
+  fleet_config.net.num_workers = static_cast<int>(map.worker_spawns.size());
+  fleet_config.net.num_moves = env_config.action_space.num_moves();
+  fleet_config.num_shards = static_cast<int>(args.GetInt("shards", 1));
+  fleet_config.threads_per_shard =
       static_cast<int>(args.GetInt("serve-threads", 1));
-  server_config.max_batch = static_cast<int>(args.GetInt("max-batch", 8));
-  server_config.max_queue_delay_us = args.GetInt("delay-us", 200);
-  server_config.runtime_threads = options.runtime_threads;
-  server_config.seed = options.seed;
+  fleet_config.max_batch = static_cast<int>(args.GetInt("max-batch", 8));
+  fleet_config.max_queue_delay_us = args.GetInt("delay-us", 200);
+  fleet_config.max_queue_depth =
+      static_cast<int>(args.GetInt("max-queue", 1024));
+  fleet_config.runtime_threads = options.runtime_threads;
+  fleet_config.seed = options.seed;
+  fleet_config.scenarios = {scenario_name};
   if (args.Has("trace-out")) obs::SetTraceEnabled(true);
 
-  auto server_or = serve::PolicyServer::Create(server_config);
-  if (!server_or.ok()) return Fail(server_or.status());
-  serve::PolicyServer& server = **server_or;
+  auto fleet_or = serve::Fleet::Create(fleet_config);
+  if (!fleet_or.ok()) return Fail(fleet_or.status());
+  serve::Fleet& fleet = **fleet_or;
   if (args.Has("ckpt")) {
-    const Status status = server.PublishFromFile(args.Get("ckpt", ""));
+    const Status status =
+        fleet.PublishFromFile(scenario_name, args.Get("ckpt", ""));
     if (!status.ok()) return Fail(status);
-    std::printf("serving checkpoint %s (epoch %llu)\n",
-                args.Get("ckpt", "").c_str(),
-                static_cast<unsigned long long>(server.epoch()));
+    const auto epoch_or = fleet.Epoch(scenario_name);
+    std::printf("serving checkpoint %s (scenario '%s', epoch %llu)\n",
+                args.Get("ckpt", "").c_str(), scenario_name.c_str(),
+                static_cast<unsigned long long>(
+                    epoch_or.ok() ? epoch_or.value() : 0));
   } else {
     std::printf(
         "warning: no --ckpt, serving a randomly initialized policy\n");
   }
 
-  serve::LoadGenOptions load;
-  load.clients = static_cast<int>(args.GetInt("clients", 8));
-  load.requests_per_client = static_cast<int>(args.GetInt("requests", 100));
-  load.env = env_config;
-  std::printf("load: %d closed-loop clients x %d requests, max_batch=%d "
-              "delay=%lldus serve_threads=%d\n",
-              load.clients, load.requests_per_client,
-              server_config.max_batch,
-              static_cast<long long>(server_config.max_queue_delay_us),
-              server_config.num_threads);
-  auto result_or = serve::RunClosedLoopLoad(server, map, load);
+  serve::LoadSpec spec;
+  spec.mode = mode == "open" ? serve::LoadMode::kOpenLoop
+                             : serve::LoadMode::kClosedLoop;
+  spec.clients = static_cast<int>(args.GetInt("clients", 8));
+  spec.requests_per_client = static_cast<int>(args.GetInt("requests", 100));
+  spec.arrival_rps = args.GetDouble("arrival-rps", 1000.0);
+  spec.duration_seconds = args.GetDouble("duration", 1.0);
+  spec.submit_threads = static_cast<int>(args.GetInt("submit-threads", 2));
+  spec.env = env_config;
+  spec.scenario = scenario_name;
+  spec.seed = options.seed;
+  if (spec.mode == serve::LoadMode::kClosedLoop) {
+    std::printf("load: %d closed-loop clients x %d requests, shards=%d "
+                "max_batch=%d delay=%lldus serve_threads=%d\n",
+                spec.clients, spec.requests_per_client,
+                fleet_config.num_shards, fleet_config.max_batch,
+                static_cast<long long>(fleet_config.max_queue_delay_us),
+                fleet_config.threads_per_shard);
+  } else {
+    std::printf("load: open-loop %.0f req/s for %.2fs over %d clients, "
+                "shards=%d max_queue=%d max_batch=%d delay=%lldus "
+                "serve_threads=%d\n",
+                spec.arrival_rps, spec.duration_seconds, spec.clients,
+                fleet_config.num_shards, fleet_config.max_queue_depth,
+                fleet_config.max_batch,
+                static_cast<long long>(fleet_config.max_queue_delay_us),
+                fleet_config.threads_per_shard);
+  }
+  auto result_or = serve::RunLoad(fleet, map, spec);
   if (!result_or.ok()) return Fail(result_or.status());
-  const serve::LoadGenResult& result = *result_or;
+  const serve::LoadResult& result = *result_or;
 
-  Table table({"clients", "requests", "errors", "rps", "mean_us", "p50_us",
-               "p95_us", "p99_us", "mean_batch"});
-  table.AddRow({std::to_string(load.clients),
+  Table table({"shards", "clients", "requests", "shed", "errors",
+               "offered_rps", "rps", "mean_us", "p50_us", "p95_us",
+               "p99_us", "p999_us", "mean_batch"});
+  table.AddRow({std::to_string(fleet.num_shards()),
+                std::to_string(spec.clients),
                 std::to_string(result.requests),
+                std::to_string(result.shed),
                 std::to_string(result.errors),
+                Table::Fmt(result.offered_rps, 1),
                 Table::Fmt(result.throughput_rps, 1),
                 Table::Fmt(result.latency_mean_us, 1),
                 Table::Fmt(result.latency_p50_us, 1),
                 Table::Fmt(result.latency_p95_us, 1),
                 Table::Fmt(result.latency_p99_us, 1),
+                Table::Fmt(result.latency_p999_us, 1),
                 Table::Fmt(result.mean_batch, 2)});
   std::printf("%s", table.ToString().c_str());
 
-  server.Stop();
+  fleet.Stop();
   if (args.Has("metrics-out")) {
     const Status status = obs::WriteMetricsJson(args.Get("metrics-out", ""));
     if (!status.ok()) return Fail(status);

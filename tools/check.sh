@@ -71,11 +71,11 @@ else
     common_thread_pool_test nn_parallel_determinism_test nn_gemm_test \
     agents_trainer_test agents_async_test \
     obs_metrics_test obs_trace_test obs_integration_test \
-    serve_batcher_test serve_server_test
+    serve_batcher_test serve_server_test serve_fleet_test
 
   echo "== tsan: concurrency tests =="
   (cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
-    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|serve_batcher_test|serve_server_test")
+    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|serve_batcher_test|serve_server_test|serve_fleet_test")
 fi
 
 if [[ "$skip_asan" == 1 ]]; then
@@ -89,11 +89,11 @@ else
   cmake --build "$repo/build-asan" -j "$jobs" --target \
     env_vec_env_test agents_trainer_core_test agents_vec_equivalence_test \
     agents_trainer_test agents_async_test nn_gemm_test \
-    nn_serialize_test serve_batcher_test serve_server_test
+    nn_serialize_test serve_batcher_test serve_server_test serve_fleet_test
 
   echo "== asan+ubsan: vec acting + serve path tests =="
   (cd "$repo/build-asan" && ctest --output-on-failure -j "$jobs" -R \
-    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_serialize_test|serve_batcher_test|serve_server_test")
+    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_serialize_test|serve_batcher_test|serve_server_test|serve_fleet_test")
 fi
 
 echo "== all checks passed =="
