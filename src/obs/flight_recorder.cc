@@ -1,0 +1,359 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "common/stopwatch.h"
+
+namespace cews::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe primitives. Nothing in this block may call malloc,
+// stdio, or take a lock: it runs inside fatal-signal handlers.
+// ---------------------------------------------------------------------------
+
+size_t SafeStrLen(const char* s, size_t max) {
+  size_t n = 0;
+  while (n < max && s[n] != '\0') ++n;
+  return n;
+}
+
+void WriteAll(int fd, const char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;  // nowhere to report an IO error from a signal handler
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+/// Buffered fd writer with hand-rolled number formatting.
+struct FdWriter {
+  explicit FdWriter(int fd) : fd(fd) {}
+  ~FdWriter() { Flush(); }
+
+  void Flush() {
+    if (len > 0) WriteAll(fd, buf, len);
+    len = 0;
+  }
+  void Append(const char* s, size_t n) {
+    while (n > 0) {
+      if (len == sizeof(buf)) Flush();
+      const size_t chunk = n < sizeof(buf) - len ? n : sizeof(buf) - len;
+      std::memcpy(buf + len, s, chunk);
+      len += chunk;
+      s += chunk;
+      n -= chunk;
+    }
+  }
+  void Str(const char* s) { Append(s, SafeStrLen(s, ~size_t{0})); }
+  void U64(uint64_t v) {
+    char tmp[20];
+    int i = 20;
+    do {
+      tmp[--i] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    Append(tmp + i, static_cast<size_t>(20 - i));
+  }
+  void I64(int64_t v) {
+    if (v < 0) {
+      Str("-");
+      // Negate via unsigned arithmetic so INT64_MIN doesn't overflow.
+      U64(~static_cast<uint64_t>(v) + 1);
+    } else {
+      U64(static_cast<uint64_t>(v));
+    }
+  }
+
+  const int fd;
+  char buf[4096];
+  size_t len = 0;
+};
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    default: return "signal";
+  }
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kNone: return "none";
+    case FlightEventKind::kServerStart: return "server_start";
+    case FlightEventKind::kServerStop: return "server_stop";
+    case FlightEventKind::kPublish: return "publish";
+    case FlightEventKind::kEpochSwap: return "epoch_swap";
+    case FlightEventKind::kShed: return "shed";
+    case FlightEventKind::kSloBreach: return "slo_breach";
+    case FlightEventKind::kSloRecover: return "slo_recover";
+    case FlightEventKind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder;  // leaked on purpose
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightEventKind kind, const char* detail,
+                            int64_t a, int64_t b) {
+  const uint64_t ticket =
+      next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[static_cast<size_t>((ticket - 1) %
+                                          kFlightRingSlots)];
+  slot.seq.store(kBusySeq, std::memory_order_relaxed);
+  slot.ts_ns.store(Stopwatch::NowNs(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  // Sanitize at record time (not dump time) so the async-signal-safe dump
+  // can splice the detail into JSON without an escaping pass.
+  char clean[kFlightDetailBytes] = {0};
+  if (detail != nullptr) {
+    const size_t n = SafeStrLen(detail, kFlightDetailBytes);
+    for (size_t i = 0; i < n; ++i) {
+      const char c = detail[i];
+      clean[i] = (c == '"' || c == '\\' ||
+                  static_cast<unsigned char>(c) < 0x20)
+                     ? '_'
+                     : c;
+    }
+  }
+  for (int w = 0; w < kFlightDetailWords; ++w) {
+    uint64_t word = 0;
+    std::memcpy(&word, clean + w * 8, 8);
+    slot.detail[static_cast<size_t>(w)].store(word,
+                                              std::memory_order_relaxed);
+  }
+  slot.seq.store(ticket, std::memory_order_release);
+}
+
+void FlightRecorder::SetMetricsJson(const std::string& json) {
+  const int active = metrics_active_.load(std::memory_order_relaxed);
+  const int target = active == 0 ? 1 : 0;
+  auto& arena = metrics_json_[static_cast<size_t>(target)];
+  if (json.size() < arena.size()) {
+    std::memcpy(arena.data(), json.data(), json.size());
+    metrics_len_[static_cast<size_t>(target)].store(
+        static_cast<int>(json.size()), std::memory_order_relaxed);
+  } else {
+    std::memcpy(arena.data(), "null", 4);
+    metrics_len_[static_cast<size_t>(target)].store(
+        4, std::memory_order_relaxed);
+  }
+  metrics_active_.store(target, std::memory_order_release);
+}
+
+void FlightRecorder::DumpToFd(int fd, const char* reason) {
+  FdWriter out(fd);
+  out.Str("{\n\"schema\": \"cews.postmortem.v1\",\n\"reason\": \"");
+  // The reason strings are internal literals; sanitize anyway so a caller-
+  // supplied reason cannot break the document.
+  {
+    const size_t n = SafeStrLen(reason, 128);
+    for (size_t i = 0; i < n; ++i) {
+      const char c = reason[i];
+      const char safe = (c == '"' || c == '\\' ||
+                         static_cast<unsigned char>(c) < 0x20)
+                            ? '_'
+                            : c;
+      out.Append(&safe, 1);
+    }
+  }
+  out.Str("\",\n\"pid\": ");
+  out.I64(static_cast<int64_t>(::getpid()));
+  out.Str(",\n\"events\": [");
+
+  const uint64_t next = next_seq_.load(std::memory_order_acquire);
+  const uint64_t first =
+      next > kFlightRingSlots ? next - kFlightRingSlots : 0;
+  bool first_event = true;
+  for (uint64_t t = first + 1; t <= next; ++t) {
+    const Slot& slot =
+        slots_[static_cast<size_t>((t - 1) % kFlightRingSlots)];
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != t) continue;  // overwritten by a newer lap, or mid-write
+    const uint64_t ts = slot.ts_ns.load(std::memory_order_relaxed);
+    const uint32_t kind = slot.kind.load(std::memory_order_relaxed);
+    const int64_t a = slot.a.load(std::memory_order_relaxed);
+    const int64_t b = slot.b.load(std::memory_order_relaxed);
+    char detail[kFlightDetailBytes + 1] = {0};
+    for (int w = 0; w < kFlightDetailWords; ++w) {
+      const uint64_t word =
+          slot.detail[static_cast<size_t>(w)].load(std::memory_order_relaxed);
+      std::memcpy(detail + w * 8, &word, 8);
+    }
+    if (slot.seq.load(std::memory_order_acquire) != t) continue;  // torn
+    out.Str(first_event ? "\n" : ",\n");
+    first_event = false;
+    out.Str("{\"seq\": ");
+    out.U64(t);
+    out.Str(", \"ts_ns\": ");
+    out.U64(ts);
+    out.Str(", \"kind\": \"");
+    out.Str(FlightEventKindName(static_cast<FlightEventKind>(kind)));
+    out.Str("\", \"detail\": \"");
+    out.Str(detail);
+    out.Str("\", \"a\": ");
+    out.I64(a);
+    out.Str(", \"b\": ");
+    out.I64(b);
+    out.Str("}");
+  }
+  out.Str("\n],\n\"metrics\": ");
+  const int active = metrics_active_.load(std::memory_order_acquire);
+  if (active < 0) {
+    out.Str("null");
+  } else {
+    const int len =
+        metrics_len_[static_cast<size_t>(active)].load(
+            std::memory_order_relaxed);
+    out.Append(metrics_json_[static_cast<size_t>(active)].data(),
+               static_cast<size_t>(len));
+  }
+  out.Str("\n}\n");
+  out.Flush();
+}
+
+Status FlightRecorder::WriteDump(const std::string& path,
+                                 const char* reason) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + " for post-mortem dump");
+  }
+  DumpToFd(fd, reason);  // same formatter as the signal path, by design
+  ::close(fd);
+  return Status::OK();
+}
+
+std::vector<FlightEvent> FlightRecorder::Collect() const {
+  std::vector<FlightEvent> events;
+  const uint64_t next = next_seq_.load(std::memory_order_acquire);
+  const uint64_t first =
+      next > kFlightRingSlots ? next - kFlightRingSlots : 0;
+  events.reserve(static_cast<size_t>(next - first));
+  for (uint64_t t = first + 1; t <= next; ++t) {
+    const Slot& slot =
+        slots_[static_cast<size_t>((t - 1) % kFlightRingSlots)];
+    if (slot.seq.load(std::memory_order_acquire) != t) continue;
+    FlightEvent event;
+    event.seq = t;
+    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    event.kind = static_cast<FlightEventKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    event.a = slot.a.load(std::memory_order_relaxed);
+    event.b = slot.b.load(std::memory_order_relaxed);
+    char detail[kFlightDetailBytes + 1] = {0};
+    for (int w = 0; w < kFlightDetailWords; ++w) {
+      const uint64_t word =
+          slot.detail[static_cast<size_t>(w)].load(std::memory_order_relaxed);
+      std::memcpy(detail + w * 8, &word, 8);
+    }
+    if (slot.seq.load(std::memory_order_acquire) != t) continue;
+    event.detail = detail;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+void FlightRecorder::ClearForTest() {
+  next_seq_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    slot.seq.store(0, std::memory_order_relaxed);
+    slot.kind.store(0, std::memory_order_relaxed);
+  }
+  metrics_active_.store(-1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal handler.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+char g_postmortem_dir[240] = {0};
+std::atomic<bool> g_handler_installed{false};
+/// First fatal signal wins the dump; a crash inside the dump re-enters the
+/// handler and falls straight through to the re-raise.
+std::atomic<bool> g_dump_started{false};
+
+void AppendDec(char* buf, size_t cap, size_t* pos, uint64_t v) {
+  char tmp[20];
+  int i = 20;
+  do {
+    tmp[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (i < 20 && *pos + 1 < cap) buf[(*pos)++] = tmp[i++];
+}
+
+void FatalSignalHandler(int signo) {
+  if (!g_dump_started.exchange(true)) {
+    char path[320];
+    size_t pos = 0;
+    const size_t dir_len = SafeStrLen(g_postmortem_dir,
+                                      sizeof(g_postmortem_dir));
+    std::memcpy(path, g_postmortem_dir, dir_len);
+    pos = dir_len;
+    const char* stem = "/postmortem.";
+    std::memcpy(path + pos, stem, 12);
+    pos += 12;
+    AppendDec(path, sizeof(path), &pos,
+              static_cast<uint64_t>(::getpid()));
+    const char* ext = ".json";
+    std::memcpy(path + pos, ext, 5);
+    pos += 5;
+    path[pos] = '\0';
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      FlightRecorder::Global().DumpToFd(fd, SignalName(signo));
+      ::close(fd);
+    }
+  }
+  // Re-raise with the default disposition so the exit status still says
+  // "killed by <signo>" (and SIGSEGV still core-dumps where enabled).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void InstallFlightRecorderSignalHandler(const std::string& dir) {
+  if (g_handler_installed.exchange(true)) return;
+  const size_t n = dir.size() < sizeof(g_postmortem_dir) - 1
+                       ? dir.size()
+                       : sizeof(g_postmortem_dir) - 1;
+  std::memcpy(g_postmortem_dir, dir.data(), n);
+  g_postmortem_dir[n] = '\0';
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = FatalSignalHandler;
+  sigemptyset(&action.sa_mask);
+  const int signals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+                         SIGILL,  SIGTERM, SIGINT};
+  for (const int signo : signals) {
+    ::sigaction(signo, &action, nullptr);
+  }
+}
+
+}  // namespace cews::obs

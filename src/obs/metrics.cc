@@ -235,10 +235,21 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
   const double target = p * static_cast<double>(count);
   uint64_t seen = 0;
   for (int b = 0; b < kHistogramBuckets; ++b) {
-    seen += buckets[static_cast<size_t>(b)];
-    if (static_cast<double>(seen) >= target) {
-      return b + 1 >= 64 ? UINT64_MAX : (uint64_t{1} << (b + 1));
+    const uint64_t in_bucket = buckets[static_cast<size_t>(b)];
+    if (in_bucket > 0 &&
+        static_cast<double>(seen + in_bucket) >= target) {
+      // Interpolate linearly within the winning bucket [lower, upper):
+      // bucket b covers 2^b <= v < 2^(b+1) (bucket 0 starts at 0).
+      const uint64_t lower = b == 0 ? 0 : (uint64_t{1} << b);
+      const uint64_t upper = uint64_t{1} << (b + 1);
+      double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lower + static_cast<uint64_t>(
+                         static_cast<double>(upper - lower) * frac);
     }
+    seen += in_bucket;
   }
   return UINT64_MAX;
 }

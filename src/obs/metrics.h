@@ -44,8 +44,14 @@ inline constexpr int kHistogramBuckets = 40;
 /// one counter per server shard (serve.shard.N.shed, N bounded at 64 by
 /// Fleet::Create), so the counter cap leaves headroom for a full-size
 /// fleet plus the hand-written set.
+///
+/// Histogram headroom math: a full-size fleet mints one latency histogram
+/// per shard (serve.shard.N.latency_ns, N < 64) on top of the hand-written
+/// set (~25 names today, growing slowly). 64 + 25 would already exceed the
+/// old cap of 64 and trip the creation CHECK at shard 39; 192 leaves
+/// ~100 slots of headroom for future instrumented subsystems.
 inline constexpr int kMaxCounters = 320;
-inline constexpr int kMaxHistograms = 64;
+inline constexpr int kMaxHistograms = 192;
 
 class Registry;
 
@@ -126,8 +132,12 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
-  /// Upper bucket bound below which a fraction p of samples fall
-  /// (p in [0, 1]); 0 when empty. Bucket-resolution estimate.
+  /// Estimate of the value below which a fraction p of samples fall
+  /// (p in [0, 1]); 0 when empty. Linearly interpolates within the winning
+  /// exponential bucket — the estimate is exact for uniform in-bucket
+  /// distributions and never overstates by more than one bucket width
+  /// (the old behavior returned the bucket *upper bound*, a systematic
+  /// up-to-2x overestimate).
   uint64_t Percentile(double p) const;
 };
 

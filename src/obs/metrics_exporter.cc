@@ -1,0 +1,186 @@
+#include "obs/metrics_exporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/flight_recorder.h"
+#include "obs/rolling_histogram.h"
+
+namespace cews::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; cews names use dots and
+/// the rolling-window "[10s]" suffix.
+std::string PromName(const std::string& name) {
+  std::string out = "cews_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out << body;
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(MetricsExporterConfig config)
+    : config_(std::move(config)) {
+  CEWS_CHECK_GT(config_.period_seconds, 0.0);
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string MetricsExporter::PrometheusText(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const CounterSnapshot& c : snap.counters) {
+    const std::string name = PromName(c.name);
+    os << "# TYPE " << name << " counter\n"
+       << name << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    const std::string name = PromName(g.name);
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << FmtDouble(g.value) << "\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string name = PromName(h.name);
+    os << "# TYPE " << name << " summary\n"
+       << name << "_count " << h.count << "\n"
+       << name << "_sum " << h.sum << "\n"
+       << name << "_p50 " << h.Percentile(0.5) << "\n"
+       << name << "_p99 " << h.Percentile(0.99) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsExporter::JsonlLine(const MetricsSnapshot& snap,
+                                       uint64_t ts_ns) {
+  std::ostringstream os;
+  os << "{\"ts_ns\": " << ts_ns << ", \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << snap.counters[i].name
+       << "\": " << snap.counters[i].value;
+  }
+  os << "}, \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << snap.gauges[i].name
+       << "\": " << FmtDouble(snap.gauges[i].value);
+  }
+  os << "}, \"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    os << (i == 0 ? "" : ", ") << "\"" << h.name << "\": {\"count\": "
+       << h.count << ", \"mean\": " << FmtDouble(h.Mean())
+       << ", \"p50\": " << h.Percentile(0.5)
+       << ", \"p99\": " << h.Percentile(0.99)
+       << ", \"p999\": " << h.Percentile(0.999) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+Status MetricsExporter::ExportOnce(uint64_t now_ns) {
+  const uint64_t ts_ns = now_ns == 0 ? Stopwatch::NowNs() : now_ns;
+  Status first_error = Status::OK();
+
+  // 1. SLO pass first so slo.* gauges land in this tick's snapshot.
+  if (config_.slo != nullptr) config_.slo->Evaluate(ts_ns);
+
+  // 2. Windowed gauges from every rolling histogram. The latency rolling
+  // histograms record nanoseconds; the gauges speak microseconds to match
+  // the SLO spec and the bench tables.
+  for (RollingHistogram* hist : AllRollingHistograms()) {
+    for (const int window : config_.windows) {
+      const HistogramSnapshot snap = hist->Window(window, ts_ns);
+      const std::string stem =
+          hist->name() + "." + std::to_string(window) + "s";
+      GetGauge(stem + ".count")->Set(static_cast<double>(snap.count));
+      GetGauge(stem + ".p50_us")
+          ->Set(static_cast<double>(snap.Percentile(0.5)) / 1e3);
+      GetGauge(stem + ".p99_us")
+          ->Set(static_cast<double>(snap.Percentile(0.99)) / 1e3);
+      GetGauge(stem + ".p999_us")
+          ->Set(static_cast<double>(snap.Percentile(0.999)) / 1e3);
+    }
+  }
+
+  const MetricsSnapshot snap = SnapshotMetrics();
+
+  // 3. JSONL append.
+  if (!config_.jsonl_path.empty()) {
+    std::ofstream out(config_.jsonl_path, std::ios::app);
+    if (!out) {
+      first_error =
+          Status::IOError("cannot open " + config_.jsonl_path + " to append");
+    } else {
+      out << JsonlLine(snap, ts_ns) << "\n";
+      if (!out && first_error.ok()) {
+        first_error = Status::IOError("short write to " + config_.jsonl_path);
+      }
+    }
+  }
+
+  // 4. Prometheus exposition.
+  if (!config_.prom_path.empty()) {
+    const Status prom = AtomicWriteFile(config_.prom_path,
+                                        PrometheusText(snap));
+    if (!prom.ok() && first_error.ok()) first_error = prom;
+  }
+
+  // 5. Crash-dump snapshot refresh.
+  if (config_.update_flight_recorder) {
+    FlightRecorder::Global().SetMetricsJson(snap.ToJson());
+  }
+  return first_error;
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.period_seconds),
+        [this]() { return stop_; });
+    lock.unlock();
+    ExportOnce();  // sink errors already carry the path; nothing to add
+    lock.lock();
+    if (stopping) return;
+  }
+}
+
+}  // namespace cews::obs

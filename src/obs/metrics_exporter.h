@@ -1,0 +1,93 @@
+// cews::obs — periodic metrics exporter: the machine-readable counterpart
+// to StatsReporter's human heartbeat.
+//
+// A background thread ticks every period and, per tick:
+//   1. evaluates the attached SloMonitor (if any), publishing slo.* gauges
+//      and breach transitions,
+//   2. aggregates every rolling histogram over the configured windows and
+//      publishes windowed gauges ("<name>.<w>s.p99_us", ".p50_us",
+//      ".p999_us", ".count") so windowed percentiles are visible to any
+//      snapshot consumer,
+//   3. appends one compact JSON object (counters, gauges, windowed
+//      summaries, timestamp) as a line to the JSONL file — an append-only
+//      time series greppable with jq,
+//   4. rewrites the Prometheus text-exposition file (write-tmp-then-rename
+//      so scrapers never see a torn file),
+//   5. refreshes the flight recorder's embedded metrics snapshot, so a
+//      crash dump carries metrics at most one period old.
+//
+// Every sink is optional; an exporter with no paths and no monitor still
+// publishes windowed gauges and refreshes the flight recorder. Stop() (or
+// destruction) runs one final export so short runs still leave complete
+// files.
+#ifndef CEWS_OBS_METRICS_EXPORTER_H_
+#define CEWS_OBS_METRICS_EXPORTER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace cews::obs {
+
+struct MetricsExporterConfig {
+  double period_seconds = 1.0;
+  /// Append one JSON object per tick here; empty = no JSONL sink.
+  std::string jsonl_path;
+  /// Rewrite Prometheus text exposition here; empty = no Prometheus sink.
+  std::string prom_path;
+  /// Rolling-histogram windows to aggregate, in seconds.
+  std::vector<int> windows = {10, 60};
+  /// Evaluated once per tick. Borrowed; must outlive the exporter. The
+  /// exporter is the only caller of Evaluate (SloMonitor is not
+  /// thread-safe).
+  SloMonitor* slo = nullptr;
+  /// Refresh FlightRecorder::Global()'s embedded snapshot each tick.
+  bool update_flight_recorder = true;
+};
+
+class MetricsExporter {
+ public:
+  /// Starts the exporter thread. period_seconds must be positive.
+  explicit MetricsExporter(MetricsExporterConfig config);
+
+  /// Stops after one final export (idempotent).
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  void Stop();
+
+  /// One export pass (steps 1–5 above). Called by the thread each tick;
+  /// public so tests drive it synchronously with injected times. Returns
+  /// the first sink error, after attempting every sink.
+  Status ExportOnce(uint64_t now_ns = 0);
+
+  /// Prometheus text exposition of a snapshot: counters and gauges as
+  /// "cews_<sanitized_name> <value>", histograms as _count/_sum/_p50_us/
+  /// _p99_us. Exposed for tests.
+  static std::string PrometheusText(const MetricsSnapshot& snap);
+
+  /// The compact single-line JSON appended per JSONL tick. Exposed for
+  /// tests.
+  static std::string JsonlLine(const MetricsSnapshot& snap, uint64_t ts_ns);
+
+ private:
+  void Loop();
+
+  const MetricsExporterConfig config_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cews::obs
+
+#endif  // CEWS_OBS_METRICS_EXPORTER_H_

@@ -1,0 +1,131 @@
+#include "obs/rolling_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace cews::obs {
+
+namespace {
+
+/// floor(log2(v)) clamped into the bucket range; 0 maps to bucket 0
+/// (identical to the cumulative Histogram's bucketing, so windowed and
+/// lifetime percentiles are directly comparable).
+int BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v) - 1;
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+int64_t SecondOf(uint64_t now_ns) {
+  return static_cast<int64_t>((now_ns == 0 ? Stopwatch::NowNs() : now_ns) /
+                              1'000'000'000ULL);
+}
+
+}  // namespace
+
+void RollingHistogram::Rotate(Slot& slot, int64_t second) {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  // Double-check under the lock: another writer may have rotated this slot
+  // to `second` already — re-zeroing would drop its samples.
+  if (slot.second.load(std::memory_order_acquire) == second) return;
+  slot.count.store(0, std::memory_order_relaxed);
+  slot.sum.store(0, std::memory_order_relaxed);
+  for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+  slot.second.store(second, std::memory_order_release);
+}
+
+void RollingHistogram::Record(uint64_t value, uint64_t now_ns) {
+  const int64_t second = SecondOf(now_ns);
+  Slot& slot = slots_[static_cast<size_t>(
+      second % static_cast<int64_t>(kRollingSlots))];
+  if (slot.second.load(std::memory_order_acquire) != second) {
+    Rotate(slot, second);
+  }
+  // A writer delayed a full ring lap (kRollingSlots seconds) between the
+  // epoch check and these adds could misattribute one sample to a later
+  // second — accepted: windowed gauges are estimates, and the lap time is
+  // far beyond any scheduler stall worth designing for.
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  slot.buckets[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot RollingHistogram::Window(int window_seconds,
+                                           uint64_t now_ns) const {
+  const int window = std::clamp(window_seconds, 1, kMaxWindowSeconds);
+  const int64_t now_second = SecondOf(now_ns);
+  HistogramSnapshot snap;
+  snap.name = name_ + "[" + std::to_string(window) + "s]";
+  for (const Slot& slot : slots_) {
+    const int64_t second = slot.second.load(std::memory_order_acquire);
+    if (second < 0 || second > now_second ||
+        second <= now_second - window) {
+      continue;
+    }
+    snap.count += slot.count.load(std::memory_order_relaxed);
+    snap.sum += slot.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      snap.buckets[static_cast<size_t>(b)] +=
+          slot.buckets[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void RollingHistogram::ResetForTest() {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  for (Slot& slot : slots_) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    slot.second.store(-1, std::memory_order_release);
+  }
+}
+
+namespace {
+
+/// Process-wide named set, leaked like the metrics registry so pointers
+/// survive static teardown.
+struct RollingState {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> histograms;
+};
+
+RollingState* GlobalRolling() {
+  static RollingState* state = new RollingState;
+  return state;
+}
+
+}  // namespace
+
+RollingHistogram* GetRollingHistogram(const std::string& name) {
+  RollingState* state = GlobalRolling();
+  std::lock_guard<std::mutex> lock(state->mu);
+  auto it = state->histograms.find(name);
+  if (it != state->histograms.end()) return it->second.get();
+  CEWS_CHECK_LT(static_cast<int>(state->histograms.size()),
+                kMaxRollingHistograms)
+      << "too many rolling histograms; raise kMaxRollingHistograms";
+  return state->histograms
+      .emplace(name, std::make_unique<RollingHistogram>(name))
+      .first->second.get();
+}
+
+std::vector<RollingHistogram*> AllRollingHistograms() {
+  RollingState* state = GlobalRolling();
+  std::lock_guard<std::mutex> lock(state->mu);
+  std::vector<RollingHistogram*> all;
+  all.reserve(state->histograms.size());
+  for (const auto& [name, hist] : state->histograms) {
+    all.push_back(hist.get());  // std::map iterates name-sorted
+  }
+  return all;
+}
+
+}  // namespace cews::obs

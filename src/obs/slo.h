@@ -1,0 +1,106 @@
+// cews::obs — declarative SLO targets evaluated against rolling-window
+// gauges.
+//
+// A target is "windowed value must stay under a threshold": latency
+// percentiles (p50/p99/p999, microseconds) read the serve path's rolling
+// latency histogram over the target's window; the shed ratio reads the
+// shed/attempted counter delta since the previous evaluation. Targets are
+// parsed from a compact spec string (the CLI's --slo flag):
+//
+//   "p99<5000,shed<0.01"       p99 under 5 ms over the default 10 s
+//                              window, shed ratio under 1%
+//   "p50<200@60"               p50 under 200 us over a 60 s window
+//
+// Each Evaluate() pass produces one SloStatus per target: the measured
+// value, whether it breaches, and a burn rate — the fraction of the last
+// kBurnWindowEvals evaluations that breached, a cheap stand-in for
+// error-budget burn (1.0 = hard down, 0.03 = occasional blips). Breach /
+// recover *transitions* (not levels) are recorded into the flight
+// recorder and counted in slo.breaches, and per-target value/burn gauges
+// are published for the exporter to scrape. A target with no data in its
+// window (e.g. before traffic starts) is reported unmeasured and never
+// breaches.
+#ifndef CEWS_OBS_SLO_H_
+#define CEWS_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cews::obs {
+
+/// Evaluations remembered per target for the burn rate.
+inline constexpr int kBurnWindowEvals = 30;
+
+enum class SloKind {
+  kP50,       ///< windowed p50 latency, microseconds
+  kP99,       ///< windowed p99 latency, microseconds
+  kP999,      ///< windowed p999 latency, microseconds
+  kShedRatio  ///< sheds / attempted submits since the previous Evaluate
+};
+
+/// Stable token for a kind ("p99", "shed", ...), as written in specs.
+const char* SloKindName(SloKind kind);
+
+struct SloTarget {
+  SloKind kind = SloKind::kP99;
+  /// Upper bound: microseconds for latency kinds, a ratio in [0, 1] for
+  /// kShedRatio. The target breaches when value >= threshold.
+  double threshold = 0.0;
+  /// Rolling window for latency kinds (clamped to the rolling-histogram
+  /// ring); ignored by kShedRatio, whose window is the evaluation period.
+  int window_seconds = 10;
+
+  /// "p99<5000us@10s" style description (gauge names, flight events).
+  std::string Describe() const;
+};
+
+/// Parses a comma-separated spec ("p99<5000,shed<0.01,p50<200@60").
+/// Latency thresholds are microseconds; shed thresholds are ratios.
+Result<std::vector<SloTarget>> ParseSloTargets(const std::string& spec);
+
+struct SloStatus {
+  SloTarget target;
+  bool measured = false;  ///< false = no samples in window, never a breach
+  double value = 0.0;     ///< us for latency kinds, ratio for shed
+  bool breached = false;
+  double burn_rate = 0.0;  ///< breached fraction of recent evaluations
+};
+
+/// Evaluates a fixed target set against the live metrics registry. Not
+/// thread-safe: call Evaluate from one thread (the exporter tick or the
+/// CLI loop).
+class SloMonitor {
+ public:
+  explicit SloMonitor(std::vector<SloTarget> targets);
+
+  /// One evaluation pass. `now_ns` = 0 reads the steady clock; tests
+  /// inject times to line up with injected rolling-histogram records.
+  std::vector<SloStatus> Evaluate(uint64_t now_ns = 0);
+
+  const std::vector<SloTarget>& targets() const { return targets_; }
+
+  /// Human-readable status table for the CLI's end-of-run summary.
+  static std::string FormatTable(const std::vector<SloStatus>& statuses);
+
+ private:
+  struct TargetState {
+    /// Ring of the last kBurnWindowEvals breach bits.
+    uint32_t history_bits = 0;
+    int history_len = 0;
+    bool last_breached = false;
+  };
+
+  const std::vector<SloTarget> targets_;
+  std::vector<TargetState> states_;
+  /// Previous counter readings for shed-ratio deltas.
+  uint64_t prev_shed_ = 0;
+  uint64_t prev_accepted_ = 0;
+  bool have_prev_counters_ = false;
+};
+
+}  // namespace cews::obs
+
+#endif  // CEWS_OBS_SLO_H_

@@ -1,5 +1,6 @@
 #include "obs/stats_reporter.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -72,6 +73,31 @@ std::string StatsReporter::FormatHeartbeat(const MetricsSnapshot& prev,
     std::snprintf(buf, sizeof(buf), " | kappa %.3f xi %.3f rho %.3f",
                   cur.GaugeValue("train.kappa"), cur.GaugeValue("train.xi"),
                   cur.GaugeValue("train.rho"));
+    line += buf;
+  }
+
+  // Serving fleet: request/shed rates plus the deepest shard queue, so a
+  // heartbeat shows back-pressure building before sheds start. Gated on the
+  // serve.requests counter existing — training-only runs keep the old line.
+  if (cur.FindCounter("serve.requests") != nullptr) {
+    const uint64_t requests =
+        cur.CounterValue("serve.requests") - prev.CounterValue("serve.requests");
+    const uint64_t sheds = cur.CounterValue("serve.fleet.shed_total") -
+                           prev.CounterValue("serve.fleet.shed_total");
+    double max_depth = 0.0;
+    for (const GaugeSnapshot& g : cur.gauges) {
+      // serve.queue_depth (standalone) or serve.shard.N.queue_depth.
+      const std::string suffix = "queue_depth";
+      if (g.name.size() >= suffix.size() && g.name.rfind("serve.", 0) == 0 &&
+          g.name.compare(g.name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+        max_depth = std::max(max_depth, g.value);
+      }
+    }
+    std::snprintf(buf, sizeof(buf), " | serve %s req/s %s shed/s qmax %d",
+                  FmtRate(static_cast<double>(requests) / dt).c_str(),
+                  FmtRate(static_cast<double>(sheds) / dt).c_str(),
+                  static_cast<int>(max_depth));
     line += buf;
   }
 

@@ -9,7 +9,11 @@
 // Rates (episodes/s, steps/s, pool busy fraction) are deltas between
 // consecutive snapshots; levels (loss, kappa/xi/rho) are the gauges the
 // trainers maintain. Metrics that have never been written are omitted, so
-// the line adapts to whichever trainer is running.
+// the line adapts to whichever trainer is running. When a serving fleet is
+// live the line grows a serve section — request and shed rates plus the
+// deepest shard queue:
+//
+//   ... | serve 12.4k req/s 0.0 shed/s qmax 37 | pool 2 thr 63% busy
 #ifndef CEWS_OBS_STATS_REPORTER_H_
 #define CEWS_OBS_STATS_REPORTER_H_
 

@@ -29,6 +29,8 @@ struct SpanSlot {
   std::atomic<const char*> name{nullptr};
   std::atomic<uint64_t> start_ns{0};
   std::atomic<uint64_t> dur_ns{0};
+  std::atomic<uint64_t> id{0};
+  std::atomic<int64_t> arg{-1};
 };
 
 struct Ring {
@@ -75,12 +77,19 @@ Ring& LocalRing() {
 namespace internal {
 
 void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  RecordSpanArgs(name, start_ns, end_ns, 0, -1);
+}
+
+void RecordSpanArgs(const char* name, uint64_t start_ns, uint64_t end_ns,
+                    uint64_t id, int64_t arg) {
   Ring& ring = LocalRing();
   const uint64_t head = ring.head.load(std::memory_order_relaxed);
   SpanSlot& slot = ring.slots[head % ring.slots.size()];
   slot.name.store(name, std::memory_order_relaxed);
   slot.start_ns.store(start_ns, std::memory_order_relaxed);
   slot.dur_ns.store(end_ns - start_ns, std::memory_order_relaxed);
+  slot.id.store(id, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
   ring.head.store(head + 1, std::memory_order_release);
 }
 
@@ -109,6 +118,8 @@ std::vector<CollectedSpan> CollectSpans() {
         span.tid = ring->tid;
         span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
         span.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+        span.id = slot.id.load(std::memory_order_relaxed);
+        span.arg = slot.arg.load(std::memory_order_relaxed);
         if (span.name != nullptr) spans.push_back(span);
       }
     }
@@ -135,12 +146,28 @@ std::string SpansToChromeJson(const std::vector<CollectedSpan>& spans) {
   char buf[256];
   for (size_t i = 0; i < spans.size(); ++i) {
     const CollectedSpan& span = spans[i];
-    std::snprintf(buf, sizeof(buf),
-                  "%s\n  {\"name\": \"%s\", \"cat\": \"cews\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
-                  i == 0 ? "" : ",", span.name,
-                  static_cast<double>(span.start_ns - epoch) * 1e-3,
-                  static_cast<double>(span.dur_ns) * 1e-3, span.tid);
+    if (span.id != 0) {
+      // Tagged span: emit the correlation id (and shard, when set) as
+      // trace_event args so Perfetto can group one request's phases.
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n  {\"name\": \"%s\", \"cat\": \"cews\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, "
+          "\"args\": {\"request\": %llu, \"shard\": %lld}}",
+          i == 0 ? "" : ",", span.name,
+          static_cast<double>(span.start_ns - epoch) * 1e-3,
+          static_cast<double>(span.dur_ns) * 1e-3, span.tid,
+          static_cast<unsigned long long>(span.id),
+          static_cast<long long>(span.arg));
+    } else {
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n  {\"name\": \"%s\", \"cat\": \"cews\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+          i == 0 ? "" : ",", span.name,
+          static_cast<double>(span.start_ns - epoch) * 1e-3,
+          static_cast<double>(span.dur_ns) * 1e-3, span.tid);
+    }
     out += buf;
   }
   out += "\n]}\n";

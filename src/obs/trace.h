@@ -30,6 +30,14 @@ extern std::atomic<bool> g_trace_enabled;
 /// Appends one finished span to the calling thread's ring buffer.
 void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
 
+/// Same, with correlation args: `id` tags the span as belonging to one
+/// logical request (0 = untagged) and `arg` carries a small scalar (the
+/// serve path passes the shard index; -1 = none). Args are emitted into
+/// the Chrome trace as an "args" object, so Perfetto can filter one
+/// request's phases across threads.
+void RecordSpanArgs(const char* name, uint64_t start_ns, uint64_t end_ns,
+                    uint64_t id, int64_t arg);
+
 }  // namespace internal
 
 /// True when spans are being recorded. Initialized from CEWS_OBS_TRACE.
@@ -69,6 +77,8 @@ struct CollectedSpan {
   int tid = 0;  ///< common/log.h LogThreadId numbering
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  uint64_t id = 0;   ///< Request-correlation id (0 = untagged span).
+  int64_t arg = -1;  ///< Scalar arg (serve: shard index; -1 = none).
 };
 
 /// Drains a copy of every ring, sorted by (start, tid) for determinism.

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace cews::serve {
@@ -98,6 +99,11 @@ Result<std::unique_ptr<Fleet>> Fleet::Create(const FleetConfig& config) {
 
   static obs::Gauge* const shard_gauge = obs::GetGauge("serve.fleet.shards");
   shard_gauge->Set(static_cast<double>(config.num_shards));
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kNote,
+                                       "fleet_create",
+                                       /*a=*/config.num_shards,
+                                       /*b=*/static_cast<int64_t>(
+                                           config.scenarios.size()));
   return std::unique_ptr<Fleet>(
       new Fleet(config, std::move(scenarios), std::move(shards)));
 }

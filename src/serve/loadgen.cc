@@ -143,6 +143,9 @@ void RunOpenLoopSubmitter(const SubmitFn& submit, const env::Map& map,
     request.state = base_state;
     request.move_mask = base_mask;
     request.deterministic = spec.deterministic;
+    // Declare the scheduled arrival so the server's rolling latency gauges
+    // charge from it (matching the lag_ns + latency_ns sum tallied below).
+    request.arrival_ns = intended_ns;
 
     InFlight flight;
     flight.intended_ns = intended_ns;

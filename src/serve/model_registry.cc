@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "nn/serialize.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -71,6 +72,9 @@ Status ModelRegistry::Publish(const std::vector<nn::Tensor>& params) {
   static obs::Gauge* const epoch_gauge = obs::GetGauge("serve.epoch");
   swaps->Increment();
   epoch_gauge->Set(static_cast<double>(published_epoch));
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kPublish, nullptr, /*a=*/0,
+      static_cast<int64_t>(published_epoch));
   return Status::OK();
 }
 

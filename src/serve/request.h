@@ -14,6 +14,18 @@
 
 namespace cews::serve {
 
+/// Request-lifecycle trace context. When tracing is on, Submit stamps a
+/// process-unique id; the shard worker then emits one tagged span per
+/// lifecycle phase (serve.queue_wait, serve.batch_assemble, serve.forward,
+/// serve.scatter) carrying (id, shard) as trace args, so one request's
+/// journey is reconstructible from the Chrome trace across batcher and
+/// worker threads. With tracing off the id stays 0 and the serve path
+/// pays a single relaxed load (the TraceEnabled check) per request.
+struct RequestTrace {
+  uint64_t id = 0;  ///< 0 = untraced.
+  bool enabled() const { return id != 0; }
+};
+
 /// One client's ask for a scheduling decision. Carries either a pre-encoded
 /// grid state or a raw environment to encode server-side.
 struct ScheduleRequest {
@@ -47,6 +59,19 @@ struct ScheduleRequest {
   /// Argmax instead of sampling. Per-request: deterministic and sampled
   /// requests still share one batched Forward.
   bool deterministic = false;
+
+  /// Optional client-declared arrival time (Stopwatch::NowNs clock). When
+  /// set, the server's latency *metrics* (per-shard and fleet rolling
+  /// histograms, latency_ns histograms) charge from min(arrival_ns,
+  /// enqueue time) instead of the enqueue time, so a lagging submitter
+  /// cannot hide queueing delay from the windowed gauges (the same
+  /// coordinated-omission rule the open-loop load generator applies).
+  /// ScheduleResponse::latency_ns stays enqueue-based. 0 = unset.
+  uint64_t arrival_ns = 0;
+
+  /// Filled by PolicyServer::Submit when tracing is enabled; clients leave
+  /// it default-constructed.
+  RequestTrace trace;
 };
 
 /// The completed decision for one request.

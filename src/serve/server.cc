@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -10,7 +11,9 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "nn/params.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/rolling_histogram.h"
 #include "obs/trace.h"
 
 namespace cews::serve {
@@ -106,9 +109,19 @@ PolicyServer::PolicyServer(const PolicyServerConfig& config,
           ShardMetricName(config.shard_index, "queue_depth"))),
       shed_counter_(obs::GetCounter(
           ShardMetricName(config.shard_index, "shed"))),
+      latency_hist_(obs::GetHistogram(
+          ShardMetricName(config.shard_index, "latency_ns"))),
+      rolling_latency_(obs::GetRollingHistogram(
+          ShardMetricName(config.shard_index, "latency"))),
+      fleet_rolling_latency_(config.shard_index >= 0
+                                 ? obs::GetRollingHistogram(
+                                       "serve.fleet.latency")
+                                 : nullptr),
       batcher_(config.max_batch, config.max_queue_delay_us,
                config.max_queue_depth, depth_gauge_) {
   CEWS_CHECK(default_registry_ != nullptr);
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kServerStart,
+                                       nullptr, config_.shard_index);
   workers_.reserve(static_cast<size_t>(config_.num_threads));
   for (int i = 0; i < config_.num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -119,6 +132,8 @@ PolicyServer::~PolicyServer() { Stop(); }
 
 void PolicyServer::Stop() {
   if (stopped_.exchange(true)) return;
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kServerStop,
+                                       nullptr, config_.shard_index);
   batcher_.Shutdown();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -185,6 +200,14 @@ std::future<ScheduleResponse> PolicyServer::Submit(
                             "'"));
     return future;
   }
+  // Request-lifecycle tracing: stamp a process-unique id so the worker can
+  // tag this request's phase spans. With tracing off this is the one
+  // relaxed load the serve path pays per request.
+  if (obs::TraceEnabled()) {
+    static std::atomic<uint64_t> next_trace_id{0};
+    item.request.trace.id =
+        next_trace_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   static obs::Counter* const requests = obs::GetCounter("serve.requests");
   static obs::Counter* const fleet_shed =
       obs::GetCounter("serve.fleet.shed_total");
@@ -195,15 +218,25 @@ std::future<ScheduleResponse> PolicyServer::Submit(
     case PushResult::kShutdown:
       reject(Status::FailedPrecondition("PolicyServer is stopped"));
       break;
-    case PushResult::kOverloaded:
+    case PushResult::kOverloaded: {
       // Shed, never block: overload resolves immediately so the client can
       // back off, instead of queueing into unbounded tail latency.
       shed_counter_->Increment();
       fleet_shed->Increment();
+      // Power-of-two sampled flight event: the first sheds are the story,
+      // a storm must not evict publish/swap history from the ring.
+      const uint64_t sheds =
+          shed_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if ((sheds & (sheds - 1)) == 0) {
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventKind::kShed, nullptr, config_.shard_index,
+            static_cast<int64_t>(sheds));
+      }
       reject(Status::ResourceExhausted(
           "shard queue full (max_queue_depth " +
           std::to_string(config_.max_queue_depth) + ")"));
       break;
+    }
   }
   return future;
 }
@@ -251,6 +284,10 @@ void PolicyServer::WorkerLoop(int worker_index) {
     std::vector<PendingRequest> batch = batcher_.PopBatch();
     if (batch.empty()) return;  // Shutdown, queue drained.
     CEWS_TRACE_SCOPE("serve.batch");
+    // One TraceEnabled read gates every per-request phase timestamp in
+    // this flush; with tracing off the loop takes no extra clock reads.
+    const bool tracing = obs::TraceEnabled();
+    const uint64_t pop_ns = tracing ? Stopwatch::NowNs() : 0;
 
     groups.clear();
     for (int i = 0; i < static_cast<int>(batch.size()); ++i) {
@@ -274,6 +311,9 @@ void PolicyServer::WorkerLoop(int worker_index) {
         nn::CopyParameters(snapshot->params, net_params);
         cached_registry = registry;
         cached_epoch = snapshot->epoch;
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventKind::kEpochSwap, nullptr, config_.shard_index,
+            static_cast<int64_t>(snapshot->epoch));
       }
 
       const int n = static_cast<int>(members.size());
@@ -315,6 +355,8 @@ void PolicyServer::WorkerLoop(int worker_index) {
         }
       }
 
+      const uint64_t encode_end_ns = tracing ? Stopwatch::NowNs() : 0;
+
       std::vector<agents::PolicyDecision> decisions;
       {
         CEWS_TRACE_SCOPE("serve.forward");
@@ -323,6 +365,7 @@ void PolicyServer::WorkerLoop(int worker_index) {
             any_mask ? masks.data() : nullptr);
       }
 
+      // Doubles as the forward-phase end timestamp when tracing.
       const uint64_t now_ns = Stopwatch::NowNs();
       for (int i = 0; i < n; ++i) {
         PendingRequest& item =
@@ -336,8 +379,47 @@ void PolicyServer::WorkerLoop(int worker_index) {
         response.batch_size = n;
         response.latency_ns = now_ns - item.enqueue_ns;
         response.shard = config_.shard_index;
-        latency_hist->Record(response.latency_ns);
+        // Metrics charge from the client-declared arrival when one was
+        // stamped (see ScheduleRequest::arrival_ns): the windowed gauges
+        // then measure the same scheduled-arrival-to-completion interval
+        // the open-loop load generator reports, with no coordinated
+        // omission. min() guards against a client arriving "late" on a
+        // skewed stamp producing an underflowed latency.
+        const uint64_t charged_from =
+            item.request.arrival_ns != 0
+                ? std::min(item.request.arrival_ns, item.enqueue_ns)
+                : item.enqueue_ns;
+        const uint64_t metric_latency_ns = now_ns - charged_from;
+        latency_hist->Record(metric_latency_ns);
+        latency_hist_->Record(metric_latency_ns);
+        rolling_latency_->Record(metric_latency_ns);
+        if (fleet_rolling_latency_ != nullptr) {
+          fleet_rolling_latency_->Record(metric_latency_ns);
+        }
         item.promise.set_value(std::move(response));
+      }
+
+      // Per-request lifecycle spans, tagged (request id, shard) so one
+      // request's phases line up across threads in the Chrome trace.
+      // Emitted after the promises resolve — the client sees its response
+      // no later than without tracing. item.request stays valid here:
+      // set_value consumed only the response.
+      if (tracing) {
+        const uint64_t scatter_end_ns = Stopwatch::NowNs();
+        const int64_t shard = config_.shard_index;
+        for (const int m : members) {
+          const PendingRequest& item = batch[static_cast<size_t>(m)];
+          const uint64_t id = item.request.trace.id;
+          if (id == 0) continue;  // submitted before tracing flipped on
+          obs::internal::RecordSpanArgs("serve.queue_wait", item.enqueue_ns,
+                                        pop_ns, id, shard);
+          obs::internal::RecordSpanArgs("serve.batch_assemble", pop_ns,
+                                        encode_end_ns, id, shard);
+          obs::internal::RecordSpanArgs("serve.forward", encode_end_ns,
+                                        now_ns, id, shard);
+          obs::internal::RecordSpanArgs("serve.scatter", now_ns,
+                                        scatter_end_ns, id, shard);
+        }
       }
     }
   }

@@ -39,6 +39,8 @@
 namespace cews::obs {
 class Counter;
 class Gauge;
+class Histogram;
+class RollingHistogram;
 }  // namespace cews::obs
 
 namespace cews::serve {
@@ -153,6 +155,16 @@ class PolicyServer {
   ModelRegistry* default_registry_;  ///< scenarios_->Find("").
   obs::Gauge* depth_gauge_;          ///< serve.shard.N.queue_depth.
   obs::Counter* shed_counter_;       ///< serve.shard.N.shed.
+  obs::Histogram* latency_hist_;     ///< serve.shard.N.latency_ns.
+  /// Windowed latency: the shard's own rolling histogram, plus the shared
+  /// fleet-wide one when fleet-constructed (nullptr standalone) — the SLO
+  /// monitor and exporter read these.
+  obs::RollingHistogram* rolling_latency_;
+  obs::RollingHistogram* fleet_rolling_latency_;
+  /// Shard-local shed tally for flight-recorder sampling (obs::Counter is
+  /// write-only): a shed event is recorded only at power-of-two counts, so
+  /// a shed storm cannot evict the sparse lifecycle events around it.
+  std::atomic<uint64_t> shed_total_{0};
   RequestBatcher batcher_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

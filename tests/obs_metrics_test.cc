@@ -108,15 +108,84 @@ TEST_F(MetricsTest, HistogramConcurrentRecordsExact) {
   EXPECT_EQ(bucket_total, hs->count);
 }
 
-TEST_F(MetricsTest, PercentileReturnsBucketUpperBound) {
+TEST_F(MetricsTest, PercentileInterpolatesWithinWinningBucket) {
   Histogram* h = GetHistogram("test.pct");
   for (int i = 0; i < 99; ++i) h->Record(10);    // bucket 3: [8, 16)
   h->Record(100000);                             // far-right outlier
   const MetricsSnapshot snap = SnapshotMetrics();
   const HistogramSnapshot* hs = snap.FindHistogram("test.pct");
   ASSERT_NE(hs, nullptr);
-  EXPECT_EQ(hs->Percentile(0.5), 16u);
-  EXPECT_GT(hs->Percentile(0.999), 100000u);
+  // p50 lands in bucket 3 with 99/100 of the mass: target = 50 samples,
+  // fraction 50/99 through [8, 16) -> 8 + floor(8 * 50/99) = 12 — inside
+  // the bucket, not its upper bound (the old behavior returned 16).
+  EXPECT_EQ(hs->Percentile(0.5), 12u);
+  EXPECT_GE(hs->Percentile(0.5), 8u);
+  EXPECT_LT(hs->Percentile(0.5), 16u);
+  // p999 picks the outlier's bucket [65536, 131072) and interpolates 90%
+  // through it: 65536 + floor(65536 * 0.9) = 124518.
+  EXPECT_EQ(hs->Percentile(0.999), 124518u);
+}
+
+TEST_F(MetricsTest, PercentileOfUniformSpreadTracksTrueQuantile) {
+  Histogram* h = GetHistogram("test.pct_uniform");
+  // 64 samples spread evenly through bucket 6 ([64, 128)).
+  for (int i = 0; i < 64; ++i) h->Record(static_cast<uint64_t>(64 + i));
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.pct_uniform");
+  ASSERT_NE(hs, nullptr);
+  // Interpolation is exact for uniform in-bucket mass: p25 -> 64 + 16.
+  EXPECT_EQ(hs->Percentile(0.25), 80u);
+  EXPECT_EQ(hs->Percentile(0.5), 96u);
+  EXPECT_EQ(hs->Percentile(1.0), 128u);  // clamped to the bucket top
+}
+
+TEST_F(MetricsTest, PercentileSkipsEmptyBucketsBelowTarget) {
+  Histogram* h = GetHistogram("test.pct_sparse");
+  h->Record(2);       // bucket 1
+  h->Record(1 << 20);  // bucket 20
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.pct_sparse");
+  ASSERT_NE(hs, nullptr);
+  // p99 must land inside bucket 20, not in one of the empty buckets
+  // between the two samples.
+  EXPECT_GE(hs->Percentile(0.99), uint64_t{1} << 20);
+  EXPECT_LT(hs->Percentile(0.99), uint64_t{1} << 21);
+}
+
+TEST_F(MetricsTest, RetiredFoldingSurvivesThreadChurn) {
+  // The open-loop load generator spawns short-lived submit threads per run;
+  // every one of their shards must fold into the retired accumulator on
+  // exit. Interleave spawn/join waves with snapshots to catch totals that
+  // go missing (or double-count) across the live -> retired transition.
+  Counter* c = GetCounter("test.churn.counter");
+  Histogram* h = GetHistogram("test.churn.hist");
+  constexpr int kWaves = 8;
+  constexpr int kThreadsPerWave = 6;
+  constexpr int kPerThread = 1000;
+  uint64_t expected = 0;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreadsPerWave; ++t) {
+      threads.emplace_back([c, h]() {
+        for (int i = 0; i < kPerThread; ++i) {
+          c->Increment();
+          h->Record(static_cast<uint64_t>(i % 64));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    expected += static_cast<uint64_t>(kThreadsPerWave) * kPerThread;
+    // All of this wave's threads have exited; totals must be exact NOW,
+    // not just at the end.
+    const MetricsSnapshot snap = SnapshotMetrics();
+    EXPECT_EQ(snap.CounterValue("test.churn.counter"), expected);
+    const HistogramSnapshot* hs = snap.FindHistogram("test.churn.hist");
+    ASSERT_NE(hs, nullptr);
+    EXPECT_EQ(hs->count, expected);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : hs->buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, expected);
+  }
 }
 
 TEST_F(MetricsTest, SnapshotIsNameSortedAndDeterministic) {

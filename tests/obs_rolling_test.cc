@@ -1,0 +1,409 @@
+// Tests for the rolling-window observability layer: RollingHistogram slot
+// rotation and window aggregation, the SLO spec parser, SloMonitor breach /
+// burn / recover mechanics, and the MetricsExporter sinks.
+//
+// All time-dependent behavior is driven through injected now_ns values, so
+// rotation and windowing are exercised deterministically (no sleeps).
+#include "obs/rolling_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/metrics_exporter.h"
+#include "obs/slo.h"
+
+namespace cews::obs {
+namespace {
+
+constexpr uint64_t kSec = 1'000'000'000ULL;  // ns per slot second
+
+/// Injected timestamps must be distinct per test: rolling histograms are
+/// process-global and slots only re-zero when their second *changes*, so a
+/// test reusing another test's seconds would see stale samples. Each test
+/// takes its own century.
+uint64_t TestBase(int test_index) {
+  return static_cast<uint64_t>(test_index) * 1'000'000 * kSec + kSec;
+}
+
+TEST(RollingHistogramTest, WindowCoversOnlyRecentSeconds) {
+  RollingHistogram* hist = GetRollingHistogram("test.rolling.window");
+  hist->ResetForTest();
+  const uint64_t base = TestBase(1);
+
+  // One sample per second, seconds 0..9, value = 1000 * (second + 1).
+  for (int s = 0; s < 10; ++s) {
+    hist->Record(1000ULL * (s + 1), base + s * kSec);
+  }
+
+  // At second 9: Window(1) covers second 9 only (the current partial
+  // second is included by design).
+  const HistogramSnapshot w1 = hist->Window(1, base + 9 * kSec);
+  EXPECT_EQ(w1.count, 1u);
+  EXPECT_EQ(w1.sum, 10'000u);
+  EXPECT_EQ(w1.name, "test.rolling.window[1s]");
+
+  // Window(3) covers seconds 7, 8, 9.
+  const HistogramSnapshot w3 = hist->Window(3, base + 9 * kSec);
+  EXPECT_EQ(w3.count, 3u);
+  EXPECT_EQ(w3.sum, 8'000u + 9'000u + 10'000u);
+
+  // Window(10) covers everything recorded.
+  const HistogramSnapshot w10 = hist->Window(10, base + 9 * kSec);
+  EXPECT_EQ(w10.count, 10u);
+
+  // Advance the clock 5 quiet seconds: the same window now excludes the
+  // oldest samples.
+  const HistogramSnapshot later = hist->Window(10, base + 14 * kSec);
+  EXPECT_EQ(later.count, 5u);  // seconds 5..9 remain in (4, 14]
+
+  // Far future: everything has aged out.
+  EXPECT_EQ(hist->Window(kMaxWindowSeconds, base + 200 * kSec).count, 0u);
+}
+
+TEST(RollingHistogramTest, SlotsRecycleAfterOneRingLap) {
+  RollingHistogram* hist = GetRollingHistogram("test.rolling.lap");
+  hist->ResetForTest();
+  const uint64_t base = TestBase(2);
+
+  hist->Record(500, base);  // second 0
+  // One full ring lap later, the same slot must be re-zeroed for the new
+  // second, not accumulate onto the stale sample.
+  hist->Record(700, base + static_cast<uint64_t>(kRollingSlots) * kSec);
+
+  const HistogramSnapshot now = hist->Window(
+      1, base + static_cast<uint64_t>(kRollingSlots) * kSec);
+  EXPECT_EQ(now.count, 1u);
+  EXPECT_EQ(now.sum, 700u);
+}
+
+TEST(RollingHistogramTest, WindowPercentilesInterpolate) {
+  RollingHistogram* hist = GetRollingHistogram("test.rolling.pct");
+  hist->ResetForTest();
+  const uint64_t base = TestBase(3);
+
+  // 100 samples of 1000ns and one outlier of ~1ms in the same second.
+  for (int i = 0; i < 100; ++i) hist->Record(1000, base);
+  hist->Record(1'000'000, base);
+
+  const HistogramSnapshot w = hist->Window(5, base);
+  EXPECT_EQ(w.count, 101u);
+  // p50 sits in the bucket holding 1000; the bucketed estimate must stay
+  // the same order of magnitude.
+  const uint64_t p50 = w.Percentile(0.50);
+  EXPECT_GE(p50, 512u);
+  EXPECT_LE(p50, 2048u);
+  // p999 must see the outlier's bucket.
+  EXPECT_GE(w.Percentile(0.999), 500'000u);
+}
+
+TEST(RollingHistogramTest, WindowWidthClamped) {
+  RollingHistogram* hist = GetRollingHistogram("test.rolling.clamp");
+  hist->ResetForTest();
+  const uint64_t base = TestBase(4);
+  hist->Record(42, base);
+  // Absurd widths clamp instead of reading recycled slots.
+  EXPECT_EQ(hist->Window(1'000'000, base).count, 1u);
+  EXPECT_EQ(hist->Window(0, base).count, 1u);  // clamps up to 1
+  EXPECT_EQ(hist->Window(-5, base).count, 1u);
+}
+
+TEST(RollingHistogramTest, GetReturnsSameInstanceAndListsSorted) {
+  RollingHistogram* a = GetRollingHistogram("test.rolling.same");
+  EXPECT_EQ(a, GetRollingHistogram("test.rolling.same"));
+  const std::vector<RollingHistogram*> all = AllRollingHistograms();
+  ASSERT_GE(all.size(), 2u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name(), all[i]->name());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SLO spec parsing
+
+TEST(SloParseTest, ParsesMultiTargetSpec) {
+  const Result<std::vector<SloTarget>> parsed =
+      ParseSloTargets("p99<5000,shed<0.01,p50<200@60");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<SloTarget>& targets = parsed.value();
+  ASSERT_EQ(targets.size(), 3u);
+
+  EXPECT_EQ(targets[0].kind, SloKind::kP99);
+  EXPECT_DOUBLE_EQ(targets[0].threshold, 5000.0);
+  EXPECT_EQ(targets[0].window_seconds, 10);  // default window
+
+  EXPECT_EQ(targets[1].kind, SloKind::kShedRatio);
+  EXPECT_DOUBLE_EQ(targets[1].threshold, 0.01);
+
+  EXPECT_EQ(targets[2].kind, SloKind::kP50);
+  EXPECT_DOUBLE_EQ(targets[2].threshold, 200.0);
+  EXPECT_EQ(targets[2].window_seconds, 60);
+}
+
+TEST(SloParseTest, DescribeRoundTripsTheGrammar) {
+  const Result<std::vector<SloTarget>> parsed = ParseSloTargets("p999<900@30");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()[0].Describe(), "p999<900us@30s");
+}
+
+TEST(SloParseTest, RejectsMalformedSpecs) {
+  // kind, separator, threshold, window, and shed-specific rules.
+  for (const char* bad :
+       {"", "p98<100", "p99", "p99<", "p99<0", "p99<-3", "p99<abc",
+        "p99<100@", "p99<100@0", "p99<100@9999", "p99<100@xyz",
+        "shed<0.5@10", "shed<1.5", "p99<100,,p50<10", ",p99<100"}) {
+    EXPECT_FALSE(ParseSloTargets(bad).ok()) << "spec: '" << bad << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor evaluation
+
+/// Fixture giving each monitor test clean flight / latency state. The
+/// metrics registry itself is NOT reset (counters like slo.breaches are
+/// cached as static pointers elsewhere); tests read counter *deltas*.
+class SloMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::Global().ClearForTest();
+    latency_ = GetRollingHistogram("serve.fleet.latency");
+    latency_->ResetForTest();
+  }
+  RollingHistogram* latency_ = nullptr;
+};
+
+TEST_F(SloMonitorTest, ReportsNoDataBeforeTraffic) {
+  SloMonitor monitor({SloTarget{SloKind::kP99, 5000.0, 10}});
+  const std::vector<SloStatus> statuses = monitor.Evaluate(TestBase(10));
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_FALSE(statuses[0].measured);
+  EXPECT_FALSE(statuses[0].breached);
+  EXPECT_DOUBLE_EQ(statuses[0].burn_rate, 0.0);
+}
+
+TEST_F(SloMonitorTest, BreachBurnAndRecoverTransitions) {
+  const uint64_t base = TestBase(11);
+  const uint64_t before =
+      SnapshotMetrics().CounterValue("slo.breaches");
+
+  // Target: p99 < 100us over 10s. Record 1ms samples -> breach.
+  SloMonitor monitor({SloTarget{SloKind::kP99, 100.0, 10}});
+  for (int i = 0; i < 50; ++i) latency_->Record(1'000'000, base);
+
+  std::vector<SloStatus> statuses = monitor.Evaluate(base);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].measured);
+  EXPECT_TRUE(statuses[0].breached);
+  EXPECT_GE(statuses[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(statuses[0].burn_rate, 1.0);  // 1 of 1 evals breached
+
+  // Second breached eval: still one transition, burn stays 1.0.
+  statuses = monitor.Evaluate(base + kSec);
+  EXPECT_TRUE(statuses[0].breached);
+  EXPECT_DOUBLE_EQ(statuses[0].burn_rate, 1.0);
+
+  // Recover: evaluate after the bad samples aged out of the window, with
+  // fresh fast samples.
+  const uint64_t later = base + 20 * kSec;
+  for (int i = 0; i < 50; ++i) latency_->Record(1'000, later);
+  statuses = monitor.Evaluate(later);
+  EXPECT_TRUE(statuses[0].measured);
+  EXPECT_FALSE(statuses[0].breached);
+  // 2 breached of 3 evals.
+  EXPECT_NEAR(statuses[0].burn_rate, 2.0 / 3.0, 1e-9);
+
+  // Exactly one breach counted, and both transitions left flight events.
+  const uint64_t after = SnapshotMetrics().CounterValue("slo.breaches");
+  EXPECT_EQ(after - before, 1u);
+  int breach_events = 0;
+  int recover_events = 0;
+  for (const FlightEvent& event : FlightRecorder::Global().Collect()) {
+    if (event.kind == FlightEventKind::kSloBreach) ++breach_events;
+    if (event.kind == FlightEventKind::kSloRecover) ++recover_events;
+  }
+  EXPECT_EQ(breach_events, 1);
+  EXPECT_EQ(recover_events, 1);
+}
+
+TEST_F(SloMonitorTest, PublishesValueAndBurnGauges) {
+  const uint64_t base = TestBase(12);
+  SloMonitor monitor({SloTarget{SloKind::kP99, 100.0, 10}});
+  for (int i = 0; i < 10; ++i) latency_->Record(1'000'000, base);
+  monitor.Evaluate(base);
+
+  const MetricsSnapshot snap = SnapshotMetrics();
+  EXPECT_NE(snap.FindGauge("slo.p99.10s.value"), nullptr);
+  EXPECT_NE(snap.FindGauge("slo.p99.10s.burn"), nullptr);
+  EXPECT_GE(snap.GaugeValue("slo.p99.10s.value"), 100.0);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("slo.p99.10s.burn"), 1.0);
+}
+
+TEST_F(SloMonitorTest, ShedRatioFromCounterDeltas) {
+  Counter* const accepted = GetCounter("serve.requests");
+  Counter* const shed = GetCounter("serve.fleet.shed_total");
+
+  SloMonitor monitor({SloTarget{SloKind::kShedRatio, 0.10, 10}});
+
+  // First pass only establishes the baseline: no delta yet -> no data.
+  std::vector<SloStatus> statuses = monitor.Evaluate(TestBase(13));
+  EXPECT_FALSE(statuses[0].measured);
+
+  // 90 accepted + 10 shed since the baseline: ratio 0.10 >= 0.10 breaches.
+  accepted->Add(90);
+  shed->Add(10);
+  statuses = monitor.Evaluate(TestBase(13) + kSec);
+  ASSERT_TRUE(statuses[0].measured);
+  EXPECT_NEAR(statuses[0].value, 0.10, 1e-9);
+  EXPECT_TRUE(statuses[0].breached);
+
+  // Clean interval: ratio drops to zero and the target recovers.
+  accepted->Add(100);
+  statuses = monitor.Evaluate(TestBase(13) + 2 * kSec);
+  ASSERT_TRUE(statuses[0].measured);
+  EXPECT_DOUBLE_EQ(statuses[0].value, 0.0);
+  EXPECT_FALSE(statuses[0].breached);
+}
+
+TEST_F(SloMonitorTest, FormatTableShowsStatusColumn) {
+  const uint64_t base = TestBase(14);
+  SloMonitor monitor({SloTarget{SloKind::kP99, 100.0, 10},
+                      SloTarget{SloKind::kP50, 1e9, 10}});
+  for (int i = 0; i < 10; ++i) latency_->Record(1'000'000, base);
+  const std::string table =
+      SloMonitor::FormatTable(monitor.Evaluate(base));
+  EXPECT_NE(table.find("BREACH"), std::string::npos);
+  EXPECT_NE(table.find("OK"), std::string::npos);
+  EXPECT_NE(table.find("p99<100us@10s"), std::string::npos);
+
+  SloMonitor empty({SloTarget{SloKind::kP999, 100.0, 10}});
+  RollingHistogram* hist = GetRollingHistogram("serve.fleet.latency");
+  hist->ResetForTest();
+  const std::string nodata =
+      SloMonitor::FormatTable(empty.Evaluate(base + 100 * kSec));
+  EXPECT_NE(nodata.find("NO DATA"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(MetricsExporterTest, ExportOnceWritesAllSinks) {
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl = dir + "/cews_export_test.jsonl";
+  const std::string prom = dir + "/cews_export_test.prom";
+  std::remove(jsonl.c_str());
+
+  GetCounter("test.exporter.counter")->Add(7);
+  GetGauge("test.exporter.gauge")->Set(2.5);
+  RollingHistogram* hist = GetRollingHistogram("test.exporter.latency");
+  hist->ResetForTest();
+  const uint64_t base = TestBase(20);
+  for (int i = 0; i < 16; ++i) hist->Record(4'000, base);
+
+  MetricsExporterConfig config;
+  config.period_seconds = 3600.0;  // the thread never ticks on its own
+  config.jsonl_path = jsonl;
+  config.prom_path = prom;
+  config.windows = {10};
+  MetricsExporter exporter(config);
+  EXPECT_TRUE(exporter.ExportOnce(base).ok());
+  EXPECT_TRUE(exporter.ExportOnce(base + kSec).ok());
+
+  // Windowed gauges minted from the rolling histogram. Checked before
+  // Stop(): the final export reads the real clock, where the injected
+  // second is long gone and the window gauges go back to zero.
+  {
+    const MetricsSnapshot snap = SnapshotMetrics();
+    EXPECT_DOUBLE_EQ(snap.GaugeValue("test.exporter.latency.10s.count"),
+                     16.0);
+    const double p99_us =
+        snap.GaugeValue("test.exporter.latency.10s.p99_us");
+    EXPECT_GT(p99_us, 1.0);
+    EXPECT_LT(p99_us, 10.0);  // 4us samples, bucketed
+  }
+
+  exporter.Stop();  // final export appends one more line
+
+  // JSONL: one line per export, each a single JSON object.
+  const std::string jsonl_text = ReadWholeFile(jsonl);
+  int lines = 0;
+  std::istringstream stream(jsonl_text);
+  for (std::string line; std::getline(stream, line);) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ts_ns\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(jsonl_text.find("test.exporter.counter"), std::string::npos);
+
+  // Prometheus text: sanitized names, counter TYPE lines.
+  const std::string prom_text = ReadWholeFile(prom);
+  EXPECT_NE(prom_text.find("# TYPE cews_test_exporter_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom_text.find("cews_test_exporter_gauge 2.5"),
+            std::string::npos);
+
+  // The flight recorder now embeds a metrics document.
+  const std::string tmp = dir + "/cews_export_test_postmortem.json";
+  ASSERT_TRUE(
+      FlightRecorder::Global().WriteDump(tmp, "exporter_test").ok());
+  const std::string dump = ReadWholeFile(tmp);
+  EXPECT_EQ(dump.find("\"metrics\": null"), std::string::npos);
+  EXPECT_NE(dump.find("test.exporter.counter"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, StaticFormattersAreWellFormed) {
+  GetCounter("test.fmt.counter")->Increment();
+  GetHistogram("test.fmt.hist")->Record(1234);
+  const MetricsSnapshot snap = SnapshotMetrics();
+
+  const std::string line = MetricsExporter::JsonlLine(snap, 12345);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single line
+  EXPECT_NE(line.find("\"ts_ns\": 12345"), std::string::npos);
+  EXPECT_NE(line.find("\"counters\""), std::string::npos);
+  EXPECT_NE(line.find("\"histograms\""), std::string::npos);
+
+  const std::string prom = MetricsExporter::PrometheusText(snap);
+  EXPECT_NE(prom.find("cews_test_fmt_counter"), std::string::npos);
+  EXPECT_NE(prom.find("cews_test_fmt_hist_count"), std::string::npos);
+  EXPECT_NE(prom.find("cews_test_fmt_hist_p99"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, EvaluatesAttachedMonitorEachTick) {
+  RollingHistogram* hist = GetRollingHistogram("serve.fleet.latency");
+  hist->ResetForTest();
+  const uint64_t base = TestBase(21);
+  for (int i = 0; i < 10; ++i) hist->Record(2'000'000, base);
+
+  SloMonitor monitor({SloTarget{SloKind::kP50, 50.0, 10}});
+  MetricsExporterConfig config;
+  config.period_seconds = 3600.0;
+  config.slo = &monitor;
+  config.update_flight_recorder = false;
+  MetricsExporter exporter(config);
+  EXPECT_TRUE(exporter.ExportOnce(base).ok());
+
+  // The monitor ran: its gauges are visible in a fresh snapshot. (Checked
+  // before Stop(), whose real-clock final pass re-evaluates the monitor
+  // against an empty window and zeroes the value gauge.)
+  EXPECT_GE(SnapshotMetrics().GaugeValue("slo.p50.10s.value"), 50.0);
+  exporter.Stop();
+}
+
+}  // namespace
+}  // namespace cews::obs

@@ -30,6 +30,9 @@
 //              [--max-batch N] [--delay-us N]
 //              [--serve-threads N] [--threads N] [--seed N]
 //              [--metrics-out metrics.json] [--trace-out trace.json]
+//              [--heartbeat SECONDS] [--slo SPEC]
+//              [--metrics-jsonl ticks.jsonl] [--prom-out metrics.prom]
+//              [--export-period SECONDS] [--postmortem-dir DIR]
 //              start an in-process serving fleet (N consistent-hash-routed
 //              micro-batching shards), drive it with a synthetic load, and
 //              print a latency/throughput table
@@ -44,10 +47,28 @@
 //               queue (overload is shed with ResourceExhausted, 0 =
 //               unbounded), --max-batch / --delay-us tune the per-shard
 //               micro-batcher, --serve-threads sets inference workers per
-//               shard, --threads the intra-op NN kernel pool)
+//               shard, --threads the intra-op NN kernel pool;
+//               --trace-out also tags each request's lifecycle spans
+//               (queue_wait/batch_assemble/forward/scatter) with its
+//               request id and shard;
+//               --heartbeat logs the periodic pulse incl. serve rates;
+//               --slo evaluates rolling-window targets each export tick,
+//               e.g. "p99<5000,shed<0.01" or "p50<200@60" (latency in us
+//               over a @window in seconds, shed as a ratio), and prints a
+//               status table after the run;
+//               --metrics-jsonl appends one windowed metrics snapshot per
+//               export tick, --prom-out rewrites a Prometheus text file,
+//               --export-period tunes the tick (default 1s);
+//               --postmortem-dir installs fatal-signal handlers that dump
+//               a flight-recorder post-mortem (recent publishes, swaps,
+//               sheds, SLO breaches + last metrics) to
+//               DIR/postmortem.<pid>.json — also written on clean exit)
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,7 +81,11 @@
 #include "common/table.h"
 #include "env/map_io.h"
 #include "env/state_encoder.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/metrics_exporter.h"
+#include "obs/slo.h"
+#include "obs/stats_reporter.h"
 #include "obs/trace.h"
 #include "serve/fleet.h"
 #include "serve/loadgen.h"
@@ -295,6 +320,19 @@ int CmdServe(const Args& args) {
   fleet_config.scenarios = {scenario_name};
   if (args.Has("trace-out")) obs::SetTraceEnabled(true);
 
+  // Install the crash handler before the fleet exists so a fault anywhere
+  // in startup or load already leaves a post-mortem.
+  const std::string postmortem_dir = args.Get("postmortem-dir", "");
+  if (!postmortem_dir.empty()) {
+    obs::InstallFlightRecorderSignalHandler(postmortem_dir);
+  }
+  std::unique_ptr<obs::SloMonitor> slo;
+  if (args.Has("slo")) {
+    auto targets_or = obs::ParseSloTargets(args.Get("slo", ""));
+    if (!targets_or.ok()) return Fail(targets_or.status());
+    slo = std::make_unique<obs::SloMonitor>(std::move(*targets_or));
+  }
+
   auto fleet_or = serve::Fleet::Create(fleet_config);
   if (!fleet_or.ok()) return Fail(fleet_or.status());
   serve::Fleet& fleet = **fleet_or;
@@ -323,6 +361,25 @@ int CmdServe(const Args& args) {
   spec.env = env_config;
   spec.scenario = scenario_name;
   spec.seed = options.seed;
+
+  // Observability side-cars for the duration of the load: the human
+  // heartbeat and the machine-readable exporter (windowed gauges, SLO
+  // evaluation, JSONL/Prometheus sinks, crash-dump snapshot refresh).
+  std::unique_ptr<obs::StatsReporter> heartbeat;
+  if (args.GetDouble("heartbeat", 0.0) > 0.0) {
+    heartbeat =
+        std::make_unique<obs::StatsReporter>(args.GetDouble("heartbeat", 0.0));
+  }
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (slo != nullptr || args.Has("metrics-jsonl") || args.Has("prom-out") ||
+      !postmortem_dir.empty()) {
+    obs::MetricsExporterConfig export_config;
+    export_config.period_seconds = args.GetDouble("export-period", 1.0);
+    export_config.jsonl_path = args.Get("metrics-jsonl", "");
+    export_config.prom_path = args.Get("prom-out", "");
+    export_config.slo = slo.get();
+    exporter = std::make_unique<obs::MetricsExporter>(export_config);
+  }
   if (spec.mode == serve::LoadMode::kClosedLoop) {
     std::printf("load: %d closed-loop clients x %d requests, shards=%d "
                 "max_batch=%d delay=%lldus serve_threads=%d\n",
@@ -363,6 +420,13 @@ int CmdServe(const Args& args) {
   std::printf("%s", table.ToString().c_str());
 
   fleet.Stop();
+  heartbeat.reset();  // final heartbeat line
+  exporter.reset();   // final export tick (JSONL/prom/flight snapshot)
+  if (slo != nullptr) {
+    // One more pass now that the exporter thread is gone (SloMonitor is
+    // single-caller), so the table reflects end-of-run state.
+    std::printf("%s", obs::SloMonitor::FormatTable(slo->Evaluate()).c_str());
+  }
   if (args.Has("metrics-out")) {
     const Status status = obs::WriteMetricsJson(args.Get("metrics-out", ""));
     if (!status.ok()) return Fail(status);
@@ -372,6 +436,14 @@ int CmdServe(const Args& args) {
     const Status status = obs::WriteChromeTrace(args.Get("trace-out", ""));
     if (!status.ok()) return Fail(status);
     std::printf("trace -> %s\n", args.Get("trace-out", "").c_str());
+  }
+  if (!postmortem_dir.empty()) {
+    const std::string path = postmortem_dir + "/postmortem." +
+                             std::to_string(::getpid()) + ".json";
+    const Status status =
+        obs::FlightRecorder::Global().WriteDump(path, "clean_shutdown");
+    if (!status.ok()) return Fail(status);
+    std::printf("postmortem -> %s\n", path.c_str());
   }
   return 0;
 }

@@ -59,6 +59,39 @@ else
   echo "bench_micro_nn not built; skipping overhead guard"
 fi
 
+echo "== serve: request-tracing overhead guard =="
+# The disabled-tracing serve path pays one relaxed atomic load per request
+# (budget: <=1% on p99); with --trace-out each request additionally records
+# four tagged spans. Open-loop p99 at this scale is dominated by batching
+# delay and scheduler noise, so like the matmul guard this is informational:
+# a big delta means "rerun on an idle machine", not "fail the check".
+if [[ -x "$repo/build/tools/cews" ]]; then
+  serve_p99() {  # $1 = extra args
+    # shellcheck disable=SC2086
+    "$repo/build/tools/cews" serve --scenario open-field --mode open \
+      --arrival-rps 2000 --duration 1 --clients 1000 --shards 2 \
+      --seed 7 $1 2>/dev/null |
+      awk -F'|' '/^\| [0-9]/ {gsub(/ /, "", $12); print $12; exit}'
+  }
+  off_p99="$(serve_p99 "")"
+  on_p99="$(serve_p99 "--trace-out $repo/build/check_serve_trace.json")"
+  if [[ -n "$off_p99" && -n "$on_p99" ]]; then
+    delta="$(awk -v a="$off_p99" -v b="$on_p99" \
+      'BEGIN {printf "%.1f", (b - a) / a * 100.0}')"
+    echo "open-loop p99: tracing off ${off_p99} us, on ${on_p99} us" \
+         "(tracing adds ${delta}%)"
+    if awk -v d="$delta" 'BEGIN {exit !(d > 10.0)}'; then
+      echo "WARNING: request tracing moved open-loop p99 by ${delta}%" \
+           "(informational only — rerun on an idle machine before acting)"
+    fi
+  else
+    echo "could not parse serve output; skipping serve overhead comparison"
+  fi
+  rm -f "$repo/build/check_serve_trace.json"
+else
+  echo "cews CLI not built; skipping serve overhead guard"
+fi
+
 if [[ "$skip_tsan" == 1 ]]; then
   echo "== skipping TSan pass (--skip-tsan) =="
 else
@@ -71,11 +104,12 @@ else
     common_thread_pool_test nn_parallel_determinism_test nn_gemm_test \
     agents_trainer_test agents_async_test \
     obs_metrics_test obs_trace_test obs_integration_test \
-    serve_batcher_test serve_server_test serve_fleet_test
+    obs_rolling_test obs_flight_test \
+    serve_batcher_test serve_server_test serve_fleet_test serve_trace_test
 
   echo "== tsan: concurrency tests =="
   (cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
-    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|serve_batcher_test|serve_server_test|serve_fleet_test")
+    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
 fi
 
 if [[ "$skip_asan" == 1 ]]; then
@@ -89,11 +123,12 @@ else
   cmake --build "$repo/build-asan" -j "$jobs" --target \
     env_vec_env_test agents_trainer_core_test agents_vec_equivalence_test \
     agents_trainer_test agents_async_test nn_gemm_test \
-    nn_serialize_test serve_batcher_test serve_server_test serve_fleet_test
+    nn_serialize_test obs_rolling_test obs_flight_test \
+    serve_batcher_test serve_server_test serve_fleet_test serve_trace_test
 
   echo "== asan+ubsan: vec acting + serve path tests =="
   (cd "$repo/build-asan" && ctest --output-on-failure -j "$jobs" -R \
-    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_serialize_test|serve_batcher_test|serve_server_test|serve_fleet_test")
+    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_serialize_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
 fi
 
 echo "== all checks passed =="
