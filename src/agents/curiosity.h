@@ -12,10 +12,12 @@
 #ifndef CEWS_AGENTS_CURIOSITY_H_
 #define CEWS_AGENTS_CURIOSITY_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/graph.h"
 #include "nn/module.h"
 
 namespace cews::agents {
@@ -100,9 +102,19 @@ class SpatialCuriosity {
   /// Forward model for a given worker (shared: always model 0).
   const nn::Mlp& ModelFor(int worker) const;
 
+  /// One compiled forward-model loss graph (CEWS_NN_GRAPH=1, shared
+  /// structure only), cached per batch size. The kIndependent structure
+  /// partitions the batch by worker, so its sub-batch shapes vary per call
+  /// and it stays on the tape.
+  struct LossGraph {
+    nn::graph::GraphPtr graph;
+    nn::Tensor inputs, targets, loss;
+  };
+
   CuriosityConfig config_;
   std::unique_ptr<nn::Embedding> embedding_;  // frozen, embedding feature
   std::vector<std::unique_ptr<nn::Mlp>> forward_models_;
+  mutable std::map<nn::Index, LossGraph> loss_graphs_;
 };
 
 }  // namespace cews::agents

@@ -5,11 +5,13 @@
 #ifndef CEWS_AGENTS_RND_H_
 #define CEWS_AGENTS_RND_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "agents/rollout.h"
 #include "common/rng.h"
+#include "nn/graph.h"
 #include "nn/module.h"
 
 namespace cews::agents {
@@ -57,9 +59,18 @@ class RndCuriosity {
  private:
   nn::Tensor TargetEmbedding(const nn::Tensor& x) const;
 
+  /// One compiled predictor-loss graph (CEWS_NN_GRAPH=1) per batch size:
+  /// both the frozen target's forward (recorded without a tape) and the
+  /// predictor's forward replay against the rewritten state placeholder.
+  struct LossGraph {
+    nn::graph::GraphPtr graph;
+    nn::Tensor x, loss;
+  };
+
   RndConfig config_;
   std::unique_ptr<nn::Mlp> target_;     // frozen
   std::unique_ptr<nn::Mlp> predictor_;  // trained
+  mutable std::map<nn::Index, LossGraph> loss_graphs_;
 };
 
 }  // namespace cews::agents

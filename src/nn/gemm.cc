@@ -135,22 +135,27 @@ void NTRows(Index i0, Index i1, Index n, Index k, const float* x, Index ldx,
 }
 
 void GemmNN(Index m, Index n, Index k, const float* a, Index rsa, Index csa,
-            const float* b, Index ldb, float* c, Index ldc) {
+            const float* b, Index ldb, float* c, Index ldc,
+            float* pack_scratch) {
   if (m <= 0 || n <= 0 || k <= 0) return;
-  ScopedVec packed(k * n);
-  PackNN(k, n, b, ldb, packed.data());
-  const float* p = packed.data();
+  // A pack writes all k*n panel floats, so caller scratch needs no zeroing.
+  ScopedVec packed(pack_scratch != nullptr ? 0 : k * n);
+  float* pp = pack_scratch != nullptr ? pack_scratch : packed.data();
+  PackNN(k, n, b, ldb, pp);
+  const float* p = pp;
   ParallelKernel(m, 2 * k * n, [&](Index r0, Index r1) {
     NNRows(r0, r1, n, k, a, rsa, csa, p, c, ldc);
   });
 }
 
 void GemmNT(Index m, Index n, Index k, const float* x, Index ldx,
-            const float* y, Index ldy, float* c, Index ldc) {
+            const float* y, Index ldy, float* c, Index ldc,
+            float* pack_scratch) {
   if (m <= 0 || n <= 0 || k <= 0) return;
-  ScopedVec packed(k * n);
-  PackNT(k, n, y, ldy, packed.data());
-  const float* p = packed.data();
+  ScopedVec packed(pack_scratch != nullptr ? 0 : k * n);
+  float* pp = pack_scratch != nullptr ? pack_scratch : packed.data();
+  PackNT(k, n, y, ldy, pp);
+  const float* p = pp;
   ParallelKernel(m, 2 * k * n, [&](Index r0, Index r1) {
     NTRows(r0, r1, n, k, x, ldx, p, c, ldc);
   });

@@ -107,14 +107,20 @@ void NTRows(Index i0, Index i1, Index n, Index k, const float* x, Index ldx,
             const float* packed, float* c, Index ldc);
 
 /// Convenience wrapper: C (m x n, ldc) += A (m x k, strides rsa/csa) ·
-/// B (k x n, ldb). Packs B into the per-thread workspace, then runs NNRows
-/// over the pool (rows partitioned; results independent of thread count).
+/// B (k x n, ldb). Packs B into `pack_scratch` when given (k*n floats,
+/// fully overwritten — callers with planner-assigned arenas pass it to skip
+/// the workspace), otherwise into the per-thread workspace; then runs
+/// NNRows over the pool (rows partitioned; results independent of thread
+/// count).
 void GemmNN(Index m, Index n, Index k, const float* a, Index rsa, Index csa,
-            const float* b, Index ldb, float* c, Index ldc);
+            const float* b, Index ldb, float* c, Index ldc,
+            float* pack_scratch = nullptr);
 
 /// Convenience wrapper: C (m x n, ldc) += X (m x k, ldx) · Y (n x k, ldy)ᵀ.
+/// `pack_scratch` as in GemmNN (k*n floats).
 void GemmNT(Index m, Index n, Index k, const float* x, Index ldx,
-            const float* y, Index ldy, float* c, Index ldc);
+            const float* y, Index ldy, float* c, Index ldc,
+            float* pack_scratch = nullptr);
 
 /// The pre-packing scalar kernels, retained (loop structure verbatim,
 /// multiply-accumulates spelled as std::fmaf like the packed kernels) as the

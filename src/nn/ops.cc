@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "common/env_flags.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "nn/gemm.h"
+#include "nn/graph.h"
 #include "nn/workspace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -28,13 +30,25 @@ namespace {
 // change any floating-point result: outputs are bitwise-identical at any
 // thread count.
 //
+// Execution modes (nn/tensor.h): each op computes its forward through a
+// thunk that reads its inputs' *current* data pointers. Eagerly the thunk
+// runs once and is discarded; under a graph recording (nn/graph.h) it is
+// additionally registered so the compiled graph can replay it against new
+// placeholder data — with outputs and kernel scratch living at
+// planner-assigned arena offsets instead of workspace buckets. Backward
+// closures are identical in both modes, which is the heart of the
+// tape/graph bitwise-equivalence contract.
+//
 // Transient buffers (im2col columns, packed panels, per-image gradient
 // scratch) and op outputs come from the per-thread workspace arena
-// (nn/workspace.h), so a steady-state training step recycles every one of
-// them instead of hitting the allocator.
+// (nn/workspace.h) in eager mode, so a steady-state training step recycles
+// every one of them instead of hitting the allocator; in graph mode they are
+// graph::OpBufs the planner folds into the arena.
 // ---------------------------------------------------------------------------
 
 using gemm::ParallelKernel;
+using graph::BufLife;
+using graph::OpBuf;
 
 /// Telemetry for one hot kernel (obs/metrics.h): call count plus FLOP- and
 /// time-weighted forward/backward totals, so a scrape can report effective
@@ -88,6 +102,14 @@ Tensor MakeResult(Shape shape, std::vector<float> data,
   return Tensor(std::move(impl));
 }
 
+/// MakeResult over fresh (zero-filled, workspace-recycled) storage: the
+/// thunk-style ops allocate the output first and let the forward thunk fill
+/// it, so the very same thunk can refill it on graph replay.
+Tensor NewResult(Shape shape, std::initializer_list<Tensor> inputs) {
+  const Index n = NumElements(shape);
+  return MakeResult(std::move(shape), Workspace::AcquireVec(n), inputs);
+}
+
 /// True when the result should record a backward closure.
 bool Tracking(const Tensor& out) { return out.requires_grad(); }
 
@@ -101,11 +123,17 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  std::vector<float> out = Workspace::AcquireVec(a.numel());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] + pb[i];
-  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  Tensor r = NewResult(a.shape(), {a, b});
+  const Index n = a.numel();
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), xb = b.impl().get(),
+              n]() {
+    const float* pa = xa->data.data();
+    const float* pb = xb->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  };
+  fwd();
+  graph::Record(r, {a, b}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
@@ -127,11 +155,17 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  std::vector<float> out = Workspace::AcquireVec(a.numel());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] - pb[i];
-  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  Tensor r = NewResult(a.shape(), {a, b});
+  const Index n = a.numel();
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), xb = b.impl().get(),
+              n]() {
+    const float* pa = xa->data.data();
+    const float* pb = xb->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  };
+  fwd();
+  graph::Record(r, {a, b}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
@@ -153,11 +187,17 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  std::vector<float> out = Workspace::AcquireVec(a.numel());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] * pb[i];
-  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  Tensor r = NewResult(a.shape(), {a, b});
+  const Index n = a.numel();
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), xb = b.impl().get(),
+              n]() {
+    const float* pa = xa->data.data();
+    const float* pb = xb->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  };
+  fwd();
+  graph::Record(r, {a, b}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
@@ -178,10 +218,15 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  std::vector<float> out = Workspace::AcquireVec(a.numel());
-  const float* pa = a.data();
-  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] + s;
-  Tensor r = MakeResult(a.shape(), std::move(out), {a});
+  Tensor r = NewResult(a.shape(), {a});
+  const Index n = a.numel();
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), n, s]() {
+    const float* pa = xa->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) po[i] = pa[i] + s;
+  };
+  fwd();
+  graph::Record(r, {a}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
@@ -194,10 +239,15 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  std::vector<float> out = Workspace::AcquireVec(a.numel());
-  const float* pa = a.data();
-  for (Index i = 0; i < a.numel(); ++i) out[i] = pa[i] * s;
-  Tensor r = MakeResult(a.shape(), std::move(out), {a});
+  Tensor r = NewResult(a.shape(), {a});
+  const Index n = a.numel();
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), n, s]() {
+    const float* pa = xa->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) po[i] = pa[i] * s;
+  };
+  fwd();
+  graph::Record(r, {a}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
@@ -217,13 +267,18 @@ Tensor AddBias(const Tensor& x, const Tensor& b) {
   CEWS_CHECK_EQ(b.ndim(), 1);
   const Index n = x.dim(0), d = x.dim(1);
   CEWS_CHECK_EQ(b.dim(0), d);
-  std::vector<float> out = Workspace::AcquireVec(n * d);
-  const float* px = x.data();
-  const float* pb = b.data();
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = 0; j < d; ++j) out[i * d + j] = px[i * d + j] + pb[j];
-  }
-  Tensor r = MakeResult(x.shape(), std::move(out), {x, b});
+  Tensor r = NewResult(x.shape(), {x, b});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), bi = b.impl().get(), n,
+              d]() {
+    const float* px = xi->data.data();
+    const float* pb = bi->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < d; ++j) po[i * d + j] = px[i * d + j] + pb[j];
+    }
+  };
+  fwd();
+  graph::Record(r, {x, b}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -250,26 +305,45 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   CEWS_CHECK_EQ(b.ndim(), 2);
   const Index n = a.dim(0), k = a.dim(1), m = b.dim(1);
   CEWS_CHECK_EQ(b.dim(0), k);
-  std::vector<float> out = Workspace::AcquireVec(n * m);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
+  const bool rec = graph::Recording();
+  Tensor r = NewResult({n, m}, {a, b});
+  const bool track = Tracking(r);
   const uint64_t flops = 2ull * static_cast<uint64_t>(n * k * m);
-  {
+  // Graph mode plans the GEMM pack panels into the arena (a pack writes all
+  // of its k*n floats, so reused slots need no zeroing); eager mode keeps
+  // the per-thread workspace inside the wrappers.
+  std::shared_ptr<OpBuf> pack_fwd =
+      rec ? graph::AllocBuf(k * m, BufLife::kFwd) : nullptr;
+  std::shared_ptr<OpBuf> pack_da =
+      rec && track && a.requires_grad()
+          ? graph::AllocBuf(m * k, BufLife::kBwd)
+          : nullptr;
+  std::shared_ptr<OpBuf> pack_db =
+      rec && track && b.requires_grad()
+          ? graph::AllocBuf(n * m, BufLife::kBwd)
+          : nullptr;
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), xb = b.impl().get(), n,
+              k, m, flops, pack_fwd]() {
     CEWS_TRACE_SCOPE("nn.MatMul");
     const uint64_t t0 = Stopwatch::NowNs();
-    gemm::GemmNN(n, m, k, pa, k, 1, pb, m, po, m);
+    float* po = o->data.data();
+    // GemmNN accumulates; the tape allocated a zeroed output per call, so
+    // the replayed thunk re-zeroes its (possibly slot-shared) output.
+    std::fill(po, po + n * m, 0.0f);
+    gemm::GemmNN(n, m, k, xa->data.data(), k, 1, xb->data.data(), m, po, m,
+                 pack_fwd ? pack_fwd->data() : nullptr);
     KernelMetrics& metrics = MatMulMetrics();
     metrics.calls->Increment();
     metrics.fwd_flops->Add(flops);
     metrics.fwd_ns->Add(Stopwatch::NowNs() - t0);
-  }
-  Tensor r = MakeResult({n, m}, std::move(out), {a, b});
-  if (Tracking(r)) {
+  };
+  fwd();
+  graph::Record(r, {a, b}, fwd);
+  if (track) {
     auto o = r.impl().get();
     auto ia = a.impl();
     auto ib = b.impl();
-    r.impl()->backward_fn = [o, ia, ib, n, k, m]() {
+    r.impl()->backward_fn = [o, ia, ib, n, k, m, pack_da, pack_db]() {
       CEWS_TRACE_SCOPE("nn.MatMul.bwd");
       const uint64_t t0 = Stopwatch::NowNs();
       uint64_t bwd_flops = 0;
@@ -282,7 +356,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* og = o->grad.data();
         const float* pb = ib->data.data();
         float* ga = ia->grad.data();
-        gemm::GemmNT(n, k, m, og, m, pb, m, ga, k);
+        gemm::GemmNT(n, k, m, og, m, pb, m, ga, k,
+                     pack_da ? pack_da->data() : nullptr);
       }
       if (ib->requires_grad) {
         bwd_flops += 2ull * static_cast<uint64_t>(n * k * m);
@@ -290,7 +365,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* og = o->grad.data();
         const float* pa = ia->data.data();
         float* gb = ib->grad.data();
-        gemm::GemmNN(k, m, n, pa, 1, k, og, m, gb, m);
+        gemm::GemmNN(k, m, n, pa, 1, k, og, m, gb, m,
+                     pack_db ? pack_db->data() : nullptr);
       }
       KernelMetrics& metrics = MatMulMetrics();
       metrics.bwd_flops->Add(bwd_flops);
@@ -305,11 +381,16 @@ namespace {
 /// Shared scaffolding for unary elementwise ops whose backward is
 /// dx = dy * dfn(x, y).
 template <typename FwdFn, typename BwdFn>
-Tensor UnaryElementwise(const Tensor& x, FwdFn fwd, BwdFn dfn) {
-  std::vector<float> out = Workspace::AcquireVec(x.numel());
-  const float* px = x.data();
-  for (Index i = 0; i < x.numel(); ++i) out[i] = fwd(px[i]);
-  Tensor r = MakeResult(x.shape(), std::move(out), {x});
+Tensor UnaryElementwise(const Tensor& x, FwdFn fwd_fn, BwdFn dfn) {
+  Tensor r = NewResult(x.shape(), {x});
+  const Index n = x.numel();
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), n, fwd_fn]() {
+    const float* px = xi->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) po[i] = fwd_fn(px[i]);
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (r.requires_grad()) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -350,12 +431,14 @@ Tensor Exp(const Tensor& x) {
 }
 
 Tensor Log(const Tensor& x) {
-  const float* px = x.data();
-  for (Index i = 0; i < x.numel(); ++i) {
-    CEWS_CHECK(px[i] > 0.0f) << "Log: non-positive input " << px[i];
-  }
+  // The positivity check lives inside the forward body so graph replays
+  // re-validate fresh placeholder data, not just the recording batch.
   return UnaryElementwise(
-      x, [](float v) { return std::log(v); },
+      x,
+      [](float v) {
+        CEWS_CHECK(v > 0.0f) << "Log: non-positive input " << v;
+        return std::log(v);
+      },
       [](float v, float) { return 1.0f / v; });
 }
 
@@ -382,13 +465,18 @@ Tensor BinarySelect(const Tensor& a, const Tensor& b, PickA pick_a,
                     const char* name) {
   CheckSameShape(a, b, name);
   const Index n = a.numel();
-  std::vector<float> out = Workspace::AcquireVec(n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (Index i = 0; i < n; ++i) {
-    out[i] = pick_a(pa[i], pb[i]) ? pa[i] : pb[i];
-  }
-  Tensor r = MakeResult(a.shape(), std::move(out), {a, b});
+  Tensor r = NewResult(a.shape(), {a, b});
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), xb = b.impl().get(), n,
+              pick_a]() {
+    const float* pa = xa->data.data();
+    const float* pb = xb->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) {
+      po[i] = pick_a(pa[i], pb[i]) ? pa[i] : pb[i];
+    }
+  };
+  fwd();
+  graph::Record(r, {a, b}, fwd);
   if (r.requires_grad()) {
     auto o = r.impl().get();
     auto ia = a.impl();
@@ -422,21 +510,25 @@ Tensor Softmax(const Tensor& x) {
   CEWS_CHECK_GE(x.ndim(), 1);
   const Index d = x.dim(-1);
   const Index rows = x.numel() / d;
-  std::vector<float> out = Workspace::AcquireVec(x.numel());
-  const float* px = x.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* row = px + r * d;
-    float mx = row[0];
-    for (Index j = 1; j < d; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (Index j = 0; j < d; ++j) {
-      const float e = std::exp(row[j] - mx);
-      out[r * d + j] = e;
-      sum += e;
+  Tensor r = NewResult(x.shape(), {x});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), rows, d]() {
+    const float* px = xi->data.data();
+    float* po = o->data.data();
+    for (Index r = 0; r < rows; ++r) {
+      const float* row = px + r * d;
+      float mx = row[0];
+      for (Index j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (Index j = 0; j < d; ++j) {
+        const float e = std::exp(row[j] - mx);
+        po[r * d + j] = e;
+        sum += e;
+      }
+      for (Index j = 0; j < d; ++j) po[r * d + j] /= sum;
     }
-    for (Index j = 0; j < d; ++j) out[r * d + j] /= sum;
-  }
-  Tensor r = MakeResult(x.shape(), std::move(out), {x});
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -460,18 +552,22 @@ Tensor LogSoftmax(const Tensor& x) {
   CEWS_CHECK_GE(x.ndim(), 1);
   const Index d = x.dim(-1);
   const Index rows = x.numel() / d;
-  std::vector<float> out = Workspace::AcquireVec(x.numel());
-  const float* px = x.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* row = px + r * d;
-    float mx = row[0];
-    for (Index j = 1; j < d; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (Index j = 0; j < d; ++j) sum += std::exp(row[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (Index j = 0; j < d; ++j) out[r * d + j] = row[j] - lse;
-  }
-  Tensor r = MakeResult(x.shape(), std::move(out), {x});
+  Tensor r = NewResult(x.shape(), {x});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), rows, d]() {
+    const float* px = xi->data.data();
+    float* po = o->data.data();
+    for (Index r = 0; r < rows; ++r) {
+      const float* row = px + r * d;
+      float mx = row[0];
+      for (Index j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (Index j = 0; j < d; ++j) sum += std::exp(row[j] - mx);
+      const float lse = mx + std::log(sum);
+      for (Index j = 0; j < d; ++j) po[r * d + j] = row[j] - lse;
+    }
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -494,10 +590,16 @@ Tensor LogSoftmax(const Tensor& x) {
 }
 
 Tensor Sum(const Tensor& x) {
-  double acc = 0.0;
-  const float* px = x.data();
-  for (Index i = 0; i < x.numel(); ++i) acc += px[i];
-  Tensor r = MakeResult({}, {static_cast<float>(acc)}, {x});
+  const Index n = x.numel();
+  Tensor r = NewResult({}, {x});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), n]() {
+    double acc = 0.0;
+    const float* px = xi->data.data();
+    for (Index i = 0; i < n; ++i) acc += px[i];
+    o->data[0] = static_cast<float>(acc);
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -512,11 +614,17 @@ Tensor Sum(const Tensor& x) {
 
 Tensor Mean(const Tensor& x) {
   CEWS_CHECK_GT(x.numel(), 0);
-  double acc = 0.0;
-  const float* px = x.data();
-  for (Index i = 0; i < x.numel(); ++i) acc += px[i];
-  const float inv_n = 1.0f / static_cast<float>(x.numel());
-  Tensor r = MakeResult({}, {static_cast<float>(acc) * inv_n}, {x});
+  const Index n = x.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  Tensor r = NewResult({}, {x});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), n, inv_n]() {
+    double acc = 0.0;
+    const float* px = xi->data.data();
+    for (Index i = 0; i < n; ++i) acc += px[i];
+    o->data[0] = static_cast<float>(acc) * inv_n;
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -534,14 +642,18 @@ Tensor SumLastDim(const Tensor& x) {
   const Index d = x.dim(-1);
   const Index rows = x.numel() / d;
   Shape out_shape(x.shape().begin(), x.shape().end() - 1);
-  std::vector<float> out = Workspace::AcquireVec(rows);
-  const float* px = x.data();
-  for (Index r = 0; r < rows; ++r) {
-    double acc = 0.0;
-    for (Index j = 0; j < d; ++j) acc += px[r * d + j];
-    out[r] = static_cast<float>(acc);
-  }
-  Tensor r = MakeResult(std::move(out_shape), std::move(out), {x});
+  Tensor r = NewResult(std::move(out_shape), {x});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), rows, d]() {
+    const float* px = xi->data.data();
+    float* po = o->data.data();
+    for (Index r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (Index j = 0; j < d; ++j) acc += px[r * d + j];
+      po[r] = static_cast<float>(acc);
+    }
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -558,9 +670,13 @@ Tensor SumLastDim(const Tensor& x) {
 
 Tensor Reshape(const Tensor& x, const Shape& shape) {
   CEWS_CHECK_EQ(NumElements(shape), x.numel());
-  std::vector<float> out = Workspace::AcquireVec(x.numel());
-  std::copy(x.data(), x.data() + x.numel(), out.begin());
-  Tensor r = MakeResult(shape, std::move(out), {x});
+  const Index n = x.numel();
+  Tensor r = NewResult(shape, {x});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), n]() {
+    std::copy(xi->data.data(), xi->data.data() + n, o->data.data());
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
@@ -580,15 +696,20 @@ Tensor Concat(const Tensor& a, const Tensor& b) {
   const Index rows = a.numel() / da;
   Shape out_shape = a.shape();
   out_shape.back() = da + db;
-  std::vector<float> out = Workspace::AcquireVec(rows * (da + db));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (Index r = 0; r < rows; ++r) {
-    float* orow = out.data() + r * (da + db);
-    for (Index j = 0; j < da; ++j) orow[j] = pa[r * da + j];
-    for (Index j = 0; j < db; ++j) orow[da + j] = pb[r * db + j];
-  }
-  Tensor r = MakeResult(std::move(out_shape), std::move(out), {a, b});
+  Tensor r = NewResult(std::move(out_shape), {a, b});
+  auto fwd = [o = r.impl().get(), xa = a.impl().get(), xb = b.impl().get(),
+              rows, da, db]() {
+    const float* pa = xa->data.data();
+    const float* pb = xb->data.data();
+    float* po = o->data.data();
+    for (Index r = 0; r < rows; ++r) {
+      float* orow = po + r * (da + db);
+      for (Index j = 0; j < da; ++j) orow[j] = pa[r * da + j];
+      for (Index j = 0; j < db; ++j) orow[da + j] = pb[r * db + j];
+    }
+  };
+  fwd();
+  graph::Record(r, {a, b}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ia = a.impl();
@@ -610,32 +731,61 @@ Tensor Concat(const Tensor& a, const Tensor& b) {
   return r;
 }
 
-Tensor GatherLastDim(const Tensor& x, const std::vector<Index>& idx) {
+namespace {
+
+/// Shared body of both GatherLastDim overloads: `idx` is a stable handle
+/// whose contents the forward re-reads (and re-validates) on every run.
+Tensor GatherLastDimImpl(const Tensor& x,
+                         std::shared_ptr<const std::vector<Index>> idx) {
   CEWS_CHECK_GE(x.ndim(), 1);
+  CEWS_CHECK(idx != nullptr);
   const Index d = x.dim(-1);
   const Index rows = x.numel() / d;
-  CEWS_CHECK_EQ(static_cast<Index>(idx.size()), rows);
   Shape out_shape(x.shape().begin(), x.shape().end() - 1);
-  std::vector<float> out = Workspace::AcquireVec(rows);
-  const float* px = x.data();
-  for (Index r = 0; r < rows; ++r) {
-    CEWS_CHECK_GE(idx[r], 0);
-    CEWS_CHECK_LT(idx[r], d);
-    out[r] = px[r * d + idx[r]];
-  }
-  Tensor r = MakeResult(std::move(out_shape), std::move(out), {x});
+  Tensor r = NewResult(std::move(out_shape), {x});
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(), idx, rows, d]() {
+    CEWS_CHECK_EQ(static_cast<Index>(idx->size()), rows)
+        << "GatherLastDim: index count changed between replays";
+    const float* px = xi->data.data();
+    float* po = o->data.data();
+    for (Index r = 0; r < rows; ++r) {
+      const Index j = (*idx)[static_cast<size_t>(r)];
+      CEWS_CHECK_GE(j, 0);
+      CEWS_CHECK_LT(j, d);
+      po[r] = px[r * d + j];
+    }
+  };
+  fwd();
+  graph::Record(r, {x}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto ix = x.impl();
-    auto indices = idx;  // copy for closure lifetime
-    r.impl()->backward_fn = [o, ix, indices, d]() {
+    r.impl()->backward_fn = [o, ix, idx, d]() {
       ix->EnsureGrad();
-      for (size_t row = 0; row < indices.size(); ++row) {
-        ix->grad[static_cast<Index>(row) * d + indices[row]] += o->grad[row];
+      for (size_t row = 0; row < idx->size(); ++row) {
+        ix->grad[static_cast<Index>(row) * d + (*idx)[row]] += o->grad[row];
       }
     };
   }
   return r;
+}
+
+}  // namespace
+
+Tensor GatherLastDim(const Tensor& x, const std::vector<Index>& idx) {
+  return GatherLastDimImpl(
+      x, std::make_shared<const std::vector<Index>>(idx));
+}
+
+Tensor GatherLastDim(const Tensor& x,
+                     std::shared_ptr<const std::vector<Index>> idx) {
+  return GatherLastDimImpl(x, std::move(idx));
+}
+
+Tensor Checkpoint(const Tensor& t) {
+  CEWS_CHECK(t.defined());
+  if (graph::Recording()) graph::MarkBoundary(t);
+  return t;
 }
 
 namespace {
@@ -736,8 +886,131 @@ void PackBatch(const ConvShape& s, const float* pc, float* pp,
 /// When true (default), Conv2d keeps the forward im2col buffer alive inside
 /// the backward closure so dW does not recompute it. CEWS_CONV_CACHE=0
 /// restores the recompute-in-backward behavior (trades time for memory);
-/// read per call so tests can toggle it.
+/// read per call so tests can toggle it. Graph recordings always cache:
+/// the cols buffer is planner-managed there, so it costs no extra resident
+/// memory beyond its liveness window.
 bool ConvColsCacheEnabled() { return GetEnvBool("CEWS_CONV_CACHE", true); }
+
+/// The im2col + pack + NNRows forward product shared by the eager path and
+/// the graph thunk. cols/packed are caller scratch of n*ck2*ohow floats
+/// each; all three outputs (cols, packed, po) are fully overwritten.
+void ConvForwardBody(const ConvShape& s, const float* px, const float* pw,
+                     const float* pbias, float* cols, float* packed,
+                     float* po) {
+  const Index ck2 = s.ck2(), ohow = s.ohow();
+  BatchIm2Col(s, px, cols);
+  PackBatch(s, cols, packed, /*transposed=*/false);
+  ParallelKernel(s.n * s.oc, 2 * ck2 * ohow, [&](Index r0, Index r1) {
+    // A chunk may span image boundaries; group its rows by image so each
+    // NNRows call covers a contiguous block of output channels and gets
+    // the full kMr-row register tiling.
+    Index row = r0;
+    while (row < r1) {
+      const Index in = row / s.oc;
+      const Index io0 = row % s.oc;
+      const Index io1 = std::min(s.oc, io0 + (r1 - row));
+      float* obase = po + in * s.oc * ohow;
+      for (Index io = io0; io < io1; ++io) {
+        float* orow = obase + io * ohow;
+        std::fill(orow, orow + ohow, pbias != nullptr ? pbias[io] : 0.0f);
+      }
+      gemm::NNRows(io0, io1, ohow, ck2, pw, ck2, 1,
+                   packed + in * ck2 * ohow, obase, ohow);
+      row += io1 - io0;
+    }
+  });
+}
+
+/// The dW/db/dX backward products shared by the eager closure and the graph
+/// closure. `cols` is the cached forward im2col buffer or nullptr (recompute
+/// from the input's current data). The three scratch pointers are nullable:
+/// null falls back to workspace vectors (eager mode); non-null are
+/// planner-assigned slabs — packt n*ck2*ohow, dcols_all n*ck2*ohow and
+/// packdy_all n*oc*ohow floats (per-image slices, dcols re-zeroed here).
+void ConvBackwardBody(const ConvShape& s, uint64_t conv_flops, TensorImpl* o,
+                      TensorImpl* ix, TensorImpl* iw, TensorImpl* ib,
+                      const float* cols, float* packt_buf, float* dcols_all,
+                      float* packdy_all) {
+  CEWS_TRACE_SCOPE("nn.Conv2d.bwd");
+  const Index ck2 = s.ck2(), ohow = s.ohow();
+  const uint64_t t0 = Stopwatch::NowNs();
+  uint64_t bwd_flops = 0;
+  const bool need_dx = ix->requires_grad;
+  const bool need_dw = iw->requires_grad;
+  const bool need_db = ib != nullptr && ib->requires_grad;
+  if (need_dx) ix->EnsureGrad();
+  if (need_dw) iw->EnsureGrad();
+  if (need_db) ib->EnsureGrad();
+  const float* og = o->grad.data();
+
+  // dW = sum_n dY_n * cols_n^T (NT shape: one fresh dot per element,
+  // images accumulated in ascending order) and db = sum over pixels.
+  // Partitioned over output channels: each dW row / db entry has one
+  // owner.
+  if (need_dw || need_db) {
+    if (need_dw) bwd_flops += conv_flops;
+    float* gw = need_dw ? iw->grad.data() : nullptr;
+    float* gb = need_db ? ib->grad.data() : nullptr;
+    ScopedVec packt(need_dw && packt_buf == nullptr ? s.n * ck2 * ohow : 0);
+    float* pt = packt_buf != nullptr ? packt_buf : packt.data();
+    if (need_dw) {
+      ScopedVec recomputed(cols == nullptr ? s.n * ck2 * ohow : 0);
+      const float* pc = cols;
+      if (pc == nullptr) {
+        BatchIm2Col(s, ix->data.data(), recomputed.data());
+        pc = recomputed.data();
+      }
+      PackBatch(s, pc, pt, /*transposed=*/true);
+    }
+    ParallelKernel(s.oc, 2 * s.n * ck2 * ohow, [&](Index o0, Index o1) {
+      // Images ascend in the outer loop; every dW/db element still
+      // receives its per-image contributions in image order, identical
+      // to the channel-outer loop this replaced.
+      for (Index in = 0; in < s.n; ++in) {
+        const float* gbase = og + in * s.oc * ohow;
+        if (need_db) {
+          for (Index io = o0; io < o1; ++io) {
+            const float* grow = gbase + io * ohow;
+            float acc = 0.0f;
+            for (Index q = 0; q < ohow; ++q) acc += grow[q];
+            gb[io] += acc;
+          }
+        }
+        if (!need_dw) continue;
+        gemm::NTRows(o0, o1, ck2, ohow, gbase, ohow,
+                     pt + in * ck2 * ohow, gw, ck2);
+      }
+    });
+  }
+
+  // dX_n = col2im(W^T * dY_n), partitioned over images. The W^T product
+  // is NN-shaped: dcols rows accumulate channel-ascending.
+  if (need_dx) {
+    bwd_flops += conv_flops;
+    const float* pw = iw->data.data();
+    float* gx = ix->grad.data();
+    ParallelKernel(s.n, 2 * s.oc * ck2 * ohow, [&](Index n0, Index n1) {
+      for (Index in = n0; in < n1; ++in) {
+        ScopedVec dcols_local(dcols_all == nullptr ? ck2 * ohow : 0);
+        ScopedVec packdy_local(packdy_all == nullptr ? s.oc * ohow : 0);
+        float* dcols = dcols_all != nullptr ? dcols_all + in * ck2 * ohow
+                                            : dcols_local.data();
+        float* packdy = packdy_all != nullptr ? packdy_all + in * s.oc * ohow
+                                              : packdy_local.data();
+        // NNRows accumulates into dcols; workspace vectors arrive zeroed,
+        // arena slices must be re-zeroed per run. packdy is fully
+        // overwritten by the pack.
+        if (dcols_all != nullptr) std::fill(dcols, dcols + ck2 * ohow, 0.0f);
+        gemm::PackNN(s.oc, ohow, og + in * s.oc * ohow, ohow, packdy);
+        gemm::NNRows(0, ck2, ohow, s.oc, pw, 1, ck2, packdy, dcols, ohow);
+        Col2ImAccum(s, dcols, gx + in * s.c * s.h * s.w);
+      }
+    });
+  }
+  KernelMetrics& metrics = Conv2dMetrics();
+  metrics.bwd_flops->Add(bwd_flops);
+  metrics.bwd_ns->Add(Stopwatch::NowNs() - t0);
+}
 
 }  // namespace
 
@@ -768,42 +1041,69 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   const uint64_t conv_flops =
       2ull * static_cast<uint64_t>(s.n * s.oc * ck2 * ohow);
 
-  // Forward = one [oc, ck2] x [ck2, ohow] product per image, parallel over
-  // the flattened (image, output-channel) rows. Each output row is owned by
-  // exactly one index and accumulated p-ascending, so results do not depend
-  // on the partition. The cols buffer is shared so that, when the cache is
-  // on, the backward closure can reuse it for dW instead of re-unfolding x.
+  const bool rec = graph::Recording();
+  Tensor r = NewResult({s.n, s.oc, s.oh, s.ow}, {x, w, bias});
+  const bool track = Tracking(r);
+  TensorImpl* o = r.impl().get();
+  TensorImpl* xi = x.impl().get();
+  TensorImpl* wi = w.impl().get();
+  TensorImpl* bi = bias.defined() ? bias.impl().get() : nullptr;
+
+  if (rec) {
+    // Graph path: all scratch (forward and backward) is planner-managed.
+    // cols is kSpan when the backward will read it for dW; packed panels and
+    // gradient scratch are single-phase.
+    auto cols = graph::AllocBuf(
+        s.n * ck2 * ohow,
+        track && wi->requires_grad ? BufLife::kSpan : BufLife::kFwd);
+    auto packed = graph::AllocBuf(s.n * ck2 * ohow, BufLife::kFwd);
+    std::shared_ptr<OpBuf> packt, dcols_all, packdy_all;
+    if (track && wi->requires_grad) {
+      packt = graph::AllocBuf(s.n * ck2 * ohow, BufLife::kBwd);
+    }
+    if (track && xi->requires_grad) {
+      dcols_all = graph::AllocBuf(s.n * ck2 * ohow, BufLife::kBwd);
+      packdy_all = graph::AllocBuf(s.n * s.oc * ohow, BufLife::kBwd);
+    }
+    auto fwd = [o, xi, wi, bi, s, conv_flops, cols, packed]() {
+      CEWS_TRACE_SCOPE("nn.Conv2d");
+      const uint64_t t0 = Stopwatch::NowNs();
+      ConvForwardBody(s, xi->data.data(), wi->data.data(),
+                      bi != nullptr ? bi->data.data() : nullptr, cols->data(),
+                      packed->data(), o->data.data());
+      KernelMetrics& metrics = Conv2dMetrics();
+      metrics.calls->Increment();
+      metrics.fwd_flops->Add(conv_flops);
+      metrics.fwd_ns->Add(Stopwatch::NowNs() - t0);
+    };
+    fwd();
+    graph::Record(r, {x, w, bias}, fwd);
+    if (track) {
+      auto ix = x.impl();
+      auto iw = w.impl();
+      auto ib = bias.defined() ? bias.impl() : std::shared_ptr<TensorImpl>();
+      r.impl()->backward_fn = [o, ix, iw, ib, s, conv_flops, cols, packt,
+                               dcols_all, packdy_all]() {
+        ConvBackwardBody(s, conv_flops, o, ix.get(), iw.get(), ib.get(),
+                         cols->data(),
+                         packt ? packt->data() : nullptr,
+                         dcols_all ? dcols_all->data() : nullptr,
+                         packdy_all ? packdy_all->data() : nullptr);
+      };
+    }
+    return r;
+  }
+
+  // Eager path. The cols buffer is shared so that, when the cache is on,
+  // the backward closure can reuse it for dW instead of re-unfolding x.
   CEWS_TRACE_SCOPE("nn.Conv2d");
   const uint64_t fwd_t0 = Stopwatch::NowNs();
   auto cols = std::make_shared<ScopedVec>(s.n * ck2 * ohow);
-  BatchIm2Col(s, x.data(), cols->data());
-  std::vector<float> out = Workspace::AcquireVec(s.n * s.oc * ohow);
   {
     ScopedVec packed(s.n * ck2 * ohow);
-    PackBatch(s, cols->data(), packed.data(), /*transposed=*/false);
-    const float* pw = w.data();
-    const float* pbias = bias.defined() ? bias.data() : nullptr;
-    const float* pp = packed.data();
-    float* po = out.data();
-    ParallelKernel(s.n * s.oc, 2 * ck2 * ohow, [&](Index r0, Index r1) {
-      // A chunk may span image boundaries; group its rows by image so each
-      // NNRows call covers a contiguous block of output channels and gets
-      // the full kMr-row register tiling.
-      Index row = r0;
-      while (row < r1) {
-        const Index in = row / s.oc;
-        const Index io0 = row % s.oc;
-        const Index io1 = std::min(s.oc, io0 + (r1 - row));
-        float* obase = po + in * s.oc * ohow;
-        for (Index io = io0; io < io1; ++io) {
-          float* orow = obase + io * ohow;
-          std::fill(orow, orow + ohow, pbias != nullptr ? pbias[io] : 0.0f);
-        }
-        gemm::NNRows(io0, io1, ohow, ck2, pw, ck2, 1,
-                     pp + in * ck2 * ohow, obase, ohow);
-        row += io1 - io0;
-      }
-    });
+    ConvForwardBody(s, x.data(), w.data(),
+                    bias.defined() ? bias.data() : nullptr, cols->data(),
+                    packed.data(), o->data.data());
   }
   {
     KernelMetrics& metrics = Conv2dMetrics();
@@ -812,109 +1112,28 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
     metrics.fwd_ns->Add(Stopwatch::NowNs() - fwd_t0);
   }
 
-  Tensor r = MakeResult({s.n, s.oc, s.oh, s.ow}, std::move(out),
-                        {x, w, bias});
-  if (Tracking(r)) {
-    auto o = r.impl().get();
+  if (track) {
     auto ix = x.impl();
     auto iw = w.impl();
-    auto ib = bias.defined() ? bias.impl() : nullptr;
+    auto ib = bias.defined() ? bias.impl() : std::shared_ptr<TensorImpl>();
     std::shared_ptr<ScopedVec> cached;
     if (ConvColsCacheEnabled()) cached = cols;
-    r.impl()->backward_fn = [o, ix, iw, ib, s, ck2, ohow, conv_flops,
-                             cached]() {
-      CEWS_TRACE_SCOPE("nn.Conv2d.bwd");
-      const uint64_t t0 = Stopwatch::NowNs();
-      uint64_t bwd_flops = 0;
-      const bool need_dx = ix->requires_grad;
-      const bool need_dw = iw->requires_grad;
-      const bool need_db = ib != nullptr && ib->requires_grad;
-      if (need_dx) ix->EnsureGrad();
-      if (need_dw) iw->EnsureGrad();
-      if (need_db) ib->EnsureGrad();
-      const float* og = o->grad.data();
-
-      // dW = sum_n dY_n * cols_n^T (NT shape: one fresh dot per element,
-      // images accumulated in ascending order) and db = sum over pixels.
-      // Partitioned over output channels: each dW row / db entry has one
-      // owner.
-      if (need_dw || need_db) {
-        if (need_dw) bwd_flops += conv_flops;
-        float* gw = need_dw ? iw->grad.data() : nullptr;
-        float* gb = need_db ? ib->grad.data() : nullptr;
-        ScopedVec packt(need_dw ? s.n * ck2 * ohow : 0);
-        if (need_dw) {
-          const float* pc;
-          ScopedVec recomputed(cached ? 0 : s.n * ck2 * ohow);
-          if (cached) {
-            pc = cached->data();
-          } else {
-            BatchIm2Col(s, ix->data.data(), recomputed.data());
-            pc = recomputed.data();
-          }
-          PackBatch(s, pc, packt.data(), /*transposed=*/true);
-        }
-        const float* pt = packt.data();
-        ParallelKernel(s.oc, 2 * s.n * ck2 * ohow, [&](Index o0, Index o1) {
-          // Images ascend in the outer loop; every dW/db element still
-          // receives its per-image contributions in image order, identical
-          // to the channel-outer loop this replaced.
-          for (Index in = 0; in < s.n; ++in) {
-            const float* gbase = og + in * s.oc * ohow;
-            if (need_db) {
-              for (Index io = o0; io < o1; ++io) {
-                const float* grow = gbase + io * ohow;
-                float acc = 0.0f;
-                for (Index q = 0; q < ohow; ++q) acc += grow[q];
-                gb[io] += acc;
-              }
-            }
-            if (!need_dw) continue;
-            gemm::NTRows(o0, o1, ck2, ohow, gbase, ohow,
-                         pt + in * ck2 * ohow, gw, ck2);
-          }
-        });
-      }
-
-      // dX_n = col2im(W^T * dY_n), partitioned over images. The W^T product
-      // is NN-shaped: dcols rows accumulate channel-ascending.
-      if (need_dx) {
-        bwd_flops += conv_flops;
-        const float* pw = iw->data.data();
-        float* gx = ix->grad.data();
-        ParallelKernel(s.n, 2 * s.oc * ck2 * ohow, [&](Index n0, Index n1) {
-          for (Index in = n0; in < n1; ++in) {
-            ScopedVec dcols(ck2 * ohow);  // acquired zero-filled
-            ScopedVec packdy(s.oc * ohow);
-            gemm::PackNN(s.oc, ohow, og + in * s.oc * ohow, ohow,
-                         packdy.data());
-            gemm::NNRows(0, ck2, ohow, s.oc, pw, 1, ck2, packdy.data(),
-                         dcols.data(), ohow);
-            Col2ImAccum(s, dcols.data(), gx + in * s.c * s.h * s.w);
-          }
-        });
-      }
-      KernelMetrics& metrics = Conv2dMetrics();
-      metrics.bwd_flops->Add(bwd_flops);
-      metrics.bwd_ns->Add(Stopwatch::NowNs() - t0);
+    r.impl()->backward_fn = [o, ix, iw, ib, s, conv_flops, cached]() {
+      ConvBackwardBody(s, conv_flops, o, ix.get(), iw.get(), ib.get(),
+                       cached ? cached->data() : nullptr, nullptr, nullptr,
+                       nullptr);
     };
   }
   return r;
 }
 
-Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
-                   float eps) {
-  CEWS_CHECK_GE(x.ndim(), 2);
-  const Index n = x.dim(0);
-  const Index f = x.numel() / n;
-  CEWS_CHECK_EQ(gamma.numel(), f);
-  CEWS_CHECK_EQ(beta.numel(), f);
-  std::vector<float> out = Workspace::AcquireVec(x.numel());
-  std::vector<float> xhat(x.numel());
-  std::vector<float> inv_sigma(static_cast<size_t>(n));
-  const float* px = x.data();
-  const float* pg = gamma.data();
-  const float* pb = beta.data();
+namespace {
+
+/// One LayerNorm forward sweep: writes the normalized-scaled output `po`
+/// plus the xhat/inv_sigma row statistics the backward consumes.
+void LayerNormBody(Index n, Index f, float eps, const float* px,
+                   const float* pg, const float* pb, float* po, float* xhat,
+                   float* inv_sigma) {
   for (Index i = 0; i < n; ++i) {
     const float* row = px + i * f;
     double mu = 0.0;
@@ -931,24 +1150,52 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     for (Index j = 0; j < f; ++j) {
       const float xh = (row[j] - static_cast<float>(mu)) * is;
       xhat[i * f + j] = xh;
-      out[i * f + j] = xh * pg[j] + pb[j];
+      po[i * f + j] = xh * pg[j] + pb[j];
     }
   }
-  Tensor r = MakeResult(x.shape(), std::move(out), {x, gamma, beta});
-  if (Tracking(r)) {
+}
+
+}  // namespace
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  CEWS_CHECK_GE(x.ndim(), 2);
+  const Index n = x.dim(0);
+  const Index f = x.numel() / n;
+  CEWS_CHECK_EQ(gamma.numel(), f);
+  CEWS_CHECK_EQ(beta.numel(), f);
+  const bool rec = graph::Recording();
+  Tensor r = NewResult(x.shape(), {x, gamma, beta});
+  const bool track = Tracking(r);
+  // Row statistics live in shared scratch the forward writes and the
+  // backward reads: planner-managed (kSpan) in graph mode, workspace-backed
+  // in eager mode.
+  const BufLife stat_life = track ? BufLife::kSpan : BufLife::kFwd;
+  auto xh = rec ? graph::AllocBuf(x.numel(), stat_life)
+                : graph::LocalBuf(x.numel());
+  auto is = rec ? graph::AllocBuf(n, stat_life) : graph::LocalBuf(n);
+  auto fwd = [o = r.impl().get(), xi = x.impl().get(),
+              gi = gamma.impl().get(), bi = beta.impl().get(), n, f, eps, xh,
+              is]() {
+    LayerNormBody(n, f, eps, xi->data.data(), gi->data.data(),
+                  bi->data.data(), o->data.data(), xh->data(), is->data());
+  };
+  fwd();
+  graph::Record(r, {x, gamma, beta}, fwd);
+  if (track) {
     auto o = r.impl().get();
     auto ix = x.impl();
     auto ig = gamma.impl();
     auto ibt = beta.impl();
-    auto xh = std::move(xhat);
-    auto is = std::move(inv_sigma);
     r.impl()->backward_fn = [o, ix, ig, ibt, xh, is, n, f]() {
       if (ix->requires_grad) ix->EnsureGrad();
       if (ig->requires_grad) ig->EnsureGrad();
       if (ibt->requires_grad) ibt->EnsureGrad();
+      const float* xhp = xh->data();
+      const float* isp = is->data();
       for (Index i = 0; i < n; ++i) {
         const float* dy = o->grad.data() + i * f;
-        const float* xr = xh.data() + i * f;
+        const float* xr = xhp + i * f;
         if (ig->requires_grad || ibt->requires_grad) {
           for (Index j = 0; j < f; ++j) {
             if (ig->requires_grad) ig->grad[j] += dy[j] * xr[j];
@@ -970,7 +1217,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           for (Index j = 0; j < f; ++j) {
             const double gj = static_cast<double>(dy[j]) * ig->data[j];
             dx[j] += static_cast<float>((gj - mean_g - xr[j] * mean_gx) *
-                                        is[i]);
+                                        isp[i]);
           }
         }
       }
@@ -983,24 +1230,32 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<Index>& ids) {
   CEWS_CHECK_EQ(table.ndim(), 2);
   const Index v = table.dim(0), d = table.dim(1);
   const Index n = static_cast<Index>(ids.size());
-  std::vector<float> out = Workspace::AcquireVec(n * d);
-  const float* pt = table.data();
-  for (Index i = 0; i < n; ++i) {
-    CEWS_CHECK_GE(ids[i], 0);
-    CEWS_CHECK_LT(ids[i], v);
-    const float* row = pt + ids[i] * d;
-    for (Index j = 0; j < d; ++j) out[i * d + j] = row[j];
-  }
-  Tensor r = MakeResult({n, d}, std::move(out), {table});
+  Tensor r = NewResult({n, d}, {table});
+  // The id list is captured by value: a recorded lookup replays the same
+  // rows (graph callers run data-dependent lookups outside the recording).
+  auto indices = std::make_shared<const std::vector<Index>>(ids);
+  auto fwd = [o = r.impl().get(), ti = table.impl().get(), indices, v, d,
+              n]() {
+    const float* pt = ti->data.data();
+    float* po = o->data.data();
+    for (Index i = 0; i < n; ++i) {
+      const Index id = (*indices)[static_cast<size_t>(i)];
+      CEWS_CHECK_GE(id, 0);
+      CEWS_CHECK_LT(id, v);
+      const float* row = pt + id * d;
+      for (Index j = 0; j < d; ++j) po[i * d + j] = row[j];
+    }
+  };
+  fwd();
+  graph::Record(r, {table}, fwd);
   if (Tracking(r)) {
     auto o = r.impl().get();
     auto it = table.impl();
-    auto indices = ids;
     r.impl()->backward_fn = [o, it, indices, d]() {
       it->EnsureGrad();
-      for (size_t i = 0; i < indices.size(); ++i) {
+      for (size_t i = 0; i < indices->size(); ++i) {
         for (Index j = 0; j < d; ++j) {
-          it->grad[indices[i] * d + j] +=
+          it->grad[(*indices)[i] * d + j] +=
               o->grad[static_cast<Index>(i) * d + j];
         }
       }

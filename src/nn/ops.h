@@ -7,6 +7,7 @@
 #ifndef CEWS_NN_OPS_H_
 #define CEWS_NN_OPS_H_
 
+#include <memory>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -72,6 +73,18 @@ Tensor Concat(const Tensor& a, const Tensor& b);
 /// Picks x[row, idx[row]] along the last dimension: [..., D] with one index
 /// per leading row -> shape [...]. Used for log-prob lookup of taken actions.
 Tensor GatherLastDim(const Tensor& x, const std::vector<Index>& idx);
+
+/// GatherLastDim whose indices live behind a shared handle the caller may
+/// rewrite (same length, in-range) between graph replays — the expression
+/// graph's index-input mechanism. Bounds are re-CHECKed on every replay.
+Tensor GatherLastDim(const Tensor& x,
+                     std::shared_ptr<const std::vector<Index>> idx);
+
+/// Gradient-checkpoint marker (nn/graph.h): inside a graph recording, marks
+/// the step producing `t` as a segment boundary — with CEWS_NN_CKPT=1 the
+/// segment before it is dropped after forward and recomputed during
+/// backward. Identity (returns `t` unchanged) in every mode.
+Tensor Checkpoint(const Tensor& t);
 
 /// 2-D convolution. x: [N, C, H, W], w: [O, C, KH, KW], optional bias [O]
 /// (pass an undefined Tensor for no bias). Zero padding.

@@ -5,12 +5,14 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "nn/graph.h"
 #include "nn/workspace.h"
 
 namespace cews::nn {
 
 namespace {
 thread_local bool g_grad_mode = true;
+thread_local uint64_t g_next_seq = 0;
 }  // namespace
 
 bool GradModeEnabled() { return g_grad_mode; }
@@ -38,9 +40,11 @@ std::string ShapeToString(const Shape& shape) {
   return os.str();
 }
 
+TensorImpl::TensorImpl() : seq(++g_next_seq) {}
+
 TensorImpl::~TensorImpl() {
-  Workspace::Recycle(std::move(data));
-  Workspace::Recycle(std::move(grad));
+  Workspace::Recycle(data.TakeOwned());
+  Workspace::Recycle(grad.TakeOwned());
 }
 
 void TensorImpl::EnsureGrad() {
@@ -141,7 +145,7 @@ float Tensor::at(std::initializer_list<Index> idx) const {
 
 std::vector<float> Tensor::ToVector() const {
   CEWS_CHECK(defined());
-  return impl_->data;
+  return std::vector<float>(impl_->data.begin(), impl_->data.end());
 }
 
 void Tensor::ZeroGrad() {
@@ -149,7 +153,7 @@ void Tensor::ZeroGrad() {
   if (impl_->grad.size() == impl_->data.size()) {
     std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);  // no realloc
   } else {
-    Workspace::Recycle(std::move(impl_->grad));
+    Workspace::Recycle(impl_->grad.TakeOwned());
     impl_->grad = Workspace::AcquireVec(static_cast<Index>(impl_->data.size()));
   }
 }
@@ -158,7 +162,8 @@ Tensor Tensor::Detach() const {
   CEWS_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // value copy; detached view is fine at our scale
+  // Value copy; detached view is fine at our scale.
+  impl->data = std::vector<float>(impl_->data.begin(), impl_->data.end());
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
@@ -168,31 +173,46 @@ Tensor Tensor::Clone() const { return Detach(); }
 void Tensor::Backward() {
   CEWS_CHECK(defined());
   CEWS_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
-  // Topological order over the tape (iterative post-order DFS).
-  std::vector<TensorImpl*> order;
+  if (impl_->graph_exec != nullptr) {
+    // Compiled-graph root: the executor owns ordering, interior-grad zeroing
+    // and (when enabled) segment recomputation.
+    impl_->graph_exec->Backward();
+    return;
+  }
+  CEWS_CHECK(!graph::Recording())
+      << "Backward() inside an active graph recording: finish the recording "
+         "(EndRecording) and backpropagate through the compiled graph";
+  CEWS_CHECK(!impl_->backward_done)
+      << "double Backward() on the same tape root: gradients would "
+         "double-accumulate; rebuild the loss (or replay its graph) first";
+  impl_->backward_done = true;
+  // Collect every node reachable through tape edges.
+  std::vector<TensorImpl*> nodes;
   std::unordered_set<TensorImpl*> visited;
-  struct Frame {
-    TensorImpl* node;
-    size_t next_parent;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({impl_.get(), 0});
+  std::vector<TensorImpl*> stack;
+  stack.push_back(impl_.get());
   visited.insert(impl_.get());
   while (!stack.empty()) {
-    Frame& frame = stack.back();
-    if (frame.next_parent < frame.node->parents.size()) {
-      TensorImpl* parent = frame.node->parents[frame.next_parent++].get();
-      if (visited.insert(parent).second) stack.push_back({parent, 0});
-    } else {
-      order.push_back(frame.node);
-      stack.pop_back();
+    TensorImpl* node = stack.back();
+    stack.pop_back();
+    nodes.push_back(node);
+    for (const auto& parent : node->parents) {
+      if (visited.insert(parent.get()).second) stack.push_back(parent.get());
     }
   }
-  // Seed d(loss)/d(loss) = 1 and propagate in reverse topological order.
+  // Descending creation order is a valid reverse topological order (an op's
+  // inputs always predate its output) and is the one canonical backward
+  // order shared with graph replay and checkpointed replay, so all three
+  // accumulate shared-parent gradients in the same sequence.
+  std::sort(nodes.begin(), nodes.end(),
+            [](const TensorImpl* a, const TensorImpl* b) {
+              return a->seq > b->seq;
+            });
+  // Seed d(loss)/d(loss) = 1 and propagate.
   impl_->EnsureGrad();
   impl_->grad[0] += 1.0f;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if ((*it)->backward_fn) (*it)->backward_fn();
+  for (TensorImpl* node : nodes) {
+    if (node->backward_fn) node->backward_fn();
   }
 }
 

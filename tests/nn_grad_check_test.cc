@@ -60,6 +60,21 @@ TEST(GradCheck, Sub) {
                 [&](const Tensor& x) { return Sum(Square(Sub(c, x))); });
 }
 
+TEST(GradCheck, SubLeftInput) {
+  // The existing Sub test differentiates through the right input only; the
+  // left path (+dy instead of -dy) gets its own check.
+  Rng rng(40);
+  Tensor c = RandomTensor({4}, rng, -1, 1, false);
+  CheckGradient(RandomTensor({4}, rng),
+                [&](const Tensor& x) { return Sum(Square(Sub(x, c))); });
+}
+
+TEST(GradCheck, NegOp) {
+  Rng rng(41);
+  CheckGradient(RandomTensor({5}, rng),
+                [](const Tensor& x) { return Sum(Square(Neg(x))); });
+}
+
 TEST(GradCheck, MulElementwise) {
   Rng rng(3);
   Tensor c = RandomTensor({5}, rng, 0.5f, 1.5f, false);
@@ -194,6 +209,16 @@ TEST(GradCheck, ReshapeAndConcat) {
   Tensor c = RandomTensor({2, 2}, rng, -1, 1, false);
   CheckGradient(RandomTensor({2, 3}, rng), [&](const Tensor& x) {
     return Sum(Square(Concat(Reshape(x, {2, 3}), c)));
+  });
+}
+
+TEST(GradCheck, ConcatSecondInput) {
+  // ReshapeAndConcat covers the first operand; route the gradient through
+  // the second (the da-offset slice of the backward).
+  Rng rng(42);
+  Tensor a = RandomTensor({2, 2}, rng, -1, 1, false);
+  CheckGradient(RandomTensor({2, 3}, rng), [&](const Tensor& x) {
+    return Sum(Square(Concat(a, x)));
   });
 }
 

@@ -144,5 +144,14 @@ TEST(TensorTest, CloneIsDeepCopy) {
   EXPECT_FLOAT_EQ(x.data()[0], 1.0f);
 }
 
+TEST(TensorDeathTest, DoubleBackwardOnSameRootDies) {
+  // The tape consumes its closures on the first Backward(); a second call
+  // would silently accumulate garbage, so it is a hard CHECK failure.
+  Tensor x = Tensor::Full({2}, 3.0f, /*requires_grad=*/true);
+  Tensor y = Sum(Square(x));
+  y.Backward();
+  EXPECT_DEATH(y.Backward(), "double Backward");
+}
+
 }  // namespace
 }  // namespace cews::nn

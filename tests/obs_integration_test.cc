@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "agents/chief_employee.h"
@@ -56,6 +58,20 @@ TEST(ObsIntegrationTest, ShortTrainingRunPopulatesEveryInstrumentedPhase) {
     trainer.Train();
   }
   obs::SetTraceEnabled(false);
+
+  // threadpool.queue_wait_ns only gets a sample when a pool *worker* claims
+  // a region; on a loaded host the workers can starve for this entire tiny
+  // run while the submitting thread legally executes every chunk itself.
+  // Scheduling, not correctness, is what varies — so force a worker-side
+  // sample with slow single-index chunks before reading the snapshot.
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const obs::HistogramSnapshot* h =
+        obs::SnapshotMetrics().FindHistogram("threadpool.queue_wait_ns");
+    if (h != nullptr && h->count > 0) break;
+    runtime::GlobalPool().ParallelFor(0, 8, /*grain=*/1, [](int64_t, int64_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+  }
   runtime::SetGlobalPoolThreads(1);
 
   const obs::MetricsSnapshot snap = obs::SnapshotMetrics();

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 build + tests, then a ThreadSanitizer build of
-# the concurrency-sensitive targets (thread pool, parallel kernels, both
-# trainers, the serve subsystem) and an ASan+UBSan build of the vectorized
-# acting path (VecEnv, trainer core, both trainers) plus the serve and
-# checkpoint-serialization tests. Run from anywhere; builds land in build/,
-# build-tsan/, and build-asan/.
+# the concurrency-sensitive targets (thread pool, parallel kernels, the
+# expression-graph engine, both trainers, the serve subsystem) and an
+# ASan+UBSan build of the vectorized acting path (VecEnv, trainer core,
+# both trainers) plus the graph, serve and checkpoint-serialization tests,
+# ending with the gradient-checkpointing bitwise guard. Run from anywhere;
+# builds land in build/, build-tsan/, and build-asan/.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
@@ -102,6 +103,7 @@ else
     -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "$repo/build-tsan" -j "$jobs" --target \
     common_thread_pool_test nn_parallel_determinism_test nn_gemm_test \
+    nn_graph_test agents_graph_equivalence_test \
     agents_trainer_test agents_async_test \
     obs_metrics_test obs_trace_test obs_integration_test \
     obs_rolling_test obs_flight_test \
@@ -109,7 +111,7 @@ else
 
   echo "== tsan: concurrency tests =="
   (cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
-    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
+    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
 fi
 
 if [[ "$skip_asan" == 1 ]]; then
@@ -123,12 +125,22 @@ else
   cmake --build "$repo/build-asan" -j "$jobs" --target \
     env_vec_env_test agents_trainer_core_test agents_vec_equivalence_test \
     agents_trainer_test agents_async_test nn_gemm_test \
+    nn_graph_test agents_graph_equivalence_test \
     nn_serialize_test obs_rolling_test obs_flight_test \
     serve_batcher_test serve_server_test serve_fleet_test serve_trace_test
 
   echo "== asan+ubsan: vec acting + serve path tests =="
   (cd "$repo/build-asan" && ctest --output-on-failure -j "$jobs" -R \
-    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_serialize_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
+    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|nn_serialize_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
+
+  echo "== graph: checkpoint bitwise guard =="
+  # Gradient checkpointing must never change training numerics: replaying
+  # the recompute-from-boundary plan has to reproduce the keep-everything
+  # plan bit for bit (same creation-order backward). Runs the dedicated
+  # equivalence filter in the plain build so a planner regression fails the
+  # check even when both sanitizer passes are skipped.
+  "$repo/build/tests/agents_graph_equivalence_test" \
+    --gtest_filter='*CheckpointBitwise*'
 fi
 
 echo "== all checks passed =="
