@@ -11,6 +11,30 @@
 
 namespace cews::agents {
 
+RolloutBuffer RolloutBuffer::FromParts(std::vector<Transition> transitions,
+                                       std::vector<float> advantages,
+                                       std::vector<float> returns) {
+  CEWS_CHECK_EQ(advantages.size(), returns.size())
+      << "FromParts with mismatched advantage/return lengths";
+  if (!advantages.empty()) {
+    CEWS_CHECK_EQ(advantages.size(), transitions.size())
+        << "FromParts advantages must cover every transition";
+  }
+  RolloutBuffer buffer;
+  buffer.transitions_ = std::move(transitions);
+  buffer.advantages_ = std::move(advantages);
+  buffer.returns_ = std::move(returns);
+  return buffer;
+}
+
+void RolloutBuffer::Reserve(size_t total) {
+  transitions_.reserve(total);
+  if (!advantages_.empty()) {
+    advantages_.reserve(total);
+    returns_.reserve(total);
+  }
+}
+
 void RolloutBuffer::Clear() {
   transitions_.clear();
   advantages_.clear();

@@ -51,6 +51,18 @@ class RolloutBuffer {
  public:
   void Add(Transition t) { transitions_.push_back(std::move(t)); }
 
+  /// Reconstructs a buffer from its raw parts (the distributed transport's
+  /// unpack path). `advantages`/`returns` must both be empty or both hold
+  /// exactly one entry per transition.
+  static RolloutBuffer FromParts(std::vector<Transition> transitions,
+                                 std::vector<float> advantages,
+                                 std::vector<float> returns);
+
+  /// Pre-sizes the transition (and, when advantages were computed, the
+  /// advantage/return) storage for `total` entries — the merge path reserves
+  /// once instead of growing through every Append.
+  void Reserve(size_t total);
+
   /// Concatenates `other`'s transitions (and, when present, advantages /
   /// returns) after this buffer's, leaving `other` empty. Episode
   /// boundaries stay intact via the stored done flags; compute advantages

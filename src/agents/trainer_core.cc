@@ -100,7 +100,28 @@ VecRolloutResult RunVecRollout(const PolicyNet& net, env::VecEnv& vec,
 
 RolloutBuffer MergeBuffers(std::vector<RolloutBuffer> buffers) {
   CEWS_CHECK(!buffers.empty()) << "MergeBuffers on an empty buffer list";
+  // All inputs must share one feature schema (encoded-state size and worker
+  // count): a mismatched buffer would survive the merge silently and only
+  // mis-pack downstream, inside GatherBatch. Checked here, at the seam.
+  size_t total = 0;
+  size_t state_size = 0, num_workers = 0;
+  bool schema_set = false;
+  for (const RolloutBuffer& b : buffers) {
+    total += b.size();
+    if (b.empty()) continue;
+    if (!schema_set) {
+      state_size = b[0].state.size();
+      num_workers = b[0].moves.size();
+      schema_set = true;
+      continue;
+    }
+    CEWS_CHECK_EQ(b[0].state.size(), state_size)
+        << "MergeBuffers: encoded-state size mismatch across buffers";
+    CEWS_CHECK_EQ(b[0].moves.size(), num_workers)
+        << "MergeBuffers: worker count mismatch across buffers";
+  }
   RolloutBuffer merged = std::move(buffers.front());
+  if (buffers.size() > 1) merged.Reserve(total);
   for (size_t i = 1; i < buffers.size(); ++i) {
     merged.Append(std::move(buffers[i]));
   }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kUnimplemented = 8,
   kResourceExhausted = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -71,6 +72,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,0 +1,395 @@
+#include "dist/channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace cews::dist {
+
+namespace {
+
+obs::Counter* BytesTxCounter() {
+  static obs::Counter* const c = obs::GetCounter("dist.bytes_tx");
+  return c;
+}
+
+obs::Counter* BytesRxCounter() {
+  static obs::Counter* const c = obs::GetCounter("dist.bytes_rx");
+  return c;
+}
+
+/// Parsed form of a transport address.
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string unix_path;
+  in_addr_t ip = 0;
+  uint16_t port = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress parsed;
+  if (address.rfind("unix:", 0) == 0) {
+    parsed.is_unix = true;
+    parsed.unix_path = address.substr(5);
+    if (parsed.unix_path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" +
+                                     address + "'");
+    }
+    sockaddr_un probe{};
+    if (parsed.unix_path.size() >= sizeof(probe.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: '" +
+                                     parsed.unix_path + "'");
+    }
+    return parsed;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("tcp address needs host:port, got '" +
+                                     address + "'");
+    }
+    const std::string host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    in_addr ip{};
+    if (inet_pton(AF_INET, host.c_str(), &ip) != 1) {
+      return Status::InvalidArgument(
+          "tcp host must be a numeric IPv4 address, got '" + host + "'");
+    }
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port < 0 ||
+        port > 65535) {
+      return Status::InvalidArgument("bad tcp port '" + port_str + "'");
+    }
+    parsed.ip = ip.s_addr;
+    parsed.port = static_cast<uint16_t>(port);
+    return parsed;
+  }
+  return Status::InvalidArgument(
+      "address must be unix:<path> or tcp:<ip>:<port>, got '" + address +
+      "'");
+}
+
+/// poll() for `events` on `fd`, at most `timeout_ms` (<= 0 forever),
+/// retrying EINTR against the original deadline. Returns +1 ready,
+/// 0 timeout, -1 error (errno set).
+int PollFd(int fd, short events, int timeout_ms) {
+  const uint64_t deadline_ns =
+      timeout_ms > 0
+          ? Stopwatch::NowNs() + static_cast<uint64_t>(timeout_ms) * 1000000u
+          : 0;
+  while (true) {
+    int wait = -1;
+    if (timeout_ms > 0) {
+      const uint64_t now = Stopwatch::NowNs();
+      if (now >= deadline_ns) return 0;
+      wait = static_cast<int>((deadline_ns - now) / 1000000u) + 1;
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = poll(&pfd, 1, wait);
+    if (rc >= 0) return rc > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+  }
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------------
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      bytes_sent_(other.bytes_sent_),
+      bytes_received_(other.bytes_received_) {
+  other.fd_ = -1;
+}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    bytes_sent_ = other.bytes_sent_;
+    bytes_received_ = other.bytes_received_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Channel::~Channel() { Close(); }
+
+void Channel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Channel> Channel::Dial(const std::string& address,
+                              const DialOptions& options) {
+  CEWS_ASSIGN_OR_RETURN(const ParsedAddress parsed, ParseAddress(address));
+  const uint64_t deadline_ns =
+      Stopwatch::NowNs() +
+      static_cast<uint64_t>(options.timeout_ms > 0 ? options.timeout_ms : 0) *
+          1000000u;
+  int backoff_ms = options.initial_backoff_ms > 0 ? options.initial_backoff_ms
+                                                  : 1;
+  std::string last_error = "never attempted";
+  while (true) {
+    const int fd = socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return ErrnoStatus("socket");
+    int rc;
+    if (parsed.is_unix) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, parsed.unix_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      do {
+        rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+      } while (rc < 0 && errno == EINTR);
+    } else {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = parsed.ip;
+      addr.sin_port = htons(parsed.port);
+      do {
+        rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+      } while (rc < 0 && errno == EINTR);
+    }
+    if (rc == 0) return Channel(fd);
+    last_error = std::strerror(errno);
+    ::close(fd);
+    // The listener may simply not exist yet (chief still starting up):
+    // back off and retry until the dial deadline.
+    if (options.timeout_ms <= 0 || Stopwatch::NowNs() >= deadline_ns) {
+      return Status::DeadlineExceeded("cannot connect to " + address + " within " +
+                                 std::to_string(options.timeout_ms) +
+                                 "ms: " + last_error);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, options.max_backoff_ms > 0
+                                              ? options.max_backoff_ms
+                                              : backoff_ms);
+  }
+}
+
+Status Channel::Send(FrameType type, std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("Send on a closed channel");
+  const std::string frame = EncodeFrame(type, payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = send(fd_, frame.data() + off, frame.size() - off,
+                           MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send " + std::string(FrameTypeName(type)) +
+                         " frame");
+    }
+    off += static_cast<size_t>(n);
+  }
+  bytes_sent_ += frame.size();
+  BytesTxCounter()->Add(frame.size());
+  return Status::OK();
+}
+
+Result<Frame> Channel::Recv(int silence_timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("Recv on a closed channel");
+  char chunk[16384];
+  while (true) {
+    if (reader_.HasFrame()) return reader_.PopFrame();
+    // Each wait covers one silence window; any arriving bytes reset it by
+    // looping back here.
+    const int rc = PollFd(fd_, POLLIN, silence_timeout_ms);
+    if (rc < 0) return ErrnoStatus("poll");
+    if (rc == 0) {
+      return Status::DeadlineExceeded(
+          "peer silent for " + std::to_string(silence_timeout_ms) +
+          "ms (liveness timeout)");
+    }
+    ssize_t n;
+    do {
+      n = read(fd_, chunk, sizeof(chunk));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return ErrnoStatus("read");
+    if (n == 0) return Status::IOError("peer closed the connection");
+    bytes_received_ += static_cast<size_t>(n);
+    BytesRxCounter()->Add(static_cast<uint64_t>(n));
+    CEWS_RETURN_IF_ERROR(reader_.Feed(chunk, static_cast<size_t>(n)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      address_(std::move(other.address_)),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    address_ = std::move(other.address_);
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+Listener::~Listener() { Close(); }
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Result<Listener> Listener::Bind(const std::string& address) {
+  CEWS_ASSIGN_OR_RETURN(const ParsedAddress parsed, ParseAddress(address));
+  Listener listener;
+  if (parsed.is_unix) {
+    // A stale socket file from a crashed previous run would make bind fail
+    // forever; remove it first (live listeners on the same path are a
+    // configuration error this cannot distinguish — documented).
+    ::unlink(parsed.unix_path.c_str());
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return ErrnoStatus("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, parsed.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const Status s = ErrnoStatus("bind " + address);
+      ::close(fd);
+      return s;
+    }
+    if (listen(fd, 64) < 0) {
+      const Status s = ErrnoStatus("listen " + address);
+      ::close(fd);
+      ::unlink(parsed.unix_path.c_str());
+      return s;
+    }
+    listener.fd_ = fd;
+    listener.unix_path_ = parsed.unix_path;
+    listener.address_ = address;
+    return listener;
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = parsed.ip;
+  addr.sin_port = htons(parsed.port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = ErrnoStatus("bind " + address);
+    ::close(fd);
+    return s;
+  }
+  if (listen(fd, 64) < 0) {
+    const Status s = ErrnoStatus("listen " + address);
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const Status s = ErrnoStatus("getsockname");
+    ::close(fd);
+    return s;
+  }
+  char ip_str[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &bound.sin_addr, ip_str, sizeof(ip_str));
+  listener.fd_ = fd;
+  listener.address_ =
+      "tcp:" + std::string(ip_str) + ":" + std::to_string(ntohs(bound.sin_port));
+  return listener;
+}
+
+Result<Channel> Listener::Accept(int timeout_ms) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("Accept on a closed listener");
+  }
+  const int rc = PollFd(fd_, POLLIN, timeout_ms);
+  if (rc < 0) return ErrnoStatus("poll");
+  if (rc == 0) {
+    return Status::DeadlineExceeded("no connection within " +
+                                    std::to_string(timeout_ms) + "ms");
+  }
+  int client;
+  do {
+    client = accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) return ErrnoStatus("accept");
+  return Channel(client);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol helpers
+// ---------------------------------------------------------------------------
+
+Result<Frame> RecvSkippingHeartbeats(Channel& channel,
+                                     int silence_timeout_ms) {
+  while (true) {
+    CEWS_ASSIGN_OR_RETURN(Frame frame, channel.Recv(silence_timeout_ms));
+    if (frame.type == FrameType::kHeartbeat) {
+      static obs::Counter* const heartbeats =
+          obs::GetCounter("dist.heartbeats_rx");
+      heartbeats->Increment();
+      continue;
+    }
+    return frame;
+  }
+}
+
+Result<Frame> ExpectFrame(Channel& channel, FrameType want,
+                          int silence_timeout_ms) {
+  CEWS_ASSIGN_OR_RETURN(Frame frame,
+                        RecvSkippingHeartbeats(channel, silence_timeout_ms));
+  if (frame.type != want) {
+    return Status::IOError(std::string("protocol error: expected ") +
+                           FrameTypeName(want) + " frame, got " +
+                           FrameTypeName(frame.type));
+  }
+  return frame;
+}
+
+}  // namespace cews::dist

@@ -1,0 +1,126 @@
+// cews::dist — stream transport under the frame protocol: a Listener that
+// accepts connections and a Channel that sends/receives whole frames.
+//
+// Addresses:
+//   "unix:<path>"       Unix-domain stream socket (the default for
+//                       single-host chief/employee and fork mode).
+//   "tcp:<ip>:<port>"   TCP over a numeric IPv4 address (no DNS — resolver
+//                       behavior is environment-dependent and this layer
+//                       must stay deterministic and dependency-free).
+//                       Port 0 binds an ephemeral port; Listener::address()
+//                       reports the resolved one.
+//
+// Liveness: Recv() takes a *silence* timeout — the clock resets whenever
+// any bytes arrive, so a peer that keeps transmitting (even just heartbeat
+// frames) is never declared dead mid-payload, while a silent peer trips
+// DeadlineExceeded after exactly one quiet window. RecvSkippingHeartbeats
+// layers the protocol rule on top: heartbeats refresh liveness and are
+// otherwise invisible to callers.
+#ifndef CEWS_DIST_CHANNEL_H_
+#define CEWS_DIST_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dist/frame.h"
+
+namespace cews::dist {
+
+/// Connect-retry policy of Channel::Dial. The employee usually starts
+/// before the chief has bound its socket, so dialing retries with
+/// exponential backoff until `timeout_ms` of wall time has elapsed.
+struct DialOptions {
+  int timeout_ms = 10000;
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 500;
+};
+
+/// One connected stream endpoint. Move-only; owns the fd.
+class Channel {
+ public:
+  /// Connects to `address`, retrying per `options` while the listener does
+  /// not exist yet (connection refused / socket file absent). DeadlineExceeded
+  /// once the deadline passes.
+  static Result<Channel> Dial(const std::string& address,
+                              const DialOptions& options = DialOptions{});
+
+  Channel() = default;
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  ~Channel();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Encodes and writes one whole frame (handles partial writes and EINTR;
+  /// SIGPIPE is suppressed). IOError on a broken connection.
+  Status Send(FrameType type, std::string_view payload);
+
+  /// Shorthand liveness marker.
+  Status SendHeartbeat() { return Send(FrameType::kHeartbeat, {}); }
+
+  /// The next frame, waiting at most `silence_timeout_ms` between arriving
+  /// byte chunks (<= 0 means wait forever). DeadlineExceeded when the peer
+  /// goes silent for a full window; IOError on close/corruption.
+  Result<Frame> Recv(int silence_timeout_ms);
+
+  /// Transport byte totals of this channel (frames as written, header and
+  /// CRC included) — what the chief aggregates into DistTrainResult.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+  void Close();
+
+ private:
+  explicit Channel(int fd) : fd_(fd) {}
+  friend class Listener;
+
+  int fd_ = -1;
+  FrameReader reader_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+/// A bound, listening socket. Move-only; unlinks its unix path on close.
+class Listener {
+ public:
+  static Result<Listener> Bind(const std::string& address);
+
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Accepts one connection, waiting at most `timeout_ms` (<= 0 forever).
+  Result<Channel> Accept(int timeout_ms);
+
+  /// Canonical address, with tcp port 0 resolved to the bound port.
+  const std::string& address() const { return address_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string address_;
+  std::string unix_path_;  ///< Non-empty for unix sockets; unlinked on close.
+};
+
+/// The next non-heartbeat frame: heartbeats refresh the silence clock and
+/// are dropped. Same errors as Channel::Recv.
+Result<Frame> RecvSkippingHeartbeats(Channel& channel,
+                                     int silence_timeout_ms);
+
+/// RecvSkippingHeartbeats + type check: IOError naming both types when the
+/// peer sent something other than `want`.
+Result<Frame> ExpectFrame(Channel& channel, FrameType want,
+                          int silence_timeout_ms);
+
+}  // namespace cews::dist
+
+#endif  // CEWS_DIST_CHANNEL_H_

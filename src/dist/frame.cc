@@ -1,0 +1,107 @@
+#include "dist/frame.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace cews::dist {
+
+namespace {
+
+bool KnownType(uint32_t t) {
+  return t >= static_cast<uint32_t>(FrameType::kHello) &&
+         t <= static_cast<uint32_t>(FrameType::kShutdown);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kWelcome: return "welcome";
+    case FrameType::kParams: return "params";
+    case FrameType::kRollout: return "rollout";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  CEWS_CHECK_LE(payload.size(), static_cast<size_t>(kMaxFramePayload))
+      << "frame payload exceeds the wire cap";
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  AppendU32(out, kFrameMagic);
+  AppendU32(out, static_cast<uint32_t>(type));
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  AppendU32(out, ComputeCrc32(out.data(), out.size()));
+  return out;
+}
+
+Status FrameReader::Feed(const void* data, size_t n) {
+  if (!error_.ok()) return error_;
+  buf_.append(static_cast<const char*>(data), n);
+  error_ = Parse();
+  return error_;
+}
+
+Frame FrameReader::PopFrame() {
+  CEWS_CHECK(!ready_.empty()) << "PopFrame with no frame ready";
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+Status FrameReader::Parse() {
+  size_t pos = 0;
+  while (buf_.size() - pos >= kFrameHeaderSize) {
+    const char* p = buf_.data() + pos;
+    // Validate eagerly, field by field, so a desynchronized or hostile
+    // stream fails as soon as the header is visible — not after buffering
+    // payload_len bytes of garbage.
+    if (ReadU32(p) != kFrameMagic) {
+      return Status::IOError("frame stream corrupt: bad magic");
+    }
+    const uint32_t type = ReadU32(p + 4);
+    if (!KnownType(type)) {
+      return Status::IOError("frame stream corrupt: unknown frame type " +
+                             std::to_string(type));
+    }
+    const uint32_t len = ReadU32(p + 8);
+    if (len > kMaxFramePayload) {
+      return Status::IOError("frame stream corrupt: implausible payload "
+                             "length " + std::to_string(len));
+    }
+    const size_t total = kFrameHeaderSize + len + kFrameTrailerSize;
+    if (buf_.size() - pos < total) break;  // incomplete; wait for bytes
+    const uint32_t stored = ReadU32(p + kFrameHeaderSize + len);
+    const uint32_t actual = ComputeCrc32(p, kFrameHeaderSize + len);
+    if (stored != actual) {
+      return Status::IOError("frame stream corrupt: CRC32 mismatch on " +
+                             std::string(FrameTypeName(
+                                 static_cast<FrameType>(type))) + " frame");
+    }
+    Frame f;
+    f.type = static_cast<FrameType>(type);
+    f.payload.assign(p + kFrameHeaderSize, len);
+    ready_.push_back(std::move(f));
+    pos += total;
+  }
+  if (pos > 0) buf_.erase(0, pos);
+  return Status::OK();
+}
+
+}  // namespace cews::dist

@@ -1,0 +1,89 @@
+// cews::dist — length-prefixed, CRC-framed message protocol of the
+// distributed trainer (DESIGN.md §7).
+//
+// One frame on the wire:
+//
+//   u32 magic | u32 type | u32 payload_len | payload bytes | u32 crc32
+//
+// all little-endian, with the CRC-32 (common/crc32.h, the checkpoint
+// footer's polynomial) computed over every byte before it (magic, type,
+// length, payload). A receiver therefore rejects truncation, bit flips and
+// stream desynchronization before a single payload byte is interpreted;
+// since frames carry training state (parameter broadcasts, packed rollout
+// buffers) a corrupt frame is an unrecoverable *connection* error, not a
+// retryable message error — the stream offset itself can no longer be
+// trusted.
+//
+// FrameReader is incremental: sockets deliver arbitrary chunks, so bytes
+// are fed as they arrive and complete frames pop out once fully validated.
+#ifndef CEWS_DIST_FRAME_H_
+#define CEWS_DIST_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cews::dist {
+
+/// Message kinds of the chief<->employee protocol (trainer.h).
+enum class FrameType : uint32_t {
+  kHello = 1,      ///< employee -> chief: rank + config hash handshake
+  kWelcome = 2,    ///< chief -> employee: handshake accepted (echoes hash)
+  kParams = 3,     ///< chief -> employee: parameter broadcast
+  kRollout = 4,    ///< employee -> chief: packed rollout payload
+  kHeartbeat = 5,  ///< either way: liveness marker, no payload
+  kShutdown = 6,   ///< chief -> employee: training finished, exit cleanly
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// One decoded, CRC-verified message.
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+inline constexpr uint32_t kFrameMagic = 0x46574543u;  // "CEWF" on the wire
+inline constexpr size_t kFrameHeaderSize = 12;        // magic + type + len
+inline constexpr size_t kFrameTrailerSize = 4;        // crc32
+/// Payload cap: a length field larger than this is treated as corruption
+/// (the biggest legitimate payload — a packed rollout batch at bench
+/// scale — is a few MB).
+inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+/// Serializes one frame (header + payload + CRC trailer), ready to write to
+/// a socket in one piece.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Incremental frame decoder. Feed() accepts any byte partitioning of the
+/// stream; frames become available through HasFrame()/PopFrame() only once
+/// their CRC has verified. Any validation failure (bad magic, implausible
+/// length, unknown type, CRC mismatch) poisons the reader permanently —
+/// the caller must drop the connection.
+class FrameReader {
+ public:
+  /// Appends `n` bytes of stream and parses every complete frame out of the
+  /// internal buffer. Returns the first validation error; once an error is
+  /// returned every later Feed() fails with the same error.
+  Status Feed(const void* data, size_t n);
+
+  bool HasFrame() const { return !ready_.empty(); }
+
+  /// The oldest fully validated frame; HasFrame() must be true.
+  Frame PopFrame();
+
+ private:
+  Status Parse();
+
+  std::string buf_;
+  std::deque<Frame> ready_;
+  Status error_ = Status::OK();
+};
+
+}  // namespace cews::dist
+
+#endif  // CEWS_DIST_FRAME_H_

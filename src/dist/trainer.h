@@ -1,0 +1,241 @@
+// cews::dist — multi-process chief/employee training (DESIGN.md §7).
+//
+// Roles:
+//   - Employees are pure rollout actors: each holds a local model copy,
+//     runs the shared vectorized rollout (agents/trainer_core.h) over its
+//     own environments, completes GAE per instance, and ships the packed
+//     buffers (plus curiosity samples and episode stats) to the chief.
+//   - The chief is the single learner: it broadcasts the global parameters
+//     each iteration, merges the employee payloads in canonical rank order,
+//     and performs every PPO/intrinsic update itself.
+//
+// Determinism: given a fixed employee count N, a fixed seed, and the exact
+// float round-trip of the wire format (dist/wire.h), a distributed run is
+// bitwise-identical to TrainDistReference — the same EmployeeCore and
+// LearnerCore objects driven in rank order inside one process with no
+// sockets. The equivalence holds by construction: rank-ordered merge fixes
+// the transition order, the broadcast fixes every actor's parameters, and
+// per-rank rollout rngs are derived exactly as the in-process trainer
+// derives per-employee rngs (seed * 7919 + rank). Note the learning
+// semantics intentionally differ from ChiefEmployeeTrainer: that trainer
+// sums per-employee gradients; this one trains on the merged transition
+// pool with a single learner (one gradient per minibatch, clipped at
+// ppo.max_grad_norm, not N * max_grad_norm).
+//
+// Fork mode (SpawnEmployees): for tests, CI smoke and single-host bench
+// runs, the employees are forked from the launching process. Children must
+// be forked BEFORE any threads exist (CHECK: keep runtime_threads = 1 and
+// create the serving fleet only after spawning); each child runs
+// EmployeeClient::Run and _exits without returning.
+#ifndef CEWS_DIST_TRAINER_H_
+#define CEWS_DIST_TRAINER_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/chief_employee.h"
+#include "agents/curiosity.h"
+#include "agents/ppo.h"
+#include "agents/reward_normalizer.h"
+#include "agents/rnd.h"
+#include "common/result.h"
+#include "dist/channel.h"
+#include "dist/wire.h"
+#include "env/map.h"
+#include "env/state_encoder.h"
+#include "env/vec_env.h"
+#include "nn/optimizer.h"
+
+namespace cews::dist {
+
+class DeployLoop;
+
+/// Configuration of one distributed run: the full trainer config (episodes
+/// double as distributed iterations; num_employees is the employee process
+/// count) plus transport knobs.
+struct DistTrainerConfig {
+  agents::TrainerConfig trainer;
+
+  /// Transport address ("unix:<path>" or "tcp:<ip>:<port>", channel.h).
+  std::string address = "unix:/tmp/cews_dist.sock";
+
+  /// Total dial budget of an employee connecting to a chief that may not
+  /// have bound its socket yet (exponential backoff underneath).
+  int dial_timeout_ms = 15000;
+  /// Silence budget of the handshake (hello/welcome) exchanges.
+  int handshake_timeout_ms = 15000;
+  /// Per-peer liveness window: a peer silent for this long is declared
+  /// dead (DeadlineExceeded), which aborts training — the fixed-N
+  /// determinism contract has no re-balancing path. Must comfortably cover
+  /// one full rollout + learn, since single-threaded peers cannot
+  /// heartbeat mid-computation.
+  int liveness_timeout_ms = 120000;
+
+  /// Optional warm-start checkpoint the chief loads into the global policy
+  /// before the first broadcast. Loaded in STRICT mode (LoadOptions::
+  /// require_crc): the distributed path fans these parameters out to every
+  /// employee, so a footer-less file with no integrity check is rejected.
+  /// Employees never read it — they get the values via the broadcast.
+  std::string init_checkpoint;
+};
+
+/// Everything a distributed (or reference) run produced. `final_policy` /
+/// `final_intrinsic` are the flat global parameter values after the last
+/// iteration — what the equivalence test compares bitwise.
+struct DistTrainResult {
+  std::vector<agents::EpisodeRecord> history;
+  double seconds = 0.0;
+  std::vector<float> final_policy;
+  std::vector<float> final_intrinsic;
+  /// Chief-side transport totals (all employee channels, frame overhead
+  /// included). Zero for TrainDistReference.
+  uint64_t bytes_tx = 0;
+  uint64_t bytes_rx = 0;
+};
+
+/// Auto-fills the dependent TrainerConfig dimensions from the map exactly
+/// as ChiefEmployeeTrainer's constructor does (net.num_workers, curiosity
+/// cells, rnd.state_size, ...). Chief and employees must hash and build
+/// from the SAME normalized config — call this once at every entry point.
+agents::TrainerConfig NormalizeConfig(const agents::TrainerConfig& config,
+                                      const env::Map& map);
+
+/// One employee's local state: policy/intrinsic model copies, environments,
+/// rollout rng. Pure actor — never updates parameters itself.
+class EmployeeCore {
+ public:
+  /// `config` must already be normalized. Rng and model seeds derive from
+  /// (config.seed, rank) exactly like the in-process trainer's employees,
+  /// so frozen intrinsic parts (curiosity embedding, RND target) replicate
+  /// across processes without ever crossing the wire.
+  EmployeeCore(const agents::TrainerConfig& config, const env::Map& map,
+               int rank);
+
+  /// Overwrites the local trainable parameters with a broadcast.
+  void SetParams(const ParamUpdate& update);
+
+  /// One full iteration: vectorized rollout over all local instances,
+  /// per-instance GAE, stats aggregation. The result is what goes on the
+  /// wire (or straight to the reference learner).
+  RolloutPayload RunIteration(uint64_t iteration);
+
+  int rank() const { return rank_; }
+
+ private:
+  agents::TrainerConfig config_;
+  env::Map map_;
+  env::StateEncoder encoder_;
+  agents::PpoAgent agent_;
+  std::unique_ptr<agents::SpatialCuriosity> curiosity_;
+  std::unique_ptr<agents::RndCuriosity> rnd_;
+  env::VecEnv vec_;
+  Rng rng_;
+  std::vector<agents::RewardNormalizer> normalizers_;
+  int rank_ = 0;
+};
+
+/// The chief's single-learner state: global models, optimizers, learner
+/// rng. Consumes merged rollouts; produces parameter broadcasts.
+class LearnerCore {
+ public:
+  explicit LearnerCore(const agents::TrainerConfig& config);
+
+  /// Flat snapshot of the current trainable parameters.
+  ParamUpdate CurrentParams(uint64_t iteration) const;
+
+  /// `update_epochs` rounds of minibatch updates on the merged pool:
+  /// per round one packed minibatch (learner rng), intrinsic-module
+  /// backward + step, PPO backward + clip + step. Returns the last
+  /// round's loss stats.
+  agents::LossStats Learn(const agents::RolloutBuffer& buffer,
+                          const std::vector<agents::CuriositySample>& samples);
+
+  const agents::PolicyNet& net() const { return agent_.net(); }
+
+  /// Strict (CRC-required) warm-start load into the global policy. See
+  /// DistTrainerConfig::init_checkpoint.
+  Status LoadPolicy(const std::string& path);
+
+ private:
+  agents::TrainerConfig config_;
+  agents::PpoAgent agent_;
+  std::unique_ptr<agents::SpatialCuriosity> curiosity_;
+  std::unique_ptr<agents::RndCuriosity> rnd_;
+  std::unique_ptr<nn::Adam> intrinsic_optimizer_;
+  Rng rng_;
+};
+
+/// Rank-ordered merge of one iteration's employee payloads: buffers
+/// concatenate rank-major (rank 0's instances first), curiosity samples
+/// likewise, stats sum. CHECK-fails unless payloads[i].rank == i — the
+/// canonical order IS the determinism argument, so a mis-ordered call is a
+/// bug, not data.
+struct MergedRollout {
+  agents::RolloutBuffer buffer;
+  std::vector<agents::CuriositySample> samples;
+  RolloutStats totals;  ///< Sums over employees (kappa/xi/rho summed too).
+};
+MergedRollout MergeRollouts(std::vector<RolloutPayload> payloads);
+
+/// Single-process reference semantics: the same EmployeeCore/LearnerCore
+/// objects driven in rank order with no transport. The distributed run
+/// must match this bitwise — that is what dist_trainer_equivalence_test
+/// asserts.
+Result<DistTrainResult> TrainDistReference(const DistTrainerConfig& config,
+                                           const env::Map& map);
+
+/// The chief process: accepts trainer.num_employees employees, drives the
+/// broadcast/merge/learn loop, and (optionally) runs the publish gate.
+class ChiefServer {
+ public:
+  ChiefServer(const DistTrainerConfig& config, env::Map map);
+
+  /// Binds the listener. Separate from Run so callers using "tcp:...:0"
+  /// can read the resolved address() before employees dial.
+  Status Bind();
+  const std::string& address() const { return bound_address_; }
+
+  /// Accepts all employees, runs every iteration, shuts employees down.
+  /// `deploy` (may be null) gets MaybePublish after each iteration.
+  /// Any employee failure (handshake mismatch, liveness timeout, corrupt
+  /// frame) aborts the run with the underlying error.
+  Status Run(DistTrainResult* result, DeployLoop* deploy = nullptr);
+
+ private:
+  DistTrainerConfig config_;
+  env::Map map_;
+  Listener listener_;
+  std::string bound_address_;
+};
+
+/// One employee process: dials the chief, handshakes, then loops
+/// params -> rollout until the chief says shutdown.
+class EmployeeClient {
+ public:
+  EmployeeClient(const DistTrainerConfig& config, env::Map map, int rank);
+  Status Run();
+
+ private:
+  DistTrainerConfig config_;
+  env::Map map_;
+  int rank_ = 0;
+};
+
+/// Forks trainer.num_employees child processes, each running
+/// EmployeeClient(rank).Run() and _exit-ing with 0/1. MUST be called while
+/// the process is still single-threaded (before any fleet, reporter or
+/// kernel pool threads exist) — a forked child of a multi-threaded process
+/// inherits a poisoned lock state.
+Result<std::vector<pid_t>> SpawnEmployees(const DistTrainerConfig& config,
+                                          const env::Map& map);
+
+/// waitpid()s every child; non-zero/abnormal exits become an error naming
+/// the rank.
+Status ReapEmployees(const std::vector<pid_t>& pids);
+
+}  // namespace cews::dist
+
+#endif  // CEWS_DIST_TRAINER_H_

@@ -1,0 +1,89 @@
+// cews::dist — payload (de)serialization of the distributed trainer: what
+// goes inside kHello/kParams/kRollout frames.
+//
+// Exactness contract: every float/double crosses the wire as its raw bit
+// pattern (memcpy, little-endian both sides — the only platforms this repo
+// targets), so pack -> unpack is the identity on values. This is what makes
+// the fork-mode distributed run bitwise-identical to the in-process
+// reference (TrainDistReference): no text formatting, no rounding, ever.
+//
+// Unpack functions are defensive: every length is bounds-checked against
+// the remaining payload before any allocation is sized from it, and
+// structural invariants (advantages matching transition counts, per-worker
+// array sizes) are validated — a frame that passed the CRC can still be a
+// version-skewed peer's message.
+#ifndef CEWS_DIST_WIRE_H_
+#define CEWS_DIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agents/chief_employee.h"
+#include "agents/curiosity.h"
+#include "agents/rollout.h"
+#include "common/result.h"
+#include "env/map.h"
+
+namespace cews::dist {
+
+/// kHello handshake: the employee announces its rank and the hash of its
+/// (config, map) pair; the chief echoes it back in kWelcome. A mismatch
+/// means the two processes would train different problems — fatal.
+struct Hello {
+  uint32_t rank = 0;
+  uint64_t config_hash = 0;
+};
+
+/// kParams broadcast: flat trainable values of the global policy net and
+/// (when an intrinsic module is configured) its trainable parameters.
+/// Frozen parts (curiosity embedding, RND target) are never shipped — they
+/// replicate across processes via the shared seed derivations.
+struct ParamUpdate {
+  uint64_t iteration = 0;
+  std::vector<float> policy;
+  std::vector<float> intrinsic;
+};
+
+/// Per-iteration episode aggregates one employee reports alongside its
+/// buffers (the dist equivalent of ChiefEmployeeTrainer's accumulator).
+struct RolloutStats {
+  double extrinsic_sum = 0.0;  ///< Summed over all instances.
+  double intrinsic_sum = 0.0;
+  double kappa = 0.0;  ///< Instance means (VecEnv::MeanKappa etc.).
+  double xi = 1.0;
+  double rho = 0.0;
+  int64_t env_steps = 0;
+};
+
+/// kRollout payload: everything one employee's iteration produced — one
+/// GAE-completed buffer per environment instance, the curiosity samples
+/// collected during the rollout (spatial-curiosity mode only), and the
+/// episode stats.
+struct RolloutPayload {
+  uint32_t rank = 0;
+  uint64_t iteration = 0;
+  std::vector<agents::RolloutBuffer> buffers;
+  std::vector<agents::CuriositySample> samples;
+  RolloutStats stats;
+};
+
+std::string PackHello(const Hello& hello);
+Result<Hello> UnpackHello(const std::string& payload);
+
+std::string PackParams(const ParamUpdate& update);
+Result<ParamUpdate> UnpackParams(const std::string& payload);
+
+std::string PackRollout(const RolloutPayload& payload);
+Result<RolloutPayload> UnpackRollout(const std::string& payload);
+
+/// Fingerprint of the training problem: every TrainerConfig field that
+/// shapes the computation plus the full map geometry, CRC-folded. Two
+/// processes with equal hashes run the same problem; the handshake rejects
+/// anything else before a single parameter crosses the wire.
+uint64_t ConfigHash(const agents::TrainerConfig& config,
+                    const env::Map& map);
+
+}  // namespace cews::dist
+
+#endif  // CEWS_DIST_WIRE_H_

@@ -94,7 +94,8 @@ Status SaveParameters(const std::string& path,
 }
 
 Status LoadParameters(const std::string& path,
-                      const std::vector<Tensor>& params) {
+                      const std::vector<Tensor>& params,
+                      const LoadOptions& options) {
   std::string buf;
   {
     std::ifstream in(path, std::ios::binary);
@@ -110,9 +111,17 @@ Status LoadParameters(const std::string& path,
   // header field. Files without the tag are legacy "CEWSPAR1" checkpoints
   // (pre-footer writer) and are parsed as-is, with no integrity check.
   size_t payload_end = buf.size();
-  if (buf.size() >= kFooterSize &&
+  const bool has_footer =
+      buf.size() >= kFooterSize &&
       std::memcmp(buf.data() + buf.size() - kFooterSize, kFooterTag,
-                  sizeof(kFooterTag)) == 0) {
+                  sizeof(kFooterTag)) == 0;
+  if (options.require_crc && !has_footer) {
+    return Status::FailedPrecondition(
+        path + ": no CRC32 footer (legacy pre-footer checkpoint); this "
+               "load path requires integrity-checked files — re-save the "
+               "checkpoint with the current writer");
+  }
+  if (has_footer) {
     payload_end = buf.size() - kFooterSize;
     uint32_t stored = 0;
     std::memcpy(&stored, buf.data() + buf.size() - sizeof(stored),

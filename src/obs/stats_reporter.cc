@@ -101,6 +101,29 @@ std::string StatsReporter::FormatHeartbeat(const MetricsSnapshot& prev,
     line += buf;
   }
 
+  // Distributed trainer (dist/trainer.h): iteration and transport byte
+  // rates plus the publish gate's accept/reject tally. Gated on the
+  // dist.iterations counter existing — non-distributed runs keep the old
+  // line.
+  if (cur.FindCounter("dist.iterations") != nullptr) {
+    const uint64_t iters = cur.CounterValue("dist.iterations") -
+                           prev.CounterValue("dist.iterations");
+    const uint64_t tx = cur.CounterValue("dist.bytes_tx") -
+                        prev.CounterValue("dist.bytes_tx");
+    const uint64_t rx = cur.CounterValue("dist.bytes_rx") -
+                        prev.CounterValue("dist.bytes_rx");
+    std::snprintf(buf, sizeof(buf),
+                  " | dist %s it/s tx %sB/s rx %sB/s pub %llu/%llu",
+                  FmtRate(static_cast<double>(iters) / dt).c_str(),
+                  FmtRate(static_cast<double>(tx) / dt).c_str(),
+                  FmtRate(static_cast<double>(rx) / dt).c_str(),
+                  static_cast<unsigned long long>(
+                      cur.CounterValue("dist.publish.accepted")),
+                  static_cast<unsigned long long>(
+                      cur.CounterValue("dist.publish.rejected")));
+    line += buf;
+  }
+
   // Expression-graph backend (CEWS_NN_GRAPH=1): replay rate, shape-cache
   // hit ratio and the largest planned activation arena. Gated on any
   // compiled-graph call having happened — tape-mode runs keep the old line.

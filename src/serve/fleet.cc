@@ -135,8 +135,8 @@ Status Fleet::Publish(const std::string& scenario,
 }
 
 Status Fleet::PublishFromFile(const std::string& scenario,
-                              const std::string& path) {
-  return scenarios_->PublishFromFile(scenario, path);
+                              const std::string& path, bool require_crc) {
+  return scenarios_->PublishFromFile(scenario, path, require_crc);
 }
 
 Result<uint64_t> Fleet::Epoch(const std::string& scenario) const {

@@ -100,9 +100,11 @@ class Fleet {
                  const std::vector<nn::Tensor>& params);
 
   /// Loads a checkpoint from disk and publishes it into one scenario (the
-  /// live model is untouched on failure).
+  /// live model is untouched on failure). `require_crc` rejects legacy
+  /// footer-less checkpoints — automated publishers (dist::DeployLoop) set
+  /// it so only integrity-checked files ever reach a live fleet.
   Status PublishFromFile(const std::string& scenario,
-                         const std::string& path);
+                         const std::string& path, bool require_crc = false);
 
   /// Epoch of one scenario's current snapshot (relaxed read).
   Result<uint64_t> Epoch(const std::string& scenario) const;

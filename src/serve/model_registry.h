@@ -69,8 +69,11 @@ class ModelRegistry {
 
   /// Loads a checkpoint from disk into a scratch clone of the current
   /// snapshot (shape-checked against a real parameter set; a corrupt file
-  /// leaves the served model untouched) and publishes it.
-  Status PublishFromFile(const std::string& path);
+  /// leaves the served model untouched) and publishes it. `require_crc`
+  /// additionally rejects legacy footer-less files (nn::LoadOptions) — the
+  /// automated publish loop sets it so an unverifiable file can never be
+  /// fanned out to a live fleet.
+  Status PublishFromFile(const std::string& path, bool require_crc = false);
 
   /// Epoch of the current snapshot. A dedicated relaxed counter, NOT an
   /// Acquire(): polling the epoch (admission checks, worker staleness
@@ -113,7 +116,7 @@ class ScenarioRegistry {
   Status Publish(const std::string& scenario,
                  const std::vector<nn::Tensor>& params);
   Status PublishFromFile(const std::string& scenario,
-                         const std::string& path);
+                         const std::string& path, bool require_crc = false);
 
   /// Epoch of one scenario's current snapshot; NotFound for unknown names.
   Result<uint64_t> Epoch(const std::string& scenario) const;

@@ -165,6 +165,35 @@ TEST(SerializeTest, LegacyFooterlessFileStillLoads) {
   ExpectSameValues(saved, loaded);
 }
 
+TEST(SerializeTest, StrictModeRejectsFooterlessFile) {
+  const std::string path = TempPath("legacy_strict.bin");
+  const std::vector<Tensor> saved = MakeParams(7.0f);
+  WriteFile(path, LegacyBytes(saved));
+
+  // The same file the lenient default accepts is refused under
+  // require_crc — the distributed broadcast / fleet publish path must
+  // never fan out a checkpoint that carries no integrity check.
+  LoadOptions strict;
+  strict.require_crc = true;
+  std::vector<Tensor> loaded = MakeParams(0.0f);
+  const Status status = LoadParameters(path, loaded, strict);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("CRC"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(SerializeTest, StrictModeAcceptsFooteredFile) {
+  const std::string path = TempPath("footered_strict.bin");
+  const std::vector<Tensor> saved = MakeParams(3.25f);
+  ASSERT_TRUE(SaveParameters(path, saved).ok());
+  LoadOptions strict;
+  strict.require_crc = true;
+  std::vector<Tensor> loaded = MakeParams(0.0f);
+  ASSERT_TRUE(LoadParameters(path, loaded, strict).ok());
+  ExpectSameValues(saved, loaded);
+}
+
 TEST(SerializeTest, ImplausibleRankRejectedBeforeAllocation) {
   const std::string path = TempPath("absurd_ndim.bin");
   // magic | count=1 | ndim = 2^40 — an attacker-sized header that must be

@@ -21,6 +21,34 @@
 //               --trace-out enables span tracing and writes a Chrome
 //               trace_event file loadable in Perfetto / chrome://tracing,
 //               --heartbeat logs a periodic one-line training pulse)
+//   cews train-dist --scenario X | --map FILE
+//              [--role chief|employee] [--spawn N] [--rank R]
+//              [--address unix:/path | tcp:ip:port]
+//              [--iterations N] [--employees N] [--envs-per-employee N]
+//              [--batch N] [--epochs K] [--threads N] [--seed N]
+//              [--algorithm drl-cews|dppo] [--horizon N]
+//              [--publish-every K] [--min-delta D] [--eval-envs N]
+//              [--shards N] [--snapshot FILE] [--init-ckpt FILE]
+//              [--ckpt FILE] [--history FILE] [--metrics-out FILE]
+//              [--heartbeat SECONDS]
+//              multi-process chief/employee training (src/dist): the chief
+//              broadcasts parameters each iteration, merges employee
+//              rollouts in rank order, trains, and every --publish-every
+//              iterations runs the eval gate and publishes accepted
+//              snapshots into a live in-process serving fleet
+//              (--spawn N forks N employee processes and runs the chief —
+//               the single-host mode; --role employee --rank R dials
+//               --address and serves as one rollout actor, for manually
+//               placed multi-process runs;
+//               --iterations are distributed training iterations (the
+//               trainer's episodes); --employees is the world size (set
+//               automatically by --spawn);
+//               --init-ckpt warm-starts the chief's policy — loaded in
+//               strict mode, a checkpoint without a CRC footer is refused
+//               since its parameters would fan out to every employee;
+//               --publish-every <= 0 disables the publish loop;
+//               --snapshot is the crash-safe file accepted candidates are
+//               saved to and published from; --ckpt saves the final policy)
 //   cews eval --map FILE --ckpt policy.bin
 //             [--episodes N] [--svg traj.svg]       evaluate a checkpoint
 //   cews serve --map FILE | --scenario X [--ckpt policy.bin]
@@ -79,6 +107,10 @@
 #include "core/training_log.h"
 #include "core/visualize.h"
 #include "common/table.h"
+#include "dist/deploy_loop.h"
+#include "dist/trainer.h"
+#include "nn/params.h"
+#include "nn/serialize.h"
 #include "env/map_io.h"
 #include "env/state_encoder.h"
 #include "obs/flight_recorder.h"
@@ -245,6 +277,171 @@ int CmdTrain(const Args& args) {
     const Status status = obs::WriteChromeTrace(args.Get("trace-out", ""));
     if (!status.ok()) return Fail(status);
     std::printf("trace -> %s\n", args.Get("trace-out", "").c_str());
+  }
+  return 0;
+}
+
+int CmdTrainDist(const Args& args) {
+  auto map_or = ResolveMap(args);
+  if (!map_or.ok()) return Fail(map_or.status());
+  const env::Map& map = *map_or;
+  const std::string algorithm = args.Get("algorithm", "drl-cews");
+  if (algorithm != "dppo" && algorithm != "drl-cews") {
+    return Fail(Status::InvalidArgument(
+        "train-dist supports drl-cews or dppo, got '" + algorithm + "'"));
+  }
+  const core::Algorithm which = algorithm == "dppo" ? core::Algorithm::kDppo
+                                                    : core::Algorithm::kDrlCews;
+  env::EnvConfig env_config;
+  env_config.horizon = static_cast<int>(args.GetInt("horizon", 60));
+  core::BenchmarkOptions options = OptionsFrom(args);
+  // --iterations aliases the trainer's episodes in the distributed loop.
+  options.episodes = static_cast<int>(
+      args.GetInt("iterations", args.GetInt("episodes", 30)));
+
+  dist::DistTrainerConfig dcfg;
+  dcfg.trainer = core::MakeTrainerConfig(which, env_config, options);
+  const int spawn = static_cast<int>(args.GetInt("spawn", 0));
+  if (spawn > 0) dcfg.trainer.num_employees = spawn;
+  dcfg.address = args.Get(
+      "address", "unix:/tmp/cews_dist_" + std::to_string(::getpid()) + ".sock");
+  dcfg.init_checkpoint = args.Get("init-ckpt", "");
+
+  const std::string role = args.Get("role", "chief");
+  if (role == "employee") {
+    if (!args.Has("rank") || !args.Has("address")) {
+      return Fail(Status::InvalidArgument(
+          "train-dist --role employee requires --rank and --address"));
+    }
+    dist::EmployeeClient client(dcfg, map,
+                                static_cast<int>(args.GetInt("rank", 0)));
+    const Status status = client.Run();
+    if (!status.ok()) return Fail(status);
+    return 0;
+  }
+  if (role != "chief") {
+    return Fail(Status::InvalidArgument(
+        "--role must be 'chief' or 'employee', got '" + role + "'"));
+  }
+
+  const std::string scenario_name =
+      args.Has("map") ? std::string(serve::ScenarioRegistry::kDefaultScenario)
+                      : args.Get("scenario", "earthquake-site");
+  const agents::TrainerConfig norm = dist::NormalizeConfig(dcfg.trainer, map);
+
+  dist::ChiefServer server(dcfg, map);
+  const Status bind_status = server.Bind();
+  if (!bind_status.ok()) return Fail(bind_status);
+  dcfg.address = server.address();  // resolved (tcp:...:0 -> real port)
+
+  // Fork employees while this process is still single-threaded — the fleet,
+  // heartbeat reporter and kernel pool threads all come after.
+  std::vector<pid_t> pids;
+  if (spawn > 0) {
+    auto pids_or = dist::SpawnEmployees(dcfg, map);
+    if (!pids_or.ok()) return Fail(pids_or.status());
+    pids = std::move(*pids_or);
+    std::printf("chief @ %s: forked %d employees\n", dcfg.address.c_str(),
+                spawn);
+  } else {
+    std::printf("chief @ %s: waiting for %d employees\n", dcfg.address.c_str(),
+                dcfg.trainer.num_employees);
+  }
+
+  // The publish target: a live serving fleet in this process. The deploy
+  // loop's accepted snapshots hot-swap into it while training continues.
+  const int publish_every = static_cast<int>(args.GetInt("publish-every", 5));
+  std::unique_ptr<serve::Fleet> fleet;
+  std::unique_ptr<dist::DeployLoop> deploy;
+  if (publish_every > 0) {
+    serve::FleetConfig fleet_config;
+    fleet_config.net = norm.net;
+    fleet_config.num_shards = static_cast<int>(args.GetInt("shards", 1));
+    fleet_config.runtime_threads = options.runtime_threads;
+    fleet_config.seed = options.seed;
+    fleet_config.scenarios = {scenario_name};
+    auto fleet_or = serve::Fleet::Create(fleet_config);
+    if (!fleet_or.ok()) return Fail(fleet_or.status());
+    fleet = std::move(*fleet_or);
+
+    dist::DeployOptions deploy_options;
+    deploy_options.publish_every = publish_every;
+    deploy_options.scenario = scenario_name;
+    deploy_options.snapshot_path =
+        args.Get("snapshot", "cews_deploy_snapshot.bin");
+    deploy_options.eval_envs = static_cast<int>(args.GetInt("eval-envs", 2));
+    deploy_options.eval_seed = options.seed * 31 + 7;
+    deploy_options.min_delta = args.GetDouble("min-delta", 0.0);
+    deploy =
+        std::make_unique<dist::DeployLoop>(deploy_options, norm, map, fleet.get());
+  }
+  std::unique_ptr<obs::StatsReporter> heartbeat;
+  if (args.GetDouble("heartbeat", 0.0) > 0.0) {
+    heartbeat =
+        std::make_unique<obs::StatsReporter>(args.GetDouble("heartbeat", 0.0));
+  }
+
+  dist::DistTrainResult result;
+  const Status run_status = server.Run(&result, deploy.get());
+  const Status reap_status = dist::ReapEmployees(pids);
+  if (!run_status.ok()) return Fail(run_status);
+  if (!reap_status.ok()) return Fail(reap_status);
+
+  const agents::EpisodeRecord& last = result.history.back();
+  std::printf("done in %.1fs: %zu iterations, last kappa=%.3f xi=%.3f "
+              "rho=%.3f, transport tx=%llu B rx=%llu B\n",
+              result.seconds, result.history.size(), last.kappa, last.xi,
+              last.rho, static_cast<unsigned long long>(result.bytes_tx),
+              static_cast<unsigned long long>(result.bytes_rx));
+  if (deploy != nullptr) {
+    std::printf("publish gate: accepted=%d rejected=%d published_kappa=%.3f\n",
+                deploy->accepted(), deploy->rejected(),
+                deploy->published_score());
+  }
+
+  // Prove the published model is actually serving: drive a short closed
+  // loop against the fleet and report request/error counts and the epoch.
+  if (fleet != nullptr) {
+    serve::LoadSpec spec;
+    spec.mode = serve::LoadMode::kClosedLoop;
+    spec.clients = 4;
+    spec.requests_per_client = 8;
+    spec.submit_threads = 2;
+    spec.env = env_config;
+    spec.scenario = scenario_name;
+    spec.seed = options.seed + 77;
+    auto load_or = serve::RunLoad(*fleet, map, spec);
+    if (!load_or.ok()) return Fail(load_or.status());
+    const auto epoch_or = fleet->Epoch(scenario_name);
+    std::printf("fleet check: requests=%lld shed=%lld errors=%lld epoch=%llu\n",
+                static_cast<long long>(load_or->requests),
+                static_cast<long long>(load_or->shed),
+                static_cast<long long>(load_or->errors),
+                static_cast<unsigned long long>(
+                    epoch_or.ok() ? epoch_or.value() : 0));
+    fleet->Stop();
+  }
+  heartbeat.reset();
+
+  if (args.Has("ckpt")) {
+    Rng net_rng(options.seed);
+    agents::PolicyNet net(norm.net, net_rng);
+    nn::LoadFlatValues(net.Parameters(), result.final_policy);
+    const Status status =
+        nn::SaveParameters(args.Get("ckpt", ""), net.Parameters());
+    if (!status.ok()) return Fail(status);
+    std::printf("checkpoint -> %s\n", args.Get("ckpt", "").c_str());
+  }
+  if (args.Has("history")) {
+    const Status status =
+        core::WriteHistoryCsv(result.history, args.Get("history", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("history -> %s\n", args.Get("history", "").c_str());
+  }
+  if (args.Has("metrics-out")) {
+    const Status status = obs::WriteMetricsJson(args.Get("metrics-out", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("metrics -> %s\n", args.Get("metrics-out", "").c_str());
   }
   return 0;
 }
@@ -450,7 +647,7 @@ int CmdServe(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cews <scenarios|map|show|train|eval|serve>"
+               "usage: cews <scenarios|map|show|train|train-dist|eval|serve>"
                " [--flag value]\n"
                "see the header of tools/cews_cli.cpp for details\n");
   return 2;
@@ -473,6 +670,7 @@ int main(int argc, char** argv) {
     return CmdMap(args);
   }
   if (command == "train") return CmdTrain(args);
+  if (command == "train-dist") return CmdTrainDist(args);
   if (command == "eval") return CmdEval(args);
   if (command == "serve") return CmdServe(args);
   return Usage();

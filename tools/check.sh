@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 build + tests, then a ThreadSanitizer build of
 # the concurrency-sensitive targets (thread pool, parallel kernels, the
-# expression-graph engine, both trainers, the serve subsystem) and an
-# ASan+UBSan build of the vectorized acting path (VecEnv, trainer core,
-# both trainers) plus the graph, serve and checkpoint-serialization tests,
-# ending with the gradient-checkpointing bitwise guard. Run from anywhere;
-# builds land in build/, build-tsan/, and build-asan/.
+# expression-graph engine, both trainers, the serve and dist subsystems)
+# and an ASan+UBSan build of the vectorized acting path (VecEnv, trainer
+# core, both trainers) plus the graph, serve, dist and
+# checkpoint-serialization tests, ending with the gradient-checkpointing
+# bitwise guard and a multi-process train-dist smoke that must drive the
+# publish gate through a reject-then-accept sequence into a live fleet.
+# Run from anywhere; builds land in build/, build-tsan/, and build-asan/.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
@@ -107,11 +109,12 @@ else
     agents_trainer_test agents_async_test \
     obs_metrics_test obs_trace_test obs_integration_test \
     obs_rolling_test obs_flight_test \
-    serve_batcher_test serve_server_test serve_fleet_test serve_trace_test
+    serve_batcher_test serve_server_test serve_fleet_test serve_trace_test \
+    dist_transport_test dist_trainer_equivalence_test
 
   echo "== tsan: concurrency tests =="
   (cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
-    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
+    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test|dist_transport_test|dist_trainer_equivalence_test")
 fi
 
 if [[ "$skip_asan" == 1 ]]; then
@@ -127,11 +130,12 @@ else
     agents_trainer_test agents_async_test nn_gemm_test \
     nn_graph_test agents_graph_equivalence_test \
     nn_serialize_test obs_rolling_test obs_flight_test \
-    serve_batcher_test serve_server_test serve_fleet_test serve_trace_test
+    serve_batcher_test serve_server_test serve_fleet_test serve_trace_test \
+    dist_transport_test dist_trainer_equivalence_test
 
-  echo "== asan+ubsan: vec acting + serve path tests =="
+  echo "== asan+ubsan: vec acting + serve + dist path tests =="
   (cd "$repo/build-asan" && ctest --output-on-failure -j "$jobs" -R \
-    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|nn_serialize_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test")
+    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|nn_serialize_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test|dist_transport_test|dist_trainer_equivalence_test")
 
   echo "== graph: checkpoint bitwise guard =="
   # Gradient checkpointing must never change training numerics: replaying
@@ -141,6 +145,46 @@ else
   # check even when both sanitizer passes are skipped.
   "$repo/build/tests/agents_graph_equivalence_test" \
     --gtest_filter='*CheckpointBitwise*'
+fi
+
+echo "== dist: multi-process train-dist + publish-gate smoke =="
+# End-to-end exercise of the distributed trainer: a chief forks two
+# employee processes, trains 8 iterations over a unix socket, and the
+# deploy gate (every 2 iterations) evaluates each candidate before
+# publishing into a live fleet. Seed 8 is chosen because its kappa curve
+# dips and recovers, so the gate must REJECT at least one snapshot and
+# later ACCEPT again — proving both gate branches and the re-publish path.
+# The whole run is bitwise deterministic, so this sequence is stable.
+if [[ -x "$repo/build/tools/cews" ]]; then
+  smoke_out="$("$repo/build/tools/cews" train-dist --spawn 2 \
+    --iterations 8 --publish-every 2 --horizon 20 --pois 30 --batch 32 \
+    --envs-per-employee 1 --seed 8 \
+    --snapshot "$repo/build/check_dist_snapshot.bin" \
+    --address "unix:/tmp/cews_check_dist_$$.sock" 2>&1)" || {
+    echo "$smoke_out"
+    echo "FAIL: train-dist smoke run exited non-zero"
+    exit 1
+  }
+  gate_seq="$(echo "$smoke_out" | grep -o 'deploy gate [A-Z]*' |
+    awk '{print $3}' | paste -sd' ' -)"
+  echo "publish gate sequence: ${gate_seq}"
+  if ! echo "$gate_seq" | grep -q 'REJECTED.*ACCEPTED'; then
+    echo "$smoke_out"
+    echo "FAIL: expected a REJECTED publish followed by a later ACCEPTED" \
+         "(got: ${gate_seq})"
+    exit 1
+  fi
+  fleet_line="$(echo "$smoke_out" | grep 'fleet check:')"
+  echo "$fleet_line"
+  if ! echo "$fleet_line" | grep -q 'errors=0'; then
+    echo "$smoke_out"
+    echo "FAIL: fleet served errors after publish (${fleet_line})"
+    exit 1
+  fi
+  rm -f "$repo/build/check_dist_snapshot.bin"
+else
+  echo "FAIL: cews CLI not built; dist smoke cannot run"
+  exit 1
 fi
 
 echo "== all checks passed =="
