@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "agents/policy_net.h"
@@ -24,7 +25,9 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "nn/gemm.h"
+#include "nn/gemm_int8.h"
 #include "nn/graph.h"
+#include "nn/quant.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "nn/params.h"
@@ -444,7 +447,8 @@ void RunKernelSweep() {
   if (const char* p = std::getenv("CEWS_BENCH_KERNELS_OUT")) out_path = p;
   std::ofstream out(out_path);
   out << "{\n  \"benchmark\": \"gemm_kernel_sweep\",\n"
-      << "  \"threads\": 1,\n  \"flops_formula\": \"2*m*n*k\",\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"threads_used\": 1,\n  \"flops_formula\": \"2*m*n*k\",\n"
       << "  \"shapes\": [\n";
 
   bool first = true;
@@ -505,6 +509,104 @@ void RunKernelSweep() {
                 ref_gflops, packed_gflops,
                 packed_s > 0 ? ref_s / packed_s : 0.0, misses_per_iter);
   }
+  // --- Int8 serve path vs packed fp32 on the serve-hot shapes ---
+  // Each side is timed with its true per-request cost: the fp32 forward
+  // repacks its B panel every call (GemmNN's pack step), the int8 forward
+  // quantizes its activations every call (rows for the trunk FC, im2col
+  // columns + panel pack for the conv) against a weight panel quantized and
+  // packed once at publish. The int8 kernel fuses the bias epilogue.
+  struct Int8Shape {
+    const char* name;
+    const char* kind;  // "fc": A=activations, B=pre-packed weight panel;
+                       // "conv": A=pre-quantized weight rows, B=im2col
+    nn::Index m, n, k;
+  };
+  const Int8Shape kInt8Shapes[] = {
+      {"serve_fc_fwd_b16", "fc", 16, 128, 1152},
+      {"serve_fc_fwd_b64", "fc", 64, 128, 1152},
+      {"serve_conv2_img_g12", "conv", 8, 144, 54},
+      {"serve_conv2_img_g20", "conv", 8, 400, 54},
+  };
+  out << "\n  ],\n  \"int8_serve\": [\n";
+  first = true;
+  for (const Int8Shape& s : kInt8Shapes) {
+    const bool fc = std::string(s.kind) == "fc";
+    const std::vector<float> a = RandomBuffer(s.m * s.k, 31);
+    const std::vector<float> b = RandomBuffer(s.k * s.n, 32);
+    const std::vector<float> bias = RandomBuffer(fc ? s.n : s.m, 33);
+    std::vector<float> c(static_cast<size_t>(s.m * s.n), 0.0f);
+
+    const auto run_fp32 = [&] {
+      nn::gemm::GemmNN(s.m, s.n, s.k, a.data(), s.k, 1, b.data(), s.n,
+                       c.data(), s.n);
+    };
+
+    double int8_s = 0.0;
+    if (fc) {
+      // Publish-time: gather B's columns into channel-major rows, quantize
+      // per output channel, pack the panel.
+      std::vector<int8_t> wq(static_cast<size_t>(s.n * s.k));
+      std::vector<float> sb(static_cast<size_t>(s.n));
+      std::vector<float> bt(static_cast<size_t>(s.n * s.k));
+      for (nn::Index j = 0; j < s.n; ++j) {
+        for (nn::Index l = 0; l < s.k; ++l) bt[j * s.k + l] = b[l * s.n + j];
+      }
+      nn::gemm::QuantizeRowsInt8(s.n, s.k, bt.data(), s.k, wq.data(),
+                                 sb.data());
+      nn::quant::AlignedInt8Buffer packed(nn::gemm::Int8PanelBytes(s.k, s.n));
+      nn::gemm::PackInt8NT(s.k, s.n, wq.data(), s.k, packed.data());
+      // Request-time: per-row activation quantization + prepacked GEMM.
+      std::vector<int8_t> aq(static_cast<size_t>(s.m * s.k));
+      std::vector<float> sa(static_cast<size_t>(s.m));
+      int8_s = TimePerIter([&] {
+        nn::gemm::QuantizeRowsInt8(s.m, s.k, a.data(), s.k, aq.data(),
+                                   sa.data());
+        nn::gemm::Int8GemmPrepacked(s.m, s.n, s.k, aq.data(), s.k, sa.data(),
+                                    packed.data(), sb.data(), nullptr,
+                                    bias.data(), c.data(), s.n);
+      });
+    } else {
+      // Publish-time: conv weights are natively channel-major — quantize
+      // the rows once. Request-time: quantize-and-pack the im2col columns
+      // into the panel in one fused pass, run the dot kernel.
+      std::vector<int8_t> wq(static_cast<size_t>(s.m * s.k));
+      std::vector<float> sa(static_cast<size_t>(s.m));
+      nn::gemm::QuantizeRowsInt8(s.m, s.k, a.data(), s.k, wq.data(),
+                                 sa.data());
+      std::vector<float> sb(static_cast<size_t>(s.n));
+      nn::quant::AlignedInt8Buffer panel(nn::gemm::Int8PanelBytes(s.k, s.n));
+      int8_s = TimePerIter([&] {
+        nn::gemm::QuantizePackColsInt8(s.k, s.n, b.data(), s.n, panel.data(),
+                                       sb.data());
+        nn::gemm::Int8GemmPrepacked(s.m, s.n, s.k, wq.data(), s.k, sa.data(),
+                                    panel.data(), sb.data(), bias.data(),
+                                    nullptr, c.data(), s.n);
+      });
+    }
+    const double fp32_s = TimePerIter(run_fp32);
+
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.n) * static_cast<double>(s.k);
+    const double fp32_gflops = flops / fp32_s * 1e-9;
+    const double int8_gflops = flops / int8_s * 1e-9;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"kind\": \"%s\", \"m\": %lld, \"n\": %lld, "
+        "\"k\": %lld, \"fp32_gflops\": %.3f, \"int8_gflops\": %.3f, "
+        "\"speedup\": %.3f}",
+        s.name, s.kind, static_cast<long long>(s.m),
+        static_cast<long long>(s.n), static_cast<long long>(s.k), fp32_gflops,
+        int8_gflops, int8_s > 0 ? fp32_s / int8_s : 0.0);
+    out << (first ? "" : ",\n") << buf;
+    first = false;
+    std::printf("[kernels] %-20s %-4s m=%lld n=%lld k=%lld  fp32 %.2f GF/s  "
+                "int8 %.2f GF/s  speedup %.2fx\n",
+                s.name, s.kind, static_cast<long long>(s.m),
+                static_cast<long long>(s.n), static_cast<long long>(s.k),
+                fp32_gflops, int8_gflops, int8_s > 0 ? fp32_s / int8_s : 0.0);
+  }
+
   // --- Tape vs compiled-graph replay on the PPO training step ---
   // One fresh agent per (batch, mode): the loss-graph cache compiles under
   // the mode's checkpoint setting, so modes must not share an agent.

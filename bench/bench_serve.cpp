@@ -92,11 +92,13 @@ struct OpenPoint {
 /// modulo the open loop charging from scheduled arrival.
 std::string JsonRow(const char* mode, int shards, int clients, int max_batch,
                     int threads, double arrival_rps,
-                    const serve::LoadResult& r, double roll_p99_us = 0.0) {
+                    const serve::LoadResult& r, double roll_p99_us = 0.0,
+                    const char* precision = "fp32") {
   char buf[704];
   std::snprintf(
       buf, sizeof(buf),
-      "    {\"mode\": \"%s\", \"shards\": %d, \"clients\": %d, "
+      "    {\"mode\": \"%s\", \"precision\": \"%s\", \"shards\": %d, "
+      "\"clients\": %d, "
       "\"max_batch\": %d, \"threads_per_shard\": %d, \"arrival_rps\": %.1f, "
       "\"requests\": %llu, \"shed\": %llu, \"errors\": %llu, "
       "\"offered_rps\": %.1f, \"throughput_rps\": %.1f, "
@@ -104,7 +106,7 @@ std::string JsonRow(const char* mode, int shards, int clients, int max_batch,
       "\"latency_p95_us\": %.1f, \"latency_p99_us\": %.1f, "
       "\"latency_p999_us\": %.1f, \"roll_p99_us\": %.1f, "
       "\"mean_batch\": %.2f}",
-      mode, shards, clients, max_batch, threads, arrival_rps,
+      mode, precision, shards, clients, max_batch, threads, arrival_rps,
       static_cast<unsigned long long>(r.requests),
       static_cast<unsigned long long>(r.shed),
       static_cast<unsigned long long>(r.errors), r.offered_rps,
@@ -270,10 +272,65 @@ int main() {
   std::printf("open-loop fleet sweep (Poisson arrivals, max_queue=256):\n%s\n",
               open_table.ToString().c_str());
 
+  // -------------------------------------------------------------------
+  // Part 3: precision comparison — the identical closed-loop config run
+  // at fp32 and at int8 (publish-time-quantized trunk, fp32 heads). Same
+  // shard count, batch bound, threads and client load; the only delta is
+  // FleetConfig::precision, so the throughput/p99 difference isolates the
+  // quantized forward path.
+  // -------------------------------------------------------------------
+  Table prec_table({"precision", "clients", "max_batch", "rps", "mean_us",
+                    "p50_us", "p99_us", "mean_batch"});
+  for (const serve::Precision prec :
+       {serve::Precision::kFp32, serve::Precision::kInt8}) {
+    serve::FleetConfig config = base;
+    config.num_shards = 1;
+    config.max_batch = 16;
+    config.threads_per_shard = 1;
+    config.max_queue_depth = 0;
+    config.precision = prec;
+    auto fleet = serve::Fleet::Create(config);
+    if (!fleet.ok()) {
+      std::fprintf(stderr, "fleet: %s\n", fleet.status().ToString().c_str());
+      return 1;
+    }
+    serve::LoadSpec spec;
+    spec.mode = serve::LoadMode::kClosedLoop;
+    spec.clients = 16;
+    spec.requests_per_client = 100;
+    spec.env = env_config;
+    auto result = serve::RunLoad(*fleet.value(), map, spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const serve::LoadResult& r = result.value();
+    if (r.errors != 0 || r.shed != 0) {
+      std::fprintf(stderr, "precision row reported %llu errors, %llu shed\n",
+                   static_cast<unsigned long long>(r.errors),
+                   static_cast<unsigned long long>(r.shed));
+      return 1;
+    }
+    prec_table.AddRow({serve::PrecisionName(prec), "16", "16",
+                       Table::Fmt(r.throughput_rps, 1),
+                       Table::Fmt(r.latency_mean_us, 1),
+                       Table::Fmt(r.latency_p50_us, 1),
+                       Table::Fmt(r.latency_p99_us, 1),
+                       Table::Fmt(r.mean_batch, 2)});
+    json_rows.push_back(JsonRow("closed_precision", 1, 16, 16, 1, 0.0, r,
+                                0.0, serve::PrecisionName(prec)));
+  }
+  std::printf("precision comparison (closed loop, equal config):\n%s\n",
+              prec_table.ToString().c_str());
+
   std::string out_path = "BENCH_serve.json";
   if (const char* p = std::getenv("CEWS_BENCH_SERVE_OUT")) out_path = p;
   std::ofstream out(out_path);
-  out << "{\n  \"benchmark\": \"serve_fleet_sweep\",\n  \"rows\": [\n";
+  out << "{\n  \"benchmark\": \"serve_fleet_sweep\",\n  \"hardware_threads\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"threads_used\": " << std::thread::hardware_concurrency()
+      << ",\n  \"rows\": [\n";
   for (size_t i = 0; i < json_rows.size(); ++i) {
     out << json_rows[i] << (i + 1 < json_rows.size() ? ",\n" : "\n");
   }

@@ -126,10 +126,16 @@ std::vector<PolicyDecision> DecidePolicyBatch(
   const nn::Tensor x = nn::Tensor::FromData(
       {batch, cfg.in_channels, cfg.grid, cfg.grid}, states);
   const PolicyOutput out = net.Forward(x);
+  return DecideFromLogits(cfg, out.move_logits.data(),
+                          out.charge_logits.data(), out.value.data(), batch,
+                          rng, deterministic_flags, move_masks);
+}
 
-  const float* move_logits = out.move_logits.data();
-  const float* charge_logits = out.charge_logits.data();
-  const float* values = out.value.data();
+std::vector<PolicyDecision> DecideFromLogits(
+    const PolicyNetConfig& cfg, const float* move_logits,
+    const float* charge_logits, const float* values, int batch, Rng& rng,
+    const uint8_t* deterministic_flags, const uint8_t* move_masks) {
+  CEWS_CHECK_GT(batch, 0);
   const int per_env_moves = cfg.num_workers * cfg.num_moves;
   const int per_env_charges = cfg.num_workers * 2;
 

@@ -65,6 +65,19 @@ std::vector<PolicyDecision> DecidePolicyBatch(
     Rng& rng, const uint8_t* deterministic_flags = nullptr,
     const uint8_t* move_masks = nullptr);
 
+/// The sampling half of DecidePolicyBatch, operating on raw logit/value
+/// buffers instead of a net's forward output: `move_logits` holds
+/// batch * W * num_moves floats, `charge_logits` batch * W * 2, `values`
+/// batch. Draw order, masking, and Rng consumption are exactly
+/// DecidePolicyBatch's (which delegates here) — the int8 serving path feeds
+/// QuantPolicyForward's buffers through this so a precision switch changes
+/// only the forward arithmetic, never the decision protocol.
+std::vector<PolicyDecision> DecideFromLogits(
+    const PolicyNetConfig& cfg, const float* move_logits,
+    const float* charge_logits, const float* values, int batch, Rng& rng,
+    const uint8_t* deterministic_flags = nullptr,
+    const uint8_t* move_masks = nullptr);
+
 /// End-of-episode metrics of one evaluation run.
 struct EvalResult {
   double kappa = 0.0;  ///< Average data collection ratio (Eqn 4).

@@ -3,12 +3,23 @@
 #include <memory>
 
 #include "agents/eval.h"
+#include "agents/quant_policy.h"
 #include "common/check.h"
 #include "common/log.h"
+#include "nn/quant.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 
 namespace cews::dist {
+
+namespace {
+
+/// Rollout steps of the int8 agreement probe: enough encoded states
+/// (eval_envs per step) to expose a quantization-induced behavior change,
+/// cheap enough to run at every gate.
+constexpr int kAgreementProbeSteps = 8;
+
+}  // namespace
 
 DeployLoop::DeployLoop(const DeployOptions& options,
                        const agents::TrainerConfig& config,
@@ -56,6 +67,56 @@ Status DeployLoop::MaybePublish(int iteration, const agents::PolicyNet& net) {
                    << ": kappa " << score << " < published "
                    << published_score_ << " - " << options_.min_delta;
     return Status::OK();
+  }
+
+  // Int8 fleets additionally gate on action agreement: quantize the
+  // candidate exactly as Publish will, replay a short deterministic probe
+  // rollout, and reject if the quantized policy's argmax decisions diverge
+  // from fp32 beyond the configured tolerance. The probe uses its own rng
+  // and deterministic actions, so it can never perturb training or eval
+  // random streams.
+  if (fleet_->precision() == serve::Precision::kInt8) {
+    const nn::quant::QuantizedParams qp =
+        agents::QuantizePolicyParams(net.Parameters());
+    agents::AgreementStats stats;
+    eval_vec_->Reset();
+    Rng probe_rng(options_.eval_seed ^ 0xA5A5A5A55A5A5A5AULL);
+    std::vector<const env::Env*> live;
+    std::vector<int> live_index;
+    for (int step = 0; step < kAgreementProbeSteps && !eval_vec_->AllDone();
+         ++step) {
+      live.clear();
+      live_index.clear();
+      for (int i = 0; i < eval_vec_->size(); ++i) {
+        if (!eval_vec_->env(i).Done()) {
+          live.push_back(&eval_vec_->env(i));
+          live_index.push_back(i);
+        }
+      }
+      const std::vector<float> states = encoder_.EncodeBatch(live);
+      const int n = static_cast<int>(live.size());
+      const agents::AgreementStats s =
+          agents::ActionAgreementOnStates(net, qp, states, n);
+      stats.decisions += s.decisions;
+      stats.matched += s.matched;
+      const std::vector<agents::ActResult> acts = agents::SamplePolicyBatch(
+          net, states, n, probe_rng, /*deterministic=*/true);
+      for (size_t k = 0; k < live_index.size(); ++k) {
+        eval_vec_->env(live_index[k]).Step(acts[k].actions);
+      }
+    }
+    static obs::Gauge* const agreement_gauge =
+        obs::GetGauge("dist.publish.agreement");
+    agreement_gauge->Set(stats.rate());
+    if (stats.rate() < options_.agreement_min) {
+      ++rejected_;
+      rejected_counter->Increment();
+      CEWS_LOG(Info) << "deploy gate REJECTED iteration " << iteration
+                     << ": int8 action agreement " << stats.rate() << " < "
+                     << options_.agreement_min << " (" << stats.matched
+                     << "/" << stats.decisions << " decisions)";
+      return Status::OK();
+    }
   }
 
   CEWS_RETURN_IF_ERROR(

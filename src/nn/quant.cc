@@ -1,0 +1,132 @@
+#include "nn/quant.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "nn/gemm_int8.h"
+#include "obs/metrics.h"
+
+namespace cews::nn::quant {
+
+namespace {
+
+inline int8_t SaturateRtne(float x) {
+  const float r = std::nearbyintf(x);
+  if (r >= 127.0f) return 127;
+  if (r <= -127.0f) return -127;
+  return static_cast<int8_t>(r);
+}
+
+/// Quantizes one channel (a contiguous run of `per_channel` fp32 values)
+/// into `dst`, returning its scale.
+float QuantizeChannelRun(const float* src, Index per_channel, int8_t* dst) {
+  float amax = 0.0f;
+  for (Index l = 0; l < per_channel; ++l) {
+    amax = std::max(amax, std::fabs(src[l]));
+  }
+  if (amax == 0.0f) {
+    std::fill(dst, dst + per_channel, int8_t{0});
+    return 1.0f;
+  }
+  const float inv = 127.0f / amax;
+  for (Index l = 0; l < per_channel; ++l) {
+    dst[l] = SaturateRtne(src[l] * inv);
+  }
+  return amax / 127.0f;
+}
+
+obs::Counter* QuantizeNsCounter() {
+  static obs::Counter* const c = obs::GetCounter("quant.publish_ns");
+  return c;
+}
+
+}  // namespace
+
+QuantizedTensor QuantizeLinearWeight(const Tensor& w) {
+  CEWS_CHECK(w.defined());
+  CEWS_CHECK_EQ(w.ndim(), 2);
+  const Index in = w.dim(0);
+  const Index out = w.dim(1);
+  QuantizedTensor qt;
+  qt.shape = w.shape();
+  qt.channels = out;
+  qt.per_channel = in;
+  qt.scales.resize(static_cast<size_t>(out));
+  qt.rows = AlignedInt8Buffer(out * in);
+  const float* pw = w.data();
+  // Gather each output column into a contiguous scratch row, then quantize
+  // the run — one strided pass per channel, amortized by the publish cadence.
+  ScopedVec column(in);
+  for (Index ch = 0; ch < out; ++ch) {
+    float* col = column.data();
+    for (Index l = 0; l < in; ++l) col[l] = pw[l * out + ch];
+    qt.scales[static_cast<size_t>(ch)] =
+        QuantizeChannelRun(col, in, qt.rows.data() + ch * in);
+  }
+  // Pre-pack the B panel: rows is exactly the Y (n=out, k=in) operand
+  // PackInt8NT consumes.
+  qt.packed = AlignedInt8Buffer(gemm::Int8PanelBytes(in, out));
+  gemm::PackInt8NT(in, out, qt.rows.data(), in, qt.packed.data());
+  return qt;
+}
+
+QuantizedTensor QuantizeConvWeight(const Tensor& w) {
+  CEWS_CHECK(w.defined());
+  CEWS_CHECK_EQ(w.ndim(), 4);
+  const Index oc = w.dim(0);
+  const Index per = w.dim(1) * w.dim(2) * w.dim(3);
+  QuantizedTensor qt;
+  qt.shape = w.shape();
+  qt.channels = oc;
+  qt.per_channel = per;
+  qt.scales.resize(static_cast<size_t>(oc));
+  qt.rows = AlignedInt8Buffer(oc * per);
+  const float* pw = w.data();
+  for (Index ch = 0; ch < oc; ++ch) {
+    qt.scales[static_cast<size_t>(ch)] =
+        QuantizeChannelRun(pw + ch * per, per, qt.rows.data() + ch * per);
+  }
+  return qt;
+}
+
+void DequantizeChannel(const QuantizedTensor& qt, Index ch, float* out) {
+  CEWS_CHECK_GE(ch, 0);
+  CEWS_CHECK_LT(ch, qt.channels);
+  const int8_t* row = qt.rows.data() + ch * qt.per_channel;
+  const float scale = qt.scales[static_cast<size_t>(ch)];
+  for (Index l = 0; l < qt.per_channel; ++l) {
+    out[l] = static_cast<float>(row[l]) * scale;
+  }
+}
+
+QuantizedParams QuantizeParams(const std::vector<Tensor>& params,
+                               const std::vector<uint8_t>* quantize) {
+  const uint64_t t0 = Stopwatch::NowNs();
+  if (quantize != nullptr) {
+    CEWS_CHECK_EQ(quantize->size(), params.size());
+  }
+  QuantizedParams qp;
+  qp.entries.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor& t = params[i];
+    CEWS_CHECK(t.defined());
+    const bool wanted = quantize == nullptr || (*quantize)[i] != 0;
+    QuantizedParams::Entry entry;
+    entry.shape = t.shape();
+    if (wanted && t.ndim() == 2) {
+      entry.quantized = true;
+      entry.q = QuantizeLinearWeight(t);
+    } else if (wanted && t.ndim() == 4) {
+      entry.quantized = true;
+      entry.q = QuantizeConvWeight(t);
+    } else {
+      entry.dense.assign(t.data(), t.data() + t.numel());
+    }
+    qp.entries.push_back(std::move(entry));
+  }
+  QuantizeNsCounter()->Add(Stopwatch::NowNs() - t0);
+  return qp;
+}
+
+}  // namespace cews::nn::quant

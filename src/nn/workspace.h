@@ -32,9 +32,11 @@
 #define CEWS_NN_WORKSPACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "nn/tensor.h"
 
 namespace cews::nn {
@@ -68,6 +70,15 @@ class Workspace {
   static void TrimThisThread();
 };
 
+/// Alignment contract for packed GEMM panels (gemm.h, gemm_int8.h): one
+/// full cache line, so the kernels' (auto-)vectorized panel loads never
+/// straddle lines. int8 panels pack 4x more lanes per load than fp32, which
+/// makes split loads proportionally more expensive — panel acquisitions go
+/// through AlignedScopedBytes below, which rounds an arena chunk up to this
+/// boundary and *asserts* the result, so a misaligned acquisition fails
+/// loudly (and visibly under UBSan) instead of silently degrading.
+inline constexpr std::size_t kPanelAlignment = 64;
+
 /// RAII scratch buffer: AcquireVec on construction, Recycle on destruction.
 /// Move-only; the typical holder for im2col columns, packed GEMM panels and
 /// per-image scratch inside kernel bodies.
@@ -87,6 +98,46 @@ class ScopedVec {
 
  private:
   std::vector<float> v_;
+};
+
+/// RAII byte scratch whose data() is kPanelAlignment-aligned: acquires
+/// enough extra floats from the arena to round the chunk up to a 64 B
+/// boundary. The holder for packed int8 GEMM panels and quantized-activation
+/// rows (gemm_int8.h) — plain ScopedVec storage is only guaranteed
+/// alignof(float). The alignment CHECK in the acquire path is the contract
+/// assert: arena chunks always satisfy it after rounding, so a failure means
+/// the arithmetic (not the allocator) regressed.
+class AlignedScopedBytes {
+ public:
+  explicit AlignedScopedBytes(Index bytes)
+      : v_(Workspace::AcquireVec(
+            (bytes + static_cast<Index>(kPanelAlignment) +
+             static_cast<Index>(sizeof(float)) - 1) /
+            static_cast<Index>(sizeof(float)))),
+        size_(bytes) {
+    void* p = v_.data();
+    std::size_t space = v_.size() * sizeof(float);
+    data_ = static_cast<int8_t*>(
+        std::align(kPanelAlignment, static_cast<std::size_t>(bytes), p,
+                   space));
+    CEWS_CHECK(data_ != nullptr);
+    CEWS_CHECK_EQ(reinterpret_cast<std::uintptr_t>(data_) % kPanelAlignment,
+                  0u);
+  }
+  ~AlignedScopedBytes() { Workspace::Recycle(std::move(v_)); }
+  AlignedScopedBytes(AlignedScopedBytes&&) = default;
+  AlignedScopedBytes& operator=(AlignedScopedBytes&&) = delete;
+  AlignedScopedBytes(const AlignedScopedBytes&) = delete;
+  AlignedScopedBytes& operator=(const AlignedScopedBytes&) = delete;
+
+  int8_t* data() { return data_; }
+  const int8_t* data() const { return data_; }
+  Index size() const { return size_; }
+
+ private:
+  std::vector<float> v_;
+  Index size_ = 0;
+  int8_t* data_ = nullptr;
 };
 
 }  // namespace cews::nn

@@ -65,6 +65,7 @@ Result<std::unique_ptr<Fleet>> Fleet::Create(const FleetConfig& config) {
   shard_config.max_queue_delay_us = config.max_queue_delay_us;
   shard_config.max_queue_depth = config.max_queue_depth;
   shard_config.runtime_threads = config.runtime_threads;
+  shard_config.precision = config.precision;
 
   // One validation pass before any net or thread is constructed: shard 0's
   // config stands in for all (they differ only in shard_index and seed).
@@ -76,8 +77,9 @@ Result<std::unique_ptr<Fleet>> Fleet::Create(const FleetConfig& config) {
   {
     Rng rng(config.seed);
     const agents::PolicyNet net(config.net, rng);
-    scenarios = std::make_shared<ScenarioRegistry>(config.scenarios,
-                                                   net.Parameters());
+    scenarios = std::make_shared<ScenarioRegistry>(
+        config.scenarios, net.Parameters(),
+        /*quantize=*/config.precision == Precision::kInt8);
   }
 
   // Size the intra-op kernel pool once, before shard workers start issuing

@@ -70,6 +70,10 @@ struct FleetConfig {
   /// non-empty names; requests with an empty scenario tag resolve to
   /// "default" if registered (or the sole name when there is only one).
   std::vector<std::string> scenarios = {ScenarioRegistry::kDefaultScenario};
+  /// Forward-pass precision of every shard (see serve::Precision). kInt8
+  /// makes each Publish additionally build the per-channel int8 bundle the
+  /// shards serve in place — the `--precision` knob of `cews serve`.
+  Precision precision = Precision::kFp32;
 };
 
 class Fleet {
@@ -118,6 +122,9 @@ class Fleet {
   const ScenarioRegistry& scenarios() const { return *scenarios_; }
 
   const agents::PolicyNetConfig& net_config() const { return config_.net; }
+
+  /// The precision every shard serves at.
+  Precision precision() const { return config_.precision; }
 
   /// Floats a pre-encoded ScheduleRequest::state must carry.
   int StateSize() const {

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "agents/quant_policy.h"
 #include "common/check.h"
 #include "nn/serialize.h"
 #include "obs/flight_recorder.h"
@@ -22,10 +23,16 @@ std::vector<nn::Tensor> CloneParams(const std::vector<nn::Tensor>& params) {
 
 }  // namespace
 
-ModelRegistry::ModelRegistry(const std::vector<nn::Tensor>& initial) {
+ModelRegistry::ModelRegistry(const std::vector<nn::Tensor>& initial,
+                             bool quantize)
+    : quantize_(quantize) {
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->epoch = 0;
   snapshot->params = CloneParams(initial);
+  if (quantize_) {
+    snapshot->quant = std::make_shared<const nn::quant::QuantizedParams>(
+        agents::QuantizePolicyParams(snapshot->params));
+  }
   current_.store(std::move(snapshot), std::memory_order_release);
 }
 
@@ -55,10 +62,16 @@ Status ModelRegistry::Publish(const std::vector<nn::Tensor>& params) {
           nn::ShapeToString(reference->params[i].shape()));
     }
   }
-  // Clone outside the writer lock — only the epoch assignment and pointer
-  // swap are serialized.
+  // Clone (and quantize) outside the writer lock — only the epoch
+  // assignment and pointer swap are serialized. Quantization is the
+  // publish-time amortization: it runs once here, per epoch, so the int8
+  // inference hot path never quantizes or packs a weight.
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->params = CloneParams(params);
+  if (quantize_) {
+    snapshot->quant = std::make_shared<const nn::quant::QuantizedParams>(
+        agents::QuantizePolicyParams(snapshot->params));
+  }
   uint64_t published_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
@@ -92,14 +105,17 @@ Status ModelRegistry::PublishFromFile(const std::string& path,
 }
 
 ScenarioRegistry::ScenarioRegistry(const std::vector<std::string>& scenarios,
-                                   const std::vector<nn::Tensor>& initial) {
+                                   const std::vector<nn::Tensor>& initial,
+                                   bool quantize)
+    : quantize_(quantize) {
   CEWS_CHECK(!scenarios.empty()) << "ScenarioRegistry needs >= 1 scenario";
   for (const std::string& name : scenarios) {
     CEWS_CHECK(!name.empty()) << "scenario names must be non-empty";
     CEWS_CHECK(registries_.count(name) == 0)
         << "duplicate scenario '" << name << "'";
     names_.push_back(name);
-    registries_.emplace(name, std::make_unique<ModelRegistry>(initial));
+    registries_.emplace(name,
+                        std::make_unique<ModelRegistry>(initial, quantize));
   }
 }
 

@@ -34,6 +34,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 
 namespace cews::serve {
@@ -46,11 +47,18 @@ class ModelRegistry {
   struct Snapshot {
     uint64_t epoch = 0;
     std::vector<nn::Tensor> params;
+    /// Publish-time int8 bundle of `params` (nn/quant.h); non-null iff the
+    /// registry was built with quantize=true. Built ONCE per Publish —
+    /// inference workers read it in place, paying zero per-request
+    /// quantization or pack cost for the weights.
+    std::shared_ptr<const nn::quant::QuantizedParams> quant;
   };
 
   /// Clones `initial` as the epoch-0 snapshot. The list fixes the shapes
-  /// every later Publish must match.
-  explicit ModelRegistry(const std::vector<nn::Tensor>& initial);
+  /// every later Publish must match. With `quantize`, every snapshot
+  /// (including epoch 0) also carries the int8 bundle.
+  explicit ModelRegistry(const std::vector<nn::Tensor>& initial,
+                         bool quantize = false);
 
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
@@ -82,11 +90,15 @@ class ModelRegistry {
   /// inference hot path.
   uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
+  /// Whether snapshots carry the int8 bundle.
+  bool quantizes() const { return quantize_; }
+
  private:
   std::atomic<std::shared_ptr<const Snapshot>> current_;
   /// Mirrors current_->epoch; updated inside the writer lock in Publish.
   std::atomic<uint64_t> epoch_{0};
   std::mutex publish_mu_;  ///< Serializes writers only.
+  const bool quantize_ = false;
 };
 
 /// Immutable name -> ModelRegistry map: one hot-swappable parameter stream
@@ -99,9 +111,12 @@ class ScenarioRegistry {
 
   /// One registry per name, each seeded with a clone of `initial`.
   /// `scenarios` must be non-empty, with unique non-empty names
-  /// (CHECK-enforced; Fleet::Create validates user input first).
+  /// (CHECK-enforced; Fleet::Create validates user input first). With
+  /// `quantize`, every registry builds the int8 bundle at each publish
+  /// (int8 serving fleets).
   ScenarioRegistry(const std::vector<std::string>& scenarios,
-                   const std::vector<nn::Tensor>& initial);
+                   const std::vector<nn::Tensor>& initial,
+                   bool quantize = false);
 
   ScenarioRegistry(const ScenarioRegistry&) = delete;
   ScenarioRegistry& operator=(const ScenarioRegistry&) = delete;
@@ -124,7 +139,11 @@ class ScenarioRegistry {
   /// Registered names, in registration order.
   const std::vector<std::string>& names() const { return names_; }
 
+  /// Whether member registries carry int8 bundles.
+  bool quantizes() const { return quantize_; }
+
  private:
+  const bool quantize_ = false;
   std::vector<std::string> names_;
   std::map<std::string, std::unique_ptr<ModelRegistry>> registries_;
 };

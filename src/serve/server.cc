@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "agents/eval.h"
+#include "agents/quant_policy.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -36,6 +37,23 @@ std::string ShardMetricName(int shard_index, const char* suffix) {
 }
 
 }  // namespace
+
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+Result<Precision> ParsePrecision(const std::string& name) {
+  if (name == "fp32") return Precision::kFp32;
+  if (name == "int8") return Precision::kInt8;
+  return Status::InvalidArgument("unknown precision '" + name +
+                                 "' (expected fp32 or int8)");
+}
 
 Status PolicyServer::ValidateConfig(const PolicyServerConfig& config) {
   if (config.net.grid <= 0 || config.net.in_channels <= 0 ||
@@ -81,7 +99,8 @@ Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(
   runtime::SetGlobalPoolThreads(config.runtime_threads);
   auto scenarios = std::make_shared<ScenarioRegistry>(
       std::vector<std::string>{ScenarioRegistry::kDefaultScenario},
-      InitialParams(config));
+      InitialParams(config),
+      /*quantize=*/config.precision == Precision::kInt8);
   return std::unique_ptr<PolicyServer>(
       new PolicyServer(config, std::move(scenarios)));
 }
@@ -92,6 +111,10 @@ Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(
   CEWS_RETURN_IF_ERROR(ValidateConfig(config));
   if (scenarios == nullptr) {
     return Status::InvalidArgument("scenario registry must be non-null");
+  }
+  if (config.precision == Precision::kInt8 && !scenarios->quantizes()) {
+    return Status::InvalidArgument(
+        "int8 shard requires a registry built with quantize=true");
   }
   return std::unique_ptr<PolicyServer>(
       new PolicyServer(config, std::move(scenarios)));
@@ -260,6 +283,7 @@ void PolicyServer::WorkerLoop(int worker_index) {
   const std::vector<nn::Tensor> net_params = net.Parameters();
   Rng sample_rng(config_.seed * 1000003ULL +
                  static_cast<uint64_t>(worker_index));
+  const bool int8_path = config_.precision == Precision::kInt8;
   const ModelRegistry* cached_registry = nullptr;
   uint64_t cached_epoch = ~uint64_t{0};
 
@@ -308,7 +332,14 @@ void PolicyServer::WorkerLoop(int worker_index) {
           registry->Acquire();
       if (registry != cached_registry || snapshot->epoch != cached_epoch) {
         CEWS_TRACE_SCOPE("serve.swap_in");
-        nn::CopyParameters(snapshot->params, net_params);
+        // Int8 workers serve the snapshot's immutable quantized bundle in
+        // place — swap-in is just the cache update plus the flight event;
+        // only the fp32 path pays the parameter copy.
+        if (int8_path) {
+          CEWS_CHECK(snapshot->quant != nullptr);
+        } else {
+          nn::CopyParameters(snapshot->params, net_params);
+        }
         cached_registry = registry;
         cached_epoch = snapshot->epoch;
         obs::FlightRecorder::Global().Record(
@@ -360,9 +391,20 @@ void PolicyServer::WorkerLoop(int worker_index) {
       std::vector<agents::PolicyDecision> decisions;
       {
         CEWS_TRACE_SCOPE("serve.forward");
-        decisions = agents::DecidePolicyBatch(
-            net, states, n, sample_rng, deterministic.data(),
-            any_mask ? masks.data() : nullptr);
+        if (int8_path) {
+          // Quantized forward on the shared bundle, then the exact same
+          // decision protocol (mask, sample, Rng order) as fp32.
+          const agents::QuantPolicyOutput out = agents::QuantPolicyForward(
+              config_.net, *snapshot->quant, states.data(), n);
+          decisions = agents::DecideFromLogits(
+              config_.net, out.move_logits.data(), out.charge_logits.data(),
+              out.value.data(), n, sample_rng, deterministic.data(),
+              any_mask ? masks.data() : nullptr);
+        } else {
+          decisions = agents::DecidePolicyBatch(
+              net, states, n, sample_rng, deterministic.data(),
+              any_mask ? masks.data() : nullptr);
+        }
       }
 
       // Doubles as the forward-phase end timestamp when tracing.

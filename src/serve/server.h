@@ -45,6 +45,25 @@ class RollingHistogram;
 
 namespace cews::serve {
 
+/// Numeric precision of the inference forward pass.
+///
+/// kFp32 is the historical path: each worker owns a private fp32 PolicyNet
+/// replica and copies snapshot values in on epoch change. kInt8 serves the
+/// snapshot's publish-time nn::quant::QuantizedParams bundle in place
+/// through the packed int8 kernels (agents/quant_policy.h): no per-worker
+/// parameter copy, no per-request weight quantization, and the decision
+/// protocol (masking, sampling, Rng draw order) is byte-for-byte the fp32
+/// one — only the forward arithmetic changes. Int8 serving is gated on
+/// action agreement with the fp32 reference (ISSUE: >= 99% argmax match
+/// over the scenario suite; enforced by tests and the deploy/CLI gates).
+enum class Precision { kFp32, kInt8 };
+
+/// "fp32" / "int8".
+const char* PrecisionName(Precision precision);
+
+/// Parses "fp32" / "int8" (InvalidArgument otherwise).
+Result<Precision> ParsePrecision(const std::string& name);
+
 struct PolicyServerConfig {
   /// Architecture served (grid, channels, workers, moves). Must match the
   /// checkpoints published into the registry.
@@ -69,6 +88,10 @@ struct PolicyServerConfig {
   /// every ScheduleResponse::shard. -1 = standalone (legacy metric names,
   /// shard -1 in responses).
   int shard_index = -1;
+  /// Forward-pass precision. kInt8 requires the scenario registry to carry
+  /// quantized bundles (standalone Create builds one accordingly; the fleet
+  /// hook validates the shared registry).
+  Precision precision = Precision::kFp32;
 };
 
 class PolicyServer {

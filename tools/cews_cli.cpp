@@ -53,6 +53,7 @@
 //             [--episodes N] [--svg traj.svg]       evaluate a checkpoint
 //   cews serve --map FILE | --scenario X [--ckpt policy.bin]
 //              [--shards N] [--max-queue N] [--mode closed|open]
+//              [--precision fp32|int8] [--agreement-min R]
 //              [--clients N] [--requests N]
 //              [--arrival-rps R] [--duration S] [--submit-threads N]
 //              [--max-batch N] [--delay-us N]
@@ -71,6 +72,12 @@
 //               ids — honest tail latency, including p999 and shed counts;
 //               --ckpt hot-loads a checkpoint trained on the same map and
 //               options — without it a randomly initialized policy serves;
+//               --precision int8 serves the publish-time quantized bundle
+//               (per-output-channel int8 weights on the packed int8 GEMM
+//               path) instead of fp32; before taking load the CLI replays
+//               a deterministic rollout and requires quantized-vs-fp32
+//               argmax agreement >= --agreement-min (default 0.99),
+//               exiting non-zero below it;
 //               --shards sizes the fleet, --max-queue bounds each shard's
 //               queue (overload is shed with ResourceExhausted, 0 =
 //               unbounded), --max-batch / --delay-us tune the per-shard
@@ -101,6 +108,8 @@
 #include <vector>
 
 #include "agents/eval.h"
+#include "agents/policy_net.h"
+#include "agents/quant_policy.h"
 #include "core/algorithms.h"
 #include "core/drl_cews.h"
 #include "core/scenarios.h"
@@ -111,6 +120,7 @@
 #include "dist/trainer.h"
 #include "nn/params.h"
 #include "nn/serialize.h"
+#include "env/env.h"
 #include "env/map_io.h"
 #include "env/state_encoder.h"
 #include "obs/flight_recorder.h"
@@ -515,6 +525,9 @@ int CmdServe(const Args& args) {
   fleet_config.runtime_threads = options.runtime_threads;
   fleet_config.seed = options.seed;
   fleet_config.scenarios = {scenario_name};
+  auto precision_or = serve::ParsePrecision(args.Get("precision", "fp32"));
+  if (!precision_or.ok()) return Fail(precision_or.status());
+  fleet_config.precision = *precision_or;
   if (args.Has("trace-out")) obs::SetTraceEnabled(true);
 
   // Install the crash handler before the fleet exists so a fault anywhere
@@ -545,6 +558,48 @@ int CmdServe(const Args& args) {
   } else {
     std::printf(
         "warning: no --ckpt, serving a randomly initialized policy\n");
+  }
+
+  // Int8 startup gate: before taking any load, quantize the policy exactly
+  // as Publish did and replay a deterministic rollout on this map, requiring
+  // the quantized argmax decisions to agree with fp32 at --agreement-min.
+  // A checkpoint whose quantization flips too many decisions never serves.
+  if (fleet_config.precision == serve::Precision::kInt8) {
+    const double agreement_min = args.GetDouble("agreement-min", 0.99);
+    Rng net_rng(options.seed);
+    agents::PolicyNet net(fleet_config.net, net_rng);
+    if (args.Has("ckpt")) {
+      const Status status =
+          nn::LoadParameters(args.Get("ckpt", ""), net.Parameters());
+      if (!status.ok()) return Fail(status);
+    }
+    const nn::quant::QuantizedParams qp =
+        agents::QuantizePolicyParams(net.Parameters());
+    const env::StateEncoder encoder(
+        env::StateEncoderConfig{fleet_config.net.grid});
+    env::Env env(env_config, map);
+    env.Reset();
+    Rng rollout_rng(options.seed ^ 0x5A5AULL);
+    std::vector<float> states;
+    int visited = 0;
+    for (int step = 0; step < 32 && !env.Done(); ++step) {
+      const std::vector<float> state = encoder.Encode(env);
+      states.insert(states.end(), state.begin(), state.end());
+      ++visited;
+      const agents::ActResult act = agents::SamplePolicy(
+          net, state, rollout_rng, /*deterministic=*/true);
+      env.Step(act.actions);
+    }
+    const agents::AgreementStats stats =
+        agents::ActionAgreementOnStates(net, qp, states, visited);
+    std::printf("int8 agreement: %.4f (%lld/%lld decisions over %d states)\n",
+                stats.rate(), static_cast<long long>(stats.matched),
+                static_cast<long long>(stats.decisions), visited);
+    if (stats.rate() < agreement_min) {
+      return Fail(Status::FailedPrecondition(
+          "int8 action agreement " + std::to_string(stats.rate()) +
+          " below --agreement-min " + std::to_string(agreement_min)));
+    }
   }
 
   serve::LoadSpec spec;
@@ -579,20 +634,22 @@ int CmdServe(const Args& args) {
   }
   if (spec.mode == serve::LoadMode::kClosedLoop) {
     std::printf("load: %d closed-loop clients x %d requests, shards=%d "
-                "max_batch=%d delay=%lldus serve_threads=%d\n",
+                "max_batch=%d delay=%lldus serve_threads=%d precision=%s\n",
                 spec.clients, spec.requests_per_client,
                 fleet_config.num_shards, fleet_config.max_batch,
                 static_cast<long long>(fleet_config.max_queue_delay_us),
-                fleet_config.threads_per_shard);
+                fleet_config.threads_per_shard,
+                serve::PrecisionName(fleet_config.precision));
   } else {
     std::printf("load: open-loop %.0f req/s for %.2fs over %d clients, "
                 "shards=%d max_queue=%d max_batch=%d delay=%lldus "
-                "serve_threads=%d\n",
+                "serve_threads=%d precision=%s\n",
                 spec.arrival_rps, spec.duration_seconds, spec.clients,
                 fleet_config.num_shards, fleet_config.max_queue_depth,
                 fleet_config.max_batch,
                 static_cast<long long>(fleet_config.max_queue_delay_us),
-                fleet_config.threads_per_shard);
+                fleet_config.threads_per_shard,
+                serve::PrecisionName(fleet_config.precision));
   }
   auto result_or = serve::RunLoad(fleet, map, spec);
   if (!result_or.ok()) return Fail(result_or.status());

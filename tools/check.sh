@@ -6,7 +6,12 @@
 # core, both trainers) plus the graph, serve, dist and
 # checkpoint-serialization tests, ending with the gradient-checkpointing
 # bitwise guard and a multi-process train-dist smoke that must drive the
-# publish gate through a reject-then-accept sequence into a live fleet.
+# publish gate through a reject-then-accept sequence into a live fleet,
+# whose trained snapshot then backs an int8 serve smoke (the startup
+# agreement gate must clear 99%). Both sanitizer passes include the int8
+# quantization/kernel tests (nn_quant_test, serve_quant_test), and an int8
+# kernel sweep guard requires the quantized serve shapes to stay at or
+# above packed-fp32 parity.
 # Run from anywhere; builds land in build/, build-tsan/, and build-asan/.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan]
@@ -62,6 +67,34 @@ else
   echo "bench_micro_nn not built; skipping overhead guard"
 fi
 
+echo "== nn: int8 kernel sweep guard =="
+# The quantized serve path's reason to exist is beating packed fp32 on the
+# serve-hot shapes. Run the kernel sweep (CEWS_BENCH_KERNELS=1) and require
+# the int8 rows to be present and faster than fp32 on every serve shape.
+# Machine noise can flatter or punish a single run, so the hard floor here
+# is 1.0x (a regression below parity is a real bug, not noise); the
+# headline >=1.5x numbers live in BENCH_kernels.json.
+if [[ -x "$repo/build/bench/bench_micro_nn" ]]; then
+  kernels_out="$(cd "$repo/build" && CEWS_BENCH_KERNELS=1 \
+    ./bench/bench_micro_nn --benchmark_filter=NONE 2>/dev/null |
+    grep -E 'serve_(fc_fwd|conv2_img).*(fc|conv) +m=' || true)"
+  echo "$kernels_out"
+  int8_rows="$(echo "$kernels_out" | grep -c 'int8' || true)"
+  if [[ "$int8_rows" -lt 4 ]]; then
+    echo "FAIL: expected >=4 int8 kernel rows in the sweep (got ${int8_rows})"
+    exit 1
+  fi
+  if echo "$kernels_out" | awk '{for (i=1;i<=NF;i++) if ($i == "speedup")
+      {s=$(i+1); sub(/x$/, "", s); if (s + 0 < 1.0) exit 1}}'; then
+    echo "int8 rows all at or above fp32 parity"
+  else
+    echo "FAIL: an int8 serve-shape row regressed below packed-fp32 parity"
+    exit 1
+  fi
+else
+  echo "bench_micro_nn not built; skipping int8 kernel sweep guard"
+fi
+
 echo "== serve: request-tracing overhead guard =="
 # The disabled-tracing serve path pays one relaxed atomic load per request
 # (budget: <=1% on p99); with --trace-out each request additionally records
@@ -105,16 +138,16 @@ else
     -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "$repo/build-tsan" -j "$jobs" --target \
     common_thread_pool_test nn_parallel_determinism_test nn_gemm_test \
-    nn_graph_test agents_graph_equivalence_test \
+    nn_quant_test nn_graph_test agents_graph_equivalence_test \
     agents_trainer_test agents_async_test \
     obs_metrics_test obs_trace_test obs_integration_test \
     obs_rolling_test obs_flight_test \
     serve_batcher_test serve_server_test serve_fleet_test serve_trace_test \
-    dist_transport_test dist_trainer_equivalence_test
+    serve_quant_test dist_transport_test dist_trainer_equivalence_test
 
   echo "== tsan: concurrency tests =="
   (cd "$repo/build-tsan" && ctest --output-on-failure -j "$jobs" -R \
-    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test|dist_transport_test|dist_trainer_equivalence_test")
+    "common_thread_pool_test|nn_parallel_determinism_test|nn_gemm_test|nn_quant_test|nn_graph_test|agents_graph_equivalence_test|agents_trainer_test|agents_async_test|obs_metrics_test|obs_trace_test|obs_integration_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test|serve_quant_test|dist_transport_test|dist_trainer_equivalence_test")
 fi
 
 if [[ "$skip_asan" == 1 ]]; then
@@ -127,15 +160,15 @@ else
     -DCEWS_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "$repo/build-asan" -j "$jobs" --target \
     env_vec_env_test agents_trainer_core_test agents_vec_equivalence_test \
-    agents_trainer_test agents_async_test nn_gemm_test \
+    agents_trainer_test agents_async_test nn_gemm_test nn_quant_test \
     nn_graph_test agents_graph_equivalence_test \
     nn_serialize_test obs_rolling_test obs_flight_test \
     serve_batcher_test serve_server_test serve_fleet_test serve_trace_test \
-    dist_transport_test dist_trainer_equivalence_test
+    serve_quant_test dist_transport_test dist_trainer_equivalence_test
 
   echo "== asan+ubsan: vec acting + serve + dist path tests =="
   (cd "$repo/build-asan" && ctest --output-on-failure -j "$jobs" -R \
-    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_graph_test|agents_graph_equivalence_test|nn_serialize_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test|dist_transport_test|dist_trainer_equivalence_test")
+    "env_vec_env_test|agents_trainer_core_test|agents_vec_equivalence_test|agents_trainer_test|agents_async_test|nn_gemm_test|nn_quant_test|nn_graph_test|agents_graph_equivalence_test|nn_serialize_test|obs_rolling_test|obs_flight_test|serve_batcher_test|serve_server_test|serve_fleet_test|serve_trace_test|serve_quant_test|dist_transport_test|dist_trainer_equivalence_test")
 
   echo "== graph: checkpoint bitwise guard =="
   # Gradient checkpointing must never change training numerics: replaying
@@ -181,6 +214,23 @@ if [[ -x "$repo/build/tools/cews" ]]; then
     echo "FAIL: fleet served errors after publish (${fleet_line})"
     exit 1
   fi
+  echo "== serve: int8 agreement smoke (trained checkpoint) =="
+  # Serve the snapshot the dist smoke just trained at int8: the startup
+  # gate replays a deterministic rollout and refuses to serve below 99%
+  # fp32-argmax agreement, so a quantization regression fails the check
+  # with a real (trained, non-random) policy.
+  agree_out="$("$repo/build/tools/cews" serve --scenario earthquake-site \
+    --ckpt "$repo/build/check_dist_snapshot.bin" --precision int8 \
+    --clients 4 --requests 8 2>&1)" || {
+    echo "$agree_out"
+    echo "FAIL: int8 serve smoke exited non-zero (agreement gate?)"
+    exit 1
+  }
+  echo "$agree_out" | grep 'int8 agreement:' || {
+    echo "$agree_out"
+    echo "FAIL: int8 serve smoke printed no agreement line"
+    exit 1
+  }
   rm -f "$repo/build/check_dist_snapshot.bin"
 else
   echo "FAIL: cews CLI not built; dist smoke cannot run"
